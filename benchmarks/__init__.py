@@ -1,0 +1,4 @@
+"""Benchmark harness: one module per DESIGN.md experiment (E1–E10).
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""

@@ -1,0 +1,59 @@
+"""E1 — Feature 1 / Fig 2a: DBSQL querying with RANGEVALUE + 3-way join.
+
+Paper claim: a DBSQL cell can "pose arbitrary queries combining data present
+on the spreadsheet, and data stored in the relational database", with the
+database doing the heavy lifting.  We measure the end-to-end refresh latency
+of the Fig 2a query (join MOVIES ⋈ MOVIES2ACTORS ⋈ ACTORS filtered by two
+RANGEVALUE parameters) as the database grows.
+
+Expected shape: latency grows roughly linearly in |MOVIES2ACTORS| (hash
+joins + scan), staying interactive (milliseconds) at tens of thousands of
+rows — far beyond what a formula-only spreadsheet could join at all.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_movie_workbook
+
+FIG_2A_SQL = (
+    "SELECT DISTINCT a.name "
+    "FROM movies m "
+    "JOIN movies2actors ma ON m.movieid = ma.movieid "
+    "JOIN actors a ON a.actorid = ma.actorid "
+    "WHERE m.year >= RANGEVALUE(B1) AND m.year <= RANGEVALUE(B2) "
+    "ORDER BY a.name LIMIT 8"
+)
+
+
+@pytest.mark.parametrize("n_movies", [500, 2000, 8000])
+def test_fig2a_dbsql_refresh(benchmark, n_movies):
+    wb = build_movie_workbook(n_movies)
+    wb.set("Sheet1", "B1", 1960)
+    wb.set("Sheet1", "B2", 2005)
+    region = wb.dbsql("Sheet1", "B3", FIG_2A_SQL)
+
+    def rerun():
+        return region.refresh()
+
+    benchmark(rerun)
+    benchmark.extra_info["n_movies"] = n_movies
+    benchmark.extra_info["n_links"] = n_movies * 3
+    benchmark.extra_info["spill_rows"] = region.last_row_count
+
+
+@pytest.mark.parametrize("n_movies", [500, 2000, 8000])
+def test_fig2a_parameter_edit_end_to_end(benchmark, n_movies):
+    """Editing RANGEVALUE's precedent cell re-runs the query through the
+    full compute path (dirty propagation -> evaluation -> spill)."""
+    wb = build_movie_workbook(n_movies)
+    wb.set("Sheet1", "B1", 1960)
+    wb.set("Sheet1", "B2", 2005)
+    wb.dbsql("Sheet1", "B3", FIG_2A_SQL)
+    years = iter(range(1950, 2015))
+
+    def edit_parameter():
+        wb.set("Sheet1", "B1", next(years, 1950))
+        return wb.get("Sheet1", "B3")
+
+    benchmark(edit_parameter)
+    benchmark.extra_info["n_movies"] = n_movies

@@ -1,0 +1,91 @@
+"""E2 — Feature 2 / Fig 2b: create-table-from-range and DBTABLE import.
+
+Paper claim: selecting a range and issuing *create table* infers the schema
+from "the column heading and the data" and replaces the range with a live
+DBTABLE.  We measure both directions as the range grows:
+
+* export: grid → schema inference → table population,
+* import: DBTABLE render of an existing table (windowed vs full).
+
+Expected shape: export cost is linear in the range size (every value must
+be typed and inserted); the *windowed* import is flat regardless of table
+size — that asymmetry is DataSpread's point.
+"""
+
+import pytest
+
+from repro import Database, Workbook
+from repro.core.table_io import create_table_from_grid
+from benchmarks.conftest import build_sequence_table
+
+
+def make_grid(n_rows: int, n_cols: int = 4):
+    header = [f"col{i}" for i in range(n_cols)]
+    header[0] = "id"
+    rows = [[r] + [f"v{r}_{c}" for c in range(1, n_cols)] for r in range(n_rows)]
+    return [header] + rows
+
+
+@pytest.mark.parametrize("n_rows", [100, 1000, 5000])
+def test_export_create_table_from_grid(benchmark, n_rows):
+    grid = make_grid(n_rows)
+    counter = iter(range(10_000_000))
+
+    def export():
+        db = Database()
+        return create_table_from_grid(db, f"t{next(counter)}", grid, primary_key="id")
+
+    table = benchmark(export)
+    benchmark.extra_info["n_rows"] = n_rows
+    benchmark.extra_info["inferred_columns"] = len(table.column_names)
+
+
+@pytest.mark.parametrize("n_rows", [100, 1000, 5000])
+def test_export_full_cycle_with_dbtable_replacement(benchmark, n_rows):
+    """The complete Fig 2b interaction including writing the DBTABLE
+    region back onto the sheet (windowed so the render stays bounded)."""
+    grid = make_grid(n_rows)
+    counter = iter(range(10_000_000))
+
+    def full_cycle():
+        wb = Workbook()
+        wb.sheet("Sheet1").set_grid("A1", grid)
+        return wb.create_table_from_range(
+            "Sheet1",
+            f"A1:D{n_rows + 1}",
+            f"t{next(counter)}",
+            primary_key="id",
+            window_rows=40,
+        )
+
+    benchmark(full_cycle)
+    benchmark.extra_info["n_rows"] = n_rows
+
+
+@pytest.mark.parametrize("n_rows", [1000, 20_000, 100_000])
+def test_import_windowed_dbtable_is_flat(benchmark, n_rows):
+    db = build_sequence_table(n_rows)
+    wb = Workbook(database=db)
+
+    def import_windowed():
+        region = wb.dbtable("Sheet1", "A1", "seq", window_rows=40)
+        wb.remove_region(region.context.region_id)
+        return region
+
+    benchmark(import_windowed)
+    benchmark.extra_info["n_rows"] = n_rows
+    benchmark.extra_info["rendered_rows"] = 40
+
+
+@pytest.mark.parametrize("n_rows", [1000, 5000])
+def test_import_full_dbtable_is_linear(benchmark, n_rows):
+    db = build_sequence_table(n_rows)
+    wb = Workbook(database=db)
+
+    def import_full():
+        region = wb.dbtable("Sheet1", "A1", "seq")
+        wb.remove_region(region.context.region_id)
+        return region
+
+    benchmark(import_full)
+    benchmark.extra_info["n_rows"] = n_rows

@@ -1,0 +1,78 @@
+"""E3 — Feature 3 / Fig 2c: two-way synchronisation latency.
+
+Paper claim: "as modifications are made to the table on the front-end the
+data in the relational database is updated, and the data displayed in cells
+[of a dependent DBSQL] is immediately updated" — and the reverse direction.
+
+We measure the full edit→DB→dependent-refresh round trip in both
+directions, plus the batching win (one refresh for a bulk statement rather
+than per-row refreshes).
+
+Expected shape: per-edit latency is dominated by the dependent DBSQL
+re-execution, linear in the queried table size but independent of workbook
+size; batched bulk inserts amortise to ~one refresh per statement.
+"""
+
+import pytest
+
+from repro import Workbook
+from repro.workloads.traces import random_edit_trace
+
+
+def make_synced_workbook(n_rows: int):
+    wb = Workbook()
+    wb.execute("CREATE TABLE items (id INT PRIMARY KEY, qty INT)")
+    table = wb.database.table("items")
+    for i in range(n_rows):
+        table.insert((i, i % 100), emit=False)
+    region = wb.dbtable("Sheet1", "A1", "items", window_rows=40)
+    wb.dbsql("Sheet1", "E1", "SELECT sum(qty) FROM items")
+    return wb, region
+
+
+@pytest.mark.parametrize("n_rows", [100, 1000, 5000])
+def test_frontend_edit_roundtrip(benchmark, n_rows):
+    """Sheet edit -> UPDATE -> dependent DBSQL refresh (Fig 2c forward)."""
+    wb, _ = make_synced_workbook(n_rows)
+    trace = iter(random_edit_trace(38, 1, 100_000, seed=5))
+
+    def edit():
+        row, _, value = next(trace)
+        wb.set("Sheet1", f"B{row + 2}", value)  # qty column, below header
+        return wb.get("Sheet1", "E1")
+
+    benchmark(edit)
+    benchmark.extra_info["n_rows"] = n_rows
+    benchmark.extra_info["sync_events"] = wb.sync.stats.events_received
+
+
+@pytest.mark.parametrize("n_rows", [100, 1000, 5000])
+def test_backend_update_roundtrip(benchmark, n_rows):
+    """SQL UPDATE -> region re-render + dependent DBSQL refresh."""
+    wb, _ = make_synced_workbook(n_rows)
+    values = iter(range(10_000_000))
+
+    def backend_update():
+        wb.execute(f"UPDATE items SET qty = {next(values) % 100} WHERE id = 7")
+        return wb.get("Sheet1", "E1")
+
+    benchmark(backend_update)
+    benchmark.extra_info["n_rows"] = n_rows
+
+
+@pytest.mark.parametrize("bulk", [10, 100])
+def test_bulk_insert_batched_refresh(benchmark, bulk):
+    """One refresh per batch, not per row (the sync batching win)."""
+    wb, region = make_synced_workbook(100)
+    next_id = iter(range(1000, 10_000_000))
+
+    def bulk_insert():
+        refreshes_before = region.refresh_count
+        with wb.batch():
+            for _ in range(bulk):
+                wb.database.execute(f"INSERT INTO items VALUES ({next(next_id)}, 1)")
+        return region.refresh_count - refreshes_before
+
+    refreshes = benchmark(bulk_insert)
+    benchmark.extra_info["bulk_rows"] = bulk
+    benchmark.extra_info["refreshes_per_batch"] = refreshes

@@ -1,0 +1,85 @@
+"""E4 — §1 scalability claim: spreadsheets die past ~10⁵ rows; DataSpread
+stays interactive because only the window is materialised.
+
+Two measurements per table size n:
+
+* **time-to-first-window**: naive spreadsheet must materialise all n rows
+  before anything renders; DataSpread renders a 40-row window.
+* **scroll latency**: replaying a mixed scroll trace over a windowed
+  DBTABLE (positional-index window fetches + block cache).
+
+Expected shape: the naive load time grows linearly with n and crosses any
+interactivity budget somewhere around 10⁵–10⁶ rows; DataSpread's
+first-window and per-scroll latencies are flat in n (log-factor only).
+"""
+
+import pytest
+
+from repro import Workbook
+from repro.baselines.naive_spreadsheet import NaiveSpreadsheet
+from repro.workloads.traces import mixed_scroll_trace
+from benchmarks.conftest import build_sequence_table
+
+WINDOW = 40
+
+
+@pytest.mark.parametrize("n_rows", [10_000, 50_000, 200_000])
+def test_naive_spreadsheet_time_to_first_window(benchmark, n_rows):
+    rows = [(i, float(i % 97)) for i in range(n_rows)]
+
+    def load_then_show():
+        sheet = NaiveSpreadsheet()
+        sheet.load_rows(rows)
+        return sheet.window(0, WINDOW, 0, 2)
+
+    benchmark.pedantic(load_then_show, rounds=3, iterations=1)
+    benchmark.extra_info["n_rows"] = n_rows
+    benchmark.extra_info["cells_materialised"] = n_rows * 2
+
+
+@pytest.mark.parametrize("n_rows", [10_000, 50_000, 200_000])
+def test_dataspread_time_to_first_window(benchmark, n_rows):
+    db = build_sequence_table(n_rows)
+
+    def show_window():
+        wb = Workbook(database=db)
+        region = wb.dbtable("Sheet1", "A1", "seq", window_rows=WINDOW)
+        cells = wb.sheet("Sheet1").n_cells
+        wb.remove_region(region.context.region_id)
+        return cells
+
+    cells = benchmark(show_window)
+    benchmark.extra_info["n_rows"] = n_rows
+    benchmark.extra_info["cells_materialised"] = cells
+
+
+@pytest.mark.parametrize("n_rows", [10_000, 50_000, 200_000])
+def test_dataspread_scroll_latency(benchmark, n_rows):
+    db = build_sequence_table(n_rows)
+    wb = Workbook(database=db)
+    region = wb.dbtable("Sheet1", "A1", "seq", window_rows=WINDOW)
+    trace = mixed_scroll_trace(n_rows, WINDOW, steps=1000, seed=3)
+    position = iter(trace * 100)
+
+    def scroll_once():
+        region.scroll_to(next(position))
+
+    benchmark(scroll_once)
+    benchmark.extra_info["n_rows"] = n_rows
+    benchmark.extra_info["cache_hit_ratio"] = round(region.cache.hit_ratio, 3)
+
+
+@pytest.mark.parametrize("n_rows", [10_000, 50_000])
+def test_naive_spreadsheet_scroll_after_load(benchmark, n_rows):
+    """For fairness: once (expensively) loaded, the naive sheet scrolls
+    fast — the crossover argument is about load + memory, not scrolling."""
+    sheet = NaiveSpreadsheet()
+    sheet.load_rows([(i, float(i % 97)) for i in range(n_rows)])
+    trace = mixed_scroll_trace(n_rows, WINDOW, steps=1000, seed=3)
+    position = iter(trace * 100)
+
+    def scroll_once():
+        return sheet.window(next(position), WINDOW, 0, 2)
+
+    benchmark(scroll_once)
+    benchmark.extra_info["n_rows"] = n_rows

@@ -1,0 +1,84 @@
+"""E10 — §2.2 / Fig 2a: shared (one-pass, collective) computation of a
+DBSQL spill vs one-per-cell formulas.
+
+Paper claim: the spill "enables the collection of cells to be computed
+collectively in a single pass (as opposed to traditional spreadsheet
+formulae that are one-per-cell)".
+
+We fill m output cells two ways:
+
+* **one pass**: a single DBSQL whose result spills m rows,
+* **per cell**: m separate scalar queries, one per output cell — what a
+  user gets wiring one formula per cell.
+
+Expected shape: per-cell cost is ~m× the one-pass cost (m query
+executions, each scanning the table); ``statements_executed`` in the
+extra-info shows exactly that factor.
+"""
+
+import pytest
+
+from repro import Workbook
+from benchmarks.conftest import build_sequence_table
+
+SPILL_SIZES = [10, 50, 200]
+TABLE_ROWS = 2000
+
+
+def make_workbook() -> Workbook:
+    return Workbook(database=build_sequence_table(TABLE_ROWS))
+
+
+@pytest.mark.parametrize("m", SPILL_SIZES)
+def test_one_pass_spill(benchmark, m):
+    wb = make_workbook()
+    region = wb.dbsql(
+        "Sheet1", "A1", f"SELECT v FROM seq ORDER BY seq LIMIT {m}"
+    )
+    before = wb.database.statements_executed
+
+    def refresh():
+        return region.refresh()
+
+    benchmark(refresh)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["mode"] = "one-pass-spill"
+    benchmark.extra_info["statements_per_fill"] = 1
+
+
+@pytest.mark.parametrize("m", SPILL_SIZES)
+def test_per_cell_queries(benchmark, m):
+    wb = make_workbook()
+
+    def fill_per_cell():
+        values = []
+        for i in range(m):
+            values.append(
+                wb.database.execute(
+                    f"SELECT v FROM seq WHERE seq = {i}"
+                ).scalar()
+            )
+        return values
+
+    benchmark(fill_per_cell)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["mode"] = "one-query-per-cell"
+    benchmark.extra_info["statements_per_fill"] = m
+
+
+@pytest.mark.parametrize("m", [50])
+def test_per_cell_via_formula_engine(benchmark, m):
+    """The same per-cell pattern through actual DBSQL formula cells —
+    includes compute-engine overhead per cell, the worst realistic case."""
+    wb = make_workbook()
+    for i in range(m):
+        wb.dbsql("Sheet1", f"A{i + 1}", f"SELECT v FROM seq WHERE seq = {i}")
+    regions = list(wb.regions.all())
+
+    def refresh_all():
+        for region in regions:
+            region.refresh()
+
+    benchmark(refresh_all)
+    benchmark.extra_info["m"] = m
+    benchmark.extra_info["mode"] = "dbsql-region-per-cell"

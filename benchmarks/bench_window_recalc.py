@@ -1,0 +1,107 @@
+"""E7 — §2.2(d,e) / §3 compute engine: visible-first prioritised
+recalculation.
+
+Paper claim: "the calculations of the visible cells should be prioritized
+and the remaining long running computations should be performed in
+background", keeping the interface interactive.
+
+Setup: a sheet with k formula cells (one per row) and a 40-row viewport.
+After invalidating everything (editing the shared input cell), we measure:
+
+* time-to-visible with the prioritised scheduler (recalc_visible),
+* time for a full eager recalculation (the naive policy),
+* the naive-spreadsheet baseline, which recalculates all k formulas on
+  *every* edit.
+
+Expected shape: time-to-visible is ~window/k of the full recalc and flat in
+k; the full/naive recalc grows linearly with k.
+"""
+
+import pytest
+
+from repro import Workbook
+from repro.baselines.naive_spreadsheet import NaiveSpreadsheet
+from repro.window.viewport import Viewport
+
+WINDOW = 40
+
+
+def make_formula_workbook(n_formulas: int) -> Workbook:
+    wb = Workbook(eager=False)
+    wb.set("Sheet1", "A1", 1)
+    for row in range(1, n_formulas + 1):
+        wb.set("Sheet1", f"B{row}", f"=$A$1*{row}")
+    viewport = Viewport("Sheet1", top=0, left=0, n_rows=WINDOW, n_cols=4)
+    wb.set_viewport(viewport)
+    wb.recalc_all()
+    return wb
+
+
+@pytest.mark.parametrize("n_formulas", [500, 2000, 8000])
+def test_time_to_visible_prioritised(benchmark, n_formulas):
+    wb = make_formula_workbook(n_formulas)
+    values = iter(range(2, 10_000_000))
+
+    def edit_and_show_window():
+        wb.set("Sheet1", "A1", next(values))  # invalidates all k formulas
+        return wb.recalc_visible()            # ...but only 40 compute now
+
+    computed = benchmark(edit_and_show_window)
+    benchmark.extra_info["n_formulas"] = n_formulas
+    benchmark.extra_info["computed_for_visible"] = computed
+    benchmark.extra_info["policy"] = "visible-first"
+
+
+@pytest.mark.parametrize("n_formulas", [500, 2000, 8000])
+def test_full_recalc_eager(benchmark, n_formulas):
+    wb = make_formula_workbook(n_formulas)
+    values = iter(range(2, 10_000_000))
+
+    def edit_and_recalc_all():
+        wb.set("Sheet1", "A1", next(values))
+        return wb.recalc_all()
+
+    computed = benchmark(edit_and_recalc_all)
+    benchmark.extra_info["n_formulas"] = n_formulas
+    benchmark.extra_info["computed"] = computed
+    benchmark.extra_info["policy"] = "eager-full"
+
+
+@pytest.mark.parametrize("n_formulas", [500, 2000])
+def test_naive_spreadsheet_every_edit_recalcs_all(benchmark, n_formulas):
+    sheet = NaiveSpreadsheet()
+    sheet.set_at(0, 0, 1)
+    for row in range(1, n_formulas + 1):
+        sheet.values[(row, 1)] = None
+        from repro.formula.parser import parse_formula
+
+        sheet.formulas[(row, 1)] = parse_formula(f"$A$1*{row}")
+    sheet.recalc_all()
+    values = iter(range(2, 10_000_000))
+
+    def edit():
+        sheet.set_at(0, 0, next(values))
+
+    benchmark.pedantic(edit, rounds=5, iterations=1)
+    benchmark.extra_info["n_formulas"] = n_formulas
+    benchmark.extra_info["policy"] = "naive-recalc-all"
+
+
+@pytest.mark.parametrize("n_formulas", [2000])
+def test_background_drain_completes_lazily(benchmark, n_formulas):
+    """§2.2(e) lazy computation: after the visible slice, background steps
+    finish the rest without ever blocking longer than the step budget."""
+    wb = make_formula_workbook(n_formulas)
+    values = iter(range(2, 10_000_000))
+
+    def interactive_session():
+        wb.set("Sheet1", "A1", next(values))
+        wb.recalc_visible()
+        steps = 0
+        while wb.compute.pending:
+            wb.background_step(64)  # a UI-idle slice
+            steps += 1
+        return steps
+
+    steps = benchmark(interactive_session)
+    benchmark.extra_info["background_slices"] = steps

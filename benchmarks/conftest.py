@@ -1,0 +1,44 @@
+"""Shared benchmark fixtures and builders.
+
+Every module regenerates one experiment from DESIGN.md §3 (E1–E10).
+Wall-clock comes from pytest-benchmark; *logical* metrics (blocks written,
+rows scanned, statements executed) go into ``benchmark.extra_info`` so the
+paper-shape claims are visible in the report independent of machine speed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Workbook
+from repro.workloads.datasets import (
+    generate_grades_data,
+    generate_movie_data,
+    load_grades_database,
+    load_movie_database,
+)
+
+
+def build_movie_workbook(n_movies: int, n_actors: int | None = None) -> Workbook:
+    data = generate_movie_data(
+        n_movies=n_movies,
+        n_actors=n_actors or max(n_movies // 2, 10),
+        links_per_movie=3,
+        seed=7,
+    )
+    return Workbook(database=load_movie_database(data))
+
+
+def build_grades_workbook(n_students: int) -> Workbook:
+    data = generate_grades_data(n_students=n_students, seed=13)
+    return Workbook(database=load_grades_database(data))
+
+
+def build_sequence_table(n_rows: int, name: str = "seq") -> Database:
+    """A database with one n-row table (seq INT PRIMARY KEY, v REAL)."""
+    db = Database()
+    db.execute(f"CREATE TABLE {name} (seq INT PRIMARY KEY, v REAL)")
+    table = db.table(name)
+    for i in range(n_rows):
+        table.insert((i, (i * 7919) % 1000 / 10.0), emit=False)
+    return db

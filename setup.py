@@ -1,0 +1,10 @@
+"""Setup shim; all metadata lives in setup.cfg.
+
+setup.cfg + setup.py (instead of pyproject.toml) keeps ``pip install -e .``
+on the legacy editable path, which works without network access or the
+``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""DataSpread reproduction: unifying databases and spreadsheets.
+
+A full Python reimplementation of the system described in
+
+    Bendre, Sun, Zhang, Zhou, Chang, Parameswaran.
+    "DataSpread: Unifying Databases and Spreadsheets." PVLDB 8(12), 2015.
+
+Quick start::
+
+    from repro import Workbook
+
+    wb = Workbook()
+    wb.execute("CREATE TABLE actors (actorid INT PRIMARY KEY, name TEXT)")
+    wb.execute("INSERT INTO actors VALUES (1, 'Weaver'), (2, 'Ford')")
+    wb.set("Sheet1", "B1", 2)
+    wb.dbsql("Sheet1", "B3",
+             "SELECT name FROM actors WHERE actorid = RANGEVALUE(B1)")
+    assert wb.get("Sheet1", "B3") == "Ford"
+
+Architecture map (paper Figure 1 → packages):
+
+====================================  =====================================
+Figure 1 component                    package
+====================================  =====================================
+spreadsheet interface                 :mod:`repro.core` (Workbook/Sheet)
+interface manager                     :mod:`repro.core.context` / ``sync``
+interface storage manager             :mod:`repro.interface_storage`
+query processor (positional-aware)    :mod:`repro.engine.planner`/``executor``
+positional index                      :mod:`repro.index`
+compute engine                        :mod:`repro.compute`
+relational storage manager (hybrid)   :mod:`repro.engine` stores
+====================================  =====================================
+"""
+
+from repro.core.address import CellAddress, RangeAddress, column_index, column_label
+from repro.core.cell import Cell, CellKind
+from repro.core.persist import load_workbook, save_workbook
+from repro.core.render import render_range, render_window
+from repro.core.sheet import Sheet
+from repro.core.workbook import Workbook
+from repro.engine.database import Database, ResultSet
+from repro.engine.schema import Column, TableSchema
+from repro.engine.store import LayoutPolicy
+from repro.engine.types import DBType
+from repro.errors import DataSpreadError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Workbook",
+    "Sheet",
+    "save_workbook",
+    "load_workbook",
+    "render_window",
+    "render_range",
+    "Database",
+    "ResultSet",
+    "CellAddress",
+    "RangeAddress",
+    "column_index",
+    "column_label",
+    "Cell",
+    "CellKind",
+    "Column",
+    "TableSchema",
+    "DBType",
+    "LayoutPolicy",
+    "DataSpreadError",
+    "__version__",
+]

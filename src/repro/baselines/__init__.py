@@ -1,0 +1,18 @@
+"""Baselines the paper's claims are measured against.
+
+* :mod:`repro.baselines.naive_spreadsheet` — a traditional spreadsheet:
+  everything materialised in memory, every edit recalculates every formula
+  (related work (a): spreadsheet without a database).
+* :mod:`repro.baselines.naive_db` — a vanilla RDBMS pressed into interface
+  duty: positional access via an explicit rownum column and OFFSET scans,
+  middle inserts renumber the tail (related work (b): database without
+  interface awareness).
+* :mod:`repro.baselines.sqlite_backend` — sqlite3 comparator used for
+  differential correctness testing of our SQL engine.
+"""
+
+from repro.baselines.naive_spreadsheet import NaiveSpreadsheet
+from repro.baselines.naive_db import NaiveDbTable
+from repro.baselines.sqlite_backend import SqliteComparator
+
+__all__ = ["NaiveSpreadsheet", "NaiveDbTable", "SqliteComparator"]

@@ -1,0 +1,133 @@
+"""The traditional-spreadsheet baseline.
+
+Models how plain spreadsheet software behaves on large data (paper §1:
+"beyond a few 100s of thousands of rows, the software is no longer
+responsive"):
+
+* **loading a table materialises every row as cells** — there is no
+  database to page from, so opening a 10⁶-row dataset costs O(10⁶) before
+  the first cell renders (DataSpread fetches one window instead),
+* **every edit recalculates every formula** — no dependency graph, the
+  behaviour of naive recalculation engines (and a fair stand-in for the
+  full-recalc pressure Excel exhibits on formula-heavy sheets),
+* scrolling itself is cheap once loaded — the point E4 makes is about the
+  up-front materialisation and memory, which is why the benchmark reports
+  load time + first-window time.
+
+The formula language is shared with DataSpread (same evaluator), so the
+comparison isolates the *architecture*, not the expression interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.address import CellAddress
+from repro.core.cell import coerce_scalar
+from repro.errors import FormulaEvalError
+from repro.formula.evaluator import EvalContext, RangeValues, evaluate_formula
+from repro.formula.parser import parse_formula
+
+__all__ = ["NaiveSpreadsheet"]
+
+
+class _DictContext(EvalContext):
+    def __init__(self, sheet: "NaiveSpreadsheet"):
+        self._sheet = sheet
+
+    def cell_value(self, address: CellAddress) -> Any:
+        return self._sheet.values.get((address.row, address.col))
+
+    def range_values(self, reference) -> RangeValues:
+        grid = [
+            [
+                self._sheet.values.get((row, col))
+                for col in range(reference.start.col, reference.end.col + 1)
+            ]
+            for row in range(reference.start.row, reference.end.row + 1)
+        ]
+        return RangeValues(grid)
+
+
+class NaiveSpreadsheet:
+    """All cells in one dict; recalc-all on every edit."""
+
+    def __init__(self) -> None:
+        self.values: Dict[Tuple[int, int], Any] = {}
+        self.formulas: Dict[Tuple[int, int], Any] = {}  # key -> parsed AST
+        self.recalc_count = 0
+        self.cells_evaluated = 0
+
+    # -- editing ----------------------------------------------------------
+
+    def set(self, ref: str, raw: Any) -> None:
+        address = CellAddress.parse(ref)
+        self.set_at(address.row, address.col, raw)
+
+    def set_at(self, row: int, col: int, raw: Any) -> None:
+        key = (row, col)
+        if isinstance(raw, str) and raw.startswith("="):
+            self.formulas[key] = parse_formula(raw[1:])
+            self.values[key] = None
+        else:
+            self.formulas.pop(key, None)
+            self.values[key] = coerce_scalar(raw)
+        self.recalc_all()
+
+    def load_rows(
+        self, rows: Sequence[Sequence[Any]], top: int = 0, left: int = 0
+    ) -> int:
+        """Materialise a table: one cell per value (no recalc per cell —
+        even naive software batches imports; one recalc at the end)."""
+        count = 0
+        for row_offset, row in enumerate(rows):
+            for col_offset, value in enumerate(row):
+                self.values[(top + row_offset, left + col_offset)] = value
+                count += 1
+        self.recalc_all()
+        return count
+
+    def get(self, ref: str) -> Any:
+        address = CellAddress.parse(ref)
+        return self.values.get((address.row, address.col))
+
+    def get_at(self, row: int, col: int) -> Any:
+        return self.values.get((row, col))
+
+    # -- recalculation (the expensive part) ----------------------------------
+
+    def recalc_all(self) -> int:
+        """Evaluate every formula until values stop changing (no dependency
+        order available, so iterate to fixpoint with a bound)."""
+        self.recalc_count += 1
+        context = _DictContext(self)
+        evaluated = 0
+        for _ in range(max(len(self.formulas), 1)):
+            changed = False
+            for key, node in self.formulas.items():
+                try:
+                    value = evaluate_formula(node, context)
+                    if isinstance(value, RangeValues):
+                        value = "#VALUE!"
+                except FormulaEvalError as error:
+                    value = error.code
+                evaluated += 1
+                if self.values.get(key) != value:
+                    self.values[key] = value
+                    changed = True
+            if not changed:
+                break
+        self.cells_evaluated += evaluated
+        return evaluated
+
+    # -- windowing --------------------------------------------------------------
+
+    def window(self, top: int, n_rows: int, left: int, n_cols: int) -> List[List[Any]]:
+        return [
+            [self.values.get((row, col)) for col in range(left, left + n_cols)]
+            for row in range(top, top + n_rows)
+        ]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.values)

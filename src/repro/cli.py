@@ -1,0 +1,197 @@
+"""An interactive terminal front-end for DataSpread.
+
+The original demo used Excel; this REPL is our stand-in interface: a
+scrollable sheet window plus a command line that accepts both cell entry
+and SQL — the "holistic unification" at the prompt.
+
+Run:  python -m repro.cli
+
+Commands
+--------
+``A1 = 42``                 set a cell (values or ``=formulas``)
+``A1 = =SUM(B1:B9)``        install a formula
+``sql SELECT ...``          run SQL; SELECT results are printed
+``sheet [name]``            switch/create sheet
+``goto A100``               scroll the window to a cell
+``show [A1:D10]``           print the current window (or a range)
+``tables``                  list tables
+``regions``                 list display regions
+``stats``                   workbook statistics
+``save <path>``             persist the whole workbook to JSON
+``load <path>``             load a saved workbook
+``help`` / ``quit``
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from typing import Optional
+
+from repro import Workbook
+from repro.core.address import CellAddress
+from repro.core.render import render_range, render_window
+from repro.errors import DataSpreadError
+
+__all__ = ["DataSpreadShell", "main"]
+
+_PROMPT = "dataspread> "
+
+
+class DataSpreadShell:
+    """Line-oriented REPL over a workbook.
+
+    Separated from ``main`` so tests can drive it with
+    :meth:`handle_line` and capture the returned output strings.
+    """
+
+    def __init__(self, workbook: Optional[Workbook] = None):
+        self.workbook = workbook if workbook is not None else Workbook()
+        self.sheet_name = self.workbook.sheet_names()[0]
+        self.top = 0
+        self.left = 0
+        self.n_rows = 12
+        self.n_cols = 6
+        self.running = True
+
+    # -- command handling --------------------------------------------------
+
+    def handle_line(self, line: str) -> str:
+        """Execute one command line; returns the text to display."""
+        line = line.strip()
+        if not line:
+            return ""
+        try:
+            return self._dispatch(line)
+        except DataSpreadError as error:
+            return f"error: {error}"
+
+    def _dispatch(self, line: str) -> str:
+        lowered = line.lower()
+        if lowered in ("quit", "exit"):
+            self.running = False
+            return "bye"
+        if lowered == "help":
+            return (__doc__ or "").strip()
+        if lowered.startswith("sql "):
+            return self._run_sql(line[4:])
+        if lowered.startswith("sheet"):
+            return self._switch_sheet(line[5:].strip())
+        if lowered.startswith("goto "):
+            return self._goto(line[5:].strip())
+        if lowered.startswith("show"):
+            argument = line[4:].strip()
+            if argument:
+                return render_range(self.workbook, self.sheet_name, argument)
+            return self._window()
+        if lowered == "tables":
+            names = self.workbook.database.table_names()
+            return "\n".join(
+                f"{name} ({self.workbook.database.table(name).n_rows} rows)"
+                for name in names
+            ) or "(no tables)"
+        if lowered == "regions":
+            lines = []
+            for region in self.workbook.regions.all():
+                context = region.context
+                lines.append(
+                    f"#{context.region_id} {context.kind} "
+                    f"{context.sheet}!{context.extent.to_a1(include_sheet=False) if context.extent else '?'} "
+                    f"<- {context.description}"
+                )
+            return "\n".join(lines) or "(no regions)"
+        if lowered == "stats":
+            summary = self.workbook.stats_summary()
+            return "\n".join(f"{key}: {value}" for key, value in summary.items())
+        if lowered.startswith("save "):
+            from repro.core.persist import save_workbook
+
+            path = line[5:].strip()
+            save_workbook(self.workbook, path)
+            return f"saved to {path}"
+        if lowered.startswith("load "):
+            from repro.core.persist import load_workbook
+
+            path = line[5:].strip()
+            self.workbook = load_workbook(path)
+            self.sheet_name = self.workbook.sheet_names()[0]
+            self.top = self.left = 0
+            return f"loaded {path} ({len(self.workbook.sheets)} sheets)"
+        if "=" in line:
+            return self._assign(line)
+        return f"unrecognised command: {line!r} (try 'help')"
+
+    def _assign(self, line: str) -> str:
+        target, _, raw = line.partition("=")
+        target = target.strip()
+        raw = raw.strip()
+        CellAddress.parse(target)  # validate before mutating
+        # '=SUM(...)' arrives as 'A1 = =SUM(...)'; plain values without '='.
+        self.workbook.set(self.sheet_name, target, raw if raw.startswith("=") else raw)
+        value = self.workbook.get(self.sheet_name, target)
+        return f"{target} = {value!r}"
+
+    def _run_sql(self, sql: str) -> str:
+        result = self.workbook.execute(sql)
+        if not result.columns:
+            return f"ok ({result.rowcount} rows affected)"
+        widths = [
+            max(len(str(column)), *(len(str(row[i])) for row in result.rows))
+            if result.rows
+            else len(str(column))
+            for i, column in enumerate(result.columns)
+        ]
+        lines = [
+            " | ".join(str(c).ljust(w) for c, w in zip(result.columns, widths)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for row in result.rows[:50]:
+            lines.append(
+                " | ".join(str(v if v is not None else "").ljust(w) for v, w in zip(row, widths))
+            )
+        if len(result.rows) > 50:
+            lines.append(f"... ({len(result.rows)} rows total)")
+        return "\n".join(lines)
+
+    def _switch_sheet(self, name: str) -> str:
+        if not name:
+            return "sheets: " + ", ".join(self.workbook.sheet_names())
+        if name not in self.workbook.sheets:
+            self.workbook.add_sheet(name)
+        self.sheet_name = name
+        self.top = self.left = 0
+        return f"on sheet {name}"
+
+    def _goto(self, ref: str) -> str:
+        address = CellAddress.parse(ref)
+        self.top = address.row
+        self.left = address.col
+        return self._window()
+
+    def _window(self) -> str:
+        return render_window(
+            self.workbook,
+            self.sheet_name,
+            top=self.top,
+            left=self.left,
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+        )
+
+
+def main() -> None:  # pragma: no cover - interactive loop
+    shell = DataSpreadShell()
+    print("DataSpread shell — 'help' for commands, 'quit' to exit.")
+    while shell.running:
+        try:
+            line = input(_PROMPT)
+        except (EOFError, KeyboardInterrupt):
+            print()
+            break
+        output = shell.handle_line(line)
+        if output:
+            print(output)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,21 @@
+"""The compute engine (paper §3).
+
+"By using ideas like shared computation, the compute engine enables
+efficient handling of formulae and queries with positional referencing ...
+It performs computations asynchronously, free from a user's context ...
+It further improves the interface's interactivity by prioritizing the
+computation for visible cells."
+
+* :mod:`repro.compute.graph` — cell-level dependency graph with range
+  subscriptions and cycle detection,
+* :mod:`repro.compute.scheduler` — two-level priority recalculation queue
+  (visible cells first, background work after),
+* :mod:`repro.compute.engine` — orchestration: dirty propagation, demand
+  evaluation, lazy background draining.
+"""
+
+from repro.compute.graph import CellKey, DependencyGraph
+from repro.compute.scheduler import RecalcScheduler
+from repro.compute.engine import ComputeEngine, ComputeStats
+
+__all__ = ["CellKey", "DependencyGraph", "RecalcScheduler", "ComputeEngine", "ComputeStats"]

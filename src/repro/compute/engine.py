@@ -1,0 +1,268 @@
+"""The compute engine: dirty propagation + demand evaluation + lazy drain.
+
+Wiring (kept free of circular imports): the engine talks to its *host* — in
+practice :class:`repro.core.workbook.Workbook` — through the small
+:class:`ComputeHost` interface.  The host stores cells; the engine decides
+*when* and *in what order* formulas are (re)computed:
+
+* an edit marks the cell's transitive dependents dirty,
+* visible dirty cells are recomputed first (``recalc_visible``), the rest
+  lazily in background steps (``background_step``) — paper §2.2(d,e),
+* reading a dirty cell (demand evaluation) recomputes it on the spot, so
+  results are always consistent regardless of scheduling,
+* cycles render ``#CIRC!`` into every participating cell.
+
+``ComputeStats.evaluations`` counts formula executions — the metric E7 uses
+to show that time-to-visible work is proportional to the window, not to the
+sheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.compute.graph import CellKey, DependencyGraph
+from repro.compute.scheduler import RecalcScheduler
+from repro.core.address import CellAddress, RangeAddress
+from repro.errors import CircularDependencyError, FormulaError, FormulaEvalError, FormulaSyntaxError
+from repro.formula.dependency import extract_dependencies
+from repro.formula.evaluator import EvalContext, RangeValues, evaluate_formula
+from repro.formula.nodes import FormulaNode
+from repro.formula.parser import parse_formula
+
+__all__ = ["ComputeHost", "ComputeEngine", "ComputeStats"]
+
+
+class ComputeHost:
+    """Callbacks the engine needs from the spreadsheet layer."""
+
+    def read_value(self, key: CellKey) -> Any:
+        raise NotImplementedError
+
+    def write_value(self, key: CellKey, value: Any) -> None:
+        raise NotImplementedError
+
+    def write_error(self, key: CellKey, code: str) -> None:
+        raise NotImplementedError
+
+    def call_extension(self, name: str, args: List[Any], at: CellKey) -> Any:
+        raise FormulaEvalError(f"unknown function {name}", "#NAME?")
+
+
+@dataclass
+class ComputeStats:
+    evaluations: int = 0
+    demand_evaluations: int = 0
+    scheduled_evaluations: int = 0
+    errors: int = 0
+    cycles: int = 0
+
+    def reset(self) -> None:
+        self.evaluations = 0
+        self.demand_evaluations = 0
+        self.scheduled_evaluations = 0
+        self.errors = 0
+        self.cycles = 0
+
+
+class _EngineEvalContext(EvalContext):
+    """Resolves references by demanding values from the engine."""
+
+    def __init__(self, engine: "ComputeEngine", base_sheet: str, at: CellKey):
+        self._engine = engine
+        self._base_sheet = base_sheet
+        self._at = at
+
+    def cell_value(self, address: CellAddress) -> Any:
+        sheet = address.sheet or self._base_sheet
+        return self._engine.demand_value((sheet, address.row, address.col))
+
+    def range_values(self, reference: RangeAddress) -> RangeValues:
+        sheet = reference.sheet or self._base_sheet
+        grid: List[List[Any]] = []
+        for row in range(reference.start.row, reference.end.row + 1):
+            grid.append(
+                [
+                    self._engine.demand_value((sheet, row, col))
+                    for col in range(reference.start.col, reference.end.col + 1)
+                ]
+            )
+        return RangeValues(grid)
+
+    def call_extension(self, name: str, args: List[Any]) -> Any:
+        return self._engine.host.call_extension(name, args, self._at)
+
+
+class ComputeEngine:
+    """Owns the dependency graph, the scheduler, and evaluation."""
+
+    def __init__(self, host: ComputeHost, eager: bool = True):
+        self.host = host
+        self.graph = DependencyGraph()
+        self.scheduler = RecalcScheduler()
+        self.stats = ComputeStats()
+        self.eager = eager
+        self._formulas: Dict[CellKey, FormulaNode] = {}
+        self._eval_stack: List[CellKey] = []
+
+    # -- formula registration ------------------------------------------------
+
+    def register_formula(self, key: CellKey, source: str) -> None:
+        """Install (or replace) a formula at ``key`` and schedule it.
+
+        Raises :class:`FormulaSyntaxError` on parse failure (the host keeps
+        the raw text and shows an error) and renders ``#CIRC!`` if the new
+        edge set closes a cycle.
+        """
+        node = parse_formula(source)
+        precedents = extract_dependencies(node, base_sheet=key[0])
+        self._formulas[key] = node
+        self.graph.set_dependencies(key, precedents.cells, precedents.ranges)
+        self.scheduler.mark_dirty(key)
+        self._mark_dependents_dirty(key)
+        if self.eager and not self._eval_stack:
+            self.drain()
+
+    def unregister_formula(self, key: CellKey) -> None:
+        self._formulas.pop(key, None)
+        self.graph.clear_dependencies(key)
+        self.scheduler.discard(key)
+
+    def has_formula(self, key: CellKey) -> bool:
+        return key in self._formulas
+
+    @property
+    def n_formulas(self) -> int:
+        return len(self._formulas)
+
+    # -- change notification ------------------------------------------------------
+
+    def on_value_changed(self, key: CellKey) -> None:
+        """A plain value was edited: schedule every transitive dependent.
+
+        Re-entrancy guard: when called from inside an evaluation (e.g. a
+        DBSQL spill writing result cells), the dependents are only marked —
+        the outer drain loop picks them up."""
+        self._mark_dependents_dirty(key)
+        if self.eager and not self._eval_stack:
+            self.drain()
+
+    def on_values_changed(self, keys: List[CellKey]) -> None:
+        for key in keys:
+            self._mark_dependents_dirty(key)
+        if self.eager and not self._eval_stack:
+            self.drain()
+
+    def _mark_dependents_dirty(self, key: CellKey) -> None:
+        for dependent in self.graph.all_dependents([key]):
+            if dependent in self._formulas:
+                self.scheduler.mark_dirty(dependent)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def demand_value(self, key: CellKey) -> Any:
+        """Value of a cell, recomputing first if it is a dirty formula."""
+        if key in self._formulas:
+            if key in self._eval_stack:
+                # Demanding a cell that is currently being evaluated: the
+                # chain closed on itself.  _evaluate raises and renders
+                # #CIRC! into every cycle member.
+                self._evaluate(key)
+            if self.scheduler.is_dirty(key):
+                self.stats.demand_evaluations += 1
+                self._evaluate(key)
+                self.scheduler.discard(key)
+        return self.host.read_value(key)
+
+    def _evaluate(self, key: CellKey) -> None:
+        if key in self._eval_stack:
+            cycle = self._eval_stack[self._eval_stack.index(key):]
+            self.stats.cycles += 1
+            for member in cycle:
+                self.host.write_error(member, "#CIRC!")
+                self.scheduler.discard(member)
+            raise CircularDependencyError(
+                " -> ".join(f"{s}!({r},{c})" for s, r, c in cycle + [key])
+            )
+        node = self._formulas.get(key)
+        if node is None:
+            return
+        self._eval_stack.append(key)
+        try:
+            context = _EngineEvalContext(self, key[0], key)
+            value = evaluate_formula(node, context)
+            if isinstance(value, RangeValues):
+                # A bare range formula displays its single value or #VALUE!.
+                if value.n_rows == 1 and value.n_cols == 1:
+                    value = value.grid[0][0]
+                else:
+                    raise FormulaEvalError("range result in a single cell")
+            self.host.write_value(key, value)
+            self.stats.evaluations += 1
+        except CircularDependencyError:
+            raise
+        except FormulaEvalError as error:
+            self.stats.errors += 1
+            self.host.write_error(key, error.code)
+        finally:
+            self._eval_stack.pop()
+
+    def _evaluate_scheduled(self, key: CellKey) -> None:
+        self.stats.scheduled_evaluations += 1
+        try:
+            self._evaluate(key)
+        except CircularDependencyError:
+            pass  # cells already marked #CIRC!
+
+    # -- scheduling modes -----------------------------------------------------------
+
+    def set_visible_predicate(self, predicate) -> None:
+        self.scheduler.set_visible_predicate(predicate)
+
+    def recalc_visible(self) -> int:
+        """Drain only the visible dirty cells; returns count computed."""
+        computed = 0
+        while True:
+            key = self.scheduler.pop_visible()
+            if key is None:
+                return computed
+            self._evaluate_scheduled(key)
+            computed += 1
+
+    def background_step(self, budget: int = 32) -> int:
+        """Compute up to ``budget`` pending cells (visible first); returns
+        count computed.  This is the 'async' slice a UI thread would run
+        between interactions (paper §2.2(e))."""
+        computed = 0
+        while computed < budget:
+            key = self.scheduler.pop()
+            if key is None:
+                break
+            self._evaluate_scheduled(key)
+            computed += 1
+        return computed
+
+    def drain(self) -> int:
+        """Compute everything pending (eager mode)."""
+        computed = 0
+        while True:
+            key = self.scheduler.pop()
+            if key is None:
+                return computed
+            self._evaluate_scheduled(key)
+            computed += 1
+
+    @property
+    def pending(self) -> int:
+        return self.scheduler.pending
+
+    def reset(self) -> None:
+        """Forget every formula and dependency (used after structural
+        edits, when the workbook re-registers all formulas at their new
+        addresses).  Stats and the visible predicate survive."""
+        predicate = self.scheduler._visible
+        self.graph = DependencyGraph()
+        self.scheduler = RecalcScheduler(predicate)
+        self._formulas.clear()
+        self._eval_stack.clear()

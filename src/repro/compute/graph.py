@@ -1,0 +1,174 @@
+"""Cell dependency graph.
+
+Tracks, for every formula cell, which cells and ranges it reads.  Range
+precedents (``SUM(A1:A1000)``) are kept as *subscriptions* rather than being
+expanded into a thousand edges — when a cell changes, its dependents are the
+union of direct edges and the subscriptions whose rectangle contains it.
+Subscriptions are bucketed by tile (same geometry idea as the interface
+storage manager) so a point lookup scans only nearby subscriptions.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.address import CellAddress, RangeAddress
+from repro.errors import CircularDependencyError
+
+__all__ = ["CellKey", "DependencyGraph"]
+
+#: (sheet_name, row, col) — sheet names are case-sensitive identifiers here.
+CellKey = Tuple[str, int, int]
+
+_TILE = 256
+
+
+def key_of(address: CellAddress, default_sheet: str) -> CellKey:
+    return (address.sheet or default_sheet, address.row, address.col)
+
+
+class DependencyGraph:
+    """Bidirectional formula dependency tracking."""
+
+    def __init__(self) -> None:
+        # dependent -> its direct cell precedents
+        self._precedent_cells: Dict[CellKey, Set[CellKey]] = {}
+        # dependent -> its range precedents
+        self._precedent_ranges: Dict[CellKey, Set[Tuple[str, RangeAddress]]] = {}
+        # precedent cell -> dependents
+        self._dependents: Dict[CellKey, Set[CellKey]] = defaultdict(set)
+        # sheet -> tile -> set of (range, dependent)
+        self._range_subs: Dict[str, Dict[Tuple[int, int], Set[Tuple[RangeAddress, CellKey]]]] = (
+            defaultdict(lambda: defaultdict(set))
+        )
+
+    # -- registration -----------------------------------------------------
+
+    @staticmethod
+    def _tiles_of(reference: RangeAddress) -> Iterable[Tuple[int, int]]:
+        for tile_row in range(reference.start.row // _TILE, reference.end.row // _TILE + 1):
+            for tile_col in range(reference.start.col // _TILE, reference.end.col // _TILE + 1):
+                yield (tile_row, tile_col)
+
+    def set_dependencies(
+        self,
+        dependent: CellKey,
+        cells: Iterable[CellAddress],
+        ranges: Iterable[RangeAddress],
+        default_sheet: Optional[str] = None,
+    ) -> None:
+        """Replace the precedent set of ``dependent``."""
+        sheet = default_sheet or dependent[0]
+        self.clear_dependencies(dependent)
+        cell_keys = {key_of(address, sheet) for address in cells}
+        self._precedent_cells[dependent] = cell_keys
+        for cell_key in cell_keys:
+            self._dependents[cell_key].add(dependent)
+        range_set: Set[Tuple[str, RangeAddress]] = set()
+        for reference in ranges:
+            range_sheet = reference.sheet or sheet
+            range_set.add((range_sheet, reference))
+            for tile in self._tiles_of(reference):
+                self._range_subs[range_sheet][tile].add((reference, dependent))
+        self._precedent_ranges[dependent] = range_set
+
+    def clear_dependencies(self, dependent: CellKey) -> None:
+        for cell_key in self._precedent_cells.pop(dependent, ()):
+            bucket = self._dependents.get(cell_key)
+            if bucket is not None:
+                bucket.discard(dependent)
+                if not bucket:
+                    del self._dependents[cell_key]
+        for range_sheet, reference in self._precedent_ranges.pop(dependent, ()):
+            sheet_subs = self._range_subs.get(range_sheet)
+            if sheet_subs is None:
+                continue
+            for tile in self._tiles_of(reference):
+                bucket = sheet_subs.get(tile)
+                if bucket is not None:
+                    bucket.discard((reference, dependent))
+                    if not bucket:
+                        del sheet_subs[tile]
+
+    # -- queries ------------------------------------------------------------
+
+    def dependents_of(self, key: CellKey) -> Set[CellKey]:
+        """Formula cells that read ``key`` directly or via a range."""
+        sheet, row, col = key
+        result = set(self._dependents.get(key, ()))
+        sheet_subs = self._range_subs.get(sheet)
+        if sheet_subs:
+            bucket = sheet_subs.get((row // _TILE, col // _TILE))
+            if bucket:
+                for reference, dependent in bucket:
+                    if (
+                        reference.start.row <= row <= reference.end.row
+                        and reference.start.col <= col <= reference.end.col
+                    ):
+                        result.add(dependent)
+        return result
+
+    def precedents_of(self, key: CellKey) -> Tuple[Set[CellKey], Set[Tuple[str, RangeAddress]]]:
+        return (
+            set(self._precedent_cells.get(key, ())),
+            set(self._precedent_ranges.get(key, ())),
+        )
+
+    def has_node(self, key: CellKey) -> bool:
+        return key in self._precedent_cells or key in self._precedent_ranges
+
+    # -- transitive closure ------------------------------------------------------
+
+    def all_dependents(self, keys: Iterable[CellKey]) -> Set[CellKey]:
+        """Transitive dependents of a set of changed cells (excluding the
+        seeds themselves unless they also depend on another seed)."""
+        result: Set[CellKey] = set()
+        frontier: List[CellKey] = list(keys)
+        while frontier:
+            current = frontier.pop()
+            for dependent in self.dependents_of(current):
+                if dependent not in result:
+                    result.add(dependent)
+                    frontier.append(dependent)
+        return result
+
+    def check_no_cycle(self, start: CellKey) -> None:
+        """DFS from ``start`` through dependents; raises on reaching
+        ``start`` again.  (The compute engine also detects cycles at
+        evaluation time; this is the cheap static check applied on edit.)"""
+        stack = [start]
+        seen: Set[CellKey] = set()
+        while stack:
+            current = stack.pop()
+            for dependent in self.dependents_of(current):
+                if dependent == start:
+                    raise CircularDependencyError(
+                        f"cell {start[0]}!({start[1]},{start[2]}) depends on itself"
+                    )
+                if dependent not in seen:
+                    seen.add(dependent)
+                    stack.append(dependent)
+
+    def topo_order(self, keys: Set[CellKey]) -> List[CellKey]:
+        """Order ``keys`` so precedents come before dependents (edges
+        restricted to the given set; cycles raise)."""
+        indegree: Dict[CellKey, int] = {key: 0 for key in keys}
+        edges: Dict[CellKey, List[CellKey]] = {key: [] for key in keys}
+        for key in keys:
+            for dependent in self.dependents_of(key):
+                if dependent in indegree:
+                    edges[key].append(dependent)
+                    indegree[dependent] += 1
+        ready = sorted(key for key, degree in indegree.items() if degree == 0)
+        order: List[CellKey] = []
+        while ready:
+            current = ready.pop()
+            order.append(current)
+            for dependent in edges[current]:
+                indegree[dependent] -= 1
+                if indegree[dependent] == 0:
+                    ready.append(dependent)
+        if len(order) != len(keys):
+            raise CircularDependencyError("cycle detected in recalculation set")
+        return order

@@ -1,0 +1,138 @@
+"""Prioritised recalculation scheduling.
+
+Paper §2.2(e): "the calculations of the visible cells should be prioritized
+and the remaining long running computations should be performed in
+background."
+
+The scheduler is a two-level priority queue over dirty formula cells:
+priority 0 for cells inside the current viewport, priority 1 for the rest.
+The viewport predicate is re-applied at pop time, so scrolling between
+steps re-prioritises pending work without rebuilding the queue.  FIFO order
+within a level keeps the schedule deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.compute.graph import CellKey
+
+__all__ = ["RecalcScheduler"]
+
+VisiblePredicate = Callable[[CellKey], bool]
+
+
+class RecalcScheduler:
+    """Dirty-cell queue with visible-first ordering."""
+
+    PRIORITY_VISIBLE = 0
+    PRIORITY_BACKGROUND = 1
+
+    def __init__(self, visible: Optional[VisiblePredicate] = None):
+        self._visible = visible or (lambda key: False)
+        self._heap: List[Tuple[int, int, CellKey]] = []
+        self._dirty: Set[CellKey] = set()
+        self._sequence = itertools.count()
+        self.scheduled = 0
+        self.popped_visible = 0
+        self.popped_background = 0
+
+    def set_visible_predicate(self, predicate: VisiblePredicate) -> None:
+        self._visible = predicate
+
+    # -- enqueue -----------------------------------------------------------
+
+    def mark_dirty(self, key: CellKey) -> None:
+        if key in self._dirty:
+            return
+        self._dirty.add(key)
+        priority = (
+            self.PRIORITY_VISIBLE if self._visible(key) else self.PRIORITY_BACKGROUND
+        )
+        heapq.heappush(self._heap, (priority, next(self._sequence), key))
+        self.scheduled += 1
+
+    def mark_many(self, keys) -> None:
+        for key in keys:
+            self.mark_dirty(key)
+
+    def is_dirty(self, key: CellKey) -> bool:
+        return key in self._dirty
+
+    def discard(self, key: CellKey) -> None:
+        """Remove a cell from the dirty set (it was computed on demand)."""
+        self._dirty.discard(key)
+
+    # -- dequeue -------------------------------------------------------------
+
+    def pop(self) -> Optional[CellKey]:
+        """Next dirty cell, visible ones first; None when drained."""
+        while self._heap:
+            priority, _, key = heapq.heappop(self._heap)
+            if key not in self._dirty:
+                continue  # stale entry (computed on demand or re-queued)
+            # Re-evaluate visibility: the viewport may have moved since the
+            # cell was queued.  A now-visible background entry is promoted;
+            # a stale visible entry is demoted (each key moves at most once
+            # per direction, so this terminates).
+            currently_visible = self._visible(key)
+            if priority == self.PRIORITY_BACKGROUND and currently_visible:
+                heapq.heappush(
+                    self._heap,
+                    (self.PRIORITY_VISIBLE, next(self._sequence), key),
+                )
+                continue
+            if priority == self.PRIORITY_VISIBLE and not currently_visible:
+                heapq.heappush(
+                    self._heap,
+                    (self.PRIORITY_BACKGROUND, next(self._sequence), key),
+                )
+                continue
+            self._dirty.discard(key)
+            if currently_visible:
+                self.popped_visible += 1
+            else:
+                self.popped_background += 1
+            return key
+        return None
+
+    def pop_visible(self) -> Optional[CellKey]:
+        """Next dirty *visible* cell, or None if no visible work remains."""
+        while self._heap:
+            priority, sequence, key = self._heap[0]
+            if key not in self._dirty:
+                heapq.heappop(self._heap)
+                continue
+            if self._visible(key):
+                heapq.heappop(self._heap)
+                self._dirty.discard(key)
+                self.popped_visible += 1
+                return key
+            if priority == self.PRIORITY_VISIBLE:
+                # Stale visible entry for a cell that scrolled out: demote.
+                heapq.heappop(self._heap)
+                heapq.heappush(
+                    self._heap,
+                    (self.PRIORITY_BACKGROUND, next(self._sequence), key),
+                )
+                continue
+            return None  # heap top is background and not visible
+        return None
+
+    # -- state ------------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return len(self._dirty)
+
+    def pending_keys(self) -> Set[CellKey]:
+        return set(self._dirty)
+
+    def has_visible_work(self) -> bool:
+        return any(self._visible(key) for key in self._dirty)
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._dirty.clear()

@@ -1,0 +1,20 @@
+"""Spreadsheet core: addressing, cells, sheets, workbooks and the DataSpread
+constructs (``DBSQL``, ``DBTABLE``, ``RANGEVALUE``, ``RANGETABLE``).
+
+Import order note: :mod:`repro.core.workbook` (and the regions it pulls in)
+is imported lazily by :mod:`repro` to keep the address/cell primitives free
+of heavyweight dependencies for the engine layer.
+"""
+
+from repro.core.address import CellAddress, RangeAddress, column_label, column_index
+from repro.core.cell import Cell, CellKind, infer_cell_kind
+
+__all__ = [
+    "CellAddress",
+    "RangeAddress",
+    "column_label",
+    "column_index",
+    "Cell",
+    "CellKind",
+    "infer_cell_kind",
+]

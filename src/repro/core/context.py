@@ -1,0 +1,107 @@
+"""Display contexts and the region registry (paper §3, Interface Manager).
+
+"For every data item, e.g., the output of a query, a table imported from
+the database, that is displayed on the interface, the presentation manager
+assigns a context; a context comprises a positional address along with a
+reference to the sheet."
+
+A :class:`DisplayContext` is that record: where on which sheet a piece of
+database-backed data lives, what produced it, and how big it currently is.
+The :class:`RegionRegistry` answers the two lookups sync needs: *which
+region owns this cell?* (to route a front-end edit) and *which regions show
+this table?* (to route a back-end change).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.core.address import CellAddress, RangeAddress
+from repro.errors import RegionError
+
+__all__ = ["DisplayContext", "RegionRegistry"]
+
+
+@dataclass
+class DisplayContext:
+    """Positional context of one displayed data item."""
+
+    region_id: int
+    kind: str  # "dbsql" | "dbtable"
+    sheet: str
+    anchor: CellAddress
+    extent: Optional[RangeAddress] = None  # current displayed rectangle
+    source_tables: Set[str] = field(default_factory=set)  # lowercase names
+    description: str = ""
+
+    def covers(self, sheet: str, row: int, col: int) -> bool:
+        if sheet != self.sheet or self.extent is None:
+            return False
+        return self.extent.contains(CellAddress(row, col))
+
+
+class RegionRegistry:
+    """All live display regions of a workbook."""
+
+    def __init__(self) -> None:
+        self._regions: Dict[int, object] = {}  # region_id -> region object
+        self._next_id = 1
+
+    def new_id(self) -> int:
+        region_id = self._next_id
+        self._next_id += 1
+        return region_id
+
+    def add(self, region: object) -> None:
+        context = getattr(region, "context")
+        if context.region_id in self._regions:
+            raise RegionError(f"region id {context.region_id} already registered")
+        for other in self._regions.values():
+            other_context = getattr(other, "context")
+            if (
+                other_context.sheet == context.sheet
+                and other_context.extent is not None
+                and context.extent is not None
+                and other_context.extent.intersects(context.extent)
+            ):
+                raise RegionError(
+                    f"new region at {context.extent.to_a1()} overlaps region "
+                    f"{other_context.region_id} at {other_context.extent.to_a1()}"
+                )
+        self._regions[context.region_id] = region
+
+    def remove(self, region_id: int) -> None:
+        self._regions.pop(region_id, None)
+
+    def get(self, region_id: int) -> Optional[object]:
+        return self._regions.get(region_id)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def all(self) -> List[object]:
+        return list(self._regions.values())
+
+    # -- the two sync lookups ------------------------------------------------
+
+    def region_at(self, sheet: str, row: int, col: int) -> Optional[object]:
+        for region in self._regions.values():
+            if getattr(region, "context").covers(sheet, row, col):
+                return region
+        return None
+
+    def regions_of_table(self, table_name: str) -> List[object]:
+        lowered = table_name.lower()
+        return [
+            region
+            for region in self._regions.values()
+            if lowered in getattr(region, "context").source_tables
+        ]
+
+    def regions_on_sheet(self, sheet: str) -> List[object]:
+        return [
+            region
+            for region in self._regions.values()
+            if getattr(region, "context").sheet == sheet
+        ]

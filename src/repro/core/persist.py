@@ -1,0 +1,221 @@
+"""Workbook persistence: save/load a whole DataSpread workbook.
+
+A workbook is more than data: it is tables (with their schemas, attribute
+groups and presentation order), free-form cells, formulas, and the live
+DBSQL/DBTABLE regions binding them together.  This module serialises all
+of it to a single JSON document so sessions survive process restarts —
+table maintenance an open-source release needs even though the demo paper
+never discusses storage format.
+
+Format (version 1)::
+
+    {
+      "version": 1,
+      "tables": [
+        {"name": ..., "layout": "hybrid",
+         "columns": [{"name","type","primary_key","not_null","default"}],
+         "groups": [["a","b"], ["c"]],
+         "rows": [[...], ...]}          # presentation order
+      ],
+      "sheets": [
+        {"name": ..., "cells": [{"row","col","value"|"formula"}, ...]}
+      ],
+      "regions": [
+        {"kind": "dbsql"|"dbtable", "sheet", "anchor", ...}
+      ]
+    }
+
+Values are JSON-native plus ISO dates (tagged).  Regions are re-created on
+load and re-render from the restored tables, so the loaded workbook is
+immediately live (edits sync, formulas recalculate).
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+from typing import Any, Dict, List
+
+from repro.core.address import CellAddress
+from repro.core.workbook import Workbook
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.store import LayoutPolicy
+from repro.engine.types import DBType
+from repro.errors import ImportExportError
+
+__all__ = ["save_workbook", "load_workbook", "workbook_to_dict", "workbook_from_dict"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, _dt.datetime):
+        return {"$datetime": value.isoformat()}
+    if isinstance(value, _dt.date):
+        return {"$date": value.isoformat()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "$date" in value:
+            return _dt.date.fromisoformat(value["$date"])
+        if "$datetime" in value:
+            return _dt.datetime.fromisoformat(value["$datetime"])
+    return value
+
+
+def workbook_to_dict(workbook: Workbook) -> Dict[str, Any]:
+    """Serialise a workbook to a JSON-compatible dict."""
+    tables: List[Dict[str, Any]] = []
+    for table in workbook.database.catalog.tables():
+        schema = table.schema
+        tables.append(
+            {
+                "name": table.name,
+                "layout": table.store.layout.value,
+                "columns": [
+                    {
+                        "name": column.name,
+                        "type": column.dtype.value,
+                        "primary_key": column.primary_key,
+                        "not_null": column.not_null,
+                        "default": _encode_value(column.default),
+                    }
+                    for column in schema.columns
+                ],
+                "groups": schema.groups,
+                "rows": [
+                    [_encode_value(value) for value in row] for row in table.rows()
+                ],
+            }
+        )
+
+    region_ids = {
+        getattr(region, "context").region_id for region in workbook.regions.all()
+    }
+    sheets: List[Dict[str, Any]] = []
+    for sheet in workbook.sheets.values():
+        cells = []
+        for row, col, cell in sheet.store.items():
+            if cell.region_id is not None and not cell.is_formula:
+                continue  # region body cells are re-rendered on load
+            record: Dict[str, Any] = {"row": row, "col": col}
+            if cell.is_formula:
+                record["formula"] = cell.formula
+                if cell.region_id is not None:
+                    continue  # region anchors are restored from `regions`
+            else:
+                record["value"] = _encode_value(cell.value)
+            cells.append(record)
+        sheets.append({"name": sheet.name, "cells": cells})
+
+    regions: List[Dict[str, Any]] = []
+    for region in workbook.regions.all():
+        context = region.context
+        record = {
+            "kind": context.kind,
+            "sheet": context.sheet,
+            "anchor": context.anchor.to_a1(include_sheet=False),
+        }
+        if context.kind == "dbsql":
+            record["sql"] = region.sql
+            record["include_headers"] = region.include_headers
+        else:
+            record["table"] = region.table_name
+            record["include_headers"] = region.include_headers
+            record["window_rows"] = region.window_rows
+            record["offset"] = region.offset
+        regions.append(record)
+
+    return {
+        "version": _FORMAT_VERSION,
+        "tables": tables,
+        "sheets": sheets,
+        "regions": regions,
+    }
+
+
+def workbook_from_dict(payload: Dict[str, Any]) -> Workbook:
+    """Rebuild a live workbook from :func:`workbook_to_dict` output."""
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ImportExportError(
+            f"unsupported workbook format version {payload.get('version')!r}"
+        )
+    database = Database()
+    for spec in payload.get("tables", []):
+        columns = [
+            Column(
+                c["name"],
+                DBType.parse(c["type"]),
+                primary_key=c.get("primary_key", False),
+                not_null=c.get("not_null", False),
+                default=_decode_value(c.get("default")),
+            )
+            for c in spec["columns"]
+        ]
+        schema = TableSchema(columns, spec.get("groups"))
+        layout = LayoutPolicy(spec.get("layout", "hybrid"))
+        table = database.create_table(spec["name"], schema, layout=layout)
+        for row in spec.get("rows", []):
+            table.insert([_decode_value(value) for value in row], emit=False)
+
+    sheet_specs = payload.get("sheets", [])
+    first_sheet = sheet_specs[0]["name"] if sheet_specs else "Sheet1"
+    workbook = Workbook(database=database, default_sheet=first_sheet)
+    for spec in sheet_specs[1:]:
+        workbook.add_sheet(spec["name"])
+
+    # Plain values first, then formulas (so precedents exist), then regions.
+    deferred_formulas = []
+    for spec in sheet_specs:
+        for record in spec.get("cells", []):
+            if "formula" in record:
+                deferred_formulas.append((spec["name"], record))
+            else:
+                workbook.sheet(spec["name"]).set_value(
+                    CellAddress(record["row"], record["col"]),
+                    _decode_value(record.get("value")),
+                )
+    for sheet_name, record in deferred_formulas:
+        workbook.set(
+            sheet_name,
+            CellAddress(record["row"], record["col"]),
+            "=" + record["formula"],
+        )
+    for record in payload.get("regions", []):
+        anchor = CellAddress.parse(record["anchor"])
+        if record["kind"] == "dbsql":
+            workbook.dbsql(
+                record["sheet"],
+                anchor,
+                record["sql"],
+                include_headers=record.get("include_headers", False),
+            )
+        else:
+            region = workbook.dbtable(
+                record["sheet"],
+                anchor,
+                record["table"],
+                include_headers=record.get("include_headers", True),
+                window_rows=record.get("window_rows"),
+            )
+            offset = record.get("offset", 0)
+            if offset:
+                region.scroll_to(offset)
+    workbook.recalc_all()
+    return workbook
+
+
+def save_workbook(workbook: Workbook, path: str) -> None:
+    """Write the workbook to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(workbook_to_dict(workbook), handle, indent=1)
+
+
+def load_workbook(path: str) -> Workbook:
+    """Load a workbook saved by :func:`save_workbook`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return workbook_from_dict(payload)

@@ -1,0 +1,100 @@
+"""Two-way synchronisation (paper §2.2(b), §4 Feature 3).
+
+"Using spreadsheets users are accustomed to having an always updated copy
+with them.  For this we propose a real time two way synchronization of the
+displayed [data] on the spreadsheet with the underlying database."
+
+The :class:`SyncManager` subscribes to the database's committed
+:class:`~repro.engine.table.ChangeEvent` feed and routes each event to the
+display regions showing that table.  The *front-end → database* direction
+does not pass through here: regions translate edits directly into table
+mutations (see :meth:`DBTableRegion.apply_edit`), whose events then fan out
+through this manager to every *other* interested region — which is exactly
+the Fig 2c demonstration: edit a DBTABLE cell, and a DBSQL region
+referencing the same table refreshes immediately.
+
+Refreshes are batched per "round": an event marks regions stale; the
+workbook flushes stale regions after the originating mutation completes,
+so a 100-row bulk insert triggers one refresh, not 100.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.engine.table import ChangeEvent
+
+__all__ = ["SyncManager", "SyncStats"]
+
+
+@dataclass
+class SyncStats:
+    events_received: int = 0
+    regions_refreshed: int = 0
+    events_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def reset(self) -> None:
+        self.events_received = 0
+        self.regions_refreshed = 0
+        self.events_by_kind.clear()
+
+
+class SyncManager:
+    """Routes database change events to display regions."""
+
+    def __init__(self, workbook):
+        self.workbook = workbook
+        self.stats = SyncStats()
+        self._stale_region_ids: Set[int] = set()
+        self._log: List[ChangeEvent] = []
+        self.keep_log = False
+
+    # -- event intake (registered as a Database listener) -------------------
+
+    def on_event(self, event: ChangeEvent) -> None:
+        self.stats.events_received += 1
+        self.stats.events_by_kind[event.kind] = (
+            self.stats.events_by_kind.get(event.kind, 0) + 1
+        )
+        if self.keep_log:
+            self._log.append(event)
+        for region in self.workbook.regions.regions_of_table(event.table):
+            region.on_db_change(event)
+
+    def event_log(self) -> List[ChangeEvent]:
+        return list(self._log)
+
+    # -- stale-region batching ----------------------------------------------------
+
+    def mark_stale(self, region_id: int) -> None:
+        self._stale_region_ids.add(region_id)
+
+    @property
+    def n_stale(self) -> int:
+        return len(self._stale_region_ids)
+
+    def flush(self) -> int:
+        """Refresh every stale region once; returns refresh count.
+
+        Refreshing a region can itself mark other regions stale (a DBSQL
+        whose spill feeds a RANGETABLE of another DBSQL); the loop runs to
+        fixpoint with a safety bound."""
+        refreshed = 0
+        rounds = 0
+        while self._stale_region_ids:
+            rounds += 1
+            if rounds > 32:
+                raise RuntimeError(
+                    "sync did not converge: regions keep invalidating each other"
+                )
+            batch = sorted(self._stale_region_ids)
+            self._stale_region_ids.clear()
+            for region_id in batch:
+                region = self.workbook.regions.get(region_id)
+                if region is None:
+                    continue
+                region.refresh()
+                refreshed += 1
+                self.stats.regions_refreshed += 1
+        return refreshed

@@ -1,0 +1,187 @@
+"""Import/export between sheets, tables and CSV (Feature 2, Fig 2b).
+
+"On selecting a range in the sheet and selecting the create table command
+..., we provide the ability to users to transform it into a relational
+database table.  The schema of this table is automatically inferred using
+the column heading and the data.  Optionally, users will be allowed to
+specify constraints on the table, such as primary keys.  On completion, the
+table is created in the underlying database.  The data on the sheet is
+replaced by DBTABLE."
+
+This module implements that pipeline:
+
+* :func:`infer_table_schema` — header detection + per-column type
+  inference (paper §2.2(c), automatic data typing),
+* :func:`create_table_from_range` — range → table → DBTABLE replacement,
+* CSV import/export — the §1 motivation of external data ("the course
+  management software outputs actions ... into a relational database or a
+  CSV file").
+"""
+
+from __future__ import annotations
+
+import csv
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.core.address import RangeAddress, column_label
+from repro.core.cell import coerce_scalar
+from repro.engine.database import Database
+from repro.engine.schema import Column, TableSchema
+from repro.engine.store import LayoutPolicy
+from repro.engine.table import Table
+from repro.engine.types import DBType, infer_type, unify_types
+from repro.errors import ImportExportError
+
+__all__ = [
+    "InferredSchema",
+    "infer_table_schema",
+    "create_table_from_grid",
+    "export_table_csv",
+    "import_csv_table",
+]
+
+_NAME_RE = re.compile(r"[^a-z0-9_]+")
+
+
+def _sanitise_name(raw: Any, fallback: str) -> str:
+    text = str(raw).strip().lower() if raw is not None else ""
+    text = _NAME_RE.sub("_", text).strip("_")
+    if not text or text[0].isdigit():
+        return fallback
+    return text
+
+
+@dataclass
+class InferredSchema:
+    """Result of schema inference over a value grid."""
+
+    columns: List[str]
+    dtypes: List[DBType]
+    has_header: bool
+    data_rows: List[Tuple[Any, ...]]
+
+    def to_table_schema(
+        self, primary_key: Optional[str] = None, group_size: Optional[int] = None
+    ) -> TableSchema:
+        pairs = list(zip(self.columns, self.dtypes))
+        return TableSchema.from_pairs(pairs, primary_key=primary_key, group_size=group_size)
+
+
+def infer_table_schema(
+    grid: Sequence[Sequence[Any]],
+    first_col_label: int = 0,
+    force_header: Optional[bool] = None,
+) -> InferredSchema:
+    """Infer column names and types from a rectangular value grid.
+
+    Header heuristic (Fig 2b: "inferred using the column heading and the
+    data"): the first row is a header iff every cell is non-empty text,
+    the names are distinct, and either some later row contains non-text
+    data or the caller forces it.  Column types are the least upper bound
+    of the data values (NULL-only columns become TEXT).
+    """
+    if not grid or all(not row for row in grid):
+        raise ImportExportError("cannot infer a schema from an empty range")
+    width = max(len(row) for row in grid)
+    dense = [list(row) + [None] * (width - len(row)) for row in grid]
+
+    first = dense[0]
+    looks_like_header = (
+        all(isinstance(value, str) and value.strip() for value in first)
+        and len({str(v).strip().lower() for v in first}) == width
+    )
+    if force_header is None:
+        body_has_nontext = any(
+            any(value is not None and not isinstance(value, str) for value in row)
+            for row in dense[1:]
+        )
+        has_header = looks_like_header and (body_has_nontext or len(dense) == 1)
+    else:
+        has_header = force_header and looks_like_header
+
+    if has_header:
+        columns = []
+        for index, value in enumerate(first):
+            fallback = column_label(first_col_label + index).lower()
+            name = _sanitise_name(value, fallback)
+            while name in columns:
+                name = f"{name}_{index}"
+            columns.append(name)
+        body = dense[1:]
+    else:
+        columns = [
+            column_label(first_col_label + index).lower() for index in range(width)
+        ]
+        body = dense
+
+    dtypes = [DBType.NULL] * width
+    for row in body:
+        for index, value in enumerate(row):
+            dtypes[index] = unify_types(dtypes[index], infer_type(value))
+    dtypes = [dtype if dtype is not DBType.NULL else DBType.TEXT for dtype in dtypes]
+    return InferredSchema(columns, dtypes, has_header, [tuple(row) for row in body])
+
+
+def create_table_from_grid(
+    database: Database,
+    name: str,
+    grid: Sequence[Sequence[Any]],
+    primary_key: Optional[str] = None,
+    layout: Optional[LayoutPolicy] = None,
+    group_size: Optional[int] = None,
+    first_col_label: int = 0,
+    force_header: Optional[bool] = None,
+) -> Table:
+    """Create and populate a table from a value grid (the engine half of
+    Fig 2b; the workbook half replaces the range with a DBTABLE region)."""
+    if primary_key is not None and force_header is None:
+        # Naming a primary key implies the range has a header row.
+        force_header = True
+    inferred = infer_table_schema(grid, first_col_label, force_header)
+    if primary_key is not None and primary_key.lower() not in [
+        c.lower() for c in inferred.columns
+    ]:
+        raise ImportExportError(
+            f"primary key {primary_key!r} is not one of the inferred columns "
+            f"{inferred.columns}"
+        )
+    schema = inferred.to_table_schema(primary_key=primary_key, group_size=group_size)
+    table = database.create_table(name, schema, layout=layout)
+    for row in inferred.data_rows:
+        table.insert(row)
+    return table
+
+
+def export_table_csv(database: Database, table_name: str, path: str) -> int:
+    """Write a table to CSV (header + rows); returns rows written."""
+    table = database.table(table_name)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        count = 0
+        for _, _, row in table.scan():
+            writer.writerow(["" if value is None else value for value in row])
+            count += 1
+    return count
+
+
+def import_csv_table(
+    database: Database,
+    path: str,
+    table_name: str,
+    primary_key: Optional[str] = None,
+    layout: Optional[LayoutPolicy] = None,
+) -> Table:
+    """Create a table from a CSV file, coercing values like cell entry
+    (numbers become numbers, TRUE/FALSE booleans, ISO dates dates)."""
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        grid = [[coerce_scalar(value) for value in row] for row in reader]
+    if not grid:
+        raise ImportExportError(f"CSV file {path!r} is empty")
+    return create_table_from_grid(
+        database, table_name, grid, primary_key=primary_key, layout=layout,
+        force_header=True,
+    )

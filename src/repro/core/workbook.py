@@ -1,0 +1,517 @@
+"""The workbook: DataSpread's front-end facade.
+
+A :class:`Workbook` is the holistic unification the paper proposes: sheets
+(interface storage) + a relational database (back-end) + the compute engine
++ the interface manager's region registry + two-way sync, behind one
+spreadsheet-shaped API:
+
+>>> wb = Workbook()
+>>> wb.set("Sheet1", "A1", 2)
+>>> wb.set("Sheet1", "A2", "=A1*21")
+>>> wb.get("Sheet1", "A2")
+42
+
+Database-backed constructs::
+
+    wb.dbtable("Sheet1", "A1", "movies")                 # Fig 2b import
+    wb.dbsql("Sheet1", "B3", "SELECT name FROM actors "
+             "WHERE actorid = RANGEVALUE(B1)")           # Fig 2a query
+    wb.create_table_from_range("Sheet1", "A1:C101", "grades",
+                               primary_key="student_id")  # Fig 2b export
+
+Editing a ``DBTABLE`` cell updates the database and every dependent region
+(Fig 2c); running ``wb.execute("INSERT ...")`` updates the sheet.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.compute.engine import ComputeEngine, ComputeHost
+from repro.compute.graph import CellKey
+from repro.core.address import CellAddress, RangeAddress
+from repro.core.cell import Cell, coerce_scalar
+from repro.core.context import RegionRegistry
+from repro.core.dbsql import DBSQLRegion
+from repro.core.dbtable import DBTableRegion
+from repro.core.sheet import Sheet
+from repro.core.sync import SyncManager
+from repro.core.table_io import create_table_from_grid
+from repro.engine.database import Database, ResultSet
+from repro.engine.store import LayoutPolicy
+from repro.engine.table import Table
+from repro.errors import (
+    FormulaEvalError,
+    FormulaSyntaxError,
+    RegionError,
+    SheetError,
+)
+from repro.formula.dependency import (
+    ReferenceDeleted,
+    adjust_formula_for_structural_edit,
+)
+from repro.formula.nodes import Call, Text
+from repro.formula.parser import parse_formula
+from repro.window.viewport import Viewport
+
+__all__ = ["Workbook"]
+
+RefLike = Union[str, CellAddress]
+
+
+class Workbook(ComputeHost):
+    """Sheets + database + compute + sync, unified."""
+
+    def __init__(
+        self,
+        database: Optional[Database] = None,
+        eager: bool = True,
+        default_sheet: str = "Sheet1",
+    ):
+        self.database = database if database is not None else Database()
+        self.sheets: Dict[str, Sheet] = {}
+        self.compute = ComputeEngine(self, eager=eager)
+        self.regions = RegionRegistry()
+        self.sync = SyncManager(self)
+        self.database.add_listener(self.sync.on_event)
+        self.viewport: Optional[Viewport] = None
+        self.auto_sync = True
+        self._batch_depth = 0
+        if default_sheet:
+            self.add_sheet(default_sheet)
+
+    # ------------------------------------------------------------------ sheets
+
+    def add_sheet(self, name: str, **kwargs: Any) -> Sheet:
+        if name in self.sheets:
+            raise SheetError(f"sheet {name!r} already exists")
+        sheet = Sheet(name, **kwargs)
+        self.sheets[name] = sheet
+        return sheet
+
+    def sheet(self, name: str) -> Sheet:
+        try:
+            return self.sheets[name]
+        except KeyError:
+            raise SheetError(f"no such sheet {name!r}") from None
+
+    def __getitem__(self, name: str) -> Sheet:
+        return self.sheet(name)
+
+    def sheet_names(self) -> List[str]:
+        return list(self.sheets)
+
+    # ------------------------------------------------------- ComputeHost hooks
+
+    def read_value(self, key: CellKey) -> Any:
+        sheet_name, row, col = key
+        sheet = self.sheets.get(sheet_name)
+        if sheet is None:
+            return None
+        return sheet.value_at(row, col)
+
+    def write_value(self, key: CellKey, value: Any) -> None:
+        sheet_name, row, col = key
+        cell = self.sheet(sheet_name).ensure_cell(CellAddress(row, col))
+        cell.set_value(value)
+
+    def write_error(self, key: CellKey, code: str) -> None:
+        sheet_name, row, col = key
+        cell = self.sheet(sheet_name).ensure_cell(CellAddress(row, col))
+        cell.set_error(code)
+
+    def call_extension(self, name: str, args: List[Any], at: CellKey) -> Any:
+        upper = name.upper()
+        if upper in ("DBSQL", "DBTABLE"):
+            region = self.regions.region_at(at[0], at[1], at[2])
+            if region is None or (
+                region.context.anchor.row != at[1]
+                or region.context.anchor.col != at[2]
+            ):
+                raise FormulaEvalError(
+                    f"{upper} formula without a region at anchor", "#REF!"
+                )
+            return region.refresh()
+        raise FormulaEvalError(f"unknown function {name}", "#NAME?")
+
+    # --------------------------------------------------------------- batching
+
+    @contextlib.contextmanager
+    def batch(self) -> Iterator[None]:
+        """Group mutations so sync flushes once at the end."""
+        self._batch_depth += 1
+        try:
+            yield
+        finally:
+            self._batch_depth -= 1
+            if self._batch_depth == 0 and self.auto_sync:
+                self.sync.flush()
+
+    def mark_region_stale(self, region) -> None:
+        self.sync.mark_stale(region.context.region_id)
+        if self._batch_depth == 0 and self.auto_sync:
+            self.sync.flush()
+
+    # ---------------------------------------------------------------- editing
+
+    def _key(self, sheet_name: str, address: CellAddress) -> CellKey:
+        return (sheet_name, address.row, address.col)
+
+    def set(self, sheet_name: str, ref: RefLike, raw: Any) -> None:
+        """Apply user input to a cell — the single entry point that routes
+        between plain values, formulas, DataSpread constructs, and edits of
+        database-backed regions."""
+        sheet = self.sheet(sheet_name)
+        address = ref if isinstance(ref, CellAddress) else CellAddress.parse(ref)
+        key = self._key(sheet_name, address)
+
+        region = self.regions.region_at(sheet_name, address.row, address.col)
+        is_anchor = region is not None and (
+            region.context.anchor.row == address.row
+            and region.context.anchor.col == address.col
+        )
+        if region is not None and not is_anchor:
+            if region.context.kind == "dbtable":
+                with self.batch():
+                    region.apply_edit(address.row, address.col, raw)
+                return
+            raise RegionError(
+                f"{address.to_a1()} is part of a DBSQL result and is read-only"
+            )
+        if is_anchor:
+            # Replacing the construct: tear the old region down first.
+            self.remove_region(region.context.region_id)
+
+        # Row appended directly below a DBTABLE (the add-a-record idiom).
+        if region is None and address.row > 0:
+            above = self.regions.region_at(sheet_name, address.row - 1, address.col)
+            if (
+                above is not None
+                and above.context.kind == "dbtable"
+                and above.context.extent is not None
+                and above.context.extent.end.row == address.row - 1
+            ):
+                with self.batch():
+                    above.apply_edit(address.row, address.col, raw)
+                return
+
+        if isinstance(raw, str) and raw.startswith("="):
+            self._set_formula(sheet, key, address, raw)
+            return
+        cell = sheet.ensure_cell(address)
+        if cell.is_formula:
+            self.compute.unregister_formula(key)
+        cell.set_input(raw)
+        with self.batch():
+            self.compute.on_value_changed(key)
+
+    def _set_formula(
+        self, sheet: Sheet, key: CellKey, address: CellAddress, raw: str
+    ) -> None:
+        source = raw[1:]
+        node = parse_formula(source)
+        if isinstance(node, Call) and node.name in ("DBSQL", "DBTABLE"):
+            if not (node.args and isinstance(node.args[0], Text)):
+                raise FormulaSyntaxError(
+                    f"{node.name} expects a quoted string argument"
+                )
+            argument = node.args[0].value
+            if node.name == "DBSQL":
+                self._install_dbsql(sheet.name, address, argument, raw)
+            else:
+                self._install_dbtable(sheet.name, address, argument, raw)
+            return
+        cell = sheet.ensure_cell(address)
+        cell.set_input(raw)
+        with self.batch():
+            self.compute.register_formula(key, source)
+
+    def get(self, sheet_name: str, ref: RefLike) -> Any:
+        """Current value (recomputing the cell first if it is dirty)."""
+        address = ref if isinstance(ref, CellAddress) else CellAddress.parse(ref)
+        return self.compute.demand_value(self._key(sheet_name, address))
+
+    def get_range(self, sheet_name: str, ref: Union[str, RangeAddress]) -> List[List[Any]]:
+        reference = ref if isinstance(ref, RangeAddress) else RangeAddress.parse(ref)
+        return [
+            [
+                self.compute.demand_value((sheet_name, row, col))
+                for col in range(reference.start.col, reference.end.col + 1)
+            ]
+            for row in range(reference.start.row, reference.end.row + 1)
+        ]
+
+    def display(self, sheet_name: str, ref: RefLike) -> str:
+        self.get(sheet_name, ref)  # ensure fresh
+        return self.sheet(sheet_name).display(
+            ref if isinstance(ref, CellAddress) else CellAddress.parse(ref)
+        )
+
+    # ----------------------------------------------------- DataSpread constructs
+
+    def dbsql(
+        self,
+        sheet_name: str,
+        anchor: RefLike,
+        sql: str,
+        include_headers: bool = False,
+    ) -> DBSQLRegion:
+        """Install ``=DBSQL("<sql>")`` at ``anchor`` (Fig 2a)."""
+        address = anchor if isinstance(anchor, CellAddress) else CellAddress.parse(anchor)
+        return self._install_dbsql(
+            sheet_name, address, sql, None, include_headers=include_headers
+        )
+
+    def _install_dbsql(
+        self,
+        sheet_name: str,
+        address: CellAddress,
+        sql: str,
+        raw_formula: Optional[str],
+        include_headers: bool = False,
+    ) -> DBSQLRegion:
+        sheet = self.sheet(sheet_name)
+        region = DBSQLRegion(
+            self,
+            self.regions.new_id(),
+            sheet_name,
+            address,
+            sql,
+            include_headers=include_headers,
+        )
+        self.regions.add(region)
+        cell = sheet.ensure_cell(address)
+        escaped = sql.replace('"', '""')
+        cell.set_input(raw_formula if raw_formula is not None else f'=DBSQL("{escaped}")')
+        cell.region_id = region.context.region_id
+        key = self._key(sheet_name, address)
+        with self.batch():
+            self.compute.register_formula(key, cell.formula)
+            # Widen the anchor's precedents with the SQL-level references
+            # (RANGEVALUE cells, RANGETABLE ranges).
+            self.compute.graph.set_dependencies(
+                key, region.precedent_cells, region.precedent_ranges
+            )
+            if not self.compute.eager:
+                pass  # lazy mode: first refresh happens on demand/drain
+        return region
+
+    def dbtable(
+        self,
+        sheet_name: str,
+        anchor: RefLike,
+        table_name: str,
+        include_headers: bool = True,
+        window_rows: Optional[int] = None,
+    ) -> DBTableRegion:
+        """Install ``=DBTABLE("<table>")`` at ``anchor`` (Fig 2b import)."""
+        address = anchor if isinstance(anchor, CellAddress) else CellAddress.parse(anchor)
+        return self._install_dbtable(
+            sheet_name,
+            address,
+            table_name,
+            None,
+            include_headers=include_headers,
+            window_rows=window_rows,
+        )
+
+    def _install_dbtable(
+        self,
+        sheet_name: str,
+        address: CellAddress,
+        table_name: str,
+        raw_formula: Optional[str],
+        include_headers: bool = True,
+        window_rows: Optional[int] = None,
+    ) -> DBTableRegion:
+        sheet = self.sheet(sheet_name)
+        region = DBTableRegion(
+            self,
+            self.regions.new_id(),
+            sheet_name,
+            address,
+            table_name,
+            include_headers=include_headers,
+            window_rows=window_rows,
+        )
+        self.regions.add(region)
+        cell = sheet.ensure_cell(address)
+        cell.set_input(
+            raw_formula if raw_formula is not None else f'=DBTABLE("{table_name}")'
+        )
+        cell.region_id = region.context.region_id
+        key = self._key(sheet_name, address)
+        with self.batch():
+            self.compute.register_formula(key, cell.formula)
+        return region
+
+    def remove_region(self, region_id: int) -> None:
+        region = self.regions.get(region_id)
+        if region is None:
+            return
+        anchor = region.context.anchor
+        key = self._key(region.context.sheet, anchor)
+        self.compute.unregister_formula(key)
+        region.clear()
+        self.regions.remove(region_id)
+
+    def create_table_from_range(
+        self,
+        sheet_name: str,
+        range_ref: Union[str, RangeAddress],
+        table_name: str,
+        primary_key: Optional[str] = None,
+        layout: Optional[LayoutPolicy] = None,
+        group_size: Optional[int] = None,
+        window_rows: Optional[int] = None,
+    ) -> Table:
+        """Fig 2b export: turn a sheet range into a database table and
+        replace the range with a live DBTABLE region."""
+        reference = (
+            range_ref if isinstance(range_ref, RangeAddress) else RangeAddress.parse(range_ref)
+        )
+        sheet = self.sheet(sheet_name)
+        grid = self.get_range(sheet_name, reference)
+        table = create_table_from_grid(
+            self.database,
+            table_name,
+            grid,
+            primary_key=primary_key,
+            layout=layout,
+            group_size=group_size,
+            first_col_label=reference.start.col,
+        )
+        sheet.clear_range(reference)
+        self._install_dbtable(
+            sheet_name,
+            reference.start,
+            table_name,
+            None,
+            include_headers=True,
+            window_rows=window_rows,
+        )
+        return table
+
+    # ------------------------------------------------------------ database I/O
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> ResultSet:
+        """Run SQL against the back-end; dependent regions refresh once the
+        statement completes (Feature 3, back-end direction)."""
+        with self.batch():
+            return self.database.execute(sql, params)
+
+    # ----------------------------------------------------------- window control
+
+    def set_viewport(self, viewport: Viewport) -> None:
+        self.viewport = viewport
+        self.compute.set_visible_predicate(viewport.visible_predicate())
+
+    def recalc_visible(self) -> int:
+        return self.compute.recalc_visible()
+
+    def background_step(self, budget: int = 32) -> int:
+        return self.compute.background_step(budget)
+
+    def recalc_all(self) -> int:
+        return self.compute.drain()
+
+    # ---------------------------------------------------------- structural edits
+
+    def insert_rows(self, sheet_name: str, at: int, count: int = 1) -> None:
+        self._structural_edit(sheet_name, "row", at, count)
+
+    def delete_rows(self, sheet_name: str, at: int, count: int = 1) -> None:
+        self._structural_edit(sheet_name, "row", at, -count)
+
+    def insert_cols(self, sheet_name: str, at: int, count: int = 1) -> None:
+        self._structural_edit(sheet_name, "col", at, count)
+
+    def delete_cols(self, sheet_name: str, at: int, count: int = 1) -> None:
+        self._structural_edit(sheet_name, "col", at, -count)
+
+    def _structural_edit(self, sheet_name: str, axis: str, at: int, count: int) -> None:
+        """Insert (count>0) or delete (count<0) rows/columns: shift cells,
+        re-anchor regions, rewrite formula references everywhere, rebuild
+        the dependency graph, recompute."""
+        sheet = self.sheet(sheet_name)
+        # Regions: refuse edits that cut through a region; shift those below/right.
+        for region in self.regions.regions_on_sheet(sheet_name):
+            extent = region.context.extent
+            if extent is None:
+                continue
+            lo = extent.start.row if axis == "row" else extent.start.col
+            hi = extent.end.row if axis == "row" else extent.end.col
+            if count < 0:
+                removed_lo, removed_hi = at, at - count - 1
+                if removed_lo <= hi and removed_hi >= lo:
+                    raise RegionError(
+                        f"structural delete intersects region "
+                        f"{region.context.region_id} ({extent.to_a1()})"
+                    )
+            elif lo < at <= hi:
+                raise RegionError(
+                    f"structural insert splits region "
+                    f"{region.context.region_id} ({extent.to_a1()})"
+                )
+        # 1. shift stored cells
+        if axis == "row":
+            sheet.insert_rows(at, count) if count > 0 else sheet.delete_rows(at, -count)
+        else:
+            sheet.insert_cols(at, count) if count > 0 else sheet.delete_cols(at, -count)
+        # 2. re-anchor regions
+        delta = count
+        for region in self.regions.regions_on_sheet(sheet_name):
+            extent = region.context.extent
+            anchor = region.context.anchor
+            coordinate = anchor.row if axis == "row" else anchor.col
+            if coordinate >= at:
+                d_row = delta if axis == "row" else 0
+                d_col = delta if axis == "col" else 0
+                region.context.anchor = anchor.translate(d_row, d_col)
+                if extent is not None:
+                    region.context.extent = extent.translate(d_row, d_col)
+        # 3. rewrite all formulas (on every sheet) referencing this sheet
+        self.compute.reset()
+        for owner in self.sheets.values():
+            for address, cell in list(owner.formula_cells()):
+                node = parse_formula(cell.formula)
+                if isinstance(node, Call) and node.name in ("DBSQL", "DBTABLE"):
+                    continue  # re-registered below with the region
+                try:
+                    cell.formula = adjust_formula_for_structural_edit(
+                        cell.formula, axis, at, count, sheet_name, owner.name
+                    )
+                except ReferenceDeleted:
+                    cell.set_error("#REF!")
+                    cell.formula = None
+                    continue
+                self.compute.register_formula(
+                    (owner.name, address.row, address.col), cell.formula
+                )
+        # 4. re-register region anchors
+        for region in self.regions.all():
+            anchor = region.context.anchor
+            key = (region.context.sheet, anchor.row, anchor.col)
+            anchor_cell = self.sheet(region.context.sheet).ensure_cell(anchor)
+            if anchor_cell.formula:
+                self.compute.register_formula(key, anchor_cell.formula)
+                if region.context.kind == "dbsql":
+                    self.compute.graph.set_dependencies(
+                        key, region.precedent_cells, region.precedent_ranges
+                    )
+        with self.batch():
+            if self.compute.eager:
+                self.compute.drain()
+
+    # ----------------------------------------------------------------- stats
+
+    def stats_summary(self) -> Dict[str, Any]:
+        return {
+            "sheets": len(self.sheets),
+            "regions": len(self.regions),
+            "formulas": self.compute.n_formulas,
+            "compute": self.compute.stats,
+            "sync": self.sync.stats,
+            "io": self.database.io_stats,
+        }

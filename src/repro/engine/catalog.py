@@ -1,0 +1,84 @@
+"""System catalog: the registry of tables.
+
+Case-insensitive table names (SQL convention).  The catalog also owns the
+shared :class:`~repro.engine.pager.BufferPool` so that cross-table I/O
+accounting has a single place to read stats from.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engine.pager import BufferPool
+from repro.engine.schema import TableSchema
+from repro.engine.store import LayoutPolicy
+from repro.engine.table import Table
+from repro.errors import CatalogError
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Name → table registry with a shared buffer pool."""
+
+    def __init__(self, pool: Optional[BufferPool] = None, page_capacity: int = 128):
+        self.pool = pool if pool is not None else BufferPool(page_capacity=page_capacity)
+        self._tables: Dict[str, Table] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def create_table(
+        self,
+        name: str,
+        schema: TableSchema,
+        layout: LayoutPolicy = LayoutPolicy.HYBRID,
+        if_not_exists: bool = False,
+    ) -> Table:
+        key = name.lower()
+        if key in self._tables:
+            if if_not_exists:
+                return self._tables[key]
+            raise CatalogError(f"table {name!r} already exists")
+        table = Table(name, schema, layout, self.pool, self.pool.page_capacity)
+        self._tables[key] = table
+        return table
+
+    def register(self, table: Table) -> None:
+        key = table.name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {table.name!r} already exists")
+        self._tables[key] = table
+
+    def get(self, name: str) -> Table:
+        table = self._tables.get(name.lower())
+        if table is None:
+            raise CatalogError(f"no such table {name!r}")
+        return table
+
+    def try_get(self, name: str) -> Optional[Table]:
+        return self._tables.get(name.lower())
+
+    def drop(self, name: str, if_exists: bool = False) -> Optional[Table]:
+        key = name.lower()
+        table = self._tables.pop(key, None)
+        if table is None and not if_exists:
+            raise CatalogError(f"no such table {name!r}")
+        return table
+
+    def rename(self, old: str, new: str) -> None:
+        table = self.get(old)
+        if new.lower() in self._tables:
+            raise CatalogError(f"table {new!r} already exists")
+        del self._tables[old.lower()]
+        table.name = new
+        self._tables[new.lower()] = table
+
+    def table_names(self) -> List[str]:
+        return sorted(table.name for table in self._tables.values())
+
+    def tables(self) -> List[Table]:
+        return [self._tables[key] for key in sorted(self._tables)]

@@ -1,0 +1,29 @@
+"""Column store: one attribute group (page chain) per column.
+
+The opposite extreme from :class:`~repro.engine.rowstore.RowStore`:
+``ADD COLUMN`` allocates a fresh chain and rewrites nothing, but every tuple
+insert/update/delete touches one page per column.  The paper's hybrid store
+sits between the two extremes (see :mod:`repro.engine.hybridstore`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.pager import BufferPool, DEFAULT_PAGE_CAPACITY
+from repro.engine.schema import TableSchema
+from repro.engine.store import GroupedTupleStore, LayoutPolicy
+
+__all__ = ["ColumnStore"]
+
+
+class ColumnStore(GroupedTupleStore):
+    """Every column in its own attribute group."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        pool: Optional[BufferPool] = None,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+    ):
+        super().__init__(schema, pool, LayoutPolicy.COLUMN, page_capacity)

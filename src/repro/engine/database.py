@@ -1,0 +1,434 @@
+"""The database facade: SQL in, results out, events to listeners.
+
+This is the component stack of Figure 1 wired together: catalog + storage
+managers + positional indexes + query processor + transaction manager.  The
+interface layer (:mod:`repro.core`) talks to exactly this class:
+
+* :meth:`Database.execute` parses and runs any statement, optionally with a
+  :class:`~repro.engine.planner.RangeResolver` so the statement may use
+  ``RANGEVALUE``/``RANGETABLE``,
+* :meth:`Database.add_listener` subscribes to committed
+  :class:`~repro.engine.table.ChangeEvent` records — the feed that keeps
+  spreadsheet regions in sync with back-end modifications (Feature 3),
+* ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` bracket mixed DML+DDL transactions
+  (schema changes participate, per the paper's §2.2 challenge).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine import sql_ast as ast
+from repro.engine.catalog import Catalog
+from repro.engine.expr import Scope, compile_expression
+from repro.engine.pager import IOStats
+from repro.engine.planner import Planner, RangeResolver
+from repro.engine.schema import Column, TableSchema
+from repro.engine.sql_parser import parse_sql
+from repro.engine.store import LayoutPolicy
+from repro.engine.table import ChangeEvent, Table
+from repro.engine.transaction import TransactionManager
+from repro.engine.types import DBType, infer_type, unify_types
+from repro.errors import ExecutionError, PlanError, SqlError
+from repro.index.positional import PositionalIndex
+
+__all__ = ["Database", "ResultSet"]
+
+
+@dataclass
+class ResultSet:
+    """Query result: ordered column names + row tuples (+ DML rowcount)."""
+
+    columns: List[str] = field(default_factory=list)
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+    rowcount: int = 0
+
+    def __iter__(self) -> Iterator[Tuple[Any, ...]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def first(self) -> Optional[Tuple[Any, ...]]:
+        return self.rows[0] if self.rows else None
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if not self.rows or not self.rows[0]:
+            return None
+        return self.rows[0][0]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def column(self, name: str) -> List[Any]:
+        index = self.columns.index(name.lower())
+        return [row[index] for row in self.rows]
+
+
+_TXN_COMMANDS = {
+    "begin": "begin",
+    "begin transaction": "begin",
+    "commit": "commit",
+    "end": "commit",
+    "rollback": "rollback",
+    "abort": "rollback",
+}
+
+
+class Database:
+    """An embedded relational engine with positional presentation order."""
+
+    def __init__(
+        self,
+        page_capacity: int = 128,
+        default_layout: LayoutPolicy = LayoutPolicy.HYBRID,
+    ):
+        self.catalog = Catalog(page_capacity=page_capacity)
+        self.default_layout = default_layout
+        self.transactions = TransactionManager()
+        self._listeners: List[Callable[[ChangeEvent], None]] = []
+        self.statements_executed = 0
+
+    # -- events -------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[ChangeEvent], None]) -> None:
+        """Subscribe to change events from every (current and future)
+        table."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: Callable[[ChangeEvent], None]) -> None:
+        self._listeners.remove(listener)
+
+    def _dispatch(self, event: ChangeEvent) -> None:
+        for listener in list(self._listeners):
+            listener(event)
+
+    def _attach(self, table: Table) -> Table:
+        table.listeners.append(self._dispatch)
+        return table
+
+    # -- schema API ----------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: TableSchema,
+        layout: Optional[LayoutPolicy] = None,
+        if_not_exists: bool = False,
+    ) -> Table:
+        existing = self.catalog.try_get(name)
+        if existing is not None and if_not_exists:
+            return existing
+        table = self.catalog.create_table(
+            name, schema, layout or self.default_layout, if_not_exists
+        )
+        self._attach(table)
+        self.transactions.record_undo(lambda: self.catalog.drop(name, if_exists=True))
+        return table
+
+    def table(self, name: str) -> Table:
+        return self.catalog.get(name)
+
+    def has_table(self, name: str) -> bool:
+        return name in self.catalog
+
+    def table_names(self) -> List[str]:
+        return self.catalog.table_names()
+
+    # -- transactions ----------------------------------------------------------------
+
+    def begin(self) -> None:
+        self.transactions.begin()
+
+    def commit(self) -> None:
+        self.transactions.commit()
+
+    def rollback(self) -> int:
+        return self.transactions.rollback()
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.transactions.in_transaction
+
+    # -- I/O accounting -----------------------------------------------------------------
+
+    @property
+    def io_stats(self) -> IOStats:
+        return self.catalog.pool.stats
+
+    def checkpoint(self) -> int:
+        """Flush all buffered pages; returns blocks written."""
+        return self.catalog.pool.flush_all()
+
+    def reset_io_stats(self) -> None:
+        self.catalog.pool.stats.reset()
+
+    # -- SQL entry point ------------------------------------------------------------------
+
+    def execute(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        resolver: Optional[RangeResolver] = None,
+    ) -> ResultSet:
+        """Parse and execute one statement (or a BEGIN/COMMIT/ROLLBACK)."""
+        command = _TXN_COMMANDS.get(sql.strip().rstrip(";").strip().lower())
+        if command == "begin":
+            self.begin()
+            return ResultSet()
+        if command == "commit":
+            self.commit()
+            return ResultSet()
+        if command == "rollback":
+            self.rollback()
+            return ResultSet()
+        statements = parse_sql(sql)
+        if len(statements) != 1:
+            raise SqlError(
+                f"execute() takes one statement, got {len(statements)}; "
+                "use execute_script()"
+            )
+        return self._execute_statement(statements[0], params, resolver)
+
+    def execute_script(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        resolver: Optional[RangeResolver] = None,
+    ) -> List[ResultSet]:
+        return [
+            self._execute_statement(statement, params, resolver)
+            for statement in parse_sql(sql)
+        ]
+
+    def query(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        resolver: Optional[RangeResolver] = None,
+    ) -> ResultSet:
+        """Like :meth:`execute` but asserts the statement is a SELECT."""
+        result = self.execute(sql, params, resolver)
+        return result
+
+    # -- statement dispatch -------------------------------------------------------
+
+    def _execute_statement(
+        self,
+        statement: ast.Statement,
+        params: Sequence[Any],
+        resolver: Optional[RangeResolver],
+    ) -> ResultSet:
+        self.statements_executed += 1
+        planner = Planner(self.catalog, resolver)
+        if isinstance(statement, (ast.SelectStmt, ast.CompoundSelect)):
+            planned = planner.plan_select(statement)
+            rows = planned.execute(params)
+            return ResultSet(planned.column_names, rows, len(rows))
+        if isinstance(statement, ast.InsertStmt):
+            return self._execute_insert(statement, params, planner)
+        if isinstance(statement, ast.UpdateStmt):
+            return self._execute_update(statement, params, planner)
+        if isinstance(statement, ast.DeleteStmt):
+            return self._execute_delete(statement, params, planner)
+        if isinstance(statement, ast.CreateTableStmt):
+            return self._execute_create(statement, params, planner)
+        if isinstance(statement, ast.AlterTableStmt):
+            return self._execute_alter(statement, params, planner)
+        if isinstance(statement, ast.DropTableStmt):
+            return self._execute_drop(statement)
+        raise SqlError(f"unsupported statement {type(statement).__name__}")
+
+    # -- DML ------------------------------------------------------------------------
+
+    def _const_eval(
+        self, expression: ast.Expression, params: Sequence[Any], planner: Planner
+    ) -> Any:
+        fn = planner._compile(expression, Scope([]))
+        return fn((), params)
+
+    def _execute_insert(
+        self, statement: ast.InsertStmt, params: Sequence[Any], planner: Planner
+    ) -> ResultSet:
+        table = self.catalog.get(statement.table)
+        schema = table.schema
+        if statement.columns:
+            indexes = [schema.column_index(name) for name in statement.columns]
+        else:
+            indexes = list(range(schema.n_columns))
+        source_rows: List[Tuple[Any, ...]] = []
+        if statement.select is not None:
+            planned = planner.plan_select(statement.select)
+            source_rows = planned.execute(params)
+        else:
+            for value_row in statement.rows:
+                source_rows.append(
+                    tuple(self._const_eval(e, params, planner) for e in value_row)
+                )
+        position: Optional[int] = None
+        if statement.position is not None:
+            position = int(self._const_eval(statement.position, params, planner))
+        inserted = 0
+        for row in source_rows:
+            if len(row) != len(indexes):
+                raise ExecutionError(
+                    f"INSERT expects {len(indexes)} values per row, got {len(row)}"
+                )
+            full = [None] * schema.n_columns
+            for column in schema.columns:
+                if column.default is not None:
+                    full[schema.column_index(column.name)] = column.default
+            for index, value in zip(indexes, row):
+                full[index] = value
+            insert_position = None if position is None else position + inserted
+            rid = table.insert(full, position=insert_position)
+            inserted += 1
+            self.transactions.record_undo(
+                (lambda t, r: (lambda: t.delete_rids([r], emit=True)))(table, rid)
+            )
+        return ResultSet(rowcount=inserted)
+
+    def _execute_update(
+        self, statement: ast.UpdateStmt, params: Sequence[Any], planner: Planner
+    ) -> ResultSet:
+        table = self.catalog.get(statement.table)
+        scope = Scope([(table.name, name) for name in table.column_names])
+        predicate = None
+        if statement.where is not None:
+            predicate = planner._compile(statement.where, scope)
+        assignment_fns = [
+            (name, planner._compile(expression, scope))
+            for name, expression in statement.assignments
+        ]
+        # Materialise targets first: assignments must see pre-update values.
+        targets: List[Tuple[int, int, Tuple[Any, ...]]] = []
+        for position, rid, row in table.scan():
+            if predicate is None or predicate(row, params) is True:
+                targets.append((position, rid, row))
+        for position, rid, row in targets:
+            changes = {name: fn(row, params) for name, fn in assignment_fns}
+            old_values = {
+                name: row[table.schema.column_index(name)] for name, _ in assignment_fns
+            }
+            table.update_rid(rid, changes, position=position)
+            self.transactions.record_undo(
+                (lambda t, r, old: (lambda: t.update_rid(r, old)))(table, rid, old_values)
+            )
+        return ResultSet(rowcount=len(targets))
+
+    def _execute_delete(
+        self, statement: ast.DeleteStmt, params: Sequence[Any], planner: Planner
+    ) -> ResultSet:
+        table = self.catalog.get(statement.table)
+        scope = Scope([(table.name, name) for name in table.column_names])
+        predicate = None
+        if statement.where is not None:
+            predicate = planner._compile(statement.where, scope)
+        doomed: List[Tuple[int, int, Tuple[Any, ...]]] = []
+        for position, rid, row in table.scan():
+            if predicate is None or predicate(row, params) is True:
+                doomed.append((position, rid, row))
+        table.delete_rids([rid for _, rid, _ in doomed])
+        for position, rid, row in doomed:
+            self.transactions.record_undo(
+                (
+                    lambda t, p, r, old_rid: (
+                        lambda: t.insert(r, position=min(p, t.n_rows), rid=old_rid)
+                    )
+                )(table, position, row, rid)
+            )
+        return ResultSet(rowcount=len(doomed))
+
+    # -- DDL ---------------------------------------------------------------------------
+
+    def _column_from_def(
+        self, definition: ast.ColumnDef, params: Sequence[Any], planner: Planner
+    ) -> Column:
+        default = None
+        if definition.default is not None:
+            default = self._const_eval(definition.default, params, planner)
+        return Column(
+            definition.name,
+            DBType.parse(definition.type_name),
+            primary_key=definition.primary_key,
+            not_null=definition.not_null,
+            default=default,
+        )
+
+    def _execute_create(
+        self, statement: ast.CreateTableStmt, params: Sequence[Any], planner: Planner
+    ) -> ResultSet:
+        if statement.as_select is not None:
+            planned = planner.plan_select(statement.as_select)
+            rows = planned.execute(params)
+            column_types = [DBType.NULL] * len(planned.column_names)
+            for row in rows:
+                for index, value in enumerate(row):
+                    column_types[index] = unify_types(column_types[index], infer_type(value))
+            columns = [
+                Column(name, dtype if dtype is not DBType.NULL else DBType.TEXT)
+                for name, dtype in zip(planned.column_names, column_types)
+            ]
+            schema = TableSchema(columns)
+            table = self.create_table(
+                statement.table, schema, if_not_exists=statement.if_not_exists
+            )
+            for row in rows:
+                table.insert(row)
+            return ResultSet(rowcount=len(rows))
+        if not statement.columns:
+            raise PlanError("CREATE TABLE requires columns or AS SELECT")
+        columns = [self._column_from_def(d, params, planner) for d in statement.columns]
+        self.create_table(
+            statement.table, TableSchema(columns), if_not_exists=statement.if_not_exists
+        )
+        return ResultSet()
+
+    def _execute_alter(
+        self, statement: ast.AlterTableStmt, params: Sequence[Any], planner: Planner
+    ) -> ResultSet:
+        table = self.catalog.get(statement.table)
+        action = statement.action
+        if isinstance(action, ast.AlterAddColumn):
+            column = self._column_from_def(action.column, params, planner)
+            rewritten = table.add_column(column, group_index=action.into_group)
+            self.transactions.record_undo(
+                (lambda t, n: (lambda: t.drop_column(n, emit=True)))(table, column.name)
+            )
+            return ResultSet(rowcount=rewritten)
+        if isinstance(action, ast.AlterDropColumn):
+            column = table.schema.column(action.name)
+            saved = list(table.store.scan_column(action.name))
+            group_index = table.schema.group_of(action.name)
+            rewritten = table.drop_column(action.name)
+
+            def undo_drop(
+                t: Table = table,
+                c: Column = column,
+                values: List[Tuple[int, Any]] = saved,
+            ) -> None:
+                t.add_column(c, emit=True)
+                for rid, value in values:
+                    t.store.update_column(rid, c.name, value)
+
+            self.transactions.record_undo(undo_drop)
+            return ResultSet(rowcount=rewritten)
+        if isinstance(action, ast.AlterRenameColumn):
+            table.rename_column(action.old, action.new)
+            self.transactions.record_undo(
+                (lambda t, old, new: (lambda: t.rename_column(new, old)))(
+                    table, action.old, action.new
+                )
+            )
+            return ResultSet()
+        raise SqlError(f"unsupported ALTER action {type(action).__name__}")
+
+    def _execute_drop(self, statement: ast.DropTableStmt) -> ResultSet:
+        table = self.catalog.drop(statement.table, statement.if_exists)
+        if table is not None:
+            self.transactions.record_undo(
+                (lambda t: (lambda: self.catalog.register(t)))(table)
+            )
+        return ResultSet()

@@ -1,0 +1,490 @@
+"""Pull-based query execution operators.
+
+The planner (:mod:`repro.engine.planner`) assembles these nodes into a tree;
+``run(ctx)`` streams result tuples.  Each node tracks ``rows_out`` so tests
+and benchmarks can assert *logical* work (e.g. E10's one-pass claim: a DBSQL
+spill of 100 rows runs one plan, not 100).
+
+Operator inventory: sequential scan (in presentation order, via the
+positional index), values scan (``RANGETABLE`` data and VALUES lists),
+filter, project, nested-loop join, hash join (equi-joins, inner/left),
+aggregate (hash grouping), distinct, sort, limit/offset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.expr import Scope
+from repro.engine.functions import Aggregator, make_aggregate
+from repro.engine.table import Table
+from repro.engine.types import compare_values
+from repro.errors import ExecutionError
+
+__all__ = [
+    "ExecContext",
+    "PlanNode",
+    "SeqScan",
+    "ValuesScan",
+    "FilterNode",
+    "ProjectNode",
+    "NestedLoopJoin",
+    "HashJoin",
+    "AggregateNode",
+    "DistinctNode",
+    "SortNode",
+    "LimitNode",
+]
+
+RowFn = Callable[[Tuple[Any, ...], Sequence[Any]], Any]
+
+
+@dataclass
+class ExecContext:
+    """Per-execution state threaded through the operator tree."""
+
+    params: Sequence[Any] = ()
+
+
+class PlanNode:
+    """Base operator: output columns + streaming execution."""
+
+    def __init__(self, columns: Sequence[Tuple[Optional[str], str]]):
+        self.columns = list(columns)
+        self.scope = Scope(self.columns)
+        self.rows_out = 0
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:  # pragma: no cover
+        raise NotImplementedError
+
+    def children(self) -> List["PlanNode"]:
+        return []
+
+    def _count(self, rows: Iterator[Tuple[Any, ...]]) -> Iterator[Tuple[Any, ...]]:
+        for row in rows:
+            self.rows_out += 1
+            yield row
+
+    # -- introspection ----------------------------------------------------
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, depth: int = 0) -> str:
+        lines = ["  " * depth + self.label()]
+        for child in self.children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def total_rows_processed(self) -> int:
+        return self.rows_out + sum(c.total_rows_processed() for c in self.children())
+
+
+class SeqScan(PlanNode):
+    """Scan a table in presentation (positional) order."""
+
+    def __init__(self, table: Table, binding: str):
+        super().__init__([(binding, name) for name in table.column_names])
+        self.table = table
+        self.binding = binding
+
+    def label(self) -> str:
+        return f"SeqScan({self.table.name} as {self.binding})"
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            for _, _, row in self.table.scan():
+                yield row
+
+        return self._count(rows())
+
+
+class ValuesScan(PlanNode):
+    """Materialised rows: RANGETABLE data, VALUES lists, cached subqueries."""
+
+    def __init__(
+        self,
+        rows: Sequence[Tuple[Any, ...]],
+        columns: Sequence[Tuple[Optional[str], str]],
+        name: str = "values",
+    ):
+        super().__init__(columns)
+        self._rows = list(rows)
+        self.name = name
+
+    def label(self) -> str:
+        return f"ValuesScan({self.name}, {len(self._rows)} rows)"
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        return self._count(iter(self._rows))
+
+
+class FilterNode(PlanNode):
+    def __init__(self, child: PlanNode, predicate: RowFn, description: str = ""):
+        super().__init__(child.columns)
+        self.child = child
+        self.predicate = predicate
+        self.description = description
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        suffix = f" [{self.description}]" if self.description else ""
+        return f"Filter{suffix}"
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            for row in self.child.run(ctx):
+                if self.predicate(row, ctx.params) is True:
+                    yield row
+
+        return self._count(rows())
+
+
+class ProjectNode(PlanNode):
+    def __init__(
+        self,
+        child: PlanNode,
+        functions: Sequence[RowFn],
+        columns: Sequence[Tuple[Optional[str], str]],
+    ):
+        super().__init__(columns)
+        self.child = child
+        self.functions = list(functions)
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Project({len(self.functions)} cols)"
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            for row in self.child.run(ctx):
+                yield tuple(fn(row, ctx.params) for fn in self.functions)
+
+        return self._count(rows())
+
+
+class NestedLoopJoin(PlanNode):
+    """General join; used for non-equi conditions and CROSS joins."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        condition: Optional[RowFn],
+        kind: str = "inner",
+    ):
+        super().__init__(left.columns + right.columns)
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        if kind not in ("inner", "left", "cross"):
+            raise ExecutionError(f"unsupported join kind {kind!r}")
+
+    def children(self) -> List[PlanNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return f"NestedLoopJoin({self.kind})"
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        right_rows = list(self.right.run(ctx))
+        null_right = (None,) * len(self.right.columns)
+
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            for left_row in self.left.run(ctx):
+                matched = False
+                for right_row in right_rows:
+                    combined = left_row + right_row
+                    if self.condition is None or self.condition(combined, ctx.params) is True:
+                        matched = True
+                        yield combined
+                if self.kind == "left" and not matched:
+                    yield left_row + null_right
+
+        return self._count(rows())
+
+
+class HashJoin(PlanNode):
+    """Equi-join: build on the right input, probe with the left."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: Sequence[int],
+        right_keys: Sequence[int],
+        kind: str = "inner",
+        residual: Optional[RowFn] = None,
+    ):
+        super().__init__(left.columns + right.columns)
+        self.left = left
+        self.right = right
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+        self.kind = kind
+        self.residual = residual
+        if kind not in ("inner", "left"):
+            raise ExecutionError(f"hash join does not support kind {kind!r}")
+
+    def children(self) -> List[PlanNode]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return f"HashJoin({self.kind}, keys={self.left_keys}~{self.right_keys})"
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        build: Dict[Tuple[Any, ...], List[Tuple[Any, ...]]] = {}
+        for right_row in self.right.run(ctx):
+            key = tuple(right_row[index] for index in self.right_keys)
+            if any(part is None for part in key):
+                continue  # NULL never matches in SQL equi-joins
+            build.setdefault(key, []).append(right_row)
+        null_right = (None,) * len(self.right.columns)
+
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            for left_row in self.left.run(ctx):
+                key = tuple(left_row[index] for index in self.left_keys)
+                matches = [] if any(part is None for part in key) else build.get(key, [])
+                matched = False
+                for right_row in matches:
+                    combined = left_row + right_row
+                    if self.residual is not None and self.residual(combined, ctx.params) is not True:
+                        continue
+                    matched = True
+                    yield combined
+                if self.kind == "left" and not matched:
+                    yield left_row + null_right
+
+        return self._count(rows())
+
+
+@dataclass
+class AggregateSpec:
+    """One aggregate to compute: its argument closure and options."""
+
+    name: str
+    argument: Optional[RowFn]  # None for COUNT(*)
+    distinct: bool = False
+
+    def new_accumulator(self) -> Aggregator:
+        return make_aggregate(self.name, self.distinct, count_star=self.argument is None)
+
+
+class AggregateNode(PlanNode):
+    """Hash aggregation.
+
+    Output rows are ``representative_input_row + aggregate_results`` — the
+    planner compiles post-aggregation expressions against this widened
+    scope, mapping each aggregate call to its appended slot.  With no GROUP
+    BY there is a single group, emitted even for empty input (so
+    ``COUNT(*)`` on an empty table yields 0, per SQL).
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_fns: Sequence[RowFn],
+        aggregates: Sequence[AggregateSpec],
+        has_group_by: bool,
+    ):
+        columns = child.columns + [(None, f"agg{i}") for i in range(len(aggregates))]
+        super().__init__(columns)
+        self.child = child
+        self.group_fns = list(group_fns)
+        self.aggregates = list(aggregates)
+        self.has_group_by = has_group_by
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Aggregate({len(self.group_fns)} keys, {len(self.aggregates)} aggs)"
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        groups: Dict[Tuple[Any, ...], Tuple[Tuple[Any, ...], List[Aggregator]]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for row in self.child.run(ctx):
+            key = tuple(_hashable(fn(row, ctx.params)) for fn in self.group_fns)
+            entry = groups.get(key)
+            if entry is None:
+                entry = (row, [spec.new_accumulator() for spec in self.aggregates])
+                groups[key] = entry
+                order.append(key)
+            _, accumulators = entry
+            for spec, accumulator in zip(self.aggregates, accumulators):
+                if spec.argument is None:
+                    accumulator.add(1)  # COUNT(*): every row counts
+                else:
+                    accumulator.add(spec.argument(row, ctx.params))
+        if not self.has_group_by and not groups:
+            representative = (None,) * len(self.child.columns)
+            accumulators = [spec.new_accumulator() for spec in self.aggregates]
+            groups[()] = (representative, accumulators)
+            order.append(())
+
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            for key in order:
+                representative, accumulators = groups[key]
+                yield representative + tuple(acc.result() for acc in accumulators)
+
+        return self._count(rows())
+
+
+class ConcatNode(PlanNode):
+    """UNION / UNION ALL: concatenate children (same arity), optionally
+    deduplicating across the whole result (SQL UNION semantics)."""
+
+    def __init__(self, children: Sequence[PlanNode], dedup_after: Sequence[bool]):
+        """``dedup_after[i]`` — whether a plain UNION (dedup) connects child
+        i to child i+1.  SQL semantics: any plain UNION in the chain
+        deduplicates everything combined so far, so we conservatively dedup
+        the whole output when any connector is a plain UNION."""
+        super().__init__(children[0].columns)
+        self._children = list(children)
+        self.dedup = any(dedup_after)
+        for child in children[1:]:
+            if len(child.columns) != len(self.columns):
+                raise ExecutionError(
+                    "UNION members must have the same number of columns"
+                )
+
+    def children(self) -> List[PlanNode]:
+        return list(self._children)
+
+    def label(self) -> str:
+        return f"Concat({'UNION' if self.dedup else 'UNION ALL'}, {len(self._children)})"
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            seen = set() if self.dedup else None
+            for child in self._children:
+                for row in child.run(ctx):
+                    if seen is not None:
+                        key = tuple(_hashable(value) for value in row)
+                        if key in seen:
+                            continue
+                        seen.add(key)
+                    yield row
+
+        return self._count(rows())
+
+
+class DistinctNode(PlanNode):
+    def __init__(self, child: PlanNode):
+        super().__init__(child.columns)
+        self.child = child
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            seen = set()
+            for row in self.child.run(ctx):
+                key = tuple(_hashable(value) for value in row)
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield row
+
+        return self._count(rows())
+
+
+class SortNode(PlanNode):
+    """Multi-key sort with SQL NULL placement (NULLs first ascending,
+    last descending — sqlite's convention)."""
+
+    def __init__(self, child: PlanNode, keys: Sequence[Tuple[RowFn, bool]]):
+        super().__init__(child.columns)
+        self.child = child
+        self.keys = list(keys)
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def label(self) -> str:
+        return f"Sort({len(self.keys)} keys)"
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        import functools
+
+        materialised = list(self.child.run(ctx))
+        decorated = [
+            (tuple(fn(row, ctx.params) for fn, _ in self.keys), row)
+            for row in materialised
+        ]
+        directions = [descending for _, descending in self.keys]
+
+        def compare(a, b) -> int:
+            for index, descending in enumerate(directions):
+                left, right = a[0][index], b[0][index]
+                if left is None and right is None:
+                    continue
+                if left is None:
+                    outcome = -1
+                elif right is None:
+                    outcome = 1
+                else:
+                    outcome = compare_values(left, right) or 0
+                if outcome:
+                    return -outcome if descending else outcome
+            return 0
+
+        decorated.sort(key=functools.cmp_to_key(compare))
+        return self._count(row for _, row in decorated)
+
+
+class LimitNode(PlanNode):
+    def __init__(
+        self,
+        child: PlanNode,
+        limit: Optional[RowFn],
+        offset: Optional[RowFn],
+    ):
+        super().__init__(child.columns)
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+
+    def children(self) -> List[PlanNode]:
+        return [self.child]
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        empty_row: Tuple[Any, ...] = ()
+        skip = 0
+        if self.offset is not None:
+            skip = int(self.offset(empty_row, ctx.params) or 0)
+            if skip < 0:
+                raise ExecutionError("OFFSET must be non-negative")
+        take: Optional[int] = None
+        if self.limit is not None:
+            take = int(self.limit(empty_row, ctx.params))
+            if take < 0:
+                raise ExecutionError("LIMIT must be non-negative")
+
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            produced = 0
+            for index, row in enumerate(self.child.run(ctx)):
+                if index < skip:
+                    continue
+                if take is not None and produced >= take:
+                    return
+                produced += 1
+                yield row
+
+        return self._count(rows())
+
+
+def _hashable(value: Any) -> Any:
+    """Group-by/distinct key normalisation (lists → tuples, etc.)."""
+    if isinstance(value, list):
+        return tuple(value)
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    return value

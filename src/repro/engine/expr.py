@@ -1,0 +1,416 @@
+"""Expression compilation and evaluation.
+
+Expressions are compiled once per query into Python closures operating on
+flat row tuples; the executor then calls the closure per row.  NULL follows
+SQL three-valued logic: comparisons with NULL yield UNKNOWN (``None``),
+``AND``/``OR`` use Kleene logic, and a WHERE clause keeps a row only when
+its predicate is exactly ``True``.
+
+A :class:`Scope` maps qualified/unqualified column names to row-tuple
+indexes, detecting ambiguity ("which ``id`` did you mean?") at compile time
+— the error PostgreSQL would raise.
+
+Aggregate calls are *not* evaluated here; the executor pre-computes each
+aggregate per group and supplies the values via ``agg_values`` keyed by the
+AST node (frozen dataclasses hash structurally, so equal aggregate
+expressions share one accumulator).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine import sql_ast as ast
+from repro.engine.functions import SCALAR_FUNCTIONS
+from repro.engine.types import DBType, coerce_value, compare_values
+from repro.errors import ExecutionError, PlanError
+
+__all__ = ["Scope", "compile_expression", "collect_aggregates", "expression_is_constant"]
+
+RowFn = Callable[[Tuple[Any, ...], Sequence[Any]], Any]
+
+
+class Scope:
+    """Column-name → row-index resolution for one plan node's output."""
+
+    def __init__(self, columns: Sequence[Tuple[Optional[str], str]]):
+        """``columns``: ordered ``(binding, column_name)`` pairs; binding is
+        the table alias (or None for anonymous/derived columns)."""
+        self.columns = [
+            ((binding.lower() if binding else None), name.lower())
+            for binding, name in columns
+        ]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def resolve(self, name: str, table: Optional[str] = None) -> int:
+        name_l = name.lower()
+        table_l = table.lower() if table else None
+        matches = [
+            index
+            for index, (binding, column) in enumerate(self.columns)
+            if column == name_l and (table_l is None or binding == table_l)
+        ]
+        if not matches:
+            qualified = f"{table}.{name}" if table else name
+            raise PlanError(f"no such column {qualified!r}")
+        if len(matches) > 1:
+            raise PlanError(f"ambiguous column reference {name!r}")
+        return matches[0]
+
+    def indexes_of_binding(self, binding: str) -> List[int]:
+        binding_l = binding.lower()
+        return [
+            index
+            for index, (owner, _) in enumerate(self.columns)
+            if owner == binding_l
+        ]
+
+    def merged_with(self, other: "Scope") -> "Scope":
+        merged = Scope([])
+        merged.columns = self.columns + other.columns
+        return merged
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern":
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.IGNORECASE | re.DOTALL)
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if isinstance(left, bool):
+        left = int(left)
+    if isinstance(right, bool):
+        right = int(right)
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None  # sqlite semantics: x/0 is NULL
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int) and result == int(result):
+                return int(result)
+            return result
+        if op == "%":
+            if right == 0:
+                return None
+            return left % right
+    except TypeError:
+        raise ExecutionError(
+            f"operator {op!r} not applicable to {left!r} and {right!r}"
+        ) from None
+    raise ExecutionError(f"unknown arithmetic operator {op!r}")
+
+
+_COMPARISONS = {
+    "=": lambda c: c == 0,
+    "<>": lambda c: c != 0,
+    "<": lambda c: c == -1,
+    "<=": lambda c: c in (-1, 0),
+    ">": lambda c: c == 1,
+    ">=": lambda c: c in (0, 1),
+}
+
+
+def collect_aggregates(expression: ast.Expression) -> List[ast.FuncCall]:
+    """All aggregate FuncCall nodes in an expression (deduplicated,
+    preserving first-seen order)."""
+    seen: Dict[ast.FuncCall, None] = {}
+    for node in ast.walk_expression(expression):
+        if isinstance(node, ast.FuncCall) and node.is_aggregate and _is_aggregate_form(node):
+            seen.setdefault(node)
+    return list(seen)
+
+
+def _is_aggregate_form(call: ast.FuncCall) -> bool:
+    """``min(a)``/``max(a)`` with one argument aggregate; with two or more
+    they are the scalar GREATEST/LEAST-style functions."""
+    if call.name in ("min", "max") and len(call.args) != 1:
+        return False
+    return True
+
+
+def expression_is_constant(expression: ast.Expression) -> bool:
+    """True when the expression references no columns (safe to fold)."""
+    for node in ast.walk_expression(expression):
+        if isinstance(node, (ast.ColumnRef, ast.Star)):
+            return False
+        if isinstance(node, (ast.ScalarSubquery, ast.InSubquery)):
+            return False
+    return True
+
+
+def compile_expression(
+    expression: ast.Expression,
+    scope: Scope,
+    agg_values: Optional[Dict[ast.FuncCall, int]] = None,
+    subquery_runner: Optional[Callable[[ast.SelectStmt], List[Tuple[Any, ...]]]] = None,
+    range_resolver: Optional[Callable[[str], Any]] = None,
+) -> RowFn:
+    """Compile to a ``fn(row, params) -> value`` closure.
+
+    ``agg_values`` maps aggregate AST nodes to *row indexes* holding their
+    pre-computed per-group results (the executor appends them to the group
+    row).  ``subquery_runner`` executes uncorrelated subselects (memoised
+    here).  ``range_resolver`` resolves any ``RANGEVALUE`` that survived to
+    execution (normally the DataSpread layer substitutes them earlier).
+    """
+
+    def compile_node(node: ast.Expression) -> RowFn:
+        if agg_values is not None and isinstance(node, ast.FuncCall) and node in agg_values:
+            index = agg_values[node]
+            return lambda row, params: row[index]
+
+        if isinstance(node, ast.Literal):
+            value = node.value
+            return lambda row, params: value
+
+        if isinstance(node, ast.Parameter):
+            index = node.index
+            def param_fn(row, params):
+                if index >= len(params):
+                    raise ExecutionError(
+                        f"statement uses parameter ?{index + 1} but only "
+                        f"{len(params)} values were bound"
+                    )
+                return params[index]
+            return param_fn
+
+        if isinstance(node, ast.ColumnRef):
+            index = scope.resolve(node.name, node.table)
+            return lambda row, params: row[index]
+
+        if isinstance(node, ast.Star):
+            raise PlanError("'*' is only valid in a select list or COUNT(*)")
+
+        if isinstance(node, ast.RangeValue):
+            if range_resolver is None:
+                raise PlanError(
+                    "RANGEVALUE used outside a spreadsheet context "
+                    f"({node.reference!r})"
+                )
+            value = range_resolver(node.reference)
+            return lambda row, params: value
+
+        if isinstance(node, ast.UnaryOp):
+            operand = compile_node(node.operand)
+            if node.op == "NOT":
+                def not_fn(row, params):
+                    value = operand(row, params)
+                    if value is None:
+                        return None
+                    return not _truthy(value)
+                return not_fn
+            if node.op == "-":
+                def neg_fn(row, params):
+                    value = operand(row, params)
+                    return None if value is None else -value
+                return neg_fn
+            return operand  # unary +
+
+        if isinstance(node, ast.BinaryOp):
+            left = compile_node(node.left)
+            right = compile_node(node.right)
+            op = node.op
+            if op == "AND":
+                def and_fn(row, params):
+                    lhs = left(row, params)
+                    if lhs is not None and not _truthy(lhs):
+                        return False
+                    rhs = right(row, params)
+                    if rhs is not None and not _truthy(rhs):
+                        return False
+                    if lhs is None or rhs is None:
+                        return None
+                    return True
+                return and_fn
+            if op == "OR":
+                def or_fn(row, params):
+                    lhs = left(row, params)
+                    if lhs is not None and _truthy(lhs):
+                        return True
+                    rhs = right(row, params)
+                    if rhs is not None and _truthy(rhs):
+                        return True
+                    if lhs is None or rhs is None:
+                        return None
+                    return False
+                return or_fn
+            if op == "||":
+                def concat_fn(row, params):
+                    lhs = left(row, params)
+                    rhs = right(row, params)
+                    if lhs is None or rhs is None:
+                        return None
+                    return coerce_value(lhs, DBType.TEXT) + coerce_value(rhs, DBType.TEXT)
+                return concat_fn
+            if op in _COMPARISONS:
+                check = _COMPARISONS[op]
+                def cmp_fn(row, params):
+                    ordering = compare_values(left(row, params), right(row, params))
+                    if ordering is None:
+                        return None
+                    return check(ordering)
+                return cmp_fn
+            return lambda row, params: _arith(op, left(row, params), right(row, params))
+
+        if isinstance(node, ast.IsNull):
+            operand = compile_node(node.operand)
+            if node.negated:
+                return lambda row, params: operand(row, params) is not None
+            return lambda row, params: operand(row, params) is None
+
+        if isinstance(node, ast.InList):
+            operand = compile_node(node.operand)
+            items = [compile_node(item) for item in node.items]
+            negated = node.negated
+            def in_fn(row, params):
+                value = operand(row, params)
+                if value is None:
+                    return None
+                saw_null = False
+                for item in items:
+                    candidate = item(row, params)
+                    if candidate is None:
+                        saw_null = True
+                        continue
+                    if compare_values(value, candidate) == 0:
+                        return not negated
+                if saw_null:
+                    return None
+                return negated
+            return in_fn
+
+        if isinstance(node, ast.InSubquery):
+            if subquery_runner is None:
+                raise PlanError("subqueries are not available in this context")
+            operand = compile_node(node.operand)
+            negated = node.negated
+            memo: Dict[str, List[Any]] = {}
+            select = node.select
+            def in_subquery_fn(row, params):
+                if "rows" not in memo:
+                    rows = subquery_runner(select)
+                    memo["rows"] = [r[0] for r in rows]
+                value = operand(row, params)
+                if value is None:
+                    return None
+                saw_null = False
+                for candidate in memo["rows"]:
+                    if candidate is None:
+                        saw_null = True
+                        continue
+                    if compare_values(value, candidate) == 0:
+                        return not negated
+                if saw_null:
+                    return None
+                return negated
+            return in_subquery_fn
+
+        if isinstance(node, ast.ScalarSubquery):
+            if subquery_runner is None:
+                raise PlanError("subqueries are not available in this context")
+            memo: Dict[str, Any] = {}
+            select = node.select
+            def scalar_subquery_fn(row, params):
+                if "value" not in memo:
+                    rows = subquery_runner(select)
+                    if len(rows) > 1:
+                        raise ExecutionError("scalar subquery returned more than one row")
+                    memo["value"] = rows[0][0] if rows else None
+                return memo["value"]
+            return scalar_subquery_fn
+
+        if isinstance(node, ast.Between):
+            operand = compile_node(node.operand)
+            low = compile_node(node.low)
+            high = compile_node(node.high)
+            negated = node.negated
+            def between_fn(row, params):
+                value = operand(row, params)
+                lo = low(row, params)
+                hi = high(row, params)
+                low_cmp = compare_values(value, lo)
+                high_cmp = compare_values(value, hi)
+                if low_cmp is None or high_cmp is None:
+                    return None
+                inside = low_cmp >= 0 and high_cmp <= 0
+                return (not inside) if negated else inside
+            return between_fn
+
+        if isinstance(node, ast.Like):
+            operand = compile_node(node.operand)
+            pattern = compile_node(node.pattern)
+            negated = node.negated
+            cache: Dict[str, Any] = {}
+            def like_fn(row, params):
+                value = operand(row, params)
+                pat = pattern(row, params)
+                if value is None or pat is None:
+                    return None
+                regex = cache.get(pat)
+                if regex is None:
+                    regex = _like_to_regex(str(pat))
+                    cache[pat] = regex
+                matched = bool(regex.match(coerce_value(value, DBType.TEXT)))
+                return (not matched) if negated else matched
+            return like_fn
+
+        if isinstance(node, ast.Case):
+            operand = compile_node(node.operand) if node.operand is not None else None
+            whens = [(compile_node(c), compile_node(r)) for c, r in node.whens]
+            default = compile_node(node.default) if node.default is not None else None
+            def case_fn(row, params):
+                if operand is not None:
+                    subject = operand(row, params)
+                    for condition, result in whens:
+                        if compare_values(subject, condition(row, params)) == 0:
+                            return result(row, params)
+                else:
+                    for condition, result in whens:
+                        verdict = condition(row, params)
+                        if verdict is not None and _truthy(verdict):
+                            return result(row, params)
+                return default(row, params) if default is not None else None
+            return case_fn
+
+        if isinstance(node, ast.FuncCall):
+            if node.is_aggregate and _is_aggregate_form(node):
+                raise PlanError(
+                    f"aggregate {node.name}() is not allowed here"
+                )
+            fn = SCALAR_FUNCTIONS.get(node.name)
+            if fn is None:
+                raise PlanError(f"unknown function {node.name!r}")
+            args = [compile_node(argument) for argument in node.args]
+            return lambda row, params: fn(*(argument(row, params) for argument in args))
+
+        raise PlanError(f"cannot compile expression node {type(node).__name__}")
+
+    return compile_node(expression)
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return value != ""
+    return value is not None

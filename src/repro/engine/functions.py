@@ -1,0 +1,271 @@
+"""SQL scalar functions and aggregate implementations.
+
+Scalar functions receive already-evaluated Python arguments and follow the
+common SQL convention that NULL inputs yield NULL (except where noted, e.g.
+``COALESCE``).  Aggregates are small accumulator objects created per group
+by the executor.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.engine.types import DBType, coerce_value, compare_values
+from repro.errors import ExecutionError
+
+__all__ = ["SCALAR_FUNCTIONS", "make_aggregate", "Aggregator"]
+
+
+def _null_guard(fn: Callable) -> Callable:
+    """Wrap a function so that any NULL argument makes the result NULL."""
+
+    def wrapper(*args: Any) -> Any:
+        if any(argument is None for argument in args):
+            return None
+        return fn(*args)
+
+    return wrapper
+
+
+def _text(value: Any) -> str:
+    return coerce_value(value, DBType.TEXT)
+
+
+def _number(value: Any) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return value
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ExecutionError(f"expected a number, got {value!r}") from None
+
+
+def _fn_round(value: Any, digits: Any = 0) -> Any:
+    number = _number(value)
+    result = round(number, int(digits))
+    return result
+
+
+def _fn_substr(text: Any, start: Any, length: Any = None) -> str:
+    string = _text(text)
+    begin = int(start)
+    # SQL substr is 1-based; negative counts from the end (sqlite semantics).
+    if begin > 0:
+        begin -= 1
+    elif begin < 0:
+        begin = max(len(string) + begin, 0)
+    if length is None:
+        return string[begin:]
+    if int(length) < 0:
+        raise ExecutionError("substr length must be non-negative")
+    return string[begin : begin + int(length)]
+
+
+def _fn_instr(haystack: Any, needle: Any) -> int:
+    return _text(haystack).find(_text(needle)) + 1
+
+
+def _fn_coalesce(*args: Any) -> Any:
+    for argument in args:
+        if argument is not None:
+            return argument
+    return None
+
+
+def _fn_nullif(first: Any, second: Any) -> Any:
+    return None if compare_values(first, second) == 0 else first
+
+
+def _fn_ifnull(first: Any, second: Any) -> Any:
+    return second if first is None else first
+
+
+def _fn_cast(value: Any, type_name: Any) -> Any:
+    return coerce_value(value, DBType.parse(str(type_name)), strict=True)
+
+
+def _fn_typeof(value: Any) -> str:
+    from repro.engine.types import infer_type
+
+    return infer_type(value).value.lower()
+
+
+def _fn_min_scalar(*args: Any) -> Any:
+    values = [a for a in args if a is not None]
+    if not values:
+        return None
+    best = values[0]
+    for candidate in values[1:]:
+        if compare_values(candidate, best) == -1:
+            best = candidate
+    return best
+
+
+def _fn_max_scalar(*args: Any) -> Any:
+    values = [a for a in args if a is not None]
+    if not values:
+        return None
+    best = values[0]
+    for candidate in values[1:]:
+        if compare_values(candidate, best) == 1:
+            best = candidate
+    return best
+
+
+SCALAR_FUNCTIONS: Dict[str, Callable] = {
+    "abs": _null_guard(lambda x: abs(_number(x))),
+    "round": _null_guard(_fn_round),
+    "floor": _null_guard(lambda x: math.floor(_number(x))),
+    "ceil": _null_guard(lambda x: math.ceil(_number(x))),
+    "ceiling": _null_guard(lambda x: math.ceil(_number(x))),
+    "sqrt": _null_guard(lambda x: math.sqrt(_number(x))),
+    "power": _null_guard(lambda x, y: _number(x) ** _number(y)),
+    "pow": _null_guard(lambda x, y: _number(x) ** _number(y)),
+    "mod": _null_guard(lambda x, y: _number(x) % _number(y)),
+    "sign": _null_guard(lambda x: (0 if _number(x) == 0 else (1 if _number(x) > 0 else -1))),
+    "length": _null_guard(lambda s: len(_text(s))),
+    "upper": _null_guard(lambda s: _text(s).upper()),
+    "lower": _null_guard(lambda s: _text(s).lower()),
+    "trim": _null_guard(lambda s: _text(s).strip()),
+    "ltrim": _null_guard(lambda s: _text(s).lstrip()),
+    "rtrim": _null_guard(lambda s: _text(s).rstrip()),
+    "substr": _null_guard(_fn_substr),
+    "substring": _null_guard(_fn_substr),
+    "replace": _null_guard(lambda s, old, new: _text(s).replace(_text(old), _text(new))),
+    "instr": _null_guard(_fn_instr),
+    "concat": lambda *args: "".join(_text(a) for a in args if a is not None),
+    "coalesce": _fn_coalesce,
+    "nullif": _fn_nullif,
+    "ifnull": _fn_ifnull,
+    "cast": _null_guard(_fn_cast),
+    "typeof": _fn_typeof,
+    "min": _fn_min_scalar,   # only reached for 2+ args (else aggregate)
+    "max": _fn_max_scalar,
+}
+
+
+class Aggregator:
+    """Base accumulator; executor calls :meth:`add` per row then
+    :meth:`result`."""
+
+    def add(self, value: Any) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def result(self) -> Any:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class _Count(Aggregator):
+    def __init__(self, distinct: bool, count_star: bool):
+        self._count = 0
+        self._distinct = distinct
+        self._count_star = count_star
+        self._seen = set() if distinct else None
+
+    def add(self, value: Any) -> None:
+        if not self._count_star and value is None:
+            return
+        if self._seen is not None:
+            key = (type(value).__name__, value)
+            if key in self._seen:
+                return
+            self._seen.add(key)
+        self._count += 1
+
+    def result(self) -> int:
+        return self._count
+
+
+class _Sum(Aggregator):
+    def __init__(self, distinct: bool):
+        self._total: Optional[float] = None
+        self._seen = set() if distinct else None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._seen is not None:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        number = _number(value)
+        self._total = number if self._total is None else self._total + number
+
+    def result(self) -> Any:
+        return self._total
+
+
+class _Avg(Aggregator):
+    def __init__(self, distinct: bool):
+        self._total = 0.0
+        self._count = 0
+        self._seen = set() if distinct else None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._seen is not None:
+            if value in self._seen:
+                return
+            self._seen.add(value)
+        self._total += _number(value)
+        self._count += 1
+
+    def result(self) -> Any:
+        return self._total / self._count if self._count else None
+
+
+class _Extreme(Aggregator):
+    def __init__(self, want_max: bool):
+        self._want_max = want_max
+        self._best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self._best is None:
+            self._best = value
+            return
+        ordering = compare_values(value, self._best)
+        if ordering is None:
+            return
+        if (self._want_max and ordering == 1) or (not self._want_max and ordering == -1):
+            self._best = value
+
+    def result(self) -> Any:
+        return self._best
+
+
+class _GroupConcat(Aggregator):
+    def __init__(self, separator: str = ","):
+        self._parts: List[str] = []
+        self._separator = separator
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self._parts.append(_text(value))
+
+    def result(self) -> Any:
+        return self._separator.join(self._parts) if self._parts else None
+
+
+def make_aggregate(name: str, distinct: bool = False, count_star: bool = False) -> Aggregator:
+    """Instantiate an accumulator for the named aggregate function."""
+    lowered = name.lower()
+    if lowered == "count":
+        return _Count(distinct, count_star)
+    if lowered == "sum":
+        return _Sum(distinct)
+    if lowered == "avg":
+        return _Avg(distinct)
+    if lowered == "min":
+        return _Extreme(want_max=False)
+    if lowered == "max":
+        return _Extreme(want_max=True)
+    if lowered == "group_concat":
+        return _GroupConcat()
+    raise ExecutionError(f"unknown aggregate {name!r}")

@@ -1,0 +1,479 @@
+"""Query planner: AST → operator tree.
+
+Interface-aware query processing (paper §3: "the query processor is enhanced
+to support and optimize the execution for positional addressing").  The
+planner resolves names against the catalog *and* against spreadsheet ranges:
+``RANGETABLE`` sources become in-memory relations supplied by a
+:class:`RangeResolver`, and ``RANGEVALUE`` scalars are bound at plan time —
+this is how a single SQL statement joins database tables with sheet data
+(Feature 1, Fig 2a).
+
+Optimisations implemented (deliberately classical):
+
+* WHERE conjunct **pushdown** to the deepest plan node whose scope resolves
+  the conjunct (including below inner joins, not below the null-producing
+  side of LEFT joins),
+* **hash joins** for equi-join conditions (explicit ON, NATURAL, USING, and
+  implicit ``FROM a, b WHERE a.x = b.y``), nested loops otherwise,
+* single-pass hash **aggregation** with post-aggregation expression rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine import sql_ast as ast
+from repro.engine.catalog import Catalog
+from repro.engine.executor import (
+    AggregateNode,
+    AggregateSpec,
+    ConcatNode,
+    DistinctNode,
+    ExecContext,
+    FilterNode,
+    HashJoin,
+    LimitNode,
+    NestedLoopJoin,
+    PlanNode,
+    ProjectNode,
+    SeqScan,
+    SortNode,
+    ValuesScan,
+)
+from repro.engine.expr import Scope, collect_aggregates, compile_expression
+from repro.errors import PlanError
+
+__all__ = ["RangeResolver", "PlannedQuery", "Planner"]
+
+
+class RangeResolver:
+    """Supplies spreadsheet data to the planner.
+
+    The DataSpread layer implements this against live sheets; the default
+    implementation refuses, which is the behaviour of a standalone database
+    session with no interface attached."""
+
+    def resolve_range_value(self, reference: str) -> Any:
+        raise PlanError(f"RANGEVALUE({reference}) requires a spreadsheet context")
+
+    def resolve_range_table(self, reference: str) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+        """Returns (column_names, rows)."""
+        raise PlanError(f"RANGETABLE({reference}) requires a spreadsheet context")
+
+
+@dataclass
+class PlannedQuery:
+    plan: PlanNode
+    column_names: List[str]
+
+    def execute(self, params: Sequence[Any] = ()) -> List[Tuple[Any, ...]]:
+        return list(self.plan.run(ExecContext(params)))
+
+
+def _split_conjuncts(expression: Optional[ast.Expression]) -> List[ast.Expression]:
+    if expression is None:
+        return []
+    if isinstance(expression, ast.BinaryOp) and expression.op == "AND":
+        return _split_conjuncts(expression.left) + _split_conjuncts(expression.right)
+    return [expression]
+
+
+def _resolvable(expression: ast.Expression, scope: Scope) -> bool:
+    """Can every column reference in the expression bind in this scope?"""
+    for node in ast.walk_expression(expression):
+        if isinstance(node, ast.ColumnRef):
+            try:
+                scope.resolve(node.name, node.table)
+            except PlanError:
+                return False
+        elif isinstance(node, ast.Star):
+            return False
+    return True
+
+
+class Planner:
+    def __init__(self, catalog: Catalog, resolver: Optional[RangeResolver] = None):
+        self.catalog = catalog
+        self.resolver = resolver if resolver is not None else RangeResolver()
+
+    # -- public entry points ------------------------------------------------
+
+    def plan_select(self, stmt) -> PlannedQuery:
+        if isinstance(stmt, ast.CompoundSelect):
+            return self._plan_compound(stmt)
+        return self._plan_select(stmt)
+
+    def _plan_compound(self, stmt: ast.CompoundSelect) -> PlannedQuery:
+        planned = [self._plan_select(select) for select in stmt.selects]
+        widths = {len(p.column_names) for p in planned}
+        if len(widths) != 1:
+            raise PlanError("UNION members must have the same number of columns")
+        dedup_flags = [op == "union" for op in stmt.operators]
+        node = ConcatNode([p.plan for p in planned], dedup_flags)
+        return PlannedQuery(node, planned[0].column_names)
+
+    def _subquery_runner(self, params_holder: Sequence[Any] = ()):
+        """Executes an uncorrelated subselect.  Parameters do not propagate
+        into subqueries (uncorrelated-only support; see DESIGN.md)."""
+        def runner(select: ast.SelectStmt) -> List[Tuple[Any, ...]]:
+            planned = self._plan_select(select)
+            return planned.execute(params_holder)
+
+        return runner
+
+    def _compile(
+        self,
+        expression: ast.Expression,
+        scope: Scope,
+        agg_values: Optional[Dict[ast.FuncCall, int]] = None,
+    ):
+        return compile_expression(
+            expression,
+            scope,
+            agg_values=agg_values,
+            subquery_runner=self._subquery_runner(),
+            range_resolver=self.resolver.resolve_range_value,
+        )
+
+    # -- FROM clause -----------------------------------------------------------
+
+    def _plan_source(
+        self, item: ast.FromItem, pending: List[ast.Expression], allow_push: bool
+    ) -> PlanNode:
+        if isinstance(item, ast.TableRef):
+            table = self.catalog.get(item.name)
+            node: PlanNode = SeqScan(table, item.binding)
+        elif isinstance(item, ast.RangeTable):
+            columns, rows = self.resolver.resolve_range_table(item.reference)
+            binding = item.binding
+            node = ValuesScan(rows, [(binding, name) for name in columns], binding)
+        elif isinstance(item, ast.SubquerySource):
+            inner = self._plan_select(item.select)
+            names = inner.column_names
+            rebound = [(item.alias, name) for name in names]
+            identity = [
+                (lambda index: (lambda row, params: row[index]))(i)
+                for i in range(len(names))
+            ]
+            node = ProjectNode(inner.plan, identity, rebound)
+        elif isinstance(item, ast.Join):
+            return self._plan_join(item, pending, allow_push)
+        else:  # pragma: no cover - parser prevents this
+            raise PlanError(f"unsupported FROM item {type(item).__name__}")
+        if allow_push:
+            node = self._push_filters(node, pending)
+        return node
+
+    def _push_filters(self, node: PlanNode, pending: List[ast.Expression]) -> PlanNode:
+        taken = [c for c in pending if _resolvable(c, node.scope)]
+        for conjunct in taken:
+            pending.remove(conjunct)
+            node = FilterNode(node, self._compile(conjunct, node.scope), "pushed")
+        return node
+
+    def _plan_join(
+        self, join: ast.Join, pending: List[ast.Expression], allow_push: bool
+    ) -> PlanNode:
+        left_push = allow_push
+        right_push = allow_push and join.kind != "left"
+        left = self._plan_source(join.left, pending, left_push)
+        right = self._plan_source(join.right, pending, right_push)
+
+        condition_conjuncts = _split_conjuncts(join.condition)
+        drop_right: List[str] = []
+
+        if join.natural or join.using:
+            if join.using:
+                common = [name.lower() for name in join.using]
+            else:
+                left_names = {name for _, name in left.scope.columns}
+                right_names = {name for _, name in right.scope.columns}
+                common = sorted(left_names & right_names)
+            if join.natural and not common:
+                # NATURAL JOIN with no shared columns degrades to cross join.
+                common = []
+            for name in common:
+                condition_conjuncts.append(
+                    ast.BinaryOp(
+                        "=",
+                        ast.ColumnRef(name, table=_sole_binding(left.scope, name)),
+                        ast.ColumnRef(name, table=_sole_binding(right.scope, name)),
+                    )
+                )
+            drop_right = list(common)
+
+        # Implicit-join predicates: WHERE conjuncts spanning both sides of an
+        # inner join become join conditions.
+        if join.kind in ("inner", "cross") and allow_push:
+            combined_scope = left.scope.merged_with(right.scope)
+            for conjunct in list(pending):
+                if (
+                    _resolvable(conjunct, combined_scope)
+                    and not _resolvable(conjunct, left.scope)
+                    and not _resolvable(conjunct, right.scope)
+                ):
+                    pending.remove(conjunct)
+                    condition_conjuncts.append(conjunct)
+
+        kind = "left" if join.kind == "left" else "inner"
+        node = self._build_join(left, right, condition_conjuncts, kind)
+
+        if drop_right:
+            node = self._project_out_right_duplicates(node, left, right, drop_right)
+        return node
+
+    def _build_join(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        conjuncts: List[ast.Expression],
+        kind: str,
+    ) -> PlanNode:
+        combined_scope = left.scope.merged_with(right.scope)
+        equi: List[Tuple[int, int]] = []
+        residual: List[ast.Expression] = []
+        for conjunct in conjuncts:
+            pair = self._equi_key(conjunct, left.scope, right.scope)
+            if pair is not None:
+                equi.append(pair)
+            else:
+                residual.append(conjunct)
+        if equi:
+            residual_fn = None
+            if residual:
+                residual_fn = self._compile(_conjoin(residual), combined_scope)
+            return HashJoin(
+                left,
+                right,
+                [pair[0] for pair in equi],
+                [pair[1] for pair in equi],
+                kind,
+                residual_fn,
+            )
+        condition_fn = None
+        if conjuncts:
+            condition_fn = self._compile(_conjoin(conjuncts), combined_scope)
+        nl_kind = kind if condition_fn is not None or kind == "left" else "cross"
+        return NestedLoopJoin(left, right, condition_fn, nl_kind)
+
+    def _equi_key(
+        self, conjunct: ast.Expression, left: Scope, right: Scope
+    ) -> Optional[Tuple[int, int]]:
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            return None
+        sides = (conjunct.left, conjunct.right)
+        if not all(isinstance(side, ast.ColumnRef) for side in sides):
+            return None
+        first, second = sides
+        for a, b in ((first, second), (second, first)):
+            try:
+                left_index = left.resolve(a.name, a.table)
+            except PlanError:
+                continue
+            try:
+                right_index = right.resolve(b.name, b.table)
+            except PlanError:
+                continue
+            # Ensure the other side does NOT also resolve on the same scope
+            # (e.g. self-comparison within one table is a filter, not a key).
+            return (left_index, right_index)
+        return None
+
+    def _project_out_right_duplicates(
+        self,
+        node: PlanNode,
+        left: PlanNode,
+        right: PlanNode,
+        common: List[str],
+    ) -> PlanNode:
+        keep: List[int] = list(range(len(left.columns)))
+        for offset, (_, name) in enumerate(right.scope.columns):
+            if name not in common:
+                keep.append(len(left.columns) + offset)
+        functions = [
+            (lambda index: (lambda row, params: row[index]))(i) for i in keep
+        ]
+        columns = [node.columns[i] for i in keep]
+        return ProjectNode(node, functions, columns)
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _plan_select(self, stmt: ast.SelectStmt) -> PlannedQuery:
+        pending = _split_conjuncts(stmt.where)
+        if stmt.source is None:
+            node: PlanNode = ValuesScan([()], [], "dual")
+        else:
+            node = self._plan_source(stmt.source, pending, allow_push=True)
+        # Whatever could not be pushed applies here.
+        for conjunct in pending:
+            node = FilterNode(node, self._compile(conjunct, node.scope), "where")
+
+        # -- aggregation ----------------------------------------------------
+        aggregate_nodes: List[ast.FuncCall] = []
+        for item in stmt.items:
+            if not isinstance(item.expression, ast.Star):
+                aggregate_nodes.extend(collect_aggregates(item.expression))
+        if stmt.having is not None:
+            aggregate_nodes.extend(collect_aggregates(stmt.having))
+        for order in stmt.order_by:
+            aggregate_nodes.extend(collect_aggregates(order.expression))
+        # Deduplicate, preserving order.
+        unique_aggs: List[ast.FuncCall] = []
+        for node_expr in aggregate_nodes:
+            if node_expr not in unique_aggs:
+                unique_aggs.append(node_expr)
+        is_aggregated = bool(unique_aggs) or bool(stmt.group_by)
+
+        agg_values: Optional[Dict[ast.FuncCall, int]] = None
+        if is_aggregated:
+            source_scope = node.scope
+            group_fns = [self._compile(e, source_scope) for e in stmt.group_by]
+            specs: List[AggregateSpec] = []
+            agg_values = {}
+            for index, call in enumerate(unique_aggs):
+                argument = None
+                if call.args and not isinstance(call.args[0], ast.Star):
+                    argument = self._compile(call.args[0], source_scope)
+                specs.append(AggregateSpec(call.name, argument, call.distinct))
+                agg_values[call] = len(source_scope) + index
+            node = AggregateNode(node, group_fns, specs, bool(stmt.group_by))
+            if stmt.having is not None:
+                node = FilterNode(
+                    node,
+                    self._compile(stmt.having, node.scope, agg_values),
+                    "having",
+                )
+        elif stmt.having is not None:
+            raise PlanError("HAVING requires GROUP BY or aggregates")
+
+        # -- projection --------------------------------------------------------
+        output_fns = []
+        output_columns: List[Tuple[Optional[str], str]] = []
+        for index, item in enumerate(stmt.items):
+            if isinstance(item.expression, ast.Star):
+                if is_aggregated:
+                    raise PlanError("'*' cannot be combined with aggregation")
+                star = item.expression
+                if star.table is not None:
+                    indexes = node.scope.indexes_of_binding(star.table)
+                    if not indexes:
+                        raise PlanError(f"unknown table alias {star.table!r}")
+                else:
+                    indexes = list(range(len(node.columns)))
+                for source_index in indexes:
+                    output_fns.append(
+                        (lambda i: (lambda row, params: row[i]))(source_index)
+                    )
+                    output_columns.append((None, node.columns[source_index][1]))
+                continue
+            fn = self._compile(item.expression, node.scope, agg_values)
+            output_fns.append(fn)
+            output_columns.append((None, _output_name(item, index)))
+        projected = ProjectNode(node, output_fns, output_columns)
+        pre_projection = node
+        node = projected
+
+        if stmt.distinct:
+            node = DistinctNode(node)
+
+        # -- ORDER BY ------------------------------------------------------------
+        if stmt.order_by:
+            keys = []
+            hidden_fns = []
+            hidden_columns: List[Tuple[Optional[str], str]] = []
+            visible = len(output_columns)
+            for order in stmt.order_by:
+                expression = order.expression
+                key_index: Optional[int] = None
+                if isinstance(expression, ast.Literal) and isinstance(expression.value, int):
+                    ordinal = expression.value
+                    if not (1 <= ordinal <= visible):
+                        raise PlanError(f"ORDER BY ordinal {ordinal} out of range")
+                    key_index = ordinal - 1
+                elif isinstance(expression, ast.ColumnRef):
+                    # Match against output aliases/names; a qualified ref
+                    # (t.name) matches when exactly one output column has
+                    # that name (the common SELECT DISTINCT t.x ORDER BY
+                    # t.x case).
+                    matches = [
+                        i
+                        for i, (_, name) in enumerate(output_columns)
+                        if name == expression.name.lower()
+                    ]
+                    if len(matches) == 1:
+                        key_index = matches[0]
+                if key_index is not None:
+                    keys.append(
+                        ((lambda i: (lambda row, params: row[i]))(key_index), order.descending)
+                    )
+                else:
+                    if stmt.distinct:
+                        raise PlanError(
+                            "ORDER BY with DISTINCT must reference selected columns"
+                        )
+                    hidden_index = visible + len(hidden_fns)
+                    hidden_fns.append(
+                        self._compile(expression, pre_projection.scope, agg_values)
+                    )
+                    hidden_columns.append((None, f"__sort{len(hidden_fns)}"))
+                    keys.append(
+                        ((lambda i: (lambda row, params: row[i]))(hidden_index), order.descending)
+                    )
+            if hidden_fns:
+                # Re-project with hidden sort columns appended.
+                node = ProjectNode(
+                    pre_projection,
+                    output_fns + hidden_fns,
+                    output_columns + hidden_columns,
+                )
+            node = SortNode(node, keys)
+            if hidden_fns:
+                strip = [
+                    (lambda i: (lambda row, params: row[i]))(i)
+                    for i in range(visible)
+                ]
+                node = ProjectNode(node, strip, output_columns)
+
+        # -- LIMIT/OFFSET ------------------------------------------------------------
+        if stmt.limit is not None or stmt.offset is not None:
+            empty_scope = Scope([])
+            limit_fn = (
+                self._compile(stmt.limit, empty_scope) if stmt.limit is not None else None
+            )
+            offset_fn = (
+                self._compile(stmt.offset, empty_scope) if stmt.offset is not None else None
+            )
+            node = LimitNode(node, limit_fn, offset_fn)
+
+        return PlannedQuery(node, [name for _, name in output_columns])
+
+
+def _conjoin(conjuncts: List[ast.Expression]) -> ast.Expression:
+    expression = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        expression = ast.BinaryOp("AND", expression, conjunct)
+    return expression
+
+
+def _sole_binding(scope: Scope, name: str) -> Optional[str]:
+    """Binding owning the (unique) column ``name`` in this scope."""
+    owners = [
+        binding for binding, column in scope.columns if column == name.lower()
+    ]
+    if len(owners) != 1:
+        raise PlanError(f"column {name!r} is ambiguous in join")
+    return owners[0]
+
+
+def _output_name(item: ast.SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias.lower()
+    expression = item.expression
+    if isinstance(expression, ast.ColumnRef):
+        return expression.name.lower()
+    if isinstance(expression, ast.FuncCall):
+        return expression.name.lower()
+    if isinstance(expression, ast.RangeValue):
+        return f"rangevalue_{index + 1}"
+    return f"col{index + 1}"

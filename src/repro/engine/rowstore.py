@@ -1,0 +1,28 @@
+"""Row store: the classic heap-file layout (one attribute group).
+
+This is the *baseline* layout for experiment E6: a schema change must
+rewrite every page of the table, because every page holds full-width rows.
+Tuple operations are cheapest here — one page touched per insert/update.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.pager import BufferPool, DEFAULT_PAGE_CAPACITY
+from repro.engine.schema import TableSchema
+from repro.engine.store import GroupedTupleStore, LayoutPolicy
+
+__all__ = ["RowStore"]
+
+
+class RowStore(GroupedTupleStore):
+    """All columns in a single attribute group."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        pool: Optional[BufferPool] = None,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+    ):
+        super().__init__(schema, pool, LayoutPolicy.ROW, page_capacity)

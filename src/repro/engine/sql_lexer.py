@@ -1,0 +1,137 @@
+"""SQL tokenizer.
+
+Hand-written scanner producing a flat token list for the recursive-descent
+parser.  Keywords are recognised case-insensitively; identifiers keep their
+original spelling (name resolution lower-cases).  The DataSpread constructs
+``RANGEVALUE`` / ``RANGETABLE`` need no special lexing — their arguments
+(``B1``, ``A1:D100``) tokenize as identifier / colon / identifier and are
+reassembled by the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SqlSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    """
+    select from where group by having order asc desc limit offset distinct all
+    and or not in is null like between as on using natural inner left right
+    outer cross join insert into values update set delete create table if
+    exists drop alter add column rename to primary key unique default
+    case when then else end true false at position with union
+    """.split()
+)
+
+_TWO_CHAR_OPS = ("<=", ">=", "<>", "!=", "||")
+_ONE_CHAR_OPS = "+-*/%=<>(),.;?:"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | OP | EOF
+    text: str
+    position: int
+
+    def matches(self, kind: str, text: Optional[str] = None) -> bool:
+        if self.kind != kind:
+            return False
+        if text is None:
+            return True
+        if kind == "KEYWORD":
+            return self.text.lower() == text.lower()
+        return self.text == text
+
+
+def tokenize(sql: str) -> List[Token]:
+    tokens: List[Token] = []
+    index = 0
+    length = len(sql)
+    while index < length:
+        ch = sql[index]
+        if ch.isspace():
+            index += 1
+            continue
+        # -- comments --------------------------------------------------
+        if sql.startswith("--", index):
+            newline = sql.find("\n", index)
+            index = length if newline == -1 else newline + 1
+            continue
+        if sql.startswith("/*", index):
+            end = sql.find("*/", index + 2)
+            if end == -1:
+                raise SqlSyntaxError("unterminated block comment", index)
+            index = end + 2
+            continue
+        # -- strings ----------------------------------------------------
+        if ch == "'":
+            start = index
+            index += 1
+            pieces: List[str] = []
+            while True:
+                if index >= length:
+                    raise SqlSyntaxError("unterminated string literal", start)
+                if sql[index] == "'":
+                    if index + 1 < length and sql[index + 1] == "'":
+                        pieces.append("'")
+                        index += 2
+                        continue
+                    index += 1
+                    break
+                pieces.append(sql[index])
+                index += 1
+            tokens.append(Token("STRING", "".join(pieces), start))
+            continue
+        # -- quoted identifiers ------------------------------------------
+        if ch == '"':
+            start = index
+            end = sql.find('"', index + 1)
+            if end == -1:
+                raise SqlSyntaxError("unterminated quoted identifier", start)
+            tokens.append(Token("IDENT", sql[index + 1 : end], start))
+            index = end + 1
+            continue
+        # -- numbers -------------------------------------------------------
+        if ch.isdigit() or (ch == "." and index + 1 < length and sql[index + 1].isdigit()):
+            start = index
+            while index < length and (sql[index].isdigit() or sql[index] == "."):
+                index += 1
+            if index < length and sql[index] in "eE":
+                probe = index + 1
+                if probe < length and sql[probe] in "+-":
+                    probe += 1
+                if probe < length and sql[probe].isdigit():
+                    index = probe
+                    while index < length and sql[index].isdigit():
+                        index += 1
+            text = sql[start:index]
+            if text.count(".") > 1:
+                raise SqlSyntaxError(f"malformed number {text!r}", start)
+            tokens.append(Token("NUMBER", text, start))
+            continue
+        # -- identifiers / keywords ------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = index
+            while index < length and (sql[index].isalnum() or sql[index] == "_"):
+                index += 1
+            text = sql[start:index]
+            kind = "KEYWORD" if text.lower() in KEYWORDS else "IDENT"
+            tokens.append(Token(kind, text, start))
+            continue
+        # -- operators ----------------------------------------------------------
+        two = sql[index : index + 2]
+        if two in _TWO_CHAR_OPS:
+            tokens.append(Token("OP", two, index))
+            index += 2
+            continue
+        if ch in _ONE_CHAR_OPS:
+            tokens.append(Token("OP", ch, index))
+            index += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", index)
+    tokens.append(Token("EOF", "", length))
+    return tokens

@@ -1,0 +1,649 @@
+"""Recursive-descent SQL parser.
+
+Produces :mod:`repro.engine.sql_ast` nodes.  Grammar summary::
+
+    statement   := select | insert | update | delete
+                 | create_table | alter_table | drop_table
+    select      := SELECT [DISTINCT|ALL] items [FROM from] [WHERE e]
+                   [GROUP BY e,...] [HAVING e] [ORDER BY e [ASC|DESC],...]
+                   [LIMIT e [OFFSET e]]
+    from        := source {[NATURAL] [INNER|LEFT [OUTER]|CROSS] JOIN source
+                   [ON e | USING (c,...)]}
+    source      := ident [alias] | RANGETABLE(ref) [alias] | (select) alias
+    insert      := INSERT INTO t [(c,...)] (VALUES (e,...)+ | select)
+                   [AT POSITION e]                      -- DataSpread extension
+    alter       := ALTER TABLE t ADD [COLUMN] coldef [AT GROUP n]
+                 | ALTER TABLE t DROP [COLUMN] c
+                 | ALTER TABLE t RENAME [COLUMN] old TO new
+
+Expression precedence (loosest first): ``OR``, ``AND``, ``NOT``,
+comparison / ``IS`` / ``IN`` / ``BETWEEN`` / ``LIKE``, additive (``+ - ||``),
+multiplicative (``* / %``), unary sign, primary.
+
+The DataSpread constructs parse as ordinary function syntax:
+``RANGEVALUE(B1)`` / ``RANGEVALUE('Sheet2!B1')`` become
+:class:`~repro.engine.sql_ast.RangeValue`; ``RANGETABLE(A1:D100)`` in a FROM
+clause becomes :class:`~repro.engine.sql_ast.RangeTable`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine import sql_ast as ast
+from repro.engine.sql_lexer import Token, tokenize
+from repro.errors import SqlSyntaxError
+
+__all__ = ["parse_sql", "parse_statement", "parse_expression"]
+
+
+def parse_sql(sql: str) -> List[ast.Statement]:
+    """Parse a semicolon-separated script into a list of statements."""
+    parser = _Parser(tokenize(sql))
+    statements: List[ast.Statement] = []
+    while not parser.at_end():
+        if parser.try_op(";"):
+            continue
+        statements.append(parser.statement())
+        if not parser.at_end():
+            parser.expect_op(";")
+    return statements
+
+
+def parse_statement(sql: str) -> ast.Statement:
+    """Parse exactly one statement (trailing semicolon allowed)."""
+    statements = parse_sql(sql)
+    if len(statements) != 1:
+        raise SqlSyntaxError(f"expected one statement, found {len(statements)}")
+    return statements[0]
+
+
+def parse_expression(text: str) -> ast.Expression:
+    """Parse a standalone SQL expression (used in tests and DEFAULTs)."""
+    parser = _Parser(tokenize(text))
+    expression = parser.expression()
+    if not parser.at_end():
+        raise SqlSyntaxError("trailing input after expression", parser.peek().position)
+    return expression
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._index = 0
+        self._param_count = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    def error(self, message: str) -> SqlSyntaxError:
+        token = self.peek()
+        where = f" near {token.text!r}" if token.text else " at end of input"
+        return SqlSyntaxError(message + where, token.position)
+
+    def try_keyword(self, *words: str) -> bool:
+        """Consume the keyword sequence if fully present."""
+        for offset, word in enumerate(words):
+            if not self.peek(offset).matches("KEYWORD", word):
+                return False
+        self._index += len(words)
+        return True
+
+    def expect_keyword(self, *words: str) -> None:
+        if not self.try_keyword(*words):
+            raise self.error(f"expected {' '.join(words).upper()}")
+
+    def try_op(self, text: str) -> bool:
+        if self.peek().matches("OP", text):
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, text: str) -> None:
+        if not self.try_op(text):
+            raise self.error(f"expected {text!r}")
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind == "IDENT":
+            self.advance()
+            return token.text
+        raise self.error("expected identifier")
+
+    def ident_or_keyword(self) -> str:
+        """Accept a keyword where an identifier is fine (column named e.g.
+        ``year`` is common in imported sheets)."""
+        token = self.peek()
+        if token.kind in ("IDENT", "KEYWORD"):
+            self.advance()
+            return token.text
+        raise self.error("expected identifier")
+
+    # -- statements -----------------------------------------------------------
+
+    def statement(self) -> ast.Statement:
+        token = self.peek()
+        if token.matches("KEYWORD", "select"):
+            return self.select_or_compound()
+        if token.matches("KEYWORD", "insert"):
+            return self.insert()
+        if token.matches("KEYWORD", "update"):
+            return self.update()
+        if token.matches("KEYWORD", "delete"):
+            return self.delete()
+        if token.matches("KEYWORD", "create"):
+            return self.create_table()
+        if token.matches("KEYWORD", "alter"):
+            return self.alter_table()
+        if token.matches("KEYWORD", "drop"):
+            return self.drop_table()
+        raise self.error("expected a SQL statement")
+
+    # SELECT -------------------------------------------------------------------
+
+    def select_or_compound(self) -> ast.Statement:
+        first = self.select()
+        selects = [first]
+        operators = []
+        while self.try_keyword("union"):
+            operators.append("union all" if self.try_keyword("all") else "union")
+            selects.append(self.select())
+        if len(selects) == 1:
+            return first
+        return ast.CompoundSelect(tuple(selects), tuple(operators))
+
+    def select(self) -> ast.SelectStmt:
+        self.expect_keyword("select")
+        distinct = False
+        if self.try_keyword("distinct"):
+            distinct = True
+        else:
+            self.try_keyword("all")
+        items = [self.select_item()]
+        while self.try_op(","):
+            items.append(self.select_item())
+        source: Optional[ast.FromItem] = None
+        if self.try_keyword("from"):
+            source = self.from_clause()
+        where = self.expression() if self.try_keyword("where") else None
+        group_by: Tuple[ast.Expression, ...] = ()
+        if self.try_keyword("group", "by"):
+            exprs = [self.expression()]
+            while self.try_op(","):
+                exprs.append(self.expression())
+            group_by = tuple(exprs)
+        having = self.expression() if self.try_keyword("having") else None
+        order_by: Tuple[ast.OrderItem, ...] = ()
+        if self.try_keyword("order", "by"):
+            orders = [self.order_item()]
+            while self.try_op(","):
+                orders.append(self.order_item())
+            order_by = tuple(orders)
+        limit = offset = None
+        if self.try_keyword("limit"):
+            limit = self.expression()
+            if self.try_keyword("offset"):
+                offset = self.expression()
+        return ast.SelectStmt(
+            items=tuple(items),
+            source=source,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def select_item(self) -> ast.SelectItem:
+        if self.peek().matches("OP", "*"):
+            self.advance()
+            return ast.SelectItem(ast.Star())
+        # t.* — identifier dot star
+        if (
+            self.peek().kind == "IDENT"
+            and self.peek(1).matches("OP", ".")
+            and self.peek(2).matches("OP", "*")
+        ):
+            table = self.advance().text
+            self.advance()
+            self.advance()
+            return ast.SelectItem(ast.Star(table=table))
+        expression = self.expression()
+        alias = None
+        if self.try_keyword("as"):
+            alias = self.ident_or_keyword()
+        elif self.peek().kind == "IDENT":
+            alias = self.advance().text
+        return ast.SelectItem(expression, alias)
+
+    def order_item(self) -> ast.OrderItem:
+        expression = self.expression()
+        descending = False
+        if self.try_keyword("desc"):
+            descending = True
+        else:
+            self.try_keyword("asc")
+        return ast.OrderItem(expression, descending)
+
+    def from_clause(self) -> ast.FromItem:
+        item = self.table_source()
+        while True:
+            natural = False
+            kind = None
+            if self.try_keyword("natural"):
+                natural = True
+            if self.try_keyword("inner", "join") or self.try_keyword("join"):
+                kind = "inner"
+            elif self.try_keyword("left", "outer", "join") or self.try_keyword("left", "join"):
+                kind = "left"
+            elif self.try_keyword("cross", "join"):
+                kind = "cross"
+            elif natural:
+                raise self.error("expected JOIN after NATURAL")
+            elif self.try_op(","):
+                kind = "cross"
+            else:
+                break
+            right = self.table_source()
+            condition = None
+            using: Tuple[str, ...] = ()
+            if not natural and kind not in ("cross",):
+                if self.try_keyword("on"):
+                    condition = self.expression()
+                elif self.try_keyword("using"):
+                    self.expect_op("(")
+                    names = [self.ident_or_keyword()]
+                    while self.try_op(","):
+                        names.append(self.ident_or_keyword())
+                    self.expect_op(")")
+                    using = tuple(names)
+            item = ast.Join(item, right, kind or "inner", condition, natural, using)
+        return item
+
+    def table_source(self) -> ast.FromItem:
+        if self.try_op("("):
+            select = self.select()
+            self.expect_op(")")
+            if self.try_keyword("as"):
+                alias = self.expect_ident()
+            else:
+                alias = self.expect_ident()
+            return ast.SubquerySource(select, alias)
+        token = self.peek()
+        if token.kind == "IDENT" and token.text.upper() == "RANGETABLE" and self.peek(1).matches("OP", "("):
+            self.advance()
+            self.advance()
+            reference = self.range_reference()
+            self.expect_op(")")
+            alias = self.optional_alias()
+            return ast.RangeTable(reference, alias)
+        name = self.expect_ident()
+        alias = self.optional_alias()
+        return ast.TableRef(name, alias)
+
+    def optional_alias(self) -> Optional[str]:
+        if self.try_keyword("as"):
+            return self.ident_or_keyword()
+        if self.peek().kind == "IDENT":
+            return self.advance().text
+        return None
+
+    def range_reference(self) -> str:
+        """``B1``, ``A1:D100`` or a quoted form ``'Sheet2!A1:D100'``."""
+        token = self.peek()
+        if token.kind == "STRING":
+            self.advance()
+            return token.text
+        first = self.expect_ident()
+        if self.try_op(":"):
+            second = self.expect_ident()
+            return f"{first}:{second}"
+        return first
+
+    # INSERT ----------------------------------------------------------------------
+
+    def insert(self) -> ast.InsertStmt:
+        self.expect_keyword("insert", "into")
+        table = self.expect_ident()
+        columns: Tuple[str, ...] = ()
+        if self.peek().matches("OP", "(") and self._looks_like_column_list():
+            self.expect_op("(")
+            names = [self.ident_or_keyword()]
+            while self.try_op(","):
+                names.append(self.ident_or_keyword())
+            self.expect_op(")")
+            columns = tuple(names)
+        rows: Tuple[Tuple[ast.Expression, ...], ...] = ()
+        select = None
+        if self.try_keyword("values"):
+            all_rows = [self.value_row()]
+            while self.try_op(","):
+                all_rows.append(self.value_row())
+            rows = tuple(all_rows)
+        elif self.peek().matches("KEYWORD", "select"):
+            select = self.select()
+        else:
+            raise self.error("expected VALUES or SELECT")
+        position = None
+        if self.try_keyword("at", "position"):
+            position = self.expression()
+        return ast.InsertStmt(table, columns, rows, select, position)
+
+    def _looks_like_column_list(self) -> bool:
+        """Disambiguate ``INSERT INTO t (a, b) VALUES`` from
+        ``INSERT INTO t (SELECT ...)``."""
+        return not self.peek(1).matches("KEYWORD", "select")
+
+    def value_row(self) -> Tuple[ast.Expression, ...]:
+        self.expect_op("(")
+        values = [self.expression()]
+        while self.try_op(","):
+            values.append(self.expression())
+        self.expect_op(")")
+        return tuple(values)
+
+    # UPDATE / DELETE ---------------------------------------------------------------
+
+    def update(self) -> ast.UpdateStmt:
+        self.expect_keyword("update")
+        table = self.expect_ident()
+        self.expect_keyword("set")
+        assignments = [self.assignment()]
+        while self.try_op(","):
+            assignments.append(self.assignment())
+        where = self.expression() if self.try_keyword("where") else None
+        return ast.UpdateStmt(table, tuple(assignments), where)
+
+    def assignment(self) -> Tuple[str, ast.Expression]:
+        name = self.ident_or_keyword()
+        self.expect_op("=")
+        return (name, self.expression())
+
+    def delete(self) -> ast.DeleteStmt:
+        self.expect_keyword("delete", "from")
+        table = self.expect_ident()
+        where = self.expression() if self.try_keyword("where") else None
+        return ast.DeleteStmt(table, where)
+
+    # DDL -----------------------------------------------------------------------------
+
+    def create_table(self) -> ast.CreateTableStmt:
+        self.expect_keyword("create", "table")
+        if_not_exists = bool(self.try_keyword("if", "not", "exists"))
+        table = self.expect_ident()
+        if self.try_keyword("as"):
+            return ast.CreateTableStmt(table, (), if_not_exists, self.select())
+        self.expect_op("(")
+        columns: List[ast.ColumnDef] = []
+        primary_key_from_constraint: Optional[str] = None
+        while True:
+            if self.try_keyword("primary", "key"):
+                self.expect_op("(")
+                primary_key_from_constraint = self.ident_or_keyword()
+                self.expect_op(")")
+            else:
+                columns.append(self.column_def())
+            if not self.try_op(","):
+                break
+        self.expect_op(")")
+        if primary_key_from_constraint is not None:
+            lowered = primary_key_from_constraint.lower()
+            columns = [
+                ast.ColumnDef(c.name, c.type_name, c.name.lower() == lowered or c.primary_key, c.not_null, c.default)
+                for c in columns
+            ]
+        return ast.CreateTableStmt(table, tuple(columns), if_not_exists)
+
+    def column_def(self) -> ast.ColumnDef:
+        name = self.ident_or_keyword()
+        type_name = "TEXT"
+        token = self.peek()
+        if token.kind == "IDENT":
+            type_name = self.advance().text
+            if self.try_op("("):  # VARCHAR(30)
+                while not self.try_op(")"):
+                    self.advance()
+                    if self.at_end():
+                        raise self.error("unterminated type arguments")
+        primary_key = False
+        not_null = False
+        default: Optional[ast.Expression] = None
+        while True:
+            if self.try_keyword("primary", "key"):
+                primary_key = True
+            elif self.try_keyword("not", "null"):
+                not_null = True
+            elif self.try_keyword("unique"):
+                continue  # accepted, enforced only for primary keys
+            elif self.try_keyword("default"):
+                default = self.expression()
+            else:
+                break
+        return ast.ColumnDef(name, type_name, primary_key, not_null, default)
+
+    def alter_table(self) -> ast.AlterTableStmt:
+        self.expect_keyword("alter", "table")
+        table = self.expect_ident()
+        if self.try_keyword("add"):
+            self.try_keyword("column")
+            column = self.column_def()
+            into_group: Optional[int] = None
+            if self.try_keyword("at", "group"):
+                token = self.peek()
+                if token.kind != "NUMBER":
+                    raise self.error("expected group number")
+                self.advance()
+                into_group = int(token.text)
+            return ast.AlterTableStmt(table, ast.AlterAddColumn(column, into_group))
+        if self.try_keyword("drop"):
+            self.try_keyword("column")
+            return ast.AlterTableStmt(table, ast.AlterDropColumn(self.ident_or_keyword()))
+        if self.try_keyword("rename"):
+            self.try_keyword("column")
+            old = self.ident_or_keyword()
+            self.expect_keyword("to")
+            new = self.ident_or_keyword()
+            return ast.AlterTableStmt(table, ast.AlterRenameColumn(old, new))
+        raise self.error("expected ADD, DROP or RENAME")
+
+    def drop_table(self) -> ast.DropTableStmt:
+        self.expect_keyword("drop", "table")
+        if_exists = bool(self.try_keyword("if", "exists"))
+        return ast.DropTableStmt(self.expect_ident(), if_exists)
+
+    # -- expressions --------------------------------------------------------------------
+
+    def expression(self) -> ast.Expression:
+        return self.or_expr()
+
+    def or_expr(self) -> ast.Expression:
+        left = self.and_expr()
+        while self.try_keyword("or"):
+            left = ast.BinaryOp("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> ast.Expression:
+        left = self.not_expr()
+        while self.try_keyword("and"):
+            left = ast.BinaryOp("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> ast.Expression:
+        if self.try_keyword("not"):
+            return ast.UnaryOp("NOT", self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> ast.Expression:
+        left = self.additive()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("=", "<>", "!=", "<", "<=", ">", ">="):
+                self.advance()
+                op = "<>" if token.text == "!=" else token.text
+                left = ast.BinaryOp(op, left, self.additive())
+                continue
+            if self.try_keyword("is"):
+                negated = bool(self.try_keyword("not"))
+                self.expect_keyword("null")
+                left = ast.IsNull(left, negated)
+                continue
+            negated = False
+            if self.peek().matches("KEYWORD", "not") and self.peek(1).kind == "KEYWORD" and self.peek(1).text.lower() in ("in", "between", "like"):
+                self.advance()
+                negated = True
+            if self.try_keyword("in"):
+                left = self.in_tail(left, negated)
+                continue
+            if self.try_keyword("between"):
+                low = self.additive()
+                self.expect_keyword("and")
+                high = self.additive()
+                left = ast.Between(left, low, high, negated)
+                continue
+            if self.try_keyword("like"):
+                left = ast.Like(left, self.additive(), negated)
+                continue
+            if negated:
+                raise self.error("expected IN, BETWEEN or LIKE after NOT")
+            break
+        return left
+
+    def in_tail(self, operand: ast.Expression, negated: bool) -> ast.Expression:
+        self.expect_op("(")
+        if self.peek().matches("KEYWORD", "select"):
+            select = self.select()
+            self.expect_op(")")
+            return ast.InSubquery(operand, select, negated)
+        items = [self.expression()]
+        while self.try_op(","):
+            items.append(self.expression())
+        self.expect_op(")")
+        return ast.InList(operand, tuple(items), negated)
+
+    def additive(self) -> ast.Expression:
+        left = self.multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("+", "-", "||"):
+                self.advance()
+                left = ast.BinaryOp(token.text, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> ast.Expression:
+        left = self.unary()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("*", "/", "%"):
+                self.advance()
+                left = ast.BinaryOp(token.text, left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> ast.Expression:
+        token = self.peek()
+        if token.kind == "OP" and token.text in ("-", "+"):
+            self.advance()
+            return ast.UnaryOp(token.text, self.unary())
+        return self.primary()
+
+    def primary(self) -> ast.Expression:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            text = token.text
+            if "." in text or "e" in text.lower():
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.kind == "STRING":
+            self.advance()
+            return ast.Literal(token.text)
+        if token.matches("KEYWORD", "true"):
+            self.advance()
+            return ast.Literal(True)
+        if token.matches("KEYWORD", "false"):
+            self.advance()
+            return ast.Literal(False)
+        if token.matches("KEYWORD", "null"):
+            self.advance()
+            return ast.Literal(None)
+        if token.matches("OP", "?"):
+            self.advance()
+            parameter = ast.Parameter(self._param_count)
+            self._param_count += 1
+            return parameter
+        if token.matches("KEYWORD", "case"):
+            return self.case_expr()
+        if token.matches("OP", "("):
+            self.advance()
+            if self.peek().matches("KEYWORD", "select"):
+                select = self.select()
+                self.expect_op(")")
+                return ast.ScalarSubquery(select)
+            inner = self.expression()
+            self.expect_op(")")
+            return inner
+        if token.kind == "IDENT":
+            return self.identifier_expr()
+        raise self.error("expected an expression")
+
+    def case_expr(self) -> ast.Expression:
+        self.expect_keyword("case")
+        operand = None
+        if not self.peek().matches("KEYWORD", "when"):
+            operand = self.expression()
+        whens: List[Tuple[ast.Expression, ast.Expression]] = []
+        while self.try_keyword("when"):
+            condition = self.expression()
+            self.expect_keyword("then")
+            whens.append((condition, self.expression()))
+        if not whens:
+            raise self.error("CASE requires at least one WHEN")
+        default = self.expression() if self.try_keyword("else") else None
+        self.expect_keyword("end")
+        return ast.Case(operand, tuple(whens), default)
+
+    def identifier_expr(self) -> ast.Expression:
+        name = self.expect_ident()
+        # Function call?
+        if self.peek().matches("OP", "("):
+            upper = name.upper()
+            if upper == "RANGEVALUE":
+                self.advance()
+                reference = self.range_reference()
+                self.expect_op(")")
+                return ast.RangeValue(reference)
+            if upper == "RANGETABLE":
+                raise self.error("RANGETABLE is only valid in a FROM clause")
+            self.advance()
+            distinct = bool(self.try_keyword("distinct"))
+            args: List[ast.Expression] = []
+            if self.peek().matches("OP", "*"):
+                self.advance()
+                args.append(ast.Star())
+            elif not self.peek().matches("OP", ")"):
+                args.append(self.expression())
+                while self.try_op(","):
+                    args.append(self.expression())
+            self.expect_op(")")
+            return ast.FuncCall(name.lower(), tuple(args), distinct)
+        # Qualified column t.c (or t.*, handled by select_item).
+        if self.peek().matches("OP", "."):
+            self.advance()
+            column = self.ident_or_keyword()
+            return ast.ColumnRef(column, table=name)
+        return ast.ColumnRef(name)

@@ -1,0 +1,352 @@
+"""The grouped tuple store — common machinery for all three layouts.
+
+Paper §3, *Relational Storage Manager*: "the relational storage manager uses
+a hybrid of column-store and row-store to physically store the table.  Here,
+data is structured along a collection of attribute groups, thereby radically
+reducing the disk blocks that need an update during a schema change."
+
+:class:`GroupedTupleStore` materialises **one page chain per attribute
+group**; each page holds ``(rid, fragment)`` records where the fragment is
+the tuple of that group's column values.  The three layouts are then just
+grouping policies:
+
+* ``ROW``    — a single group holding every column (classic heap file);
+  ``ADD COLUMN`` must rewrite *every* page,
+* ``COLUMN`` — one group per column; ``ADD COLUMN`` allocates a fresh chain
+  and rewrites nothing, but every tuple operation touches one page per
+  column,
+* ``HYBRID`` — the paper's design: arbitrary groups; new columns go into a
+  new group by default (zero rewrites) and can later be co-located.
+
+Records are addressed by a store-assigned **rid** that never changes; the
+positional order of a table lives in the positional index
+(:mod:`repro.index.positional`), not in the store.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.pager import BufferPool, DEFAULT_PAGE_CAPACITY
+from repro.engine.schema import Column, TableSchema
+from repro.errors import SchemaError, StorageError
+
+__all__ = ["LayoutPolicy", "GroupedTupleStore"]
+
+
+class LayoutPolicy(Enum):
+    """Physical layout policy applied to the schema's attribute groups."""
+
+    ROW = "row"
+    COLUMN = "column"
+    HYBRID = "hybrid"
+
+
+class GroupedTupleStore:
+    """rid-addressed tuple storage partitioned into attribute-group chains."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        pool: Optional[BufferPool] = None,
+        layout: LayoutPolicy = LayoutPolicy.HYBRID,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+    ):
+        self.schema = schema
+        self.layout = layout
+        self.pool = pool if pool is not None else BufferPool(page_capacity=page_capacity)
+        if layout is LayoutPolicy.ROW:
+            schema.set_groups([schema.column_names])
+        elif layout is LayoutPolicy.COLUMN:
+            schema.set_groups([[name] for name in schema.column_names])
+        # HYBRID keeps whatever grouping the schema was built with.
+        self._chains: List[List[int]] = [[] for _ in range(schema.n_groups)]
+        self._rid_page: List[Dict[int, int]] = [{} for _ in range(schema.n_groups)]
+        self._next_rid = 0
+        self._n_rows = 0
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._chains)
+
+    def pages_in_group(self, group_index: int) -> int:
+        return len(self._chains[group_index])
+
+    @property
+    def n_pages(self) -> int:
+        return sum(len(chain) for chain in self._chains)
+
+    def rids(self) -> List[int]:
+        """All live rids, in insertion order of their first group."""
+        if not self._rid_page:
+            return []
+        result: List[int] = []
+        for page_id in self._chains[0]:
+            page = self.pool.get(page_id)
+            result.extend(rid for rid, _ in page.records)
+        return result
+
+    # -- internal page helpers ---------------------------------------------
+
+    def _group_capacity(self, group_index: int) -> int:
+        """Records per page for one group's chain.
+
+        ``page_capacity`` is a *value* budget per block (standing in for the
+        byte budget of a real 8 KB page), so narrow fragments pack more
+        records per block — the physical effect that makes the hybrid
+        store's fresh-chain ADD COLUMN cheap in blocks, not just in
+        rewrites."""
+        width = max(1, len(self.schema.groups[group_index]))
+        return max(1, self.pool.page_capacity // width)
+
+    def _append_record(self, group_index: int, rid: int, fragment: Tuple[Any, ...]) -> None:
+        chain = self._chains[group_index]
+        page = None
+        if chain:
+            last = self.pool.get(chain[-1])
+            if last.n_records < self._group_capacity(group_index):
+                page = last
+        if page is None:
+            page = self.pool.new_page()
+            chain.append(page.page_id)
+        page.records.append((rid, fragment))
+        page.mark_dirty()
+        self._rid_page[group_index][rid] = page.page_id
+
+    def _find_slot(self, group_index: int, rid: int) -> Tuple[Any, int]:
+        page_id = self._rid_page[group_index].get(rid)
+        if page_id is None:
+            raise StorageError(f"rid {rid} not found in group {group_index}")
+        page = self.pool.get(page_id)
+        for slot, (record_rid, _) in enumerate(page.records):
+            if record_rid == rid:
+                return page, slot
+        raise StorageError(f"rid {rid} missing from page {page_id} (corrupt directory)")
+
+    # -- tuple operations ---------------------------------------------------
+
+    def insert(self, row: Sequence[Any], rid: Optional[int] = None) -> int:
+        """Append a logical row; returns its rid.
+
+        Passing ``rid`` restores a previously-deleted record id — used by
+        transaction rollback so later undo entries that captured the old
+        rid stay valid."""
+        fragments = self.schema.split_row(tuple(row))
+        if rid is not None:
+            if self.exists(rid):
+                raise StorageError(f"rid {rid} is already live")
+            self._next_rid = max(self._next_rid, rid + 1)
+        else:
+            rid = self._next_rid
+            self._next_rid += 1
+        for group_index, fragment in enumerate(fragments):
+            self._append_record(group_index, rid, fragment)
+        self._n_rows += 1
+        return rid
+
+    def get(self, rid: int) -> Tuple[Any, ...]:
+        fragments = []
+        for group_index in range(self.n_groups):
+            page, slot = self._find_slot(group_index, rid)
+            fragments.append(page.records[slot][1])
+        return self.schema.join_fragments(fragments)
+
+    def exists(self, rid: int) -> bool:
+        return bool(self._rid_page) and rid in self._rid_page[0]
+
+    def update(self, rid: int, row: Sequence[Any]) -> None:
+        fragments = self.schema.split_row(tuple(row))
+        for group_index, fragment in enumerate(fragments):
+            page, slot = self._find_slot(group_index, rid)
+            page.records[slot] = (rid, fragment)
+            page.mark_dirty()
+
+    def update_column(self, rid: int, column_name: str, value: Any) -> None:
+        """Partial update touching only the column's own group — the
+        tuple-update cost the paper wants schema changes to match."""
+        group_index = self.schema.group_of(column_name)
+        members = self.schema.groups[group_index]
+        offset = next(
+            i for i, name in enumerate(members) if name.lower() == column_name.lower()
+        )
+        page, slot = self._find_slot(group_index, rid)
+        old_rid, fragment = page.records[slot]
+        new_fragment = tuple(
+            value if i == offset else item for i, item in enumerate(fragment)
+        )
+        page.records[slot] = (old_rid, new_fragment)
+        page.mark_dirty()
+
+    def delete(self, rid: int) -> None:
+        for group_index in range(self.n_groups):
+            page, slot = self._find_slot(group_index, rid)
+            del page.records[slot]
+            page.mark_dirty()
+            del self._rid_page[group_index][rid]
+        self._n_rows -= 1
+
+    def scan(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        """Yield ``(rid, row)`` in heap order of the first group's chain."""
+        for rid in self.rids():
+            yield rid, self.get(rid)
+
+    def scan_column(self, column_name: str) -> Iterator[Tuple[int, Any]]:
+        """Column scan touching only that column's group chain."""
+        group_index = self.schema.group_of(column_name)
+        members = self.schema.groups[group_index]
+        offset = next(
+            i for i, name in enumerate(members) if name.lower() == column_name.lower()
+        )
+        for page_id in self._chains[group_index]:
+            page = self.pool.get(page_id)
+            for rid, fragment in page.records:
+                yield rid, fragment[offset]
+
+    # -- schema evolution ----------------------------------------------------
+
+    def add_column(
+        self,
+        column: Column,
+        group_index: Optional[int] = None,
+        new_group: Optional[bool] = None,
+    ) -> int:
+        """Add a column, placing it physically per the layout policy.
+
+        Returns the number of **existing** pages rewritten — the quantity
+        experiment E6 charts.  New-chain allocations are not counted as
+        rewrites (they are sequential writes of fresh blocks).
+        """
+        if new_group is None:
+            new_group = self.layout is not LayoutPolicy.ROW
+        if self.layout is LayoutPolicy.ROW:
+            target_group: Optional[int] = 0 if self.schema.n_groups > 0 else None
+            placed = self.schema.add_column(column, group_index=target_group)
+        elif self.layout is LayoutPolicy.COLUMN:
+            placed = self.schema.add_column(column, new_group=True)
+        else:
+            placed = self.schema.add_column(column, group_index=group_index, new_group=new_group)
+        default = column.default
+        if placed >= len(self._chains):
+            # Fresh group: build its chain from scratch; zero rewrites.
+            self._chains.append([])
+            self._rid_page.append({})
+            for rid in self.rids():
+                self._append_record(placed, rid, (default,))
+            return 0
+        # Existing group: rewrite every page of that chain in place.
+        rewritten = 0
+        members = self.schema.groups[placed]
+        offset = next(
+            i for i, name in enumerate(members) if name.lower() == column.name.lower()
+        )
+        for page_id in self._chains[placed]:
+            page = self.pool.get(page_id)
+            page.records = [
+                (rid, fragment[:offset] + (default,) + fragment[offset:])
+                for rid, fragment in page.records
+            ]
+            page.mark_dirty()
+            rewritten += 1
+        return rewritten
+
+    def drop_column(self, column_name: str) -> int:
+        """Drop a column; returns the number of existing pages rewritten."""
+        group_index = self.schema.group_of(column_name)
+        members = self.schema.groups[group_index]
+        if len(members) == 1:
+            # Sole member: free the whole chain, rewrite nothing.
+            self.schema.drop_column(column_name)
+            for page_id in self._chains[group_index]:
+                self.pool.free_page(page_id)
+            del self._chains[group_index]
+            del self._rid_page[group_index]
+            return 0
+        offset = next(
+            i for i, name in enumerate(members) if name.lower() == column_name.lower()
+        )
+        self.schema.drop_column(column_name)
+        rewritten = 0
+        for page_id in self._chains[group_index]:
+            page = self.pool.get(page_id)
+            page.records = [
+                (rid, fragment[:offset] + fragment[offset + 1 :])
+                for rid, fragment in page.records
+            ]
+            page.mark_dirty()
+            rewritten += 1
+        return rewritten
+
+    def rename_column(self, old: str, new: str) -> None:
+        """Metadata-only operation; no pages touched in any layout."""
+        self.schema.rename_column(old, new)
+
+    # -- re-partitioning -------------------------------------------------------
+
+    def compact_groups(self, target_groups: Sequence[Sequence[str]]) -> int:
+        """Physically re-partition the table into ``target_groups``.
+
+        Rebuilds every chain — the expensive, off-line operation that
+        amortises many cheap ADD COLUMNs (see the hybrid-store ablation in
+        DESIGN.md §5); returns the page count of the new layout.
+        """
+        flat = [name.lower() for group in target_groups for name in group]
+        expected = sorted(name.lower() for name in self.schema.column_names)
+        if sorted(flat) != expected:
+            raise SchemaError("target groups must cover exactly the current columns")
+        rows = [(rid, self.get(rid)) for rid in self.rids()]
+        for chain in self._chains:
+            for page_id in chain:
+                self.pool.free_page(page_id)
+        self.schema.set_groups(target_groups)
+        self._chains = [[] for _ in range(self.schema.n_groups)]
+        self._rid_page = [{} for _ in range(self.schema.n_groups)]
+        for rid, row in rows:
+            for group_index, fragment in enumerate(self.schema.split_row(row)):
+                self._append_record(group_index, rid, fragment)
+        return self.n_pages
+
+    def group_summary(self) -> List[dict]:
+        """Per-group statistics (columns, pages)."""
+        return [
+            {
+                "group": index,
+                "columns": list(members),
+                "pages": self.pages_in_group(index),
+            }
+            for index, members in enumerate(self.schema.groups)
+        ]
+
+    # -- maintenance ---------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        """Flush dirty buffered pages to the simulated disk; returns the
+        number of blocks written (what E6 measures)."""
+        return self.pool.flush_all()
+
+    def validate(self) -> None:
+        """Internal consistency check used by property-based tests."""
+        if len(self._chains) != self.schema.n_groups:
+            raise StorageError("chain count does not match schema groups")
+        counts = set()
+        for group_index, chain in enumerate(self._chains):
+            seen = 0
+            for page_id in chain:
+                page = self.pool.get(page_id)
+                for rid, fragment in page.records:
+                    if self._rid_page[group_index].get(rid) != page_id:
+                        raise StorageError(f"directory mismatch for rid {rid}")
+                    if len(fragment) != len(self.schema.groups[group_index]):
+                        raise StorageError("fragment width mismatch")
+                    seen += 1
+            counts.add(seen)
+        if len(counts) > 1:
+            raise StorageError(f"groups disagree on row count: {counts}")
+        if counts and counts.pop() != self._n_rows:
+            raise StorageError("row count drifted")

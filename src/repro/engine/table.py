@@ -1,0 +1,305 @@
+"""Tables: schema + physical store + positional index + key index.
+
+A table row has three identities:
+
+* its **rid** — immutable storage handle assigned by the store,
+* its **position** — 0-based presentation order, maintained by the
+  positional index (paper §3) so the interface can show rows in a stable,
+  user-visible order and fetch any window in O(log n + window),
+* its **primary key** (optional) — the database identity the interface
+  manager uses to translate sheet edits into updates (paper §3, Interface
+  Manager).
+
+All mutations funnel through this class so that constraint checking, index
+maintenance and change events stay consistent.  Change events drive the
+two-way sync layer: every listener receives :class:`ChangeEvent` records
+after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.engine.pager import BufferPool
+from repro.engine.schema import Column, TableSchema
+from repro.engine.store import GroupedTupleStore, LayoutPolicy
+from repro.engine.types import coerce_value
+from repro.errors import ConstraintError, ExecutionError, SchemaError, StorageError
+from repro.index.btree import BPlusTree
+from repro.index.positional import PositionalIndex
+
+__all__ = ["Table", "ChangeEvent"]
+
+
+@dataclass(frozen=True)
+class ChangeEvent:
+    """A committed change, delivered to sync listeners.
+
+    ``kind`` is one of ``insert``, ``update``, ``delete``, ``add_column``,
+    ``drop_column``, ``rename_column``.  ``position`` is the presentation
+    position the change happened at (None for schema changes)."""
+
+    table: str
+    kind: str
+    position: Optional[int] = None
+    rid: Optional[int] = None
+    row: Optional[Tuple[Any, ...]] = None
+    old_row: Optional[Tuple[Any, ...]] = None
+    column: Optional[str] = None
+    extra: Optional[str] = None
+
+
+class Table:
+    """One relation with positional presentation order."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: TableSchema,
+        layout: LayoutPolicy = LayoutPolicy.HYBRID,
+        pool: Optional[BufferPool] = None,
+        page_capacity: int = 128,
+    ):
+        self.name = name
+        self.schema = schema
+        self.store = GroupedTupleStore(schema, pool, layout, page_capacity)
+        self.positions = PositionalIndex()
+        self._pk_index: Optional[BPlusTree] = None
+        if schema.primary_key is not None:
+            self._pk_index = BPlusTree(unique=True)
+        self.listeners: List[Callable[[ChangeEvent], None]] = []
+
+    # -- basics -------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self.store.n_rows
+
+    @property
+    def column_names(self) -> List[str]:
+        return self.schema.column_names
+
+    def _emit(self, event: ChangeEvent) -> None:
+        for listener in self.listeners:
+            listener(event)
+
+    # -- validation -----------------------------------------------------------
+
+    def _prepare_row(self, values: Sequence[Any]) -> Tuple[Any, ...]:
+        if len(values) != self.schema.n_columns:
+            raise ExecutionError(
+                f"table {self.name!r} expects {self.schema.n_columns} values, "
+                f"got {len(values)}"
+            )
+        prepared = []
+        for column, value in zip(self.schema.columns, values):
+            coerced = coerce_value(value, column.dtype)
+            if coerced is None and column.default is not None:
+                coerced = column.default
+            if coerced is None and column.not_null:
+                raise ConstraintError(
+                    f"column {column.name!r} of table {self.name!r} is NOT NULL"
+                )
+            prepared.append(coerced)
+        return tuple(prepared)
+
+    def _pk_value(self, row: Sequence[Any]) -> Any:
+        pk = self.schema.primary_key
+        if pk is None:
+            return None
+        return row[self.schema.column_index(pk)]
+
+    # -- reads ---------------------------------------------------------------
+
+    def rid_at(self, position: int) -> int:
+        return self.positions.rid_at(position)
+
+    def row_at(self, position: int) -> Tuple[Any, ...]:
+        return self.store.get(self.positions.rid_at(position))
+
+    def get(self, rid: int) -> Tuple[Any, ...]:
+        return self.store.get(rid)
+
+    def window(self, position: int, count: int) -> List[Tuple[Any, ...]]:
+        """The viewport fetch: rows ``[position, position+count)`` in
+        presentation order — O(log n + count)."""
+        return [self.store.get(rid) for rid in self.positions.window(position, count)]
+
+    def scan(self) -> Iterator[Tuple[int, int, Tuple[Any, ...]]]:
+        """Yield ``(position, rid, row)`` in presentation order."""
+        for position, rid in enumerate(self.positions):
+            yield position, rid, self.store.get(rid)
+
+    def rows(self) -> List[Tuple[Any, ...]]:
+        return [row for _, _, row in self.scan()]
+
+    def find_by_key(self, key: Any) -> Optional[int]:
+        """rid for a primary-key value, or None."""
+        if self._pk_index is None:
+            raise ExecutionError(f"table {self.name!r} has no primary key")
+        return self._pk_index.get(key)
+
+    # -- writes -----------------------------------------------------------------
+
+    def insert(
+        self,
+        values: Sequence[Any],
+        position: Optional[int] = None,
+        emit: bool = True,
+        rid: Optional[int] = None,
+    ) -> int:
+        """Insert a row, by default appending; ``position`` inserts into the
+        middle of the presentation order (paper's positional insert).
+        ``rid`` restores a specific record id (rollback only)."""
+        row = self._prepare_row(values)
+        key = self._pk_value(row)
+        if self._pk_index is not None:
+            if key is None:
+                raise ConstraintError(
+                    f"primary key of {self.name!r} may not be NULL"
+                )
+            if key in self._pk_index:
+                raise ConstraintError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+        rid = self.store.insert(row, rid=rid)
+        if position is None or position >= len(self.positions):
+            position = len(self.positions)
+            self.positions.append(rid)
+        else:
+            if position < 0:
+                raise ExecutionError(f"negative position {position}")
+            self.positions.insert_at(position, rid)
+        if self._pk_index is not None:
+            self._pk_index.insert(key, rid)
+        if emit:
+            self._emit(ChangeEvent(self.name, "insert", position, rid, row))
+        return rid
+
+    def insert_many(self, rows: Sequence[Sequence[Any]]) -> List[int]:
+        return [self.insert(row) for row in rows]
+
+    def update_rid(
+        self,
+        rid: int,
+        changes: Dict[str, Any],
+        position: Optional[int] = None,
+        emit: bool = True,
+    ) -> Tuple[Any, ...]:
+        """Update named columns of one row; returns the new full row."""
+        old_row = self.store.get(rid)
+        new_values = list(old_row)
+        for column_name, value in changes.items():
+            column = self.schema.column(column_name)
+            index = self.schema.column_index(column_name)
+            coerced = coerce_value(value, column.dtype)
+            if coerced is None and column.not_null:
+                raise ConstraintError(
+                    f"column {column.name!r} of table {self.name!r} is NOT NULL"
+                )
+            new_values[index] = coerced
+        new_row = tuple(new_values)
+        old_key = self._pk_value(old_row)
+        new_key = self._pk_value(new_row)
+        if self._pk_index is not None and old_key != new_key:
+            if new_key is None:
+                raise ConstraintError(f"primary key of {self.name!r} may not be NULL")
+            if new_key in self._pk_index:
+                raise ConstraintError(
+                    f"duplicate primary key {new_key!r} in table {self.name!r}"
+                )
+            self._pk_index.delete(old_key)
+            self._pk_index.insert(new_key, rid)
+        if len(changes) == 1:
+            # Single-column update: touch only that column's group (the
+            # tuple-update cost baseline for E6).
+            ((column_name, _),) = changes.items()
+            index = self.schema.column_index(column_name)
+            self.store.update_column(rid, column_name, new_row[index])
+        else:
+            self.store.update(rid, new_row)
+        if emit:
+            self._emit(
+                ChangeEvent(self.name, "update", position, rid, new_row, old_row)
+            )
+        return new_row
+
+    def delete_at(self, position: int, emit: bool = True) -> Tuple[Any, ...]:
+        """Delete the row at a presentation position."""
+        rid = self.positions.delete_at(position)
+        row = self.store.get(rid)
+        if self._pk_index is not None:
+            self._pk_index.delete(self._pk_value(row))
+        self.store.delete(rid)
+        if emit:
+            self._emit(ChangeEvent(self.name, "delete", position, rid, None, row))
+        return row
+
+    def delete_rids(self, rids: Sequence[int], emit: bool = True) -> int:
+        """Delete rows by rid (used by DELETE ... WHERE plans)."""
+        doomed = set(rids)
+        if not doomed:
+            return 0
+        # Find positions in one pass, then delete from the tail backwards so
+        # earlier positions stay valid.
+        pairs = [
+            (position, rid)
+            for position, rid in enumerate(self.positions)
+            if rid in doomed
+        ]
+        for position, rid in reversed(pairs):
+            row = self.store.get(rid)
+            if self._pk_index is not None:
+                self._pk_index.delete(self._pk_value(row))
+            self.positions.delete_at(position)
+            self.store.delete(rid)
+            if emit:
+                self._emit(ChangeEvent(self.name, "delete", position, rid, None, row))
+        return len(pairs)
+
+    # -- schema evolution ----------------------------------------------------------
+
+    def add_column(
+        self,
+        column: Column,
+        group_index: Optional[int] = None,
+        new_group: Optional[bool] = None,
+        emit: bool = True,
+    ) -> int:
+        """ADD COLUMN; returns pages rewritten (0 for a fresh group)."""
+        rewritten = self.store.add_column(column, group_index, new_group)
+        if emit:
+            self._emit(ChangeEvent(self.name, "add_column", column=column.name))
+        return rewritten
+
+    def drop_column(self, name: str, emit: bool = True) -> int:
+        if self.schema.primary_key is not None and name.lower() == self.schema.primary_key.lower():
+            raise SchemaError(f"cannot drop primary key column {name!r}")
+        rewritten = self.store.drop_column(name)
+        if emit:
+            self._emit(ChangeEvent(self.name, "drop_column", column=name))
+        return rewritten
+
+    def rename_column(self, old: str, new: str, emit: bool = True) -> None:
+        self.store.rename_column(old, new)
+        if emit:
+            self._emit(ChangeEvent(self.name, "rename_column", column=old, extra=new))
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def checkpoint(self) -> int:
+        return self.store.checkpoint()
+
+    def validate(self) -> None:
+        self.store.validate()
+        self.positions.validate()
+        if len(self.positions) != self.store.n_rows:
+            raise StorageError(
+                f"positional index has {len(self.positions)} entries, "
+                f"store has {self.store.n_rows} rows"
+            )
+        if self._pk_index is not None:
+            self._pk_index.validate()
+            if len(self._pk_index) != self.store.n_rows:
+                raise StorageError("primary key index size drifted")

@@ -1,0 +1,140 @@
+"""Exception hierarchy for the DataSpread reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`DataSpreadError` so
+applications can catch one base class.  Sub-hierarchies mirror the major
+subsystems: addressing, the relational engine, the formula language, the
+interface layer and synchronisation.
+"""
+
+from __future__ import annotations
+
+
+class DataSpreadError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+# ---------------------------------------------------------------------------
+# Addressing
+# ---------------------------------------------------------------------------
+
+class AddressError(DataSpreadError, ValueError):
+    """An A1/R1C1 cell or range reference could not be parsed or is invalid."""
+
+
+# ---------------------------------------------------------------------------
+# Relational engine
+# ---------------------------------------------------------------------------
+
+class EngineError(DataSpreadError):
+    """Base class for relational-engine errors."""
+
+
+class SqlError(EngineError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenised or parsed.
+
+    Carries the ``position`` (character offset) when known so callers can
+    point at the offending token.
+    """
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanError(SqlError):
+    """A parsed statement could not be turned into an executable plan
+    (unknown table/column, ambiguous reference, unsupported construct)."""
+
+
+class ExecutionError(EngineError):
+    """A runtime failure while executing a plan (type mismatch, division by
+    zero under strict mode, constraint violation)."""
+
+
+class CatalogError(EngineError):
+    """Catalog inconsistency: duplicate table, missing table, bad schema."""
+
+
+class SchemaError(EngineError):
+    """Invalid schema operation (duplicate column, dropping missing column,
+    incompatible type change)."""
+
+
+class ConstraintError(ExecutionError):
+    """A primary-key / not-null / uniqueness constraint was violated."""
+
+
+class TransactionError(EngineError):
+    """Invalid transaction state transition (commit without begin, nested
+    begin when not supported, operating on an aborted transaction)."""
+
+
+class StorageError(EngineError):
+    """Low-level storage failure: bad page id, corrupt block, record id not
+    found in the store."""
+
+
+# ---------------------------------------------------------------------------
+# Formula language
+# ---------------------------------------------------------------------------
+
+class FormulaError(DataSpreadError):
+    """Base class for spreadsheet-formula errors."""
+
+
+class FormulaSyntaxError(FormulaError):
+    """The formula text could not be tokenised or parsed."""
+
+    def __init__(self, message: str, position: int = -1):
+        super().__init__(message)
+        self.position = position
+
+
+class FormulaEvalError(FormulaError):
+    """Formula evaluation failed; corresponds to the spreadsheet error codes
+    (#VALUE!, #DIV/0!, #REF!, #NAME?, #CIRC!).
+
+    The ``code`` attribute carries the spreadsheet-style error literal.
+    """
+
+    def __init__(self, message: str, code: str = "#VALUE!"):
+        super().__init__(message)
+        self.code = code
+
+
+class CircularDependencyError(FormulaEvalError):
+    """A formula (directly or transitively) refers to its own cell."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code="#CIRC!")
+
+
+# ---------------------------------------------------------------------------
+# Interface / spreadsheet layer
+# ---------------------------------------------------------------------------
+
+class InterfaceError(DataSpreadError):
+    """Base class for spreadsheet-interface errors."""
+
+
+class SheetError(InterfaceError):
+    """Invalid sheet operation (duplicate sheet name, missing sheet)."""
+
+
+class RegionError(InterfaceError):
+    """A DBTABLE/DBSQL display region is invalid or overlaps another
+    region."""
+
+
+class SyncError(InterfaceError):
+    """Two-way synchronisation failed: unmapped row, missing primary key,
+    conflicting concurrent edits."""
+
+
+class ImportExportError(InterfaceError):
+    """Creating a table from a range, or importing/exporting data, failed
+    (e.g. no header row, ragged data, unsupported value)."""

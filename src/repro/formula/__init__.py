@@ -1,0 +1,34 @@
+"""The spreadsheet formula language.
+
+"Spreadsheets support value-at-a-time formulae to allow derived computation"
+(paper §1).  This package implements an Excel-style formula language — the
+front-end half of DataSpread's computation model:
+
+* :mod:`repro.formula.lexer` / :mod:`repro.formula.parser` — ``=SUM(A1:B10)``
+  style syntax, cell/range references with ``$`` absolute flags, sheet
+  qualifiers, comparison/concat/arithmetic/exponent operators,
+* :mod:`repro.formula.functions` — the built-in function library
+  (SUM, AVERAGE, IF, VLOOKUP, …),
+* :mod:`repro.formula.evaluator` — evaluation against a cell-resolution
+  context, with spreadsheet error codes (#VALUE!, #DIV/0!, #REF!, …),
+* :mod:`repro.formula.dependency` — precedent extraction for the compute
+  engine's dependency graph,
+* reference shifting for copy/paste relative addressing (paper §2.2).
+
+``DBSQL(...)`` and ``DBTABLE(...)`` parse as ordinary function calls; their
+evaluation is delegated to the workbook layer (:mod:`repro.core`), which
+owns the database connection.
+"""
+
+from repro.formula.parser import parse_formula
+from repro.formula.evaluator import evaluate_formula, EvalContext, RangeValues
+from repro.formula.dependency import extract_dependencies, shift_formula
+
+__all__ = [
+    "parse_formula",
+    "evaluate_formula",
+    "EvalContext",
+    "RangeValues",
+    "extract_dependencies",
+    "shift_formula",
+]

@@ -1,0 +1,184 @@
+"""Formula evaluation.
+
+``evaluate_formula(source, context)`` parses (or accepts a pre-parsed node)
+and computes the value.  The :class:`EvalContext` supplies cell/range
+resolution and the extension hook for the DataSpread constructs: any call
+whose name is not in the built-in library is forwarded to
+``context.call_extension`` — this is how ``DBSQL(...)`` and ``DBTABLE(...)``
+reach the workbook layer without the formula package depending on the
+database.
+
+Spreadsheet error semantics: failures raise
+:class:`~repro.errors.FormulaEvalError` carrying the error literal
+(#VALUE!, #DIV/0!, #REF!, #NAME?); the compute engine renders that literal
+into the cell.  ``IF`` evaluates lazily (only the taken branch) and
+``IFERROR`` catches evaluation errors — both need special forms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Union
+
+from repro.core.address import CellAddress, RangeAddress
+from repro.errors import FormulaEvalError
+from repro.formula.functions import FUNCTIONS, RangeValues, compare, to_bool, to_number, to_text
+from repro.formula.nodes import (
+    Binary,
+    Boolean,
+    Call,
+    CellRef,
+    FormulaNode,
+    Number,
+    RangeRef,
+    Text,
+    Unary,
+)
+from repro.formula.parser import parse_formula
+
+__all__ = ["EvalContext", "evaluate_formula", "RangeValues"]
+
+
+class EvalContext:
+    """Resolution services the evaluator needs.
+
+    Subclass (or duck-type) with:
+
+    * ``cell_value(address)`` → scalar (None for blank),
+    * ``range_values(range_address)`` → :class:`RangeValues`,
+    * ``call_extension(name, evaluated_args)`` → scalar (DBSQL/DBTABLE and
+      other host functions); raise ``FormulaEvalError('#NAME?')`` if
+      unknown.
+    """
+
+    def cell_value(self, address: CellAddress) -> Any:
+        raise FormulaEvalError(f"no cell resolver for {address.to_a1()}", "#REF!")
+
+    def range_values(self, reference: RangeAddress) -> RangeValues:
+        raise FormulaEvalError(f"no range resolver for {reference.to_a1()}", "#REF!")
+
+    def call_extension(self, name: str, args: List[Any]) -> Any:
+        raise FormulaEvalError(f"unknown function {name}", "#NAME?")
+
+
+def evaluate_formula(
+    formula: Union[str, FormulaNode], context: EvalContext
+) -> Any:
+    """Evaluate formula text (with or without leading ``=``) or an AST."""
+    node = parse_formula(formula) if isinstance(formula, str) else formula
+    return _eval(node, context)
+
+
+def _eval(node: FormulaNode, context: EvalContext) -> Any:
+    if isinstance(node, Number):
+        return node.value
+    if isinstance(node, Text):
+        return node.value
+    if isinstance(node, Boolean):
+        return node.value
+    if isinstance(node, CellRef):
+        return context.cell_value(node.address)
+    if isinstance(node, RangeRef):
+        return context.range_values(node.range)
+    if isinstance(node, Unary):
+        value = _eval(node.operand, context)
+        number = to_number(_deref_single(value))
+        return -number if node.op == "-" else number
+    if isinstance(node, Binary):
+        return _eval_binary(node, context)
+    if isinstance(node, Call):
+        return _eval_call(node, context)
+    raise FormulaEvalError(f"cannot evaluate node {type(node).__name__}")
+
+
+def _deref_single(value: Any) -> Any:
+    """A range used where a scalar is expected contributes its sole cell
+    (Excel's implicit intersection, simplified)."""
+    if isinstance(value, RangeValues):
+        if value.n_rows == 1 and value.n_cols == 1:
+            return value.grid[0][0]
+        raise FormulaEvalError("range used where a single value is expected")
+    return value
+
+
+def _eval_binary(node: Binary, context: EvalContext) -> Any:
+    left = _deref_single(_eval(node.left, context))
+    right = _deref_single(_eval(node.right, context))
+    op = node.op
+    if op == "&":
+        return to_text(left) + to_text(right)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        ordering = compare(left, right)
+        return {
+            "=": ordering == 0,
+            "<>": ordering != 0,
+            "<": ordering < 0,
+            "<=": ordering <= 0,
+            ">": ordering > 0,
+            ">=": ordering >= 0,
+        }[op]
+    left_n = to_number(left)
+    right_n = to_number(right)
+    if op == "+":
+        return left_n + right_n
+    if op == "-":
+        return left_n - right_n
+    if op == "*":
+        return left_n * right_n
+    if op == "/":
+        if right_n == 0:
+            raise FormulaEvalError("division by zero", "#DIV/0!")
+        result = left_n / right_n
+        if isinstance(left_n, int) and isinstance(right_n, int) and result == int(result):
+            return int(result)
+        return result
+    if op == "^":
+        try:
+            return left_n ** right_n
+        except (OverflowError, ValueError):
+            raise FormulaEvalError("invalid exponentiation", "#VALUE!") from None
+    raise FormulaEvalError(f"unknown operator {op!r}")
+
+
+def _eval_call(node: Call, context: EvalContext) -> Any:
+    name = node.name
+    # -- special (lazy) forms ------------------------------------------
+    if name == "IF":
+        if not (2 <= len(node.args) <= 3):
+            raise FormulaEvalError("IF takes 2 or 3 arguments")
+        condition = to_bool(_deref_single(_eval(node.args[0], context)))
+        if condition:
+            return _eval(node.args[1], context)
+        if len(node.args) == 3:
+            return _eval(node.args[2], context)
+        return False
+    if name == "IFERROR":
+        if len(node.args) != 2:
+            raise FormulaEvalError("IFERROR takes 2 arguments")
+        try:
+            return _eval(node.args[0], context)
+        except FormulaEvalError:
+            return _eval(node.args[1], context)
+    if name == "ISERROR":
+        if len(node.args) != 1:
+            raise FormulaEvalError("ISERROR takes 1 argument")
+        try:
+            _eval(node.args[0], context)
+            return False
+        except FormulaEvalError:
+            return True
+
+    args = [_eval(argument, context) for argument in node.args]
+    fn = FUNCTIONS.get(name)
+    if fn is None:
+        # Host / DataSpread extension functions (DBSQL, DBTABLE, ...).
+        return context.call_extension(name, args)
+    try:
+        return fn(*args)
+    except FormulaEvalError:
+        raise
+    except ZeroDivisionError:
+        raise FormulaEvalError("division by zero", "#DIV/0!") from None
+    except TypeError as error:
+        raise FormulaEvalError(f"{name}: {error}") from None
+    except (ValueError, ArithmeticError) as error:
+        raise FormulaEvalError(f"{name}: {error}") from None

@@ -1,0 +1,528 @@
+"""Built-in spreadsheet functions.
+
+Functions receive *evaluated* arguments: scalars, or :class:`RangeValues`
+objects for range references.  Aggregating functions flatten ranges; lookup
+functions use the 2-D grid.  Spreadsheet error semantics are expressed by
+raising :class:`~repro.errors.FormulaEvalError` with the matching error
+code.
+
+Coercion follows Excel's conventions: blanks count as 0 in arithmetic
+aggregates but are skipped by SUM/AVERAGE/COUNT over ranges; text that looks
+numeric converts in arithmetic contexts; ``TRUE``/``FALSE`` are 1/0.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.errors import FormulaEvalError
+
+__all__ = ["FUNCTIONS", "RangeValues", "to_number", "to_text", "compare"]
+
+
+class RangeValues:
+    """Evaluated contents of a range reference: a dense 2-D grid."""
+
+    def __init__(self, grid: List[List[Any]]):
+        self.grid = grid
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.grid)
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.grid[0]) if self.grid else 0
+
+    def flat(self) -> Iterable[Any]:
+        for row in self.grid:
+            yield from row
+
+    def column(self, index: int) -> List[Any]:
+        return [row[index] for row in self.grid]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RangeValues({self.n_rows}x{self.n_cols})"
+
+
+def to_number(value: Any) -> float:
+    """Numeric coercion with Excel semantics (#VALUE! on failure)."""
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        text = value.strip()
+        if text == "":
+            return 0
+        try:
+            number = float(text)
+        except ValueError:
+            raise FormulaEvalError(f"cannot convert {value!r} to a number")
+        return int(number) if number.is_integer() else number
+    raise FormulaEvalError(f"cannot convert {value!r} to a number")
+
+
+def to_text(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def to_bool(value: Any) -> bool:
+    if value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        upper = value.strip().upper()
+        if upper == "TRUE":
+            return True
+        if upper == "FALSE" or upper == "":
+            return False
+        raise FormulaEvalError(f"cannot convert {value!r} to a boolean")
+    raise FormulaEvalError(f"cannot convert {value!r} to a boolean")
+
+
+def compare(left: Any, right: Any) -> int:
+    """Excel comparison: numbers < text < booleans; text case-insensitive."""
+
+    def rank(value: Any) -> int:
+        if isinstance(value, bool):
+            return 2
+        if value is None or isinstance(value, (int, float)):
+            return 0
+        return 1
+
+    left_rank, right_rank = rank(left), rank(right)
+    if left_rank != right_rank:
+        return -1 if left_rank < right_rank else 1
+    if left_rank == 0:
+        left_n = 0 if left is None else left
+        right_n = 0 if right is None else right
+        return (left_n > right_n) - (left_n < right_n)
+    if left_rank == 1:
+        left_s, right_s = str(left).lower(), str(right).lower()
+        return (left_s > right_s) - (left_s < right_s)
+    return (bool(left) > bool(right)) - (bool(left) < bool(right))
+
+
+def _numbers(args: Iterable[Any], skip_blank_text: bool = True) -> Iterable[float]:
+    """Numeric values from scalars and ranges, Excel-aggregate style: range
+    cells that are blank or non-numeric text are skipped; direct scalar
+    arguments are coerced strictly."""
+    for argument in args:
+        if isinstance(argument, RangeValues):
+            for value in argument.flat():
+                if isinstance(value, bool):
+                    continue  # Excel ignores booleans in range aggregates
+                if isinstance(value, (int, float)):
+                    yield value
+        elif argument is not None:
+            yield to_number(argument)
+
+
+def _all_values(args: Iterable[Any]) -> Iterable[Any]:
+    for argument in args:
+        if isinstance(argument, RangeValues):
+            yield from argument.flat()
+        else:
+            yield argument
+
+
+def _require(condition: bool, message: str, code: str = "#VALUE!") -> None:
+    if not condition:
+        raise FormulaEvalError(message, code)
+
+
+# ---------------------------------------------------------------------------
+# Math & aggregation
+# ---------------------------------------------------------------------------
+
+def _fn_sum(*args: Any) -> float:
+    return sum(_numbers(args)) or 0
+
+
+def _fn_product(*args: Any) -> float:
+    result = 1.0
+    seen = False
+    for value in _numbers(args):
+        result *= value
+        seen = True
+    return result if seen else 0
+
+
+def _fn_min(*args: Any) -> float:
+    values = list(_numbers(args))
+    return min(values) if values else 0
+
+
+def _fn_max(*args: Any) -> float:
+    values = list(_numbers(args))
+    return max(values) if values else 0
+
+
+def _fn_average(*args: Any) -> float:
+    values = list(_numbers(args))
+    _require(bool(values), "AVERAGE of no values", "#DIV/0!")
+    return sum(values) / len(values)
+
+
+def _fn_median(*args: Any) -> float:
+    values = list(_numbers(args))
+    _require(bool(values), "MEDIAN of no values", "#DIV/0!")
+    return statistics.median(values)
+
+
+def _fn_stdev(*args: Any) -> float:
+    values = list(_numbers(args))
+    _require(len(values) >= 2, "STDEV needs at least two values", "#DIV/0!")
+    return statistics.stdev(values)
+
+
+def _fn_var(*args: Any) -> float:
+    values = list(_numbers(args))
+    _require(len(values) >= 2, "VAR needs at least two values", "#DIV/0!")
+    return statistics.variance(values)
+
+
+def _fn_count(*args: Any) -> int:
+    return sum(
+        1
+        for value in _all_values(args)
+        if isinstance(value, (int, float)) and not isinstance(value, bool)
+    )
+
+
+def _fn_counta(*args: Any) -> int:
+    return sum(1 for value in _all_values(args) if value is not None and value != "")
+
+
+def _fn_countblank(*args: Any) -> int:
+    return sum(1 for value in _all_values(args) if value is None or value == "")
+
+
+def _fn_round(value: Any, digits: Any = 0) -> float:
+    return round(to_number(value), int(to_number(digits)))
+
+
+def _fn_int(value: Any) -> int:
+    return math.floor(to_number(value))
+
+
+def _fn_mod(value: Any, divisor: Any) -> float:
+    d = to_number(divisor)
+    _require(d != 0, "MOD by zero", "#DIV/0!")
+    return to_number(value) % d
+
+
+def _fn_sqrt(value: Any) -> float:
+    number = to_number(value)
+    _require(number >= 0, "SQRT of negative", "#VALUE!")
+    return math.sqrt(number)
+
+
+def _fn_large(values: Any, k: Any) -> float:
+    _require(isinstance(values, RangeValues), "LARGE needs a range")
+    ordered = sorted(_numbers([values]), reverse=True)
+    index = int(to_number(k))
+    _require(1 <= index <= len(ordered), "LARGE k out of range", "#N/A")
+    return ordered[index - 1]
+
+
+def _fn_small(values: Any, k: Any) -> float:
+    _require(isinstance(values, RangeValues), "SMALL needs a range")
+    ordered = sorted(_numbers([values]))
+    index = int(to_number(k))
+    _require(1 <= index <= len(ordered), "SMALL k out of range", "#N/A")
+    return ordered[index - 1]
+
+
+# ---------------------------------------------------------------------------
+# Logic / type predicates
+# ---------------------------------------------------------------------------
+
+def _fn_and(*args: Any) -> bool:
+    return all(to_bool(value) for value in _all_values(args))
+
+
+def _fn_or(*args: Any) -> bool:
+    return any(to_bool(value) for value in _all_values(args))
+
+
+def _fn_xor(*args: Any) -> bool:
+    return sum(1 for value in _all_values(args) if to_bool(value)) % 2 == 1
+
+
+def _fn_not(value: Any) -> bool:
+    return not to_bool(value)
+
+
+def _fn_isblank(value: Any) -> bool:
+    return value is None or value == ""
+
+
+def _fn_isnumber(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _fn_istext(value: Any) -> bool:
+    return isinstance(value, str)
+
+
+# ---------------------------------------------------------------------------
+# Text
+# ---------------------------------------------------------------------------
+
+def _fn_concatenate(*args: Any) -> str:
+    return "".join(to_text(value) for value in _all_values(args))
+
+
+def _fn_left(text: Any, count: Any = 1) -> str:
+    return to_text(text)[: int(to_number(count))]
+
+
+def _fn_right(text: Any, count: Any = 1) -> str:
+    n = int(to_number(count))
+    string = to_text(text)
+    return string[-n:] if n else ""
+
+
+def _fn_mid(text: Any, start: Any, count: Any) -> str:
+    begin = int(to_number(start))
+    _require(begin >= 1, "MID start must be >= 1")
+    return to_text(text)[begin - 1 : begin - 1 + int(to_number(count))]
+
+
+def _fn_find(needle: Any, haystack: Any, start: Any = 1) -> int:
+    index = to_text(haystack).find(to_text(needle), int(to_number(start)) - 1)
+    _require(index >= 0, "FIND: not found", "#VALUE!")
+    return index + 1
+
+
+def _fn_substitute(text: Any, old: Any, new: Any) -> str:
+    return to_text(text).replace(to_text(old), to_text(new))
+
+
+def _fn_rept(text: Any, count: Any) -> str:
+    return to_text(text) * int(to_number(count))
+
+
+def _fn_exact(left: Any, right: Any) -> bool:
+    return to_text(left) == to_text(right)
+
+
+def _fn_value(text: Any) -> float:
+    return to_number(text)
+
+
+# ---------------------------------------------------------------------------
+# Lookup
+# ---------------------------------------------------------------------------
+
+def _fn_vlookup(needle: Any, table: Any, col_index: Any, approximate: Any = True) -> Any:
+    _require(isinstance(table, RangeValues), "VLOOKUP needs a range", "#VALUE!")
+    column = int(to_number(col_index))
+    _require(1 <= column <= table.n_cols, "VLOOKUP column out of range", "#REF!")
+    approx = to_bool(approximate)
+    best_row: Optional[List[Any]] = None
+    for row in table.grid:
+        key = row[0]
+        ordering = compare(key, needle)
+        if ordering == 0:
+            return row[column - 1]
+        if approx and ordering < 0:
+            best_row = row  # last key <= needle (assumes sorted first column)
+    if approx and best_row is not None:
+        return best_row[column - 1]
+    raise FormulaEvalError("VLOOKUP: value not found", "#N/A")
+
+
+def _fn_hlookup(needle: Any, table: Any, row_index: Any, approximate: Any = True) -> Any:
+    _require(isinstance(table, RangeValues), "HLOOKUP needs a range", "#VALUE!")
+    row_number = int(to_number(row_index))
+    _require(1 <= row_number <= table.n_rows, "HLOOKUP row out of range", "#REF!")
+    transposed = RangeValues([list(col) for col in zip(*table.grid)])
+    return _fn_vlookup(needle, transposed, row_number, approximate)
+
+
+def _fn_index(table: Any, row: Any, col: Any = 1) -> Any:
+    _require(isinstance(table, RangeValues), "INDEX needs a range", "#VALUE!")
+    row_number = int(to_number(row))
+    col_number = int(to_number(col))
+    _require(
+        1 <= row_number <= table.n_rows and 1 <= col_number <= table.n_cols,
+        "INDEX out of range",
+        "#REF!",
+    )
+    return table.grid[row_number - 1][col_number - 1]
+
+
+def _fn_match(needle: Any, values: Any, match_type: Any = 1) -> int:
+    _require(isinstance(values, RangeValues), "MATCH needs a range", "#VALUE!")
+    flat = list(values.flat())
+    mode = int(to_number(match_type))
+    if mode == 0:
+        for index, value in enumerate(flat):
+            if compare(value, needle) == 0:
+                return index + 1
+        raise FormulaEvalError("MATCH: not found", "#N/A")
+    best = None
+    for index, value in enumerate(flat):
+        ordering = compare(value, needle)
+        if mode > 0 and ordering <= 0:
+            best = index + 1
+        if mode < 0 and ordering >= 0:
+            best = index + 1
+    if best is None:
+        raise FormulaEvalError("MATCH: not found", "#N/A")
+    return best
+
+
+def _fn_choose(index: Any, *options: Any) -> Any:
+    position = int(to_number(index))
+    _require(1 <= position <= len(options), "CHOOSE index out of range")
+    return options[position - 1]
+
+
+# ---------------------------------------------------------------------------
+# Conditional aggregates
+# ---------------------------------------------------------------------------
+
+def _parse_criteria(criteria: Any) -> Callable[[Any], bool]:
+    if isinstance(criteria, str):
+        for op in ("<=", ">=", "<>", "<", ">", "="):
+            if criteria.startswith(op):
+                target_text = criteria[len(op) :]
+                try:
+                    target: Any = float(target_text)
+                    if float(target).is_integer():
+                        target = int(target)
+                except ValueError:
+                    target = target_text
+
+                def predicate(value: Any, op: str = op, target: Any = target) -> bool:
+                    if value is None:
+                        return False
+                    try:
+                        ordering = compare(value, target)
+                    except FormulaEvalError:
+                        return False
+                    return {
+                        "=": ordering == 0,
+                        "<>": ordering != 0,
+                        "<": ordering < 0,
+                        "<=": ordering <= 0,
+                        ">": ordering > 0,
+                        ">=": ordering >= 0,
+                    }[op]
+
+                return predicate
+    return lambda value: value is not None and compare(value, criteria) == 0
+
+
+def _fn_countif(values: Any, criteria: Any) -> int:
+    _require(isinstance(values, RangeValues), "COUNTIF needs a range")
+    predicate = _parse_criteria(criteria)
+    return sum(1 for value in values.flat() if predicate(value))
+
+
+def _fn_sumif(values: Any, criteria: Any, sum_values: Any = None) -> float:
+    _require(isinstance(values, RangeValues), "SUMIF needs a range")
+    predicate = _parse_criteria(criteria)
+    source = sum_values if isinstance(sum_values, RangeValues) else values
+    total = 0.0
+    for test_value, add_value in zip(values.flat(), source.flat()):
+        if predicate(test_value) and isinstance(add_value, (int, float)) and not isinstance(add_value, bool):
+            total += add_value
+    return total
+
+
+def _fn_averageif(values: Any, criteria: Any, avg_values: Any = None) -> float:
+    _require(isinstance(values, RangeValues), "AVERAGEIF needs a range")
+    predicate = _parse_criteria(criteria)
+    source = avg_values if isinstance(avg_values, RangeValues) else values
+    selected = [
+        add_value
+        for test_value, add_value in zip(values.flat(), source.flat())
+        if predicate(test_value)
+        and isinstance(add_value, (int, float))
+        and not isinstance(add_value, bool)
+    ]
+    _require(bool(selected), "AVERAGEIF matched nothing", "#DIV/0!")
+    return sum(selected) / len(selected)
+
+
+FUNCTIONS: Dict[str, Callable] = {
+    "SUM": _fn_sum,
+    "PRODUCT": _fn_product,
+    "MIN": _fn_min,
+    "MAX": _fn_max,
+    "AVERAGE": _fn_average,
+    "MEDIAN": _fn_median,
+    "STDEV": _fn_stdev,
+    "VAR": _fn_var,
+    "COUNT": _fn_count,
+    "COUNTA": _fn_counta,
+    "COUNTBLANK": _fn_countblank,
+    "ABS": lambda value: abs(to_number(value)),
+    "ROUND": _fn_round,
+    "INT": _fn_int,
+    "MOD": _fn_mod,
+    "SQRT": _fn_sqrt,
+    "POWER": lambda base, exponent: to_number(base) ** to_number(exponent),
+    "EXP": lambda value: math.exp(to_number(value)),
+    "LN": lambda value: math.log(to_number(value)),
+    "LOG": lambda value, base=10: math.log(to_number(value), to_number(base)),
+    "FLOOR": lambda value, significance=1: math.floor(
+        to_number(value) / to_number(significance)
+    )
+    * to_number(significance),
+    "CEILING": lambda value, significance=1: math.ceil(
+        to_number(value) / to_number(significance)
+    )
+    * to_number(significance),
+    "SIGN": lambda value: (to_number(value) > 0) - (to_number(value) < 0),
+    "PI": lambda: math.pi,
+    "LARGE": _fn_large,
+    "SMALL": _fn_small,
+    "AND": _fn_and,
+    "OR": _fn_or,
+    "XOR": _fn_xor,
+    "NOT": _fn_not,
+    "ISBLANK": _fn_isblank,
+    "ISNUMBER": _fn_isnumber,
+    "ISTEXT": _fn_istext,
+    "CONCATENATE": _fn_concatenate,
+    "CONCAT": _fn_concatenate,
+    "LEN": lambda text: len(to_text(text)),
+    "LEFT": _fn_left,
+    "RIGHT": _fn_right,
+    "MID": _fn_mid,
+    "FIND": _fn_find,
+    "SUBSTITUTE": _fn_substitute,
+    "REPT": _fn_rept,
+    "EXACT": _fn_exact,
+    "VALUE": _fn_value,
+    "UPPER": lambda text: to_text(text).upper(),
+    "LOWER": lambda text: to_text(text).lower(),
+    "TRIM": lambda text: to_text(text).strip(),
+    "VLOOKUP": _fn_vlookup,
+    "HLOOKUP": _fn_hlookup,
+    "INDEX": _fn_index,
+    "MATCH": _fn_match,
+    "CHOOSE": _fn_choose,
+    "COUNTIF": _fn_countif,
+    "SUMIF": _fn_sumif,
+    "AVERAGEIF": _fn_averageif,
+}

@@ -1,0 +1,95 @@
+"""Formula tokenizer.
+
+Recognises cell references (including ``$`` absolute markers and
+``Sheet!`` qualifiers) directly in the lexer so the parser never has to
+reinterpret identifiers: ``A1`` is a CELL token, ``A1:B3`` lexes as
+CELL ``:`` CELL, ``SUM`` followed by ``(`` is a plain IDENT.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import FormulaSyntaxError
+
+__all__ = ["FormulaToken", "tokenize_formula"]
+
+_CELL_RE = re.compile(r"\$?[A-Za-z]{1,3}\$?[0-9]+")
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_.]*")
+_NUMBER_RE = re.compile(r"(\d+\.?\d*|\.\d+)([eE][+-]?\d+)?")
+_TWO_CHAR = ("<=", ">=", "<>")
+_ONE_CHAR = "=<>&+-*/^%(),:!"
+
+
+@dataclass(frozen=True)
+class FormulaToken:
+    kind: str  # NUMBER | STRING | BOOL | CELL | IDENT | OP | EOF
+    text: str
+    position: int
+
+
+def tokenize_formula(source: str) -> List[FormulaToken]:
+    tokens: List[FormulaToken] = []
+    index = 0
+    length = len(source)
+    while index < length:
+        ch = source[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if ch == '"':
+            start = index
+            index += 1
+            pieces: List[str] = []
+            while True:
+                if index >= length:
+                    raise FormulaSyntaxError("unterminated string", start)
+                if source[index] == '"':
+                    if index + 1 < length and source[index + 1] == '"':
+                        pieces.append('"')
+                        index += 2
+                        continue
+                    index += 1
+                    break
+                pieces.append(source[index])
+                index += 1
+            tokens.append(FormulaToken("STRING", "".join(pieces), start))
+            continue
+        # Cell reference (tried before numbers/idents; requires the trailing
+        # character to not extend the identifier, so SUM1(...) stays IDENT).
+        cell_match = _CELL_RE.match(source, index)
+        if cell_match:
+            end = cell_match.end()
+            if end >= length or not (source[end].isalnum() or source[end] in "_(."):
+                tokens.append(FormulaToken("CELL", cell_match.group(), index))
+                index = end
+                continue
+        number_match = _NUMBER_RE.match(source, index)
+        if number_match and not ch.isalpha():
+            tokens.append(FormulaToken("NUMBER", number_match.group(), index))
+            index = number_match.end()
+            continue
+        ident_match = _IDENT_RE.match(source, index)
+        if ident_match:
+            text = ident_match.group()
+            upper = text.upper()
+            if upper in ("TRUE", "FALSE"):
+                tokens.append(FormulaToken("BOOL", upper, index))
+            else:
+                tokens.append(FormulaToken("IDENT", text, index))
+            index = ident_match.end()
+            continue
+        two = source[index : index + 2]
+        if two in _TWO_CHAR:
+            tokens.append(FormulaToken("OP", two, index))
+            index += 2
+            continue
+        if ch in _ONE_CHAR:
+            tokens.append(FormulaToken("OP", ch, index))
+            index += 1
+            continue
+        raise FormulaSyntaxError(f"unexpected character {ch!r} in formula", index)
+    tokens.append(FormulaToken("EOF", "", length))
+    return tokens

@@ -1,0 +1,118 @@
+"""Formula AST nodes.
+
+Every node can render itself back to formula text (``to_text``), which is
+how relative-reference shifting reproduces a formula after copy/paste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.core.address import CellAddress, RangeAddress
+
+__all__ = [
+    "FormulaNode",
+    "Number",
+    "Text",
+    "Boolean",
+    "CellRef",
+    "RangeRef",
+    "Binary",
+    "Unary",
+    "Call",
+]
+
+
+class FormulaNode:
+    __slots__ = ()
+
+    def to_text(self) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Number(FormulaNode):
+    value: float
+
+    def to_text(self) -> str:
+        if isinstance(self.value, int) or (
+            isinstance(self.value, float) and self.value.is_integer()
+        ):
+            return str(int(self.value))
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Text(FormulaNode):
+    value: str
+
+    def to_text(self) -> str:
+        escaped = self.value.replace('"', '""')
+        return f'"{escaped}"'
+
+
+@dataclass(frozen=True)
+class Boolean(FormulaNode):
+    value: bool
+
+    def to_text(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+@dataclass(frozen=True)
+class CellRef(FormulaNode):
+    address: CellAddress
+
+    def to_text(self) -> str:
+        return self.address.to_a1()
+
+
+@dataclass(frozen=True)
+class RangeRef(FormulaNode):
+    range: RangeAddress
+
+    def to_text(self) -> str:
+        return self.range.to_a1()
+
+
+@dataclass(frozen=True)
+class Binary(FormulaNode):
+    op: str  # = <> < <= > >= & + - * / ^
+    left: FormulaNode
+    right: FormulaNode
+
+    def to_text(self) -> str:
+        return f"{self.left.to_text()}{self.op}{self.right.to_text()}"
+
+
+@dataclass(frozen=True)
+class Unary(FormulaNode):
+    op: str  # - +
+    operand: FormulaNode
+
+    def to_text(self) -> str:
+        return f"{self.op}{self.operand.to_text()}"
+
+
+@dataclass(frozen=True)
+class Call(FormulaNode):
+    name: str  # upper-cased
+    args: Tuple[FormulaNode, ...]
+
+    def to_text(self) -> str:
+        rendered = ",".join(argument.to_text() for argument in self.args)
+        return f"{self.name}({rendered})"
+
+
+def walk(node: FormulaNode):
+    """Pre-order traversal."""
+    yield node
+    if isinstance(node, Binary):
+        yield from walk(node.left)
+        yield from walk(node.right)
+    elif isinstance(node, Unary):
+        yield from walk(node.operand)
+    elif isinstance(node, Call):
+        for argument in node.args:
+            yield from walk(argument)

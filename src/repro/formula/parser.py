@@ -1,0 +1,194 @@
+"""Formula parser.
+
+Excel-style precedence, loosest first::
+
+    comparison   =  <>  <  <=  >  >=
+    concat       &
+    additive     +  -
+    multiplic.   *  /
+    exponent     ^          (right-associative)
+    unary        -  +
+    primary      literal | cell | range | Sheet!ref | NAME(args) | (expr)
+
+``Sheet2!A1`` and ``Sheet2!A1:B3`` attach the sheet to the reference.
+A leading ``=`` is accepted and ignored (callers usually strip it).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.address import CellAddress, RangeAddress
+from repro.errors import FormulaSyntaxError
+from repro.formula.lexer import FormulaToken, tokenize_formula
+from repro.formula.nodes import (
+    Binary,
+    Boolean,
+    Call,
+    CellRef,
+    FormulaNode,
+    Number,
+    RangeRef,
+    Text,
+    Unary,
+)
+
+__all__ = ["parse_formula"]
+
+
+def parse_formula(source: str) -> FormulaNode:
+    text = source.strip()
+    if text.startswith("="):
+        text = text[1:]
+    if not text:
+        raise FormulaSyntaxError("empty formula")
+    parser = _FormulaParser(tokenize_formula(text))
+    node = parser.expression()
+    if not parser.at_end():
+        raise FormulaSyntaxError(
+            f"unexpected trailing input {parser.peek().text!r}", parser.peek().position
+        )
+    return node
+
+
+class _FormulaParser:
+    def __init__(self, tokens: List[FormulaToken]):
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, ahead: int = 0) -> FormulaToken:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> FormulaToken:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.peek().kind == "EOF"
+
+    def try_op(self, *texts: str) -> Optional[str]:
+        token = self.peek()
+        if token.kind == "OP" and token.text in texts:
+            self.advance()
+            return token.text
+        return None
+
+    def expect_op(self, text: str) -> None:
+        if not self.try_op(text):
+            raise FormulaSyntaxError(f"expected {text!r}", self.peek().position)
+
+    # -- precedence levels -------------------------------------------------
+
+    def expression(self) -> FormulaNode:
+        return self.comparison()
+
+    def comparison(self) -> FormulaNode:
+        left = self.concat()
+        while True:
+            op = self.try_op("=", "<>", "<", "<=", ">", ">=")
+            if op is None:
+                return left
+            left = Binary(op, left, self.concat())
+
+    def concat(self) -> FormulaNode:
+        left = self.additive()
+        while self.try_op("&"):
+            left = Binary("&", left, self.additive())
+        return left
+
+    def additive(self) -> FormulaNode:
+        left = self.multiplicative()
+        while True:
+            op = self.try_op("+", "-")
+            if op is None:
+                return left
+            left = Binary(op, left, self.multiplicative())
+
+    def multiplicative(self) -> FormulaNode:
+        left = self.exponent()
+        while True:
+            op = self.try_op("*", "/")
+            if op is None:
+                return left
+            left = Binary(op, left, self.exponent())
+
+    def exponent(self) -> FormulaNode:
+        base = self.unary()
+        if self.try_op("^"):
+            return Binary("^", base, self.exponent())  # right-associative
+        return base
+
+    def unary(self) -> FormulaNode:
+        op = self.try_op("-", "+")
+        if op is not None:
+            return Unary(op, self.unary())
+        return self.primary()
+
+    # -- primaries ---------------------------------------------------------
+
+    def primary(self) -> FormulaNode:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.text)
+            return Number(int(value) if value.is_integer() and "." not in token.text and "e" not in token.text.lower() else value)
+        if token.kind == "STRING":
+            self.advance()
+            return Text(token.text)
+        if token.kind == "BOOL":
+            self.advance()
+            return Boolean(token.text == "TRUE")
+        if token.kind == "CELL":
+            return self.reference(sheet=None)
+        if token.kind == "IDENT":
+            # Sheet qualifier or function call.
+            if self.peek(1).kind == "OP" and self.peek(1).text == "!":
+                sheet = self.advance().text
+                self.advance()  # '!'
+                if self.peek().kind != "CELL":
+                    raise FormulaSyntaxError(
+                        "expected cell reference after sheet qualifier",
+                        self.peek().position,
+                    )
+                return self.reference(sheet=sheet)
+            if self.peek(1).kind == "OP" and self.peek(1).text == "(":
+                return self.call()
+            raise FormulaSyntaxError(
+                f"unknown name {token.text!r}", token.position
+            )
+        if token.kind == "OP" and token.text == "(":
+            self.advance()
+            inner = self.expression()
+            self.expect_op(")")
+            return inner
+        raise FormulaSyntaxError(
+            f"unexpected token {token.text!r}", token.position
+        )
+
+    def reference(self, sheet: Optional[str]) -> FormulaNode:
+        first = self.advance().text
+        start = CellAddress.parse(first)
+        if sheet is not None:
+            start = start.with_sheet(sheet)
+        if self.peek().kind == "OP" and self.peek().text == ":" and self.peek(1).kind == "CELL":
+            self.advance()
+            second = self.advance().text
+            end = CellAddress.parse(second)
+            if sheet is not None:
+                end = end.with_sheet(sheet)
+            return RangeRef(RangeAddress(start, end))
+        return CellRef(start)
+
+    def call(self) -> FormulaNode:
+        name = self.advance().text.upper()
+        self.expect_op("(")
+        args: List[FormulaNode] = []
+        if not (self.peek().kind == "OP" and self.peek().text == ")"):
+            args.append(self.expression())
+            while self.try_op(","):
+                args.append(self.expression())
+        self.expect_op(")")
+        return Call(name, tuple(args))

@@ -1,0 +1,20 @@
+"""Index structures.
+
+* :mod:`repro.index.order_statistic` — the sequence structure behind the
+  paper's **positional index** (§3): O(log n) access/insert/delete by
+  position.
+* :mod:`repro.index.positional` — the positional index proper: maps table
+  positions to record ids and keeps them stable under middle
+  inserts/deletes.
+* :mod:`repro.index.btree` — B+-tree key index used for primary keys and the
+  key↔position mapping of the interface manager.
+* :mod:`repro.index.index2d` — grid and quadtree indexes over spreadsheet
+  cell blocks (interface storage manager, §3).
+"""
+
+from repro.index.order_statistic import OrderStatisticTree
+from repro.index.positional import PositionalIndex
+from repro.index.btree import BPlusTree
+from repro.index.index2d import GridIndex, QuadTree
+
+__all__ = ["OrderStatisticTree", "PositionalIndex", "BPlusTree", "GridIndex", "QuadTree"]

@@ -1,0 +1,270 @@
+"""Two-dimensional indexes over spreadsheet cell blocks.
+
+Paper §3, *Interface Storage Manager*: "the component groups the cells
+together by proximity and splits the groups into data blocks ... the blocks
+are further indexed by a two-dimensional indexing method."
+
+Two structures are provided, benchmarked against each other in E8:
+
+* :class:`GridIndex` — the cells plane is partitioned into fixed-size tiles;
+  a hash map keyed by tile coordinate gives O(1) point access and
+  O(tiles-overlapping-range) range queries.  This is the default because
+  spreadsheet edits cluster strongly.
+* :class:`QuadTree` — an adaptive region quadtree over (row, col) points,
+  better when occupied cells are extremely skewed (a few dense islands on a
+  vast sheet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["GridIndex", "QuadTree"]
+
+
+class GridIndex:
+    """Fixed-tile spatial hash: (row, col) → payload, tile-bucketed."""
+
+    def __init__(self, tile_rows: int = 64, tile_cols: int = 16):
+        if tile_rows <= 0 or tile_cols <= 0:
+            raise ValueError("tile dimensions must be positive")
+        self.tile_rows = tile_rows
+        self.tile_cols = tile_cols
+        self._tiles: Dict[Tuple[int, int], Dict[Tuple[int, int], Any]] = {}
+        self._count = 0
+
+    def _tile_key(self, row: int, col: int) -> Tuple[int, int]:
+        return (row // self.tile_rows, col // self.tile_cols)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def n_tiles(self) -> int:
+        return len(self._tiles)
+
+    def put(self, row: int, col: int, payload: Any) -> None:
+        tile = self._tiles.setdefault(self._tile_key(row, col), {})
+        if (row, col) not in tile:
+            self._count += 1
+        tile[(row, col)] = payload
+
+    def get(self, row: int, col: int, default: Any = None) -> Any:
+        tile = self._tiles.get(self._tile_key(row, col))
+        if tile is None:
+            return default
+        return tile.get((row, col), default)
+
+    def remove(self, row: int, col: int) -> bool:
+        key = self._tile_key(row, col)
+        tile = self._tiles.get(key)
+        if tile is None or (row, col) not in tile:
+            return False
+        del tile[(row, col)]
+        self._count -= 1
+        if not tile:
+            del self._tiles[key]
+        return True
+
+    def query_range(
+        self, top: int, left: int, bottom: int, right: int
+    ) -> Iterator[Tuple[int, int, Any]]:
+        """All occupied cells in the inclusive rectangle, row-major order."""
+        results: List[Tuple[int, int, Any]] = []
+        tile_top = top // self.tile_rows
+        tile_bottom = bottom // self.tile_rows
+        tile_left = left // self.tile_cols
+        tile_right = right // self.tile_cols
+        n_candidate_tiles = (tile_bottom - tile_top + 1) * (tile_right - tile_left + 1)
+        if n_candidate_tiles <= len(self._tiles):
+            candidates = (
+                (tr, tc)
+                for tr in range(tile_top, tile_bottom + 1)
+                for tc in range(tile_left, tile_right + 1)
+            )
+        else:
+            candidates = (
+                key
+                for key in self._tiles
+                if tile_top <= key[0] <= tile_bottom and tile_left <= key[1] <= tile_right
+            )
+        for key in candidates:
+            tile = self._tiles.get(key)
+            if not tile:
+                continue
+            for (row, col), payload in tile.items():
+                if top <= row <= bottom and left <= col <= right:
+                    results.append((row, col, payload))
+        results.sort(key=lambda item: (item[0], item[1]))
+        return iter(results)
+
+    def tiles_overlapping(self, top: int, left: int, bottom: int, right: int) -> int:
+        """How many *occupied* tiles a range query touches (E8 metric)."""
+        tile_top, tile_bottom = top // self.tile_rows, bottom // self.tile_rows
+        tile_left, tile_right = left // self.tile_cols, right // self.tile_cols
+        return sum(
+            1
+            for key in self._tiles
+            if tile_top <= key[0] <= tile_bottom and tile_left <= key[1] <= tile_right
+        )
+
+    def items(self) -> Iterator[Tuple[int, int, Any]]:
+        for tile in self._tiles.values():
+            for (row, col), payload in tile.items():
+                yield row, col, payload
+
+
+@dataclass
+class _QuadNode:
+    top: int
+    left: int
+    size: int  # the node covers [top, top+size) x [left, left+size)
+    points: Optional[Dict[Tuple[int, int], Any]] = None
+    children: Optional[List[Optional["_QuadNode"]]] = None
+
+
+class QuadTree:
+    """Adaptive region quadtree over sparse (row, col) points.
+
+    The root region grows by doubling whenever a point lands outside, so
+    callers never specify bounds up front (sheets are unbounded).
+    """
+
+    LEAF_CAPACITY = 32
+    MIN_SIZE = 8
+
+    def __init__(self):
+        self._root: Optional[_QuadNode] = None
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- growth ----------------------------------------------------------
+
+    def _ensure_covers(self, row: int, col: int) -> None:
+        # The root is always anchored at the origin (coordinates are
+        # non-negative), so growth simply doubles toward bottom-right with
+        # the old root becoming the top-left quadrant — geometry stays
+        # aligned by construction.
+        if self._root is None:
+            self._root = _QuadNode(0, 0, 16, points={})
+        while not self._covers(self._root, row, col):
+            old = self._root
+            new_size = old.size * 2
+            if new_size > 2 ** 42:
+                raise ValueError("quadtree grew unreasonably large")
+            root = _QuadNode(0, 0, new_size, children=[None] * 4)
+            root.children[0] = old
+            self._root = root
+
+    @staticmethod
+    def _covers(node: _QuadNode, row: int, col: int) -> bool:
+        return (
+            node.top <= row < node.top + node.size
+            and node.left <= col < node.left + node.size
+        )
+
+    @staticmethod
+    def _quadrant_of(node: _QuadNode, row: int, col: int) -> int:
+        half = node.size // 2
+        index = 0
+        if row >= node.top + half:
+            index += 2
+        if col >= node.left + half:
+            index += 1
+        return index
+
+    @staticmethod
+    def _child_region(node: _QuadNode, quadrant: int) -> Tuple[int, int, int]:
+        half = node.size // 2
+        top = node.top + (half if quadrant >= 2 else 0)
+        left = node.left + (half if quadrant % 2 == 1 else 0)
+        return top, left, half
+
+    # -- mutation -----------------------------------------------------------
+
+    def put(self, row: int, col: int, payload: Any) -> None:
+        if row < 0 or col < 0:
+            raise ValueError("coordinates must be non-negative")
+        self._ensure_covers(row, col)
+        self._count += self._put(self._root, row, col, payload)
+
+    def _put(self, node: _QuadNode, row: int, col: int, payload: Any) -> int:
+        if node.points is not None:  # leaf
+            added = 0 if (row, col) in node.points else 1
+            node.points[(row, col)] = payload
+            if len(node.points) > self.LEAF_CAPACITY and node.size > self.MIN_SIZE:
+                points = node.points
+                node.points = None
+                node.children = [None] * 4
+                for (p_row, p_col), p_payload in points.items():
+                    self._put_into_child(node, p_row, p_col, p_payload)
+            return added
+        return self._put_into_child(node, row, col, payload)
+
+    def _put_into_child(self, node: _QuadNode, row: int, col: int, payload: Any) -> int:
+        quadrant = self._quadrant_of(node, row, col)
+        child = node.children[quadrant]
+        if child is None:
+            top, left, size = self._child_region(node, quadrant)
+            child = _QuadNode(top, left, size, points={})
+            node.children[quadrant] = child
+        return self._put(child, row, col, payload)
+
+    def get(self, row: int, col: int, default: Any = None) -> Any:
+        node = self._root
+        while node is not None:
+            if not self._covers(node, row, col):
+                return default
+            if node.points is not None:
+                return node.points.get((row, col), default)
+            node = node.children[self._quadrant_of(node, row, col)]
+        return default
+
+    def remove(self, row: int, col: int) -> bool:
+        node = self._root
+        while node is not None:
+            if not self._covers(node, row, col):
+                return False
+            if node.points is not None:
+                if (row, col) in node.points:
+                    del node.points[(row, col)]
+                    self._count -= 1
+                    return True
+                return False
+            node = node.children[self._quadrant_of(node, row, col)]
+        return False
+
+    # -- queries ---------------------------------------------------------------
+
+    def query_range(
+        self, top: int, left: int, bottom: int, right: int
+    ) -> Iterator[Tuple[int, int, Any]]:
+        results: List[Tuple[int, int, Any]] = []
+
+        def rec(node: Optional[_QuadNode]) -> None:
+            if node is None:
+                return
+            if (
+                node.top > bottom
+                or node.top + node.size - 1 < top
+                or node.left > right
+                or node.left + node.size - 1 < left
+            ):
+                return
+            if node.points is not None:
+                for (row, col), payload in node.points.items():
+                    if top <= row <= bottom and left <= col <= right:
+                        results.append((row, col, payload))
+                return
+            for child in node.children:
+                rec(child)
+
+        rec(self._root)
+        results.sort(key=lambda item: (item[0], item[1]))
+        return iter(results)
+
+    def items(self) -> Iterator[Tuple[int, int, Any]]:
+        return self.query_range(0, 0, 2 ** 41, 2 ** 41)

@@ -1,0 +1,10 @@
+"""Interface storage manager (paper §3).
+
+Stores the *interface data* — "formulae or data entered by the user" that is
+not part of any relational table — as a schema-free collection of cells,
+grouped by proximity into blocks and indexed two-dimensionally.
+"""
+
+from repro.interface_storage.cell_store import CellStore, CellStoreStats
+
+__all__ = ["CellStore", "CellStoreStats"]

@@ -1,0 +1,188 @@
+"""Schema-free cell storage with proximity blocking.
+
+Paper §3, *Interface Storage Manager*: "This interface data requires special
+treatment as it does not have a schema.  The interface storage component
+stores this data as a collection of cells.  To enable efficient retrieval
+for a given range, the component groups the cells together by proximity and
+splits the groups into data blocks ... the blocks are further indexed by a
+two-dimensional indexing method."
+
+:class:`CellStore` is that component.  Cells live in fixed-geometry *blocks*
+(tiles) managed by one of the 2-D indexes from :mod:`repro.index.index2d`;
+a range fetch touches only the blocks overlapping the range — the property
+experiment E8 charts against a flat per-cell dictionary.
+
+The store also implements the structural edits a spreadsheet needs —
+inserting/deleting whole rows and columns with the implied shifting of every
+cell below/right — because free-form interface data must move when the user
+restructures the sheet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.index.index2d import GridIndex, QuadTree
+
+__all__ = ["CellStore", "CellStoreStats"]
+
+
+@dataclass
+class CellStoreStats:
+    """Logical-work counters: how many blocks/cells operations touched."""
+
+    point_reads: int = 0
+    point_writes: int = 0
+    range_queries: int = 0
+    blocks_scanned: int = 0
+    cells_shifted: int = 0
+
+    def reset(self) -> None:
+        self.point_reads = 0
+        self.point_writes = 0
+        self.range_queries = 0
+        self.blocks_scanned = 0
+        self.cells_shifted = 0
+
+
+class CellStore:
+    """A sparse, unbounded 2-D map of cells grouped into proximity blocks."""
+
+    def __init__(
+        self,
+        tile_rows: int = 64,
+        tile_cols: int = 16,
+        index_kind: str = "grid",
+    ):
+        self.tile_rows = tile_rows
+        self.tile_cols = tile_cols
+        self.index_kind = index_kind
+        if index_kind == "grid":
+            self._index = GridIndex(tile_rows, tile_cols)
+        elif index_kind == "quadtree":
+            self._index = QuadTree()
+        else:
+            raise ValueError(f"unknown index kind {index_kind!r} (grid|quadtree)")
+        self.stats = CellStoreStats()
+
+    # -- point access ------------------------------------------------------
+
+    def set(self, row: int, col: int, value: Any) -> None:
+        if row < 0 or col < 0:
+            raise ValueError("cell coordinates must be non-negative")
+        self.stats.point_writes += 1
+        self._index.put(row, col, value)
+
+    def get(self, row: int, col: int, default: Any = None) -> Any:
+        self.stats.point_reads += 1
+        return self._index.get(row, col, default)
+
+    def delete(self, row: int, col: int) -> bool:
+        self.stats.point_writes += 1
+        return self._index.remove(row, col)
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    @property
+    def n_blocks(self) -> int:
+        if isinstance(self._index, GridIndex):
+            return self._index.n_tiles
+        return len(self._index)  # quadtree: no block notion; report points
+
+    # -- range access --------------------------------------------------------
+
+    def get_range(
+        self, top: int, left: int, bottom: int, right: int
+    ) -> Iterator[Tuple[int, int, Any]]:
+        """All occupied cells in the inclusive rectangle, row-major."""
+        self.stats.range_queries += 1
+        if isinstance(self._index, GridIndex):
+            self.stats.blocks_scanned += self._index.tiles_overlapping(
+                top, left, bottom, right
+            )
+        return self._index.query_range(top, left, bottom, right)
+
+    def items(self) -> Iterator[Tuple[int, int, Any]]:
+        return self._index.items()
+
+    def used_bounds(self) -> Optional[Tuple[int, int, int, int]]:
+        """Bounding box of occupied cells: (top, left, bottom, right)."""
+        top = left = None
+        bottom = right = None
+        for row, col, _ in self._index.items():
+            if top is None:
+                top = bottom = row
+                left = right = col
+            else:
+                top = min(top, row)
+                bottom = max(bottom, row)
+                left = min(left, col)
+                right = max(right, col)
+        if top is None:
+            return None
+        return (top, left, bottom, right)
+
+    # -- structural edits ------------------------------------------------------
+
+    def _shift(self, predicate, mover) -> int:
+        """Remove every cell matching ``predicate`` and re-insert it at
+        ``mover(row, col)`` (or drop it when mover returns None)."""
+        moved: List[Tuple[int, int, Any]] = [
+            (row, col, value)
+            for row, col, value in list(self._index.items())
+            if predicate(row, col)
+        ]
+        for row, col, _ in moved:
+            self._index.remove(row, col)
+        for row, col, value in moved:
+            target = mover(row, col)
+            if target is not None:
+                self._index.put(target[0], target[1], value)
+        self.stats.cells_shifted += len(moved)
+        return len(moved)
+
+    def insert_rows(self, at: int, count: int = 1) -> int:
+        """Shift every cell at ``row >= at`` down by ``count`` rows."""
+        if count <= 0:
+            return 0
+        return self._shift(
+            lambda row, col: row >= at,
+            lambda row, col: (row + count, col),
+        )
+
+    def delete_rows(self, at: int, count: int = 1) -> int:
+        """Drop cells in rows ``[at, at+count)``; shift the rest up."""
+        if count <= 0:
+            return 0
+        return self._shift(
+            lambda row, col: row >= at,
+            lambda row, col: None if row < at + count else (row - count, col),
+        )
+
+    def insert_cols(self, at: int, count: int = 1) -> int:
+        if count <= 0:
+            return 0
+        return self._shift(
+            lambda row, col: col >= at,
+            lambda row, col: (row, col + count),
+        )
+
+    def delete_cols(self, at: int, count: int = 1) -> int:
+        if count <= 0:
+            return 0
+        return self._shift(
+            lambda row, col: col >= at,
+            lambda row, col: None if col < at + count else (row, col - count),
+        )
+
+    def clear_range(self, top: int, left: int, bottom: int, right: int) -> int:
+        """Empty the rectangle; returns the number of cells removed."""
+        doomed = [
+            (row, col)
+            for row, col, _ in self._index.query_range(top, left, bottom, right)
+        ]
+        for row, col in doomed:
+            self._index.remove(row, col)
+        return len(doomed)

@@ -1,0 +1,13 @@
+"""Window/pane management (paper §1 "Window", §2.2(d,e)).
+
+"Spreadsheets have the notion of the current window, which is the portion
+of the spreadsheet that the user is currently looking at; there is no such
+notion in databases."  DataSpread makes the database window-aware: the
+viewport drives which rows are fetched (via the positional index) and which
+formulas are recomputed first (via the scheduler's visible predicate).
+"""
+
+from repro.window.viewport import Viewport
+from repro.window.cache import WindowCache
+
+__all__ = ["Viewport", "WindowCache"]

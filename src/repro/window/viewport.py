@@ -1,0 +1,102 @@
+"""The current pane: what the user is looking at.
+
+A :class:`Viewport` is a movable rectangle over one sheet.  It supplies
+
+* the **visible predicate** used by the compute engine's scheduler (visible
+  formulas recompute first — paper §2.2(e)),
+* the row window `DBTABLE` regions materialise ("even though the
+  spreadsheet can only support a few rows, as the user pans through the
+  spreadsheet, the burden of supplying or refreshing the current window is
+  placed on the relational database" — paper §1),
+* scroll operations emitting the (top, left) trace benchmarks replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.compute.graph import CellKey
+from repro.core.address import CellAddress, RangeAddress
+
+__all__ = ["Viewport"]
+
+
+@dataclass
+class Viewport:
+    """A sheet-aligned rectangle of visible cells."""
+
+    sheet: str
+    top: int = 0
+    left: int = 0
+    n_rows: int = 40
+    n_cols: int = 20
+
+    def __post_init__(self) -> None:
+        if self.n_rows <= 0 or self.n_cols <= 0:
+            raise ValueError("viewport dimensions must be positive")
+        self._listeners: List[Callable[["Viewport"], None]] = []
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def bottom(self) -> int:
+        return self.top + self.n_rows - 1
+
+    @property
+    def right(self) -> int:
+        return self.left + self.n_cols - 1
+
+    def as_range(self) -> RangeAddress:
+        return RangeAddress(
+            CellAddress(self.top, self.left, sheet=self.sheet),
+            CellAddress(self.bottom, self.right, sheet=self.sheet),
+        )
+
+    def contains(self, row: int, col: int) -> bool:
+        return self.top <= row <= self.bottom and self.left <= col <= self.right
+
+    def contains_key(self, key: CellKey) -> bool:
+        sheet, row, col = key
+        return sheet == self.sheet and self.contains(row, col)
+
+    def visible_predicate(self) -> Callable[[CellKey], bool]:
+        """A predicate suitable for
+        :meth:`repro.compute.scheduler.RecalcScheduler.set_visible_predicate`.
+        Evaluates against the viewport's *current* position at call time."""
+        return self.contains_key
+
+    # -- movement ----------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[["Viewport"], None]) -> None:
+        self._listeners.append(listener)
+
+    def _moved(self) -> None:
+        for listener in self._listeners:
+            listener(self)
+
+    def scroll_to(self, top: int, left: Optional[int] = None) -> None:
+        self.top = max(0, top)
+        if left is not None:
+            self.left = max(0, left)
+        self._moved()
+
+    def scroll_by(self, d_rows: int, d_cols: int = 0) -> None:
+        self.scroll_to(self.top + d_rows, self.left + d_cols)
+
+    def page_down(self) -> None:
+        self.scroll_by(self.n_rows)
+
+    def page_up(self) -> None:
+        self.scroll_by(-self.n_rows)
+
+    def resize(self, n_rows: int, n_cols: int) -> None:
+        if n_rows <= 0 or n_cols <= 0:
+            raise ValueError("viewport dimensions must be positive")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self._moved()
+
+    def row_window(self) -> Tuple[int, int]:
+        """(first_row, row_count) — what a DBTABLE region should fetch."""
+        return (self.top, self.n_rows)

@@ -1,0 +1,35 @@
+"""Synthetic workloads: datasets and interaction traces.
+
+The paper demonstrates on an IMDb-style movie database (Fig 2a) and
+motivates with a course-grades scenario (§1).  Both are regenerated here
+synthetically with deterministic seeds, plus the interaction traces
+(scrolls, edits) the benchmarks replay.
+"""
+
+from repro.workloads.datasets import (
+    MovieData,
+    generate_movie_data,
+    load_movie_database,
+    GradesData,
+    generate_grades_data,
+    load_grades_database,
+)
+from repro.workloads.traces import (
+    sequential_scroll_trace,
+    random_jump_trace,
+    mixed_scroll_trace,
+    random_edit_trace,
+)
+
+__all__ = [
+    "MovieData",
+    "generate_movie_data",
+    "load_movie_database",
+    "GradesData",
+    "generate_grades_data",
+    "load_grades_database",
+    "sequential_scroll_trace",
+    "random_jump_trace",
+    "mixed_scroll_trace",
+    "random_edit_trace",
+]

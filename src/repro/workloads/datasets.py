@@ -1,0 +1,213 @@
+"""Deterministic synthetic datasets.
+
+* **Movies** — the Fig 2a schema: ``MOVIES(movieid, title, year)``,
+  ``ACTORS(actorid, name)``, ``MOVIES2ACTORS(movieid, actorid)``.  The
+  paper used IMDb-style demo data we don't have; synthetic titles/names
+  with the same shape exercise identical code paths (see DESIGN.md
+  substitutions).
+* **Grades** — the §1 motivating scenario: one sheet of assignment scores
+  (rows 1–100, columns 1–5 in the paper; size is a parameter here) and one
+  of demographics, joined on student id.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.engine.database import Database
+from repro.engine.schema import TableSchema
+from repro.engine.store import LayoutPolicy
+from repro.engine.types import DBType
+
+__all__ = [
+    "MovieData",
+    "generate_movie_data",
+    "load_movie_database",
+    "GradesData",
+    "generate_grades_data",
+    "load_grades_database",
+]
+
+_TITLE_WORDS = (
+    "Dark Silent Broken Golden Final Lost Hidden Distant Burning Quiet "
+    "Electric Savage Crimson Frozen Endless".split()
+)
+_TITLE_NOUNS = (
+    "River City Empire Garden Horizon Signal Harvest Mirror Engine Valley "
+    "Voyage Archive Covenant Paradox Meridian".split()
+)
+_FIRST_NAMES = (
+    "Ada Boris Carla Dmitri Elena Farid Greta Hugo Ines Jonas Keiko Luis "
+    "Mara Nikhil Oksana Pavel Quinn Rosa Stefan Tuya".split()
+)
+_LAST_NAMES = (
+    "Alvarez Brandt Chen Duarte Eriksen Fontaine Grigoryan Hassan Ito "
+    "Jensen Kovacs Lindqvist Moreau Novak Okafor Petrov Quispe Rossi "
+    "Sato Tanaka".split()
+)
+
+
+@dataclass
+class MovieData:
+    movies: List[Tuple[int, str, int]]
+    actors: List[Tuple[int, str]]
+    movies2actors: List[Tuple[int, int]]
+
+
+def generate_movie_data(
+    n_movies: int = 1000,
+    n_actors: int = 500,
+    links_per_movie: int = 3,
+    seed: int = 7,
+) -> MovieData:
+    rng = random.Random(seed)
+    movies = [
+        (
+            movie_id,
+            f"{rng.choice(_TITLE_WORDS)} {rng.choice(_TITLE_NOUNS)} {movie_id}",
+            rng.randint(1950, 2015),
+        )
+        for movie_id in range(1, n_movies + 1)
+    ]
+    actors = [
+        (actor_id, f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)} {actor_id}")
+        for actor_id in range(1, n_actors + 1)
+    ]
+    links = []
+    for movie_id in range(1, n_movies + 1):
+        cast = rng.sample(range(1, n_actors + 1), min(links_per_movie, n_actors))
+        links.extend((movie_id, actor_id) for actor_id in cast)
+    return MovieData(movies, actors, links)
+
+
+def load_movie_database(
+    data: Optional[MovieData] = None,
+    database: Optional[Database] = None,
+    layout: Optional[LayoutPolicy] = None,
+    **generate_kwargs,
+) -> Database:
+    """Create and populate the three Fig 2a tables."""
+    if data is None:
+        data = generate_movie_data(**generate_kwargs)
+    if database is None:
+        database = Database()
+    movies = database.create_table(
+        "movies",
+        TableSchema.from_pairs(
+            [("movieid", DBType.INTEGER), ("title", DBType.TEXT), ("year", DBType.INTEGER)],
+            primary_key="movieid",
+        ),
+        layout=layout,
+    )
+    actors = database.create_table(
+        "actors",
+        TableSchema.from_pairs(
+            [("actorid", DBType.INTEGER), ("name", DBType.TEXT)],
+            primary_key="actorid",
+        ),
+        layout=layout,
+    )
+    links = database.create_table(
+        "movies2actors",
+        TableSchema.from_pairs(
+            [("movieid", DBType.INTEGER), ("actorid", DBType.INTEGER)]
+        ),
+        layout=layout,
+    )
+    for row in data.movies:
+        movies.insert(row)
+    for row in data.actors:
+        actors.insert(row)
+    for row in data.movies2actors:
+        links.insert(row)
+    return database
+
+
+@dataclass
+class GradesData:
+    #: (student_id, a1..a5 scores, grade)
+    grades: List[Tuple]
+    #: (student_id, name, level, age)
+    demographics: List[Tuple]
+    grade_header: List[str]
+    demo_header: List[str]
+
+
+_LEVELS = ("undergrad", "MS", "PhD")
+
+
+def generate_grades_data(n_students: int = 100, seed: int = 13) -> GradesData:
+    rng = random.Random(seed)
+    grades = []
+    demographics = []
+    for student_id in range(1, n_students + 1):
+        scores = [rng.randint(40, 100) for _ in range(5)]
+        average = sum(scores) / len(scores)
+        grade = (
+            "A" if average >= 90 else
+            "B" if average >= 75 else
+            "C" if average >= 60 else "D"
+        )
+        grades.append((student_id, *scores, grade))
+        demographics.append(
+            (
+                student_id,
+                f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}",
+                rng.choice(_LEVELS),
+                rng.randint(18, 35),
+            )
+        )
+    return GradesData(
+        grades,
+        demographics,
+        ["student_id", "a1", "a2", "a3", "a4", "a5", "grade"],
+        ["student_id", "name", "level", "age"],
+    )
+
+
+def load_grades_database(
+    data: Optional[GradesData] = None,
+    database: Optional[Database] = None,
+    layout: Optional[LayoutPolicy] = None,
+    **generate_kwargs,
+) -> Database:
+    if data is None:
+        data = generate_grades_data(**generate_kwargs)
+    if database is None:
+        database = Database()
+    grades = database.create_table(
+        "grades",
+        TableSchema.from_pairs(
+            [
+                ("student_id", DBType.INTEGER),
+                ("a1", DBType.INTEGER),
+                ("a2", DBType.INTEGER),
+                ("a3", DBType.INTEGER),
+                ("a4", DBType.INTEGER),
+                ("a5", DBType.INTEGER),
+                ("grade", DBType.TEXT),
+            ],
+            primary_key="student_id",
+        ),
+        layout=layout,
+    )
+    demographics = database.create_table(
+        "demographics",
+        TableSchema.from_pairs(
+            [
+                ("student_id", DBType.INTEGER),
+                ("name", DBType.TEXT),
+                ("level", DBType.TEXT),
+                ("age", DBType.INTEGER),
+            ],
+            primary_key="student_id",
+        ),
+        layout=layout,
+    )
+    for row in data.grades:
+        grades.insert(row)
+    for row in data.demographics:
+        demographics.insert(row)
+    return database

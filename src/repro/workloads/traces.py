@@ -1,0 +1,68 @@
+"""Interaction traces: scroll and edit sequences the benchmarks replay.
+
+All traces are deterministic given a seed, so benchmark runs are
+comparable across systems and across time.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+__all__ = [
+    "sequential_scroll_trace",
+    "random_jump_trace",
+    "mixed_scroll_trace",
+    "random_edit_trace",
+]
+
+
+def sequential_scroll_trace(
+    n_rows: int, window: int, steps: int, start: int = 0
+) -> List[int]:
+    """Page-down panning: the classic "scan through the whole table"
+    interaction the paper's §1 windowing story targets."""
+    positions = []
+    position = start
+    for _ in range(steps):
+        positions.append(position)
+        position += window
+        if position + window > n_rows:
+            position = 0
+    return positions
+
+
+def random_jump_trace(n_rows: int, window: int, steps: int, seed: int = 21) -> List[int]:
+    """Scrollbar drags to random offsets (worst case for caching)."""
+    rng = random.Random(seed)
+    upper = max(n_rows - window, 1)
+    return [rng.randrange(upper) for _ in range(steps)]
+
+
+def mixed_scroll_trace(
+    n_rows: int, window: int, steps: int, jump_probability: float = 0.2, seed: int = 22
+) -> List[int]:
+    """Mostly sequential panning with occasional jumps — a realistic
+    browse pattern."""
+    rng = random.Random(seed)
+    positions = []
+    position = 0
+    upper = max(n_rows - window, 1)
+    for _ in range(steps):
+        positions.append(position)
+        if rng.random() < jump_probability:
+            position = rng.randrange(upper)
+        else:
+            position = (position + window) % upper
+    return positions
+
+
+def random_edit_trace(
+    n_rows: int, n_cols: int, steps: int, seed: int = 23
+) -> List[Tuple[int, int, int]]:
+    """(row, col, new_int_value) triples for region-edit benchmarks."""
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(n_rows), rng.randrange(n_cols), rng.randint(0, 10_000))
+        for _ in range(steps)
+    ]

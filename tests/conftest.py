@@ -1,0 +1,41 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Workbook
+from repro.workloads.datasets import (
+    generate_grades_data,
+    generate_movie_data,
+    load_grades_database,
+    load_movie_database,
+)
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database()
+
+
+@pytest.fixture
+def wb() -> Workbook:
+    return Workbook()
+
+
+@pytest.fixture
+def movie_db() -> Database:
+    """Small Fig 2a database: 50 movies, 30 actors, 2 links per movie."""
+    data = generate_movie_data(n_movies=50, n_actors=30, links_per_movie=2, seed=7)
+    return load_movie_database(data)
+
+
+@pytest.fixture
+def grades_db() -> Database:
+    """The §1 motivating scenario at paper scale (100 students)."""
+    return load_grades_database(generate_grades_data(n_students=100, seed=13))
+
+
+@pytest.fixture
+def movie_wb(movie_db) -> Workbook:
+    return Workbook(database=movie_db)

@@ -1,0 +1,187 @@
+"""Unit tests for A1 addressing (repro.core.address)."""
+
+import pytest
+
+from repro.core.address import (
+    CellAddress,
+    RangeAddress,
+    column_index,
+    column_label,
+    parse_reference,
+)
+from repro.errors import AddressError
+
+
+class TestColumnLabels:
+    @pytest.mark.parametrize(
+        "index,label",
+        [(0, "A"), (1, "B"), (25, "Z"), (26, "AA"), (27, "AB"), (51, "AZ"),
+         (52, "BA"), (701, "ZZ"), (702, "AAA"), (16383, "XFD")],
+    )
+    def test_label_roundtrip(self, index, label):
+        assert column_label(index) == label
+        assert column_index(label) == index
+
+    def test_label_case_insensitive(self):
+        assert column_index("ab") == column_index("AB")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(AddressError):
+            column_label(-1)
+
+    @pytest.mark.parametrize("bad", ["", "A1", "1", "A B"])
+    def test_bad_labels_rejected(self, bad):
+        with pytest.raises(AddressError):
+            column_index(bad)
+
+    def test_roundtrip_range(self):
+        for index in range(0, 1000, 7):
+            assert column_index(column_label(index)) == index
+
+
+class TestCellAddress:
+    def test_parse_simple(self):
+        address = CellAddress.parse("B3")
+        assert (address.row, address.col) == (2, 1)
+        assert not address.row_absolute and not address.col_absolute
+
+    def test_parse_absolute(self):
+        address = CellAddress.parse("$C$7")
+        assert (address.row, address.col) == (6, 2)
+        assert address.row_absolute and address.col_absolute
+
+    def test_parse_mixed_absolute(self):
+        address = CellAddress.parse("C$7")
+        assert not address.col_absolute and address.row_absolute
+        address = CellAddress.parse("$C7")
+        assert address.col_absolute and not address.row_absolute
+
+    def test_parse_sheet_qualified(self):
+        address = CellAddress.parse("Sheet2!A1")
+        assert address.sheet == "Sheet2"
+        assert (address.row, address.col) == (0, 0)
+
+    def test_parse_quoted_sheet(self):
+        address = CellAddress.parse("'My Sheet'!A1")
+        assert address.sheet == "My Sheet"
+
+    @pytest.mark.parametrize("bad", ["", "A", "1", "A0", "!A1", "A1:B2x", "$$A1"])
+    def test_parse_invalid(self, bad):
+        with pytest.raises(AddressError):
+            CellAddress.parse(bad)
+
+    def test_to_a1_roundtrip(self):
+        for text in ["A1", "$B$2", "Sheet2!C3", "'Odd Name'!D$4", "ZZ100"]:
+            assert CellAddress.parse(text).to_a1() == text
+
+    def test_offset_relative(self):
+        assert CellAddress.parse("B2").offset(2, 3).to_a1() == "E4"
+
+    def test_offset_respects_absolute(self):
+        shifted = CellAddress.parse("$B$2").offset(5, 5)
+        assert shifted.to_a1() == "$B$2"
+        shifted = CellAddress.parse("B$2").offset(5, 5)
+        assert shifted.to_a1() == "G$2"
+
+    def test_offset_off_sheet_raises(self):
+        with pytest.raises(AddressError):
+            CellAddress.parse("A1").offset(-1, 0)
+
+    def test_translate_ignores_absolute(self):
+        assert CellAddress.parse("$B$2").translate(1, 1).to_a1() == "$C$3"
+
+    def test_ordering_row_major(self):
+        cells = [CellAddress.parse(t) for t in ["B1", "A2", "A1", "B2"]]
+        assert [c.to_a1() for c in sorted(cells)] == ["A1", "B1", "A2", "B2"]
+
+    def test_negative_row_rejected(self):
+        with pytest.raises(AddressError):
+            CellAddress(-1, 0)
+
+
+class TestRangeAddress:
+    def test_parse_range(self):
+        rng = RangeAddress.parse("A1:D100")
+        assert rng.n_rows == 100
+        assert rng.n_cols == 4
+        assert rng.size == 400
+
+    def test_parse_single_cell_as_range(self):
+        rng = RangeAddress.parse("B3")
+        assert rng.is_single_cell()
+        assert rng.to_a1() == "B3"
+
+    def test_normalisation(self):
+        rng = RangeAddress.parse("D10:A1")
+        assert rng.to_a1() == "A1:D10"
+
+    def test_sheet_propagates_to_end(self):
+        rng = RangeAddress.parse("S!A1:B2")
+        assert rng.sheet == "S"
+        assert rng.end.sheet == "S"
+
+    def test_contains(self):
+        rng = RangeAddress.parse("B2:D4")
+        assert rng.contains(CellAddress.parse("C3"))
+        assert rng.contains(CellAddress.parse("B2"))
+        assert rng.contains(CellAddress.parse("D4"))
+        assert not rng.contains(CellAddress.parse("A1"))
+        assert not rng.contains(CellAddress.parse("E4"))
+
+    def test_contains_respects_sheet(self):
+        rng = RangeAddress.parse("S!B2:D4")
+        assert not rng.contains(CellAddress.parse("T!C3"))
+        assert rng.contains(CellAddress.parse("S!C3"))
+
+    def test_intersects_and_intersection(self):
+        a = RangeAddress.parse("A1:C3")
+        b = RangeAddress.parse("B2:D4")
+        assert a.intersects(b)
+        assert a.intersection(b).to_a1() == "B2:C3"
+
+    def test_disjoint(self):
+        a = RangeAddress.parse("A1:B2")
+        b = RangeAddress.parse("C3:D4")
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_union_bounding_box(self):
+        a = RangeAddress.parse("A1:B2")
+        b = RangeAddress.parse("D4:E5")
+        assert a.union_bounding_box(b).to_a1() == "A1:E5"
+
+    def test_cells_row_major(self):
+        rng = RangeAddress.parse("A1:B2")
+        assert [c.to_a1() for c in rng.cells()] == ["A1", "B1", "A2", "B2"]
+
+    def test_rows_and_columns_iterators(self):
+        rng = RangeAddress.parse("A1:C2")
+        assert [r.to_a1() for r in rng.rows()] == ["A1:C1", "A2:C2"]
+        assert [c.to_a1() for c in rng.columns()] == ["A1:A2", "B1:B2", "C1:C2"]
+
+    def test_cell_at_offsets(self):
+        rng = RangeAddress.parse("B2:D4")
+        assert rng.cell_at(0, 0).to_a1() == "B2"
+        assert rng.cell_at(2, 2).to_a1() == "D4"
+        with pytest.raises(AddressError):
+            rng.cell_at(3, 0)
+
+    def test_from_dimensions(self):
+        rng = RangeAddress.from_dimensions(2, 1, 3, 2)
+        assert rng.to_a1() == "B3:C5"
+        with pytest.raises(AddressError):
+            RangeAddress.from_dimensions(0, 0, 0, 1)
+
+    def test_expand_and_translate(self):
+        rng = RangeAddress.parse("B2:C3")
+        assert rng.expand(1, 1).to_a1() == "B2:D4"
+        assert rng.translate(1, 1).to_a1() == "C3:D4"
+
+    def test_cross_sheet_endpoints_rejected(self):
+        with pytest.raises(AddressError):
+            RangeAddress(CellAddress.parse("A!A1"), CellAddress.parse("B!B2"))
+
+
+def test_parse_reference_dispatch():
+    assert isinstance(parse_reference("A1"), CellAddress)
+    assert isinstance(parse_reference("A1:B2"), RangeAddress)

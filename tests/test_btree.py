@@ -1,0 +1,161 @@
+"""Unit + property tests for the B+-tree key index."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.btree import BPlusTree
+from repro.errors import StorageError
+
+
+class TestUnique:
+    def test_insert_get(self):
+        tree = BPlusTree()
+        tree.insert(5, "five")
+        tree.insert(1, "one")
+        assert tree.get(5) == "five"
+        assert tree.get(1) == "one"
+        assert tree.get(99) is None
+        assert tree.get(99, "default") == "default"
+
+    def test_contains(self):
+        tree = BPlusTree()
+        tree.insert(1, None)  # None value still counts as present
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_duplicate_rejected(self):
+        tree = BPlusTree()
+        tree.insert(1, "x")
+        with pytest.raises(StorageError):
+            tree.insert(1, "y")
+
+    def test_null_key_rejected(self):
+        with pytest.raises(StorageError):
+            BPlusTree().insert(None, "x")
+
+    def test_delete(self):
+        tree = BPlusTree()
+        tree.insert(1, "x")
+        assert tree.delete(1)
+        assert not tree.delete(1)
+        assert len(tree) == 0
+
+    def test_many_inserts_split_correctly(self):
+        tree = BPlusTree()
+        for key in range(1000):
+            tree.insert((key * 7919) % 1000 if False else key, key)
+        assert len(tree) == 1000
+        assert list(tree.keys()) == list(range(1000))
+        tree.validate()
+
+    def test_shuffled_inserts(self):
+        import random
+
+        keys = list(range(500))
+        random.Random(3).shuffle(keys)
+        tree = BPlusTree()
+        for key in keys:
+            tree.insert(key, key * 2)
+        assert [v for _, v in tree.items()] == [k * 2 for k in range(500)]
+        tree.validate()
+
+    def test_string_keys(self):
+        tree = BPlusTree()
+        for word in ["pear", "apple", "fig", "date"]:
+            tree.insert(word, word.upper())
+        assert list(tree.keys()) == ["apple", "date", "fig", "pear"]
+
+
+class TestRangeScan:
+    def make(self):
+        tree = BPlusTree()
+        for key in range(0, 100, 2):  # evens
+            tree.insert(key, key)
+        return tree
+
+    def test_closed_range(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range_scan(10, 20)] == [10, 12, 14, 16, 18, 20]
+
+    def test_open_ends(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range_scan(10, 20, include_low=False, include_high=False)] == [12, 14, 16, 18]
+
+    def test_unbounded_low(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range_scan(None, 6)] == [0, 2, 4, 6]
+
+    def test_unbounded_high(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range_scan(94, None)] == [94, 96, 98]
+
+    def test_missing_bound_keys(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range_scan(11, 15)] == [12, 14]
+
+
+class TestNonUnique:
+    def test_duplicates_accumulate(self):
+        tree = BPlusTree(unique=False)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.get("k") == [1, 2]
+        assert len(tree) == 2
+
+    def test_delete_specific_value(self):
+        tree = BPlusTree(unique=False)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.delete("k", 1)
+        assert tree.get("k") == [2]
+        assert len(tree) == 1
+
+    def test_delete_whole_key(self):
+        tree = BPlusTree(unique=False)
+        tree.insert("k", 1)
+        tree.insert("k", 2)
+        assert tree.delete("k")
+        assert tree.get("k") is None
+        assert len(tree) == 0
+
+    def test_delete_missing_value(self):
+        tree = BPlusTree(unique=False)
+        tree.insert("k", 1)
+        assert not tree.delete("k", 99)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 200)), max_size=150))
+def test_matches_dict_model(operations):
+    """Property: unique tree ≡ dict under random insert/delete."""
+    tree = BPlusTree()
+    model = {}
+    for is_insert, key in operations:
+        if is_insert:
+            if key in model:
+                with pytest.raises(StorageError):
+                    tree.insert(key, key)
+            else:
+                tree.insert(key, key)
+                model[key] = key
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert list(tree.items()) == sorted(model.items())
+    tree.validate()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 500), unique=True, min_size=1, max_size=120),
+    st.integers(0, 500),
+    st.integers(0, 500),
+)
+def test_range_scan_matches_filter(keys, low, high):
+    low, high = min(low, high), max(low, high)
+    tree = BPlusTree()
+    for key in keys:
+        tree.insert(key, key)
+    expected = sorted(k for k in keys if low <= k <= high)
+    assert [k for k, _ in tree.range_scan(low, high)] == expected

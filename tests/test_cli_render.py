@@ -1,0 +1,141 @@
+"""Tests for the ASCII renderer and the interactive shell."""
+
+import pytest
+
+from repro import Workbook
+from repro.cli import DataSpreadShell
+from repro.core.render import render_range, render_window
+
+
+class TestRenderer:
+    def test_basic_grid(self, wb):
+        wb.set("Sheet1", "A1", 1)
+        wb.set("Sheet1", "B2", "hello")
+        text = render_window(wb, "Sheet1", n_rows=3, n_cols=3)
+        lines = text.splitlines()
+        assert "A" in lines[0] and "B" in lines[0] and "C" in lines[0]
+        assert lines[2].startswith("1")
+        assert "hello" in text
+
+    def test_formulas_render_computed_values(self, wb):
+        wb.set("Sheet1", "A1", 6)
+        wb.set("Sheet1", "A2", "=A1*7")
+        text = render_window(wb, "Sheet1", n_rows=2, n_cols=1)
+        assert "42" in text
+
+    def test_render_range(self, wb):
+        wb.sheet("Sheet1").set_grid("C3", [[1, 2], [3, 4]])
+        text = render_range(wb, "Sheet1", "C3:D4")
+        lines = text.splitlines()
+        assert lines[0].split() == ["C", "D"]
+        assert lines[2].split() == ["3", "1", "2"]
+
+    def test_long_values_clipped(self, wb):
+        wb.set("Sheet1", "A1", "x" * 50)
+        text = render_window(wb, "Sheet1", n_rows=1, n_cols=1)
+        assert "…" in text
+
+    def test_offset_window_row_labels(self, wb):
+        wb.set("Sheet1", "A100", 5)
+        text = render_window(wb, "Sheet1", top=99, n_rows=1, n_cols=1)
+        assert text.splitlines()[-1].startswith("100")
+
+
+class TestShell:
+    @pytest.fixture
+    def shell(self):
+        return DataSpreadShell()
+
+    def test_assign_and_read(self, shell):
+        out = shell.handle_line("A1 = 42")
+        assert "42" in out
+        assert shell.workbook.get("Sheet1", "A1") == 42
+
+    def test_assign_formula(self, shell):
+        shell.handle_line("A1 = 6")
+        out = shell.handle_line("A2 = =A1*7")
+        assert "42" in out
+
+    def test_sql_select_renders_table(self, shell):
+        shell.handle_line("sql CREATE TABLE t (x INT)")
+        shell.handle_line("sql INSERT INTO t VALUES (1), (2)")
+        out = shell.handle_line("sql SELECT x FROM t ORDER BY x")
+        assert "x" in out.splitlines()[0]
+        assert out.splitlines()[2].strip() == "1"
+
+    def test_sql_dml_reports_rowcount(self, shell):
+        shell.handle_line("sql CREATE TABLE t (x INT)")
+        out = shell.handle_line("sql INSERT INTO t VALUES (1), (2)")
+        assert "2 rows affected" in out
+
+    def test_show_window(self, shell):
+        shell.handle_line("A1 = 9")
+        out = shell.handle_line("show")
+        assert "9" in out
+
+    def test_show_explicit_range(self, shell):
+        shell.handle_line("B2 = 7")
+        out = shell.handle_line("show B2:B2")
+        assert "7" in out
+
+    def test_goto_scrolls(self, shell):
+        shell.handle_line("goto A50")
+        assert shell.top == 49
+
+    def test_sheet_switch_creates(self, shell):
+        out = shell.handle_line("sheet Data")
+        assert "Data" in out
+        assert "Data" in shell.workbook.sheet_names()
+
+    def test_sheet_list(self, shell):
+        out = shell.handle_line("sheet")
+        assert "Sheet1" in out
+
+    def test_tables_listing(self, shell):
+        assert "(no tables)" in shell.handle_line("tables")
+        shell.handle_line("sql CREATE TABLE t (x INT)")
+        assert "t (0 rows)" in shell.handle_line("tables")
+
+    def test_regions_listing(self, shell):
+        shell.handle_line("sql CREATE TABLE t (x INT PRIMARY KEY)")
+        shell.workbook.dbtable("Sheet1", "A1", "t")
+        out = shell.handle_line("regions")
+        assert "dbtable" in out
+
+    def test_stats(self, shell):
+        out = shell.handle_line("stats")
+        assert "sheets" in out
+
+    def test_errors_are_caught(self, shell):
+        out = shell.handle_line("sql SELECT * FROM missing")
+        assert out.startswith("error:")
+
+    def test_quit(self, shell):
+        assert shell.handle_line("quit") == "bye"
+        assert not shell.running
+
+    def test_unknown_command(self, shell):
+        assert "unrecognised" in shell.handle_line("frobnicate")
+
+    def test_help(self, shell):
+        assert "DBSQL" in shell.handle_line("help") or "sql" in shell.handle_line("help")
+
+    def test_save_and_load_via_shell(self, shell, tmp_path):
+        shell.handle_line("A1 = 11")
+        path = str(tmp_path / "wb.json")
+        assert "saved" in shell.handle_line(f"save {path}")
+        fresh = DataSpreadShell()
+        assert "loaded" in fresh.handle_line(f"load {path}")
+        assert fresh.workbook.get("Sheet1", "A1") == 11
+
+    def test_full_demo_via_shell(self, shell):
+        """Drive Feature 1+3 through the shell end to end."""
+        shell.handle_line("sql CREATE TABLE m (id INT PRIMARY KEY, y INT)")
+        shell.handle_line("sql INSERT INTO m VALUES (1, 1990), (2, 2005)")
+        shell.handle_line("B1 = 2000")
+        shell.workbook.dbsql(
+            "Sheet1", "B3", "SELECT id FROM m WHERE y > RANGEVALUE(B1)"
+        )
+        assert shell.workbook.get("Sheet1", "B3") == 2
+        shell.handle_line("B1 = 1980")
+        assert shell.workbook.get("Sheet1", "B3") == 1

@@ -1,0 +1,191 @@
+"""Unit tests for the compute engine: dependency graph, scheduler, and the
+visible-first / lazy evaluation modes (paper §2.2(d,e), §3)."""
+
+import pytest
+
+from repro.compute.graph import DependencyGraph
+from repro.compute.scheduler import RecalcScheduler
+from repro.core.address import CellAddress, RangeAddress
+from repro import Workbook
+from repro.window.viewport import Viewport
+
+
+class TestDependencyGraph:
+    def key(self, text, sheet="S"):
+        address = CellAddress.parse(text)
+        return (sheet, address.row, address.col)
+
+    def test_direct_dependents(self):
+        graph = DependencyGraph()
+        graph.set_dependencies(self.key("B1"), [CellAddress.parse("A1")], [])
+        assert graph.dependents_of(self.key("A1")) == {self.key("B1")}
+
+    def test_range_subscription(self):
+        graph = DependencyGraph()
+        graph.set_dependencies(
+            self.key("C1"), [], [RangeAddress.parse("A1:A100")]
+        )
+        assert self.key("C1") in graph.dependents_of(self.key("A50"))
+        assert graph.dependents_of(self.key("B50")) == set()
+
+    def test_range_subscription_across_tiles(self):
+        graph = DependencyGraph()
+        graph.set_dependencies(
+            self.key("C1"), [], [RangeAddress.parse("A1:A1000")]
+        )
+        assert self.key("C1") in graph.dependents_of(self.key("A999"))
+
+    def test_clear_dependencies(self):
+        graph = DependencyGraph()
+        graph.set_dependencies(self.key("B1"), [CellAddress.parse("A1")],
+                               [RangeAddress.parse("C1:C9")])
+        graph.clear_dependencies(self.key("B1"))
+        assert graph.dependents_of(self.key("A1")) == set()
+        assert graph.dependents_of(self.key("C5")) == set()
+
+    def test_replace_dependencies(self):
+        graph = DependencyGraph()
+        graph.set_dependencies(self.key("B1"), [CellAddress.parse("A1")], [])
+        graph.set_dependencies(self.key("B1"), [CellAddress.parse("A2")], [])
+        assert graph.dependents_of(self.key("A1")) == set()
+        assert graph.dependents_of(self.key("A2")) == {self.key("B1")}
+
+    def test_transitive_closure(self):
+        graph = DependencyGraph()
+        graph.set_dependencies(self.key("B1"), [CellAddress.parse("A1")], [])
+        graph.set_dependencies(self.key("C1"), [CellAddress.parse("B1")], [])
+        graph.set_dependencies(self.key("D1"), [CellAddress.parse("C1")], [])
+        closure = graph.all_dependents([self.key("A1")])
+        assert closure == {self.key("B1"), self.key("C1"), self.key("D1")}
+
+    def test_topo_order(self):
+        graph = DependencyGraph()
+        graph.set_dependencies(self.key("B1"), [CellAddress.parse("A1")], [])
+        graph.set_dependencies(self.key("C1"), [CellAddress.parse("B1")], [])
+        order = graph.topo_order({self.key("B1"), self.key("C1")})
+        assert order.index(self.key("B1")) < order.index(self.key("C1"))
+
+    def test_cross_sheet_edges(self):
+        graph = DependencyGraph()
+        graph.set_dependencies(
+            ("Main", 0, 1), [CellAddress.parse("Data!A1")], []
+        )
+        assert ("Main", 0, 1) in graph.dependents_of(("Data", 0, 0))
+
+
+class TestScheduler:
+    def test_visible_first(self):
+        scheduler = RecalcScheduler(lambda key: key[1] < 10)
+        scheduler.mark_dirty(("S", 50, 0))
+        scheduler.mark_dirty(("S", 5, 0))
+        scheduler.mark_dirty(("S", 60, 0))
+        scheduler.mark_dirty(("S", 6, 0))
+        order = [scheduler.pop() for _ in range(4)]
+        assert order[:2] == [("S", 5, 0), ("S", 6, 0)]
+
+    def test_pop_visible_only(self):
+        scheduler = RecalcScheduler(lambda key: key[1] < 10)
+        scheduler.mark_dirty(("S", 50, 0))
+        scheduler.mark_dirty(("S", 5, 0))
+        assert scheduler.pop_visible() == ("S", 5, 0)
+        assert scheduler.pop_visible() is None
+        assert scheduler.pending == 1
+
+    def test_viewport_move_repromotes(self):
+        region = {"top": 0}
+        scheduler = RecalcScheduler(lambda key: region["top"] <= key[1] < region["top"] + 10)
+        scheduler.mark_dirty(("S", 50, 0))  # background at enqueue time
+        scheduler.mark_dirty(("S", 5, 0))
+        region["top"] = 50  # scroll: row 50 becomes visible, row 5 not
+        assert scheduler.pop() == ("S", 50, 0)
+
+    def test_duplicate_marks_ignored(self):
+        scheduler = RecalcScheduler()
+        scheduler.mark_dirty(("S", 1, 1))
+        scheduler.mark_dirty(("S", 1, 1))
+        assert scheduler.pending == 1
+
+    def test_discard(self):
+        scheduler = RecalcScheduler()
+        scheduler.mark_dirty(("S", 1, 1))
+        scheduler.discard(("S", 1, 1))
+        assert scheduler.pop() is None
+
+
+class TestEngineThroughWorkbook:
+    def test_chain_recalc(self, wb):
+        wb.set("Sheet1", "A1", 1)
+        wb.set("Sheet1", "A2", "=A1+1")
+        wb.set("Sheet1", "A3", "=A2+1")
+        wb.set("Sheet1", "A1", 10)
+        assert wb.get("Sheet1", "A3") == 12
+
+    def test_range_formula_recalc(self, wb):
+        for row in range(1, 6):
+            wb.set("Sheet1", f"A{row}", row)
+        wb.set("Sheet1", "B1", "=SUM(A1:A5)")
+        assert wb.get("Sheet1", "B1") == 15
+        wb.set("Sheet1", "A3", 100)
+        assert wb.get("Sheet1", "B1") == 112
+
+    def test_error_renders_code(self, wb):
+        wb.set("Sheet1", "A1", "=1/0")
+        assert wb.get("Sheet1", "A1") == "#DIV/0!"
+
+    def test_cycle_renders_circ(self, wb):
+        wb.set("Sheet1", "A1", "=B1")
+        wb.set("Sheet1", "B1", "=A1")
+        assert wb.get("Sheet1", "A1") == "#CIRC!"
+        assert wb.get("Sheet1", "B1") == "#CIRC!"
+
+    def test_self_reference_cycle(self, wb):
+        wb.set("Sheet1", "A1", "=A1+1")
+        assert wb.get("Sheet1", "A1") == "#CIRC!"
+
+    def test_formula_replaced_by_value_clears_dependency(self, wb):
+        wb.set("Sheet1", "A1", 1)
+        wb.set("Sheet1", "B1", "=A1")
+        wb.set("Sheet1", "B1", 99)
+        wb.set("Sheet1", "A1", 5)
+        assert wb.get("Sheet1", "B1") == 99
+
+    def test_cross_sheet_formula(self, wb):
+        wb.add_sheet("Data")
+        wb.set("Data", "A1", 7)
+        wb.set("Sheet1", "A1", "=Data!A1*2")
+        assert wb.get("Sheet1", "A1") == 14
+        wb.set("Data", "A1", 10)
+        assert wb.get("Sheet1", "A1") == 20
+
+    def test_lazy_mode_demand_evaluation(self):
+        wb = Workbook(eager=False)
+        wb.set("Sheet1", "A1", 3)
+        wb.set("Sheet1", "A2", "=A1*3")
+        # Nothing drained eagerly, but reading recomputes on demand.
+        assert wb.compute.pending >= 1
+        assert wb.get("Sheet1", "A2") == 9
+        assert wb.compute.pending == 0
+
+    def test_visible_first_then_background(self):
+        wb = Workbook(eager=False)
+        for row in range(1, 101):
+            wb.set("Sheet1", f"A{row}", row)
+            wb.set("Sheet1", f"B{row}", f"=A{row}*2")
+        viewport = Viewport("Sheet1", top=0, left=0, n_rows=10, n_cols=5)
+        wb.set_viewport(viewport)
+        computed = wb.recalc_visible()
+        assert computed == 10  # only the window
+        assert wb.compute.pending == 90
+        assert wb.sheet("Sheet1").value("B1") == 2
+        # Background completes the rest in slices.
+        total = 0
+        while wb.compute.pending:
+            total += wb.background_step(32)
+        assert total == 90
+
+    def test_stats_track_evaluations(self, wb):
+        wb.set("Sheet1", "A1", 1)
+        wb.set("Sheet1", "A2", "=A1")
+        before = wb.compute.stats.evaluations
+        wb.set("Sheet1", "A1", 2)
+        assert wb.compute.stats.evaluations > before

@@ -1,0 +1,143 @@
+"""Unit tests for the region registry / display contexts and the error
+hierarchy."""
+
+import pytest
+
+from repro.core.address import CellAddress, RangeAddress
+from repro.core.context import DisplayContext, RegionRegistry
+from repro import errors
+
+
+class _FakeRegion:
+    def __init__(self, context):
+        self.context = context
+
+
+def make_region(registry, kind="dbtable", sheet="S", anchor="A1", extent="A1:B3",
+                tables=("t",)):
+    context = DisplayContext(
+        region_id=registry.new_id(),
+        kind=kind,
+        sheet=sheet,
+        anchor=CellAddress.parse(anchor),
+        extent=RangeAddress.parse(extent),
+        source_tables=set(tables),
+    )
+    region = _FakeRegion(context)
+    registry.add(region)
+    return region
+
+
+class TestRegistry:
+    def test_ids_monotonic(self):
+        registry = RegionRegistry()
+        assert registry.new_id() < registry.new_id()
+
+    def test_region_at(self):
+        registry = RegionRegistry()
+        region = make_region(registry)
+        assert registry.region_at("S", 1, 1) is region
+        assert registry.region_at("S", 5, 5) is None
+        assert registry.region_at("Other", 1, 1) is None
+
+    def test_regions_of_table_case_insensitive(self):
+        registry = RegionRegistry()
+        region = make_region(registry, tables=("Items",))
+        # context stores lowercase... here we stored 'Items' raw; lookup by
+        # lowercase should match the stored value after normalisation.
+        found = registry.regions_of_table("items")
+        assert (region in found) == ("items" in region.context.source_tables)
+
+    def test_overlap_rejected(self):
+        registry = RegionRegistry()
+        make_region(registry, extent="A1:C3")
+        with pytest.raises(errors.RegionError):
+            make_region(registry, anchor="B2", extent="B2:D4")
+
+    def test_disjoint_regions_allowed(self):
+        registry = RegionRegistry()
+        make_region(registry, extent="A1:B2")
+        make_region(registry, anchor="D1", extent="D1:E2")
+        assert len(registry) == 2
+
+    def test_same_extent_other_sheet_allowed(self):
+        registry = RegionRegistry()
+        make_region(registry, sheet="S1")
+        make_region(registry, sheet="S2")
+        assert len(registry) == 2
+
+    def test_remove(self):
+        registry = RegionRegistry()
+        region = make_region(registry)
+        registry.remove(region.context.region_id)
+        assert registry.region_at("S", 0, 0) is None
+        registry.remove(999)  # idempotent
+
+    def test_regions_on_sheet(self):
+        registry = RegionRegistry()
+        make_region(registry, sheet="A")
+        make_region(registry, sheet="B")
+        assert len(registry.regions_on_sheet("A")) == 1
+
+
+class TestDisplayContext:
+    def test_covers(self):
+        context = DisplayContext(
+            1, "dbsql", "S", CellAddress.parse("B2"),
+            RangeAddress.parse("B2:C4"),
+        )
+        assert context.covers("S", 1, 1)
+        assert context.covers("S", 3, 2)
+        assert not context.covers("S", 4, 1)
+        assert not context.covers("T", 1, 1)
+
+    def test_covers_without_extent(self):
+        context = DisplayContext(1, "dbsql", "S", CellAddress.parse("A1"))
+        assert not context.covers("S", 0, 0)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.AddressError,
+            errors.SqlSyntaxError,
+            errors.PlanError,
+            errors.ExecutionError,
+            errors.CatalogError,
+            errors.SchemaError,
+            errors.ConstraintError,
+            errors.TransactionError,
+            errors.StorageError,
+            errors.FormulaSyntaxError,
+            errors.FormulaEvalError,
+            errors.CircularDependencyError,
+            errors.SheetError,
+            errors.RegionError,
+            errors.SyncError,
+            errors.ImportExportError,
+        ],
+    )
+    def test_all_derive_from_base(self, exc):
+        assert issubclass(exc, errors.DataSpreadError)
+
+    def test_constraint_is_execution_error(self):
+        assert issubclass(errors.ConstraintError, errors.ExecutionError)
+
+    def test_circular_is_eval_error_with_code(self):
+        error = errors.CircularDependencyError("loop")
+        assert isinstance(error, errors.FormulaEvalError)
+        assert error.code == "#CIRC!"
+
+    def test_syntax_errors_carry_position(self):
+        assert errors.SqlSyntaxError("x", 5).position == 5
+        assert errors.FormulaSyntaxError("x").position == -1
+
+    def test_address_error_is_value_error(self):
+        assert issubclass(errors.AddressError, ValueError)
+
+    def test_one_except_catches_everything(self):
+        try:
+            raise errors.SyncError("boom")
+        except errors.DataSpreadError as caught:
+            assert "boom" in str(caught)

@@ -1,0 +1,125 @@
+"""Unit tests for precedent extraction, copy/paste shifting, and
+structural reference adjustment."""
+
+import pytest
+
+from repro.core.address import CellAddress, RangeAddress
+from repro.errors import FormulaError
+from repro.formula.dependency import (
+    ReferenceDeleted,
+    adjust_formula_for_structural_edit,
+    extract_dependencies,
+    shift_formula,
+)
+
+
+class TestExtraction:
+    def test_cells_and_ranges(self):
+        deps = extract_dependencies("A1 + SUM(B1:B10) * C3")
+        assert CellAddress.parse("A1") in deps.cells
+        assert CellAddress.parse("C3") in deps.cells
+        assert RangeAddress.parse("B1:B10") in deps.ranges
+
+    def test_base_sheet_attribution(self):
+        deps = extract_dependencies("A1 + Other!B2", base_sheet="Main")
+        sheets = {address.sheet for address in deps.cells}
+        assert sheets == {"Main", "Other"}
+
+    def test_no_dependencies(self):
+        deps = extract_dependencies('1 + 2 & "x"')
+        assert deps.is_empty()
+
+    def test_nested_function_args(self):
+        deps = extract_dependencies("IF(A1>0, SUM(B1:B3), C1)")
+        assert len(deps.cells) == 2
+        assert len(deps.ranges) == 1
+
+    def test_all_cells_expands_ranges(self):
+        deps = extract_dependencies("SUM(A1:A3)", base_sheet="S")
+        cells = deps.all_cells()
+        assert len(cells) == 3
+
+    def test_all_cells_refuses_huge_ranges(self):
+        deps = extract_dependencies("SUM(A1:Z100000)")
+        with pytest.raises(FormulaError):
+            deps.all_cells(clamp=1000)
+
+    def test_duplicates_deduplicated(self):
+        deps = extract_dependencies("A1 + A1 + A1")
+        assert len(deps.cells) == 1
+
+
+class TestShift:
+    def test_relative_shift(self):
+        assert shift_formula("A1+B2", 1, 1) == "B2+C3"
+
+    def test_absolute_pinned(self):
+        assert shift_formula("$A$1+B2", 5, 5) == "$A$1+G7"
+
+    def test_mixed_flags(self):
+        assert shift_formula("A$1+$B2", 2, 2) == "C$1+$B4"
+
+    def test_range_shift(self):
+        assert shift_formula("SUM(A1:B2)", 1, 0) == "SUM(A2:B3)"
+
+    def test_off_sheet_is_error(self):
+        with pytest.raises(FormulaError):
+            shift_formula("A1", -1, 0)
+
+    def test_literals_untouched(self):
+        assert shift_formula('1+"x"&A1', 0, 1) == '1+"x"&B1'
+
+
+class TestStructuralAdjustment:
+    def test_row_insert_shifts_below(self):
+        out = adjust_formula_for_structural_edit("A5+A1", "row", 2, 1, "S", "S")
+        assert out == "A6+A1"
+
+    def test_row_insert_shifts_absolute_too(self):
+        out = adjust_formula_for_structural_edit("$A$5", "row", 2, 1, "S", "S")
+        assert out == "$A$6"
+
+    def test_row_delete_shifts_up(self):
+        out = adjust_formula_for_structural_edit("A5", "row", 1, -2, "S", "S")
+        assert out == "A3"
+
+    def test_row_delete_of_referenced_cell(self):
+        with pytest.raises(ReferenceDeleted):
+            adjust_formula_for_structural_edit("A2", "row", 1, -1, "S", "S")
+
+    def test_range_shrinks_on_interior_delete(self):
+        out = adjust_formula_for_structural_edit("SUM(A1:A10)", "row", 2, -3, "S", "S")
+        assert out == "SUM(A1:A7)"
+
+    def test_range_start_in_deleted_span_clamps(self):
+        out = adjust_formula_for_structural_edit("SUM(A3:A10)", "row", 1, -4, "S", "S")
+        assert out == "SUM(A2:A6)"
+
+    def test_range_fully_deleted(self):
+        with pytest.raises(ReferenceDeleted):
+            adjust_formula_for_structural_edit("SUM(A3:A4)", "row", 2, -2, "S", "S")
+
+    def test_range_grows_on_interior_insert(self):
+        out = adjust_formula_for_structural_edit("SUM(A1:A10)", "row", 5, 2, "S", "S")
+        assert out == "SUM(A1:A12)"
+
+    def test_col_insert(self):
+        out = adjust_formula_for_structural_edit("C1+A1", "col", 1, 1, "S", "S")
+        assert out == "D1+A1"
+
+    def test_other_sheet_untouched(self):
+        out = adjust_formula_for_structural_edit("Other!A5+A5", "row", 0, 1, "S", "S")
+        assert out == "Other!A5+A6"
+
+    def test_formula_on_other_sheet_referencing_edited_sheet(self):
+        out = adjust_formula_for_structural_edit("S!A5", "row", 0, 1, "S", "Other")
+        assert out == "S!A6"
+
+    def test_unqualified_ref_belongs_to_base_sheet(self):
+        # base sheet differs from the edited sheet: refs don't move
+        out = adjust_formula_for_structural_edit("A5", "row", 0, 1, "S", "Other")
+        assert out == "A5"
+
+    def test_bad_axis(self):
+        with pytest.raises(FormulaError):
+            adjust_formula_for_structural_edit("A1", "diagonal", 0, 1, "S", "S")

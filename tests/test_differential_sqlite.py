@@ -1,0 +1,127 @@
+"""Differential tests: our engine vs sqlite3 on the shared dialect.
+
+Catches semantic drift in joins, aggregation, NULL handling and ORDER BY
+that unit tests with hand-computed expectations might miss.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sqlite_backend import SqliteComparator
+
+
+SETUP = [
+    "CREATE TABLE r (a INTEGER, b INTEGER, c TEXT)",
+    "INSERT INTO r VALUES (1, 10, 'x'), (2, 20, 'y'), (3, NULL, 'x'), "
+    "(4, 40, NULL), (5, 40, 'z'), (NULL, 7, 'x')",
+    "CREATE TABLE s (a INTEGER, d TEXT)",
+    "INSERT INTO s VALUES (1, 'one'), (2, 'two'), (3, 'three'), (9, 'nine'), (NULL, 'null')",
+]
+
+
+@pytest.fixture
+def comparator():
+    comp = SqliteComparator()
+    comp.setup(SETUP)
+    yield comp
+    comp.close()
+
+
+QUERIES = [
+    "SELECT * FROM r",
+    "SELECT a, b FROM r WHERE b > 15",
+    "SELECT * FROM r WHERE b IS NULL",
+    "SELECT * FROM r WHERE c = 'x' AND b < 15",
+    "SELECT * FROM r WHERE a IN (1, 3, 5)",
+    "SELECT * FROM r WHERE a NOT IN (1, 3, 5)",
+    "SELECT * FROM r WHERE b BETWEEN 10 AND 40",
+    "SELECT * FROM r WHERE c LIKE 'x%'",
+    "SELECT a + b FROM r",
+    "SELECT a * 2 + 1 FROM r WHERE a IS NOT NULL",
+    "SELECT count(*) FROM r",
+    "SELECT count(b) FROM r",
+    "SELECT sum(b), min(b), max(b) FROM r",
+    "SELECT c, count(*) FROM r GROUP BY c",
+    "SELECT c, sum(b) FROM r GROUP BY c HAVING count(*) > 1",
+    "SELECT count(DISTINCT b) FROM r",
+    "SELECT DISTINCT c FROM r",
+    "SELECT r.a, s.d FROM r JOIN s ON r.a = s.a",
+    "SELECT r.a, s.d FROM r LEFT JOIN s ON r.a = s.a",
+    "SELECT r.a, s.d FROM r, s WHERE r.a = s.a",
+    "SELECT r.a FROM r CROSS JOIN s",
+    "SELECT a FROM r WHERE a IN (SELECT a FROM s)",
+    "SELECT a FROM r WHERE b = (SELECT max(b) FROM r)",
+    "SELECT g, n FROM (SELECT c AS g, count(*) AS n FROM r GROUP BY c) t WHERE n >= 1",
+    "SELECT CASE WHEN b >= 40 THEN 'hi' ELSE 'lo' END FROM r WHERE b IS NOT NULL",
+    "SELECT abs(-a), length(c) FROM r WHERE a IS NOT NULL AND c IS NOT NULL",
+    "SELECT coalesce(b, 0) FROM r",
+    "SELECT upper(c) || '!' FROM r WHERE c IS NOT NULL",
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_unordered_agreement(comparator, query):
+    comparator.assert_match(query)
+
+
+ORDERED_QUERIES = [
+    "SELECT a FROM r WHERE a IS NOT NULL ORDER BY a",
+    "SELECT a, b FROM r ORDER BY b DESC, a ASC",
+    "SELECT a FROM r ORDER BY a LIMIT 3",
+    "SELECT a FROM r ORDER BY a LIMIT 2 OFFSET 2",
+    "SELECT c, count(*) AS n FROM r GROUP BY c ORDER BY n DESC, c ASC",
+]
+
+
+@pytest.mark.parametrize("query", ORDERED_QUERIES)
+def test_ordered_agreement(comparator, query):
+    ok, ours, theirs = comparator.ordered_match(query)
+    assert ok, f"ours={ours} sqlite={theirs}"
+
+
+class TestDmlAgreement:
+    def test_update_then_query(self, comparator):
+        comparator.setup(["UPDATE r SET b = b + 1 WHERE c = 'x'"])
+        comparator.assert_match("SELECT a, b FROM r")
+
+    def test_delete_then_query(self, comparator):
+        comparator.setup(["DELETE FROM r WHERE b IS NULL"])
+        comparator.assert_match("SELECT count(*) FROM r")
+
+    def test_insert_select(self, comparator):
+        comparator.setup(
+            [
+                "CREATE TABLE t2 (a INTEGER, b INTEGER)",
+                "INSERT INTO t2 SELECT a, b FROM r WHERE a IS NOT NULL",
+            ]
+        )
+        comparator.assert_match("SELECT * FROM t2")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.one_of(st.none(), st.integers(-5, 5)),
+            st.one_of(st.none(), st.integers(0, 3)),
+        ),
+        min_size=0,
+        max_size=25,
+    ),
+    threshold=st.integers(-5, 5),
+)
+def test_random_data_filter_and_group(rows, threshold):
+    """Property: filtering and grouping agree with sqlite on random data."""
+    comp = SqliteComparator()
+    try:
+        comp.setup(["CREATE TABLE q (x INTEGER, g INTEGER)"])
+        for x, g in rows:
+            x_sql = "NULL" if x is None else str(x)
+            g_sql = "NULL" if g is None else str(g)
+            comp.setup([f"INSERT INTO q VALUES ({x_sql}, {g_sql})"])
+        comp.assert_match(f"SELECT x FROM q WHERE x > {threshold}")
+        comp.assert_match("SELECT g, count(*), sum(x) FROM q GROUP BY g")
+        comp.assert_match(f"SELECT count(*) FROM q WHERE x <> {threshold}")
+    finally:
+        comp.close()

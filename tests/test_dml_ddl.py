@@ -1,0 +1,250 @@
+"""DML and DDL execution tests, including the DataSpread positional insert
+and cheap schema changes."""
+
+import pytest
+
+from repro import Database
+from repro.engine.store import LayoutPolicy
+from repro.errors import CatalogError, ConstraintError, ExecutionError, SchemaError
+
+
+@pytest.fixture
+def people(db):
+    db.execute("CREATE TABLE people (pid INT PRIMARY KEY, name TEXT, age INT)")
+    db.execute("INSERT INTO people VALUES (1,'ann',30),(2,'bob',40),(3,'cat',50)")
+    return db
+
+
+class TestInsert:
+    def test_rowcount(self, people):
+        result = people.execute("INSERT INTO people VALUES (4,'dan',60),(5,'eve',70)")
+        assert result.rowcount == 2
+        assert people.table("people").n_rows == 5
+
+    def test_column_subset_fills_nulls(self, people):
+        people.execute("INSERT INTO people (pid, name) VALUES (9, 'zoe')")
+        assert people.execute("SELECT age FROM people WHERE pid=9").scalar() is None
+
+    def test_insert_select(self, people):
+        people.execute("CREATE TABLE copy (pid INT, name TEXT, age INT)")
+        people.execute("INSERT INTO copy SELECT * FROM people WHERE age >= 40")
+        assert people.table("copy").n_rows == 2
+
+    def test_insert_at_position(self, people):
+        people.execute("INSERT INTO people VALUES (7,'mid',35) AT POSITION 1")
+        rows = people.execute("SELECT pid FROM people").rows
+        assert [r[0] for r in rows] == [1, 7, 2, 3]
+
+    def test_insert_at_position_zero(self, people):
+        people.execute("INSERT INTO people VALUES (8,'first',1) AT POSITION 0")
+        assert people.execute("SELECT pid FROM people LIMIT 1").scalar() == 8
+
+    def test_duplicate_pk_rejected(self, people):
+        with pytest.raises(ConstraintError):
+            people.execute("INSERT INTO people VALUES (1,'dup',0)")
+
+    def test_null_pk_rejected(self, people):
+        with pytest.raises(ConstraintError):
+            people.execute("INSERT INTO people VALUES (NULL,'x',0)")
+
+    def test_wrong_arity(self, people):
+        with pytest.raises(ExecutionError):
+            people.execute("INSERT INTO people (pid) VALUES (10, 'extra')")
+
+    def test_type_coercion_on_insert(self, people):
+        people.execute("INSERT INTO people VALUES (11, 'kim', '44')")
+        value = people.execute("SELECT age FROM people WHERE pid=11").scalar()
+        assert value == 44 and isinstance(value, int)
+
+    def test_default_applies(self, db):
+        db.execute("CREATE TABLE d (id INT, status TEXT DEFAULT 'new')")
+        db.execute("INSERT INTO d (id) VALUES (1)")
+        assert db.execute("SELECT status FROM d").scalar() == "new"
+
+
+class TestUpdate:
+    def test_update_where(self, people):
+        result = people.execute("UPDATE people SET age = age + 1 WHERE age >= 40")
+        assert result.rowcount == 2
+        assert people.execute("SELECT age FROM people WHERE pid=3").scalar() == 51
+
+    def test_update_all(self, people):
+        assert people.execute("UPDATE people SET age = 0").rowcount == 3
+
+    def test_update_sees_pre_update_values(self, people):
+        # Swap-ish: both assignments read the original row.
+        people.execute("UPDATE people SET age = pid, pid = pid + 100 WHERE pid = 1")
+        row = people.execute("SELECT pid, age FROM people WHERE pid = 101").rows[0]
+        assert row == (101, 1)
+
+    def test_update_pk_uniqueness_enforced(self, people):
+        with pytest.raises(ConstraintError):
+            people.execute("UPDATE people SET pid = 2 WHERE pid = 1")
+
+    def test_update_with_parameter(self, people):
+        people.execute("UPDATE people SET name = ? WHERE pid = ?", ("ANN", 1))
+        assert people.execute("SELECT name FROM people WHERE pid=1").scalar() == "ANN"
+
+
+class TestDelete:
+    def test_delete_where(self, people):
+        assert people.execute("DELETE FROM people WHERE age > 35").rowcount == 2
+        assert people.table("people").n_rows == 1
+
+    def test_delete_all(self, people):
+        people.execute("DELETE FROM people")
+        assert people.table("people").n_rows == 0
+
+    def test_delete_preserves_position_order(self, people):
+        people.execute("DELETE FROM people WHERE pid = 2")
+        rows = people.execute("SELECT pid FROM people").rows
+        assert [r[0] for r in rows] == [1, 3]
+
+
+class TestCreateDrop:
+    def test_create_as_select_infers_types(self, people):
+        people.execute("CREATE TABLE stats AS SELECT name, age * 2 AS dbl FROM people")
+        table = people.table("stats")
+        assert table.n_rows == 3
+        assert table.schema.column("dbl").dtype.value == "INTEGER"
+
+    def test_create_duplicate_rejected(self, people):
+        with pytest.raises(CatalogError):
+            people.execute("CREATE TABLE people (x INT)")
+
+    def test_if_not_exists(self, people):
+        people.execute("CREATE TABLE IF NOT EXISTS people (x INT)")
+        assert people.table("people").schema.has_column("pid")
+
+    def test_drop(self, people):
+        people.execute("DROP TABLE people")
+        assert not people.has_table("people")
+
+    def test_drop_missing(self, people):
+        with pytest.raises(CatalogError):
+            people.execute("DROP TABLE nope")
+        people.execute("DROP TABLE IF EXISTS nope")
+
+
+class TestAlter:
+    def test_add_column_visible_and_defaulted(self, people):
+        people.execute("ALTER TABLE people ADD COLUMN email TEXT DEFAULT 'n/a'")
+        result = people.execute("SELECT email FROM people WHERE pid=1")
+        assert result.scalar() == "n/a"
+
+    def test_add_column_rowcount_reports_rewrites(self, db):
+        db.execute("CREATE TABLE w (a INT)")
+        for i in range(300):
+            db.execute("INSERT INTO w VALUES (?)", (i,))
+        # Hybrid layout: new column lands in a fresh group -> zero rewrites.
+        assert db.execute("ALTER TABLE w ADD COLUMN b INT").rowcount == 0
+
+    def test_add_column_row_layout_rewrites_everything(self):
+        db = Database(default_layout=LayoutPolicy.ROW)
+        db.execute("CREATE TABLE w (a INT)")
+        for i in range(300):
+            db.execute("INSERT INTO w VALUES (?)", (i,))
+        assert db.execute("ALTER TABLE w ADD COLUMN b INT").rowcount > 0
+
+    def test_drop_column(self, people):
+        people.execute("ALTER TABLE people DROP COLUMN age")
+        assert people.table("people").column_names == ["pid", "name"]
+
+    def test_drop_pk_rejected(self, people):
+        with pytest.raises(SchemaError):
+            people.execute("ALTER TABLE people DROP COLUMN pid")
+
+    def test_rename_column(self, people):
+        people.execute("ALTER TABLE people RENAME COLUMN name TO full_name")
+        assert people.execute("SELECT full_name FROM people WHERE pid=1").scalar() == "ann"
+
+    def test_add_at_group(self, db):
+        db.execute("CREATE TABLE g (a INT, b INT)")
+        db.execute("INSERT INTO g VALUES (1, 2)")
+        db.execute("ALTER TABLE g ADD COLUMN c INT AT GROUP 0")
+        schema = db.table("g").schema
+        assert schema.group_of("c") == 0
+
+
+class TestTransactions:
+    def test_commit_keeps_changes(self, people):
+        people.execute("BEGIN")
+        people.execute("INSERT INTO people VALUES (10,'tmp',1)")
+        people.execute("COMMIT")
+        assert people.table("people").n_rows == 4
+
+    def test_rollback_undoes_insert(self, people):
+        people.execute("BEGIN")
+        people.execute("INSERT INTO people VALUES (10,'tmp',1)")
+        people.execute("ROLLBACK")
+        assert people.table("people").n_rows == 3
+
+    def test_rollback_undoes_update(self, people):
+        people.execute("BEGIN")
+        people.execute("UPDATE people SET age = 0")
+        people.execute("ROLLBACK")
+        assert people.execute("SELECT age FROM people WHERE pid=1").scalar() == 30
+
+    def test_rollback_undoes_delete_with_position(self, people):
+        people.execute("BEGIN")
+        people.execute("DELETE FROM people WHERE pid = 2")
+        people.execute("ROLLBACK")
+        rows = people.execute("SELECT pid FROM people").rows
+        assert [r[0] for r in rows] == [1, 2, 3]
+
+    def test_rollback_undoes_schema_change(self, people):
+        """The paper's §2.2 challenge: DDL participates in transactions."""
+        people.execute("BEGIN")
+        people.execute("ALTER TABLE people ADD COLUMN extra INT DEFAULT 1")
+        people.execute("UPDATE people SET extra = 5 WHERE pid = 1")
+        people.execute("ROLLBACK")
+        assert people.table("people").column_names == ["pid", "name", "age"]
+
+    def test_rollback_restores_dropped_column_values(self, people):
+        people.execute("BEGIN")
+        people.execute("ALTER TABLE people DROP COLUMN age")
+        people.execute("ROLLBACK")
+        assert people.execute("SELECT age FROM people WHERE pid=3").scalar() == 50
+
+    def test_rollback_undoes_drop_table(self, people):
+        people.execute("BEGIN")
+        people.execute("DROP TABLE people")
+        people.execute("ROLLBACK")
+        assert people.table("people").n_rows == 3
+
+    def test_rollback_undoes_create_table(self, people):
+        people.execute("BEGIN")
+        people.execute("CREATE TABLE temp (x INT)")
+        people.execute("ROLLBACK")
+        assert not people.has_table("temp")
+
+    def test_mixed_dml_ddl_transaction(self, people):
+        people.execute("BEGIN")
+        people.execute("ALTER TABLE people ADD COLUMN score REAL DEFAULT 0")
+        people.execute("UPDATE people SET score = age * 1.5")
+        people.execute("DELETE FROM people WHERE pid = 3")
+        people.execute("ROLLBACK")
+        assert people.table("people").n_rows == 3
+        assert people.table("people").column_names == ["pid", "name", "age"]
+
+    def test_nested_begin_rejected(self, people):
+        from repro.errors import TransactionError
+
+        people.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            people.execute("BEGIN")
+        people.execute("ROLLBACK")
+
+    def test_commit_without_begin_rejected(self, people):
+        from repro.errors import TransactionError
+
+        with pytest.raises(TransactionError):
+            people.execute("COMMIT")
+
+    def test_table_validates_after_rollback(self, people):
+        people.execute("BEGIN")
+        people.execute("INSERT INTO people VALUES (10,'x',1)")
+        people.execute("UPDATE people SET age = 99 WHERE pid = 1")
+        people.execute("DELETE FROM people WHERE pid = 2")
+        people.execute("ROLLBACK")
+        people.table("people").validate()

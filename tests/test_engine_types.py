@@ -1,0 +1,152 @@
+"""Unit tests for relational types (repro.engine.types)."""
+
+import datetime
+
+import pytest
+
+from repro.engine.types import (
+    DBType,
+    coerce_value,
+    compare_values,
+    infer_type,
+    sql_repr,
+    unify_types,
+)
+from repro.engine.types import infer_column_type
+from repro.errors import ExecutionError
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("INT", DBType.INTEGER),
+            ("integer", DBType.INTEGER),
+            ("BIGINT", DBType.INTEGER),
+            ("REAL", DBType.REAL),
+            ("FLOAT", DBType.REAL),
+            ("double", DBType.REAL),
+            ("TEXT", DBType.TEXT),
+            ("VARCHAR(30)", DBType.TEXT),
+            ("bool", DBType.BOOLEAN),
+            ("DATE", DBType.DATE),
+        ],
+    )
+    def test_aliases(self, name, expected):
+        assert DBType.parse(name) is expected
+
+    def test_unknown_type(self):
+        with pytest.raises(ExecutionError):
+            DBType.parse("BLOB9000")
+
+
+class TestInference:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, DBType.NULL),
+            (True, DBType.BOOLEAN),
+            (3, DBType.INTEGER),
+            (3.5, DBType.REAL),
+            ("x", DBType.TEXT),
+            (datetime.date(2020, 1, 1), DBType.DATE),
+        ],
+    )
+    def test_infer(self, value, expected):
+        assert infer_type(value) is expected
+
+    @pytest.mark.parametrize(
+        "first,second,expected",
+        [
+            (DBType.INTEGER, DBType.INTEGER, DBType.INTEGER),
+            (DBType.INTEGER, DBType.REAL, DBType.REAL),
+            (DBType.NULL, DBType.INTEGER, DBType.INTEGER),
+            (DBType.BOOLEAN, DBType.INTEGER, DBType.INTEGER),
+            (DBType.TEXT, DBType.INTEGER, DBType.TEXT),
+            (DBType.DATE, DBType.INTEGER, DBType.TEXT),
+            (DBType.DATE, DBType.DATE, DBType.DATE),
+        ],
+    )
+    def test_unify(self, first, second, expected):
+        assert unify_types(first, second) is expected
+        assert unify_types(second, first) is expected
+
+    def test_infer_column_type(self):
+        assert infer_column_type([1, 2, None, 3]) is DBType.INTEGER
+        assert infer_column_type([1, 2.5]) is DBType.REAL
+        assert infer_column_type([1, "x"]) is DBType.TEXT
+        assert infer_column_type([]) is DBType.NULL
+
+
+class TestCoercion:
+    def test_to_integer(self):
+        assert coerce_value("42", DBType.INTEGER) == 42
+        assert coerce_value(4.9, DBType.INTEGER) == 4
+        assert coerce_value(True, DBType.INTEGER) == 1
+
+    def test_to_real(self):
+        assert coerce_value("2.5", DBType.REAL) == 2.5
+        assert coerce_value(2, DBType.REAL) == 2.0
+
+    def test_to_boolean(self):
+        assert coerce_value("true", DBType.BOOLEAN) is True
+        assert coerce_value("0", DBType.BOOLEAN) is False
+        assert coerce_value(1, DBType.BOOLEAN) is True
+
+    def test_to_text(self):
+        assert coerce_value(5, DBType.TEXT) == "5"
+        assert coerce_value(5.0, DBType.TEXT) == "5"
+        assert coerce_value(True, DBType.TEXT) == "TRUE"
+
+    def test_to_date(self):
+        assert coerce_value("2021-02-03", DBType.DATE) == datetime.date(2021, 2, 3)
+
+    def test_none_passthrough(self):
+        assert coerce_value(None, DBType.INTEGER) is None
+
+    def test_lenient_failure_returns_original(self):
+        assert coerce_value("xyz", DBType.INTEGER) == "xyz"
+
+    def test_strict_failure_raises(self):
+        with pytest.raises(ExecutionError):
+            coerce_value("xyz", DBType.INTEGER, strict=True)
+
+
+class TestCompare:
+    def test_numbers(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2, 2) == 0
+        assert compare_values(3, 2) == 1
+        assert compare_values(1, 1.0) == 0
+
+    def test_null_is_unknown(self):
+        assert compare_values(None, 1) is None
+        assert compare_values(1, None) is None
+
+    def test_cross_type_total_order(self):
+        assert compare_values(99, "a") == -1  # numbers before text
+        assert compare_values("a", 99) == 1
+
+    def test_text(self):
+        assert compare_values("a", "b") == -1
+        assert compare_values("b", "b") == 0
+
+    def test_booleans_compare_as_numbers(self):
+        assert compare_values(True, 1) == 0
+        assert compare_values(False, 1) == -1
+
+
+class TestSqlRepr:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (None, "NULL"),
+            (True, "TRUE"),
+            (5, "5"),
+            (2.5, "2.5"),
+            ("it's", "'it''s'"),
+            (datetime.date(2020, 1, 2), "'2020-01-02'"),
+        ],
+    )
+    def test_repr(self, value, expected):
+        assert sql_repr(value) == expected

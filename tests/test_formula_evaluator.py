@@ -1,0 +1,136 @@
+"""Unit tests for formula evaluation semantics (operators, coercion,
+errors, implicit intersection)."""
+
+import pytest
+
+from repro.core.address import CellAddress, RangeAddress
+from repro.errors import FormulaEvalError
+from repro.formula.evaluator import EvalContext, RangeValues, evaluate_formula
+
+
+class SimpleContext(EvalContext):
+    def __init__(self, cells=None, extensions=None):
+        self.cells = cells or {}
+        self.extensions = extensions or {}
+        self.extension_calls = []
+
+    def cell_value(self, address: CellAddress):
+        return self.cells.get(address.to_a1(include_sheet=False))
+
+    def range_values(self, reference: RangeAddress) -> RangeValues:
+        grid = [
+            [
+                self.cells.get(CellAddress(row, col).to_a1(include_sheet=False))
+                for col in range(reference.start.col, reference.end.col + 1)
+            ]
+            for row in range(reference.start.row, reference.end.row + 1)
+        ]
+        return RangeValues(grid)
+
+    def call_extension(self, name, args):
+        self.extension_calls.append((name, args))
+        if name in self.extensions:
+            return self.extensions[name](*args)
+        return super().call_extension(name, args)
+
+
+def run(formula, cells=None, **kwargs):
+    return evaluate_formula(formula, SimpleContext(cells, **kwargs))
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "formula,expected",
+        [
+            ("1+2", 3),
+            ("5-8", -3),
+            ("3*4", 12),
+            ("7/2", 3.5),
+            ("8/2", 4),
+            ("2^10", 1024),
+            ("-2^2", 4),  # unary binds tighter: (-2)^2
+            ('"a"&"b"', "ab"),
+            ("1&2", "12"),
+            ("1=1", True),
+            ("1<>2", True),
+            ("2>=3", False),
+            ('"a"<"b"', True),
+        ],
+    )
+    def test_operators(self, formula, expected):
+        assert run(formula) == expected
+
+    def test_divide_by_zero(self):
+        with pytest.raises(FormulaEvalError) as info:
+            run("1/0")
+        assert info.value.code == "#DIV/0!"
+
+    def test_text_case_insensitive_equality(self):
+        assert run('"Hello"="hello"') is True
+
+    def test_numbers_sort_before_text(self):
+        assert run('99<"a"') is True
+
+    def test_blank_counts_as_zero_in_arithmetic(self):
+        assert run("A1+5") == 5  # A1 is blank
+
+    def test_numeric_text_coerces_in_arithmetic(self):
+        assert run('"3"+4') == 7
+
+    def test_non_numeric_text_errors(self):
+        with pytest.raises(FormulaEvalError):
+            run('"abc"+1')
+
+    def test_boolean_as_number(self):
+        assert run("TRUE+TRUE") == 2
+
+    def test_blank_concat_is_empty(self):
+        assert run('A1&"x"') == "x"
+
+
+class TestReferences:
+    def test_cell_value(self):
+        assert run("B2*2", {"B2": 21}) == 42
+
+    def test_chained_refs_via_context(self):
+        cells = {"A1": 5, "A2": 10}
+        assert run("A1+A2", cells) == 15
+
+    def test_single_cell_range_dereferences(self):
+        assert run("A1:A1+1", {"A1": 9}) == 10
+
+    def test_multi_cell_range_in_scalar_context_errors(self):
+        with pytest.raises(FormulaEvalError):
+            run("A1:A3+1", {"A1": 1, "A2": 2, "A3": 3})
+
+
+class TestExtensions:
+    def test_extension_dispatch(self):
+        result = run(
+            'DBSQL("SELECT 1")',
+            extensions={"DBSQL": lambda sql: f"ran:{sql}"},
+        )
+        assert result == "ran:SELECT 1"
+
+    def test_unknown_function_is_name_error(self):
+        with pytest.raises(FormulaEvalError) as info:
+            run("NOPE(1)")
+        assert info.value.code == "#NAME?"
+
+    def test_extension_receives_evaluated_args(self):
+        context = SimpleContext({"A1": 6}, {"TWICE": lambda x: x * 2})
+        assert evaluate_formula("TWICE(A1+1)", context) == 14
+        assert context.extension_calls == [("TWICE", [7])]
+
+
+class TestErrorCodes:
+    def test_if_condition_must_be_boolish(self):
+        with pytest.raises(FormulaEvalError):
+            run('IF("zzz", 1, 2)')
+
+    def test_nested_error_propagates(self):
+        with pytest.raises(FormulaEvalError):
+            run("SUM(A1:A2) + 1/0", {"A1": 1})
+
+    def test_iferror_shields_inner(self):
+        assert run("IFERROR(SQRT(-1), -1)") == -1

@@ -1,0 +1,235 @@
+"""Unit tests for the spreadsheet function library.
+
+Functions are tested through the evaluator with a small fixed grid so range
+arguments behave exactly as they do in production.
+"""
+
+import pytest
+
+from repro.core.address import CellAddress, RangeAddress
+from repro.errors import FormulaEvalError
+from repro.formula.evaluator import EvalContext, RangeValues, evaluate_formula
+
+
+GRID = {
+    # A: numbers, B: text, C: mixed/lookup table values
+    (0, 0): 10, (0, 1): "alpha", (0, 2): 1, (0, 3): "one",
+    (1, 0): 20, (1, 1): "beta",  (1, 2): 2, (1, 3): "two",
+    (2, 0): 30, (2, 1): "gamma", (2, 2): 3, (2, 3): "three",
+    (3, 0): 40, (3, 1): "",      (3, 2): 4, (3, 3): "four",
+    (4, 0): None, (4, 1): "x",
+}
+
+
+class GridContext(EvalContext):
+    def cell_value(self, address: CellAddress):
+        return GRID.get((address.row, address.col))
+
+    def range_values(self, reference: RangeAddress) -> RangeValues:
+        return RangeValues(
+            [
+                [GRID.get((row, col)) for col in range(reference.start.col, reference.end.col + 1)]
+                for row in range(reference.start.row, reference.end.row + 1)
+            ]
+        )
+
+
+def run(formula):
+    return evaluate_formula(formula, GridContext())
+
+
+class TestAggregates:
+    def test_sum_range(self):
+        assert run("SUM(A1:A5)") == 100
+
+    def test_sum_mixed_args(self):
+        assert run("SUM(A1:A2, 5, A3)") == 65
+
+    def test_sum_skips_text_and_blank(self):
+        assert run("SUM(B1:B5)") == 0
+
+    def test_average(self):
+        assert run("AVERAGE(A1:A4)") == 25
+
+    def test_average_empty_is_div0(self):
+        with pytest.raises(FormulaEvalError) as info:
+            run("AVERAGE(B1:B1)")
+        assert info.value.code == "#DIV/0!"
+
+    def test_count_counts_numbers_only(self):
+        assert run("COUNT(A1:B5)") == 4
+
+    def test_counta(self):
+        assert run("COUNTA(B1:B5)") == 4
+
+    def test_countblank(self):
+        assert run("COUNTBLANK(A1:B5)") == 2
+
+    def test_min_max(self):
+        assert run("MIN(A1:A4)") == 10
+        assert run("MAX(A1:A4)") == 40
+
+    def test_median(self):
+        assert run("MEDIAN(A1:A4)") == 25
+
+    def test_product(self):
+        assert run("PRODUCT(C1:C3)") == 6
+
+    def test_stdev_var(self):
+        assert run("VAR(C1:C4)") == pytest.approx(5 / 3)
+        assert run("STDEV(C1:C4)") == pytest.approx((5 / 3) ** 0.5)
+
+    def test_large_small(self):
+        assert run("LARGE(A1:A4, 2)") == 30
+        assert run("SMALL(A1:A4, 1)") == 10
+        with pytest.raises(FormulaEvalError):
+            run("LARGE(A1:A4, 9)")
+
+
+class TestMath:
+    @pytest.mark.parametrize(
+        "formula,expected",
+        [
+            ("ABS(-3)", 3),
+            ("ROUND(2.456, 2)", 2.46),
+            ("INT(2.9)", 2),
+            ("INT(-2.1)", -3),
+            ("MOD(10, 3)", 1),
+            ("SQRT(16)", 4),
+            ("POWER(2, 5)", 32),
+            ("FLOOR(7, 3)", 6),
+            ("CEILING(7, 3)", 9),
+            ("SIGN(-2)", -1),
+            ("EXP(0)", 1),
+            ("LN(1)", 0),
+            ("LOG(100)", 2),
+            ("LOG(8, 2)", 3),
+        ],
+    )
+    def test_math(self, formula, expected):
+        assert run(formula) == pytest.approx(expected)
+
+    def test_mod_zero(self):
+        with pytest.raises(FormulaEvalError) as info:
+            run("MOD(1, 0)")
+        assert info.value.code == "#DIV/0!"
+
+    def test_sqrt_negative(self):
+        with pytest.raises(FormulaEvalError):
+            run("SQRT(-1)")
+
+
+class TestLogic:
+    def test_and_or_not_xor(self):
+        assert run("AND(TRUE, 1, \"TRUE\")") is True
+        assert run("AND(TRUE, FALSE)") is False
+        assert run("OR(FALSE, 0, 1)") is True
+        assert run("NOT(0)") is True
+        assert run("XOR(TRUE, TRUE, TRUE)") is True
+
+    def test_if_lazy_does_not_eval_untaken_branch(self):
+        # The untaken branch divides by zero — IF must not evaluate it.
+        assert run("IF(TRUE, 1, 1/0)") == 1
+
+    def test_if_default_false(self):
+        assert run("IF(FALSE, 1)") is False
+
+    def test_iferror_catches(self):
+        assert run("IFERROR(1/0, \"fallback\")") == "fallback"
+        assert run("IFERROR(7, 0)") == 7
+
+    def test_iserror(self):
+        assert run("ISERROR(1/0)") is True
+        assert run("ISERROR(1)") is False
+
+    def test_type_predicates(self):
+        assert run("ISBLANK(A5)") is True
+        assert run("ISNUMBER(A1)") is True
+        assert run("ISNUMBER(B1)") is False
+        assert run("ISTEXT(B1)") is True
+
+
+class TestText:
+    @pytest.mark.parametrize(
+        "formula,expected",
+        [
+            ('CONCATENATE("a", 1, TRUE)', "a1TRUE"),
+            ('LEN("hello")', 5),
+            ('LEFT("hello", 2)', "he"),
+            ('RIGHT("hello", 2)', "lo"),
+            ('MID("hello", 2, 3)', "ell"),
+            ('FIND("l", "hello")', 3),
+            ('SUBSTITUTE("aaa", "a", "b")', "bbb"),
+            ('REPT("ab", 3)', "ababab"),
+            ('EXACT("a", "A")', False),
+            ('VALUE("42")', 42),
+            ('UPPER("x")', "X"),
+            ('TRIM("  x ")', "x"),
+        ],
+    )
+    def test_text(self, formula, expected):
+        assert run(formula) == expected
+
+    def test_find_missing_errors(self):
+        with pytest.raises(FormulaEvalError):
+            run('FIND("z", "abc")')
+
+
+class TestLookup:
+    def test_vlookup_exact(self):
+        assert run("VLOOKUP(2, C1:D4, 2, FALSE)") == "two"
+
+    def test_vlookup_exact_missing_is_na(self):
+        with pytest.raises(FormulaEvalError) as info:
+            run("VLOOKUP(9, C1:D4, 2, FALSE)")
+        assert info.value.code == "#N/A"
+
+    def test_vlookup_approximate(self):
+        # 3.5 -> last key <= 3.5 is 3 -> "three"
+        assert run("VLOOKUP(3.5, C1:D4, 2, TRUE)") == "three"
+
+    def test_hlookup(self):
+        # Searches the first row of C1:D2 ([1, 'one']) for 1, returns row 2.
+        assert run("HLOOKUP(1, C1:D2, 2, FALSE)") == 2
+        with pytest.raises(FormulaEvalError):
+            run("HLOOKUP(99, C1:D2, 2, FALSE)")
+
+    def test_index(self):
+        assert run("INDEX(A1:B3, 2, 2)") == "beta"
+        with pytest.raises(FormulaEvalError):
+            run("INDEX(A1:B3, 9, 1)")
+
+    def test_match_exact(self):
+        assert run("MATCH(30, A1:A4, 0)") == 3
+        with pytest.raises(FormulaEvalError):
+            run("MATCH(35, A1:A4, 0)")
+
+    def test_match_approximate(self):
+        assert run("MATCH(35, A1:A4, 1)") == 3
+
+    def test_choose(self):
+        assert run('CHOOSE(2, "a", "b", "c")') == "b"
+
+
+class TestConditionalAggregates:
+    def test_countif_number_criteria(self):
+        assert run('COUNTIF(A1:A4, ">15")') == 3
+
+    def test_countif_equality(self):
+        assert run('COUNTIF(B1:B5, "beta")') == 1
+
+    def test_countif_not_equal(self):
+        assert run('COUNTIF(A1:A4, "<>20")') == 3
+
+    def test_sumif(self):
+        assert run('SUMIF(A1:A4, ">=20")') == 90
+
+    def test_sumif_separate_sum_range(self):
+        assert run('SUMIF(C1:C4, ">2", A1:A4)') == 70
+
+    def test_averageif(self):
+        assert run('AVERAGEIF(A1:A4, ">10")') == 30
+
+    def test_averageif_no_match(self):
+        with pytest.raises(FormulaEvalError):
+            run('AVERAGEIF(A1:A4, ">1000")')

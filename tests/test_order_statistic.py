@@ -1,0 +1,174 @@
+"""Unit + property tests for the order-statistic tree (positional index
+substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.order_statistic import OrderStatisticTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = OrderStatisticTree()
+        assert len(tree) == 0
+        assert tree.to_list() == []
+
+    def test_bulk_load_preserves_order(self):
+        values = list(range(100))
+        tree = OrderStatisticTree(values)
+        assert tree.to_list() == values
+        tree.validate()
+
+    def test_get(self):
+        tree = OrderStatisticTree(["a", "b", "c"])
+        assert tree.get(0) == "a"
+        assert tree.get(2) == "c"
+        assert tree.get(-1) == "c"
+
+    def test_get_out_of_range(self):
+        tree = OrderStatisticTree([1])
+        with pytest.raises(IndexError):
+            tree.get(1)
+        with pytest.raises(IndexError):
+            tree.get(-2)
+
+    def test_set(self):
+        tree = OrderStatisticTree([1, 2, 3])
+        tree.set(1, 99)
+        assert tree.to_list() == [1, 99, 3]
+
+    def test_insert_middle(self):
+        tree = OrderStatisticTree([1, 2, 4])
+        tree.insert(2, 3)
+        assert tree.to_list() == [1, 2, 3, 4]
+
+    def test_insert_ends(self):
+        tree = OrderStatisticTree([2])
+        tree.insert(0, 1)
+        tree.append(3)
+        assert tree.to_list() == [1, 2, 3]
+
+    def test_insert_bad_position(self):
+        tree = OrderStatisticTree([1])
+        with pytest.raises(IndexError):
+            tree.insert(5, 9)
+
+    def test_delete(self):
+        tree = OrderStatisticTree([1, 2, 3])
+        assert tree.delete(1) == 2
+        assert tree.to_list() == [1, 3]
+
+    def test_delete_all(self):
+        tree = OrderStatisticTree([1, 2, 3])
+        for _ in range(3):
+            tree.delete(0)
+        assert len(tree) == 0
+
+
+class TestSlices:
+    def test_iter_slice(self):
+        tree = OrderStatisticTree(list(range(50)))
+        assert list(tree.iter_slice(10, 5)) == [10, 11, 12, 13, 14]
+
+    def test_iter_slice_clamps(self):
+        tree = OrderStatisticTree([0, 1, 2])
+        assert list(tree.iter_slice(2, 10)) == [2]
+        assert list(tree.iter_slice(5, 3)) == []
+        assert list(tree.iter_slice(0, 0)) == []
+
+    def test_insert_slice(self):
+        tree = OrderStatisticTree([1, 5])
+        tree.insert_slice(1, [2, 3, 4])
+        assert tree.to_list() == [1, 2, 3, 4, 5]
+        tree.validate()
+
+    def test_insert_slice_empty(self):
+        tree = OrderStatisticTree([1])
+        tree.insert_slice(0, [])
+        assert tree.to_list() == [1]
+
+    def test_delete_slice(self):
+        tree = OrderStatisticTree(list(range(10)))
+        removed = tree.delete_slice(3, 4)
+        assert removed == [3, 4, 5, 6]
+        assert tree.to_list() == [0, 1, 2, 7, 8, 9]
+        tree.validate()
+
+    def test_delete_slice_bounds(self):
+        tree = OrderStatisticTree([1, 2])
+        with pytest.raises(IndexError):
+            tree.delete_slice(1, 5)
+        with pytest.raises(IndexError):
+            tree.delete_slice(0, -1)
+
+
+class TestScale:
+    def test_large_sequential(self):
+        tree = OrderStatisticTree()
+        for i in range(5000):
+            tree.append(i)
+        assert len(tree) == 5000
+        assert tree.get(2500) == 2500
+        tree.validate()
+
+    def test_many_middle_inserts(self):
+        tree = OrderStatisticTree()
+        reference = []
+        for i in range(2000):
+            position = (i * 37) % (len(reference) + 1)
+            tree.insert(position, i)
+            reference.insert(position, i)
+        assert tree.to_list() == reference
+        tree.validate()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["insert", "delete", "get", "set", "slice"]),
+                  st.integers(0, 10_000), st.integers(0, 10_000)),
+        max_size=60,
+    )
+)
+def test_matches_python_list_model(operations):
+    """Property: the tree behaves exactly like a Python list under random
+    positional operations."""
+    tree = OrderStatisticTree()
+    model = []
+    for op, a, b in operations:
+        if op == "insert":
+            position = a % (len(model) + 1)
+            tree.insert(position, b)
+            model.insert(position, b)
+        elif op == "delete" and model:
+            position = a % len(model)
+            assert tree.delete(position) == model.pop(position)
+        elif op == "get" and model:
+            position = a % len(model)
+            assert tree.get(position) == model[position]
+        elif op == "set" and model:
+            position = a % len(model)
+            tree.set(position, b)
+            model[position] = b
+        elif op == "slice" and model:
+            position = a % len(model)
+            count = b % (len(model) - position + 1)
+            assert list(tree.iter_slice(position, count)) == model[position : position + count]
+    assert tree.to_list() == model
+    tree.validate()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(), max_size=200), st.integers(0, 200), st.integers(0, 50))
+def test_slice_ops_match_list_model(initial, position, count):
+    tree = OrderStatisticTree(initial)
+    model = list(initial)
+    position = position % (len(model) + 1)
+    tree.insert_slice(position, [77, 88])
+    model[position:position] = [77, 88]
+    start = min(position, len(model) - 1) if model else 0
+    count = min(count, len(model) - start)
+    assert tree.delete_slice(start, count) == model[start : start + count]
+    del model[start : start + count]
+    assert tree.to_list() == model

@@ -1,0 +1,110 @@
+"""Tests for workbook persistence (save/load round trips)."""
+
+import datetime
+
+import pytest
+
+from repro import Workbook
+from repro.core.persist import (
+    load_workbook,
+    save_workbook,
+    workbook_from_dict,
+    workbook_to_dict,
+)
+from repro.errors import ImportExportError
+
+
+def build_rich_workbook() -> Workbook:
+    wb = Workbook()
+    wb.execute(
+        "CREATE TABLE items (id INT PRIMARY KEY, name TEXT, qty INT, "
+        "added DATE DEFAULT NULL)"
+    )
+    wb.execute(
+        "INSERT INTO items VALUES (1,'apple',10,'2020-01-02'),"
+        "(2,'pear',20,NULL),(3,'fig',30,'2021-03-04')"
+    )
+    wb.set("Sheet1", "H1", 5)
+    wb.set("Sheet1", "H2", "=H1*2")
+    wb.add_sheet("Notes")
+    wb.set("Notes", "A1", "remember")
+    wb.dbtable("Sheet1", "A1", "items")
+    wb.dbsql("Sheet1", "F1", "SELECT sum(qty) FROM items")
+    return wb
+
+
+class TestRoundTrip:
+    def test_tables_restored(self):
+        wb = workbook_from_dict(workbook_to_dict(build_rich_workbook()))
+        assert wb.execute("SELECT count(*) FROM items").scalar() == 3
+        assert wb.execute("SELECT name FROM items WHERE id=2").scalar() == "pear"
+
+    def test_schema_details_restored(self):
+        wb = workbook_from_dict(workbook_to_dict(build_rich_workbook()))
+        schema = wb.database.table("items").schema
+        assert schema.primary_key == "id"
+        assert schema.column("added").dtype.value == "DATE"
+
+    def test_attribute_groups_restored(self):
+        source = Workbook()
+        source.execute("CREATE TABLE g (a INT, b INT)")
+        source.execute("ALTER TABLE g ADD COLUMN c INT")  # own group
+        wb = workbook_from_dict(workbook_to_dict(source))
+        assert wb.database.table("g").schema.groups == [["a", "b"], ["c"]]
+
+    def test_dates_roundtrip(self):
+        wb = workbook_from_dict(workbook_to_dict(build_rich_workbook()))
+        value = wb.execute("SELECT added FROM items WHERE id=1").scalar()
+        assert value == datetime.date(2020, 1, 2)
+
+    def test_presentation_order_preserved(self):
+        source = Workbook()
+        source.execute("CREATE TABLE p (id INT PRIMARY KEY)")
+        source.execute("INSERT INTO p VALUES (1),(3)")
+        source.execute("INSERT INTO p VALUES (2) AT POSITION 1")
+        wb = workbook_from_dict(workbook_to_dict(source))
+        assert [r[0] for r in wb.execute("SELECT id FROM p").rows] == [1, 2, 3]
+
+    def test_plain_cells_and_formulas(self):
+        wb = workbook_from_dict(workbook_to_dict(build_rich_workbook()))
+        assert wb.get("Sheet1", "H1") == 5
+        assert wb.get("Sheet1", "H2") == 10
+        wb.set("Sheet1", "H1", 7)  # formula is live, not a frozen value
+        assert wb.get("Sheet1", "H2") == 14
+
+    def test_multiple_sheets(self):
+        wb = workbook_from_dict(workbook_to_dict(build_rich_workbook()))
+        assert wb.get("Notes", "A1") == "remember"
+
+    def test_regions_live_after_load(self):
+        wb = workbook_from_dict(workbook_to_dict(build_rich_workbook()))
+        assert wb.get("Sheet1", "A1") == "id"          # DBTABLE header
+        assert wb.get("Sheet1", "F1") == 60            # DBSQL result
+        # Two-way sync still works on the loaded copy.
+        wb.set("Sheet1", "C2", 100)
+        assert wb.get("Sheet1", "F1") == 150
+
+    def test_windowed_region_offset_restored(self):
+        source = Workbook()
+        source.execute("CREATE TABLE big (id INT PRIMARY KEY)")
+        table = source.database.table("big")
+        for i in range(200):
+            table.insert((i,), emit=False)
+        region = source.dbtable("Sheet1", "A1", "big", window_rows=10)
+        region.scroll_to(50)
+        wb = workbook_from_dict(workbook_to_dict(source))
+        assert wb.get("Sheet1", "A2") == 50
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "workbook.json")
+        save_workbook(build_rich_workbook(), path)
+        wb = load_workbook(path)
+        assert wb.get("Sheet1", "F1") == 60
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ImportExportError):
+            workbook_from_dict({"version": 99})
+
+    def test_empty_workbook(self):
+        wb = workbook_from_dict(workbook_to_dict(Workbook()))
+        assert wb.sheet_names() == ["Sheet1"]

@@ -1,0 +1,147 @@
+"""White-box planner tests: plan shapes, pushdown, join algorithm choice,
+and operator-level row accounting."""
+
+import pytest
+
+from repro import Database
+from repro.engine.executor import (
+    ExecContext,
+    FilterNode,
+    HashJoin,
+    NestedLoopJoin,
+    PlanNode,
+    SeqScan,
+    ValuesScan,
+)
+from repro.engine.planner import Planner
+from repro.engine.sql_parser import parse_statement
+
+
+@pytest.fixture
+def db_two_tables(db):
+    db.execute("CREATE TABLE a (x INT, y INT)")
+    db.execute("CREATE TABLE b (x INT, z INT)")
+    for i in range(20):
+        db.execute(f"INSERT INTO a VALUES ({i}, {i * 2})")
+        db.execute(f"INSERT INTO b VALUES ({i}, {i * 3})")
+    return db
+
+
+def plan_of(db, sql) -> PlanNode:
+    planner = Planner(db.catalog)
+    return planner.plan_select(parse_statement(sql)).plan
+
+
+def find_nodes(node, kind):
+    found = []
+    if isinstance(node, kind):
+        found.append(node)
+    for child in node.children():
+        found.extend(find_nodes(child, kind))
+    return found
+
+
+class TestJoinSelection:
+    def test_equi_join_uses_hash_join(self, db_two_tables):
+        plan = plan_of(db_two_tables, "SELECT * FROM a JOIN b ON a.x = b.x")
+        assert find_nodes(plan, HashJoin)
+        assert not find_nodes(plan, NestedLoopJoin)
+
+    def test_non_equi_join_uses_nested_loop(self, db_two_tables):
+        plan = plan_of(db_two_tables, "SELECT * FROM a JOIN b ON a.x < b.x")
+        assert find_nodes(plan, NestedLoopJoin)
+        assert not find_nodes(plan, HashJoin)
+
+    def test_implicit_join_predicate_becomes_hash_key(self, db_two_tables):
+        plan = plan_of(
+            db_two_tables, "SELECT * FROM a, b WHERE a.x = b.x AND a.y > 5"
+        )
+        assert find_nodes(plan, HashJoin)
+
+    def test_mixed_condition_residual(self, db_two_tables):
+        plan = plan_of(
+            db_two_tables,
+            "SELECT * FROM a JOIN b ON a.x = b.x AND a.y < b.z",
+        )
+        joins = find_nodes(plan, HashJoin)
+        assert joins and joins[0].residual is not None
+
+    def test_natural_join_projects_common_column_once(self, db_two_tables):
+        plan = plan_of(db_two_tables, "SELECT * FROM a NATURAL JOIN b")
+        names = [name for _, name in plan.columns]
+        assert names.count("x") == 1
+
+
+class TestPushdown:
+    def test_single_table_conjunct_pushed_below_join(self, db_two_tables):
+        plan = plan_of(
+            db_two_tables,
+            "SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y > 5 AND b.z > 5",
+        )
+        joins = find_nodes(plan, HashJoin)
+        assert joins
+        join = joins[0]
+        # Both join inputs should be filters over scans, not bare scans.
+        assert isinstance(join.left, FilterNode)
+        assert isinstance(join.right, FilterNode)
+
+    def test_pushdown_not_into_right_of_left_join(self, db_two_tables):
+        plan = plan_of(
+            db_two_tables,
+            "SELECT * FROM a LEFT JOIN b ON a.x = b.x WHERE b.z > 5",
+        )
+        joins = find_nodes(plan, HashJoin)
+        assert joins
+        # The b.z predicate must sit ABOVE the join (filtering after null
+        # extension), not below its right input.
+        assert isinstance(joins[0].right, SeqScan)
+        assert find_nodes(plan, FilterNode)
+
+    def test_pushdown_reduces_join_input_rows(self, db_two_tables):
+        plan = plan_of(
+            db_two_tables,
+            "SELECT * FROM a JOIN b ON a.x = b.x WHERE a.y >= 30",
+        )
+        list(plan.run(ExecContext()))
+        joins = find_nodes(plan, HashJoin)
+        scans = find_nodes(plan, SeqScan)
+        filters = find_nodes(plan, FilterNode)
+        # The a-side filter emitted only the matching 5 rows into the join.
+        a_filter = [f for f in filters if f.rows_out == 5]
+        assert a_filter
+
+
+class TestAccounting:
+    def test_rows_out_counters(self, db_two_tables):
+        plan = plan_of(db_two_tables, "SELECT * FROM a WHERE y > 10")
+        rows = list(plan.run(ExecContext()))
+        assert plan.rows_out == len(rows)
+        scans = find_nodes(plan, SeqScan)
+        assert scans[0].rows_out == 20
+
+    def test_explain_tree(self, db_two_tables):
+        plan = plan_of(db_two_tables, "SELECT x FROM a WHERE y > 3 ORDER BY x LIMIT 2")
+        text = plan.explain()
+        assert "SeqScan" in text
+        assert "Sort" in text
+        assert "Limit" in text
+
+    def test_total_rows_processed(self, db_two_tables):
+        plan = plan_of(db_two_tables, "SELECT * FROM a JOIN b ON a.x = b.x")
+        list(plan.run(ExecContext()))
+        assert plan.total_rows_processed() >= 60  # 20 + 20 inputs + 20 out
+
+
+class TestValuesScanAndDual:
+    def test_select_without_from_uses_dual(self, db):
+        plan = plan_of(db, "SELECT 1, 2")
+        scans = find_nodes(plan, ValuesScan)
+        assert scans and scans[0].name == "dual"
+
+    def test_limit_with_parameters(self, db_two_tables):
+        planner = Planner(db_two_tables.catalog)
+        planned = planner.plan_select(
+            parse_statement("SELECT x FROM a ORDER BY x LIMIT ? OFFSET ?")
+        )
+        rows = planned.execute((3, 2))
+        assert [r[0] for r in rows] == [2, 3, 4]

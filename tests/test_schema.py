@@ -1,0 +1,158 @@
+"""Unit tests for schemas and attribute groups (repro.engine.schema)."""
+
+import pytest
+
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DBType
+from repro.errors import SchemaError
+
+
+def make_schema(group_size=None):
+    return TableSchema.from_pairs(
+        [("a", DBType.INTEGER), ("b", DBType.TEXT), ("c", DBType.REAL), ("d", DBType.TEXT)],
+        primary_key="a",
+        group_size=group_size,
+    )
+
+
+class TestConstruction:
+    def test_default_single_group(self):
+        schema = make_schema()
+        assert schema.n_groups == 1
+        assert schema.groups == [["a", "b", "c", "d"]]
+
+    def test_group_size_chunks(self):
+        schema = make_schema(group_size=2)
+        assert schema.groups == [["a", "b"], ["c", "d"]]
+
+    def test_group_size_uneven(self):
+        schema = make_schema(group_size=3)
+        assert schema.groups == [["a", "b", "c"], ["d"]]
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema([Column("x"), Column("X")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema([])
+
+    def test_primary_key_flag(self):
+        schema = make_schema()
+        assert schema.primary_key == "a"
+        assert schema.column("a").not_null
+
+    def test_groups_must_cover_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema([Column("x"), Column("y")], groups=[["x"]])
+
+    def test_groups_no_duplicates(self):
+        with pytest.raises(SchemaError):
+            TableSchema([Column("x"), Column("y")], groups=[["x", "y"], ["x"]])
+
+
+class TestLookup:
+    def test_column_index_case_insensitive(self):
+        schema = make_schema()
+        assert schema.column_index("B") == 1
+        assert schema.column("C").dtype is DBType.REAL
+
+    def test_missing_column(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.column("zz")
+        with pytest.raises(SchemaError):
+            schema.column_index("zz")
+
+    def test_group_of(self):
+        schema = make_schema(group_size=2)
+        assert schema.group_of("a") == 0
+        assert schema.group_of("d") == 1
+
+    def test_group_column_indexes(self):
+        schema = make_schema(group_size=2)
+        assert schema.group_column_indexes(1) == [2, 3]
+
+
+class TestEvolution:
+    def test_add_column_new_group(self):
+        schema = make_schema()
+        group = schema.add_column(Column("e", DBType.INTEGER))
+        assert group == 1
+        assert schema.groups[-1] == ["e"]
+        assert schema.n_columns == 5
+
+    def test_add_column_into_existing_group(self):
+        schema = make_schema(group_size=2)
+        group = schema.add_column(Column("e"), group_index=0)
+        assert group == 0
+        assert "e" in schema.groups[0]
+
+    def test_add_into_missing_group_rejected_without_side_effects(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.add_column(Column("e"), group_index=9)
+        assert not schema.has_column("e")
+
+    def test_drop_column(self):
+        schema = make_schema(group_size=2)
+        schema.drop_column("c")
+        assert schema.column_names == ["a", "b", "d"]
+        assert schema.groups == [["a", "b"], ["d"]]
+
+    def test_drop_sole_member_removes_group(self):
+        schema = make_schema(group_size=2)
+        schema.drop_column("c")
+        schema.drop_column("d")
+        assert schema.groups == [["a", "b"]]
+
+    def test_drop_last_column_rejected(self):
+        schema = TableSchema([Column("only")])
+        with pytest.raises(SchemaError):
+            schema.drop_column("only")
+
+    def test_rename_column(self):
+        schema = make_schema()
+        schema.rename_column("b", "title")
+        assert schema.has_column("title")
+        assert not schema.has_column("b")
+        assert "title" in schema.groups[0]
+
+    def test_rename_to_existing_rejected(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.rename_column("b", "c")
+
+    def test_set_groups(self):
+        schema = make_schema()
+        schema.set_groups([["a", "c"], ["b", "d"]])
+        assert schema.group_of("c") == 0
+
+
+class TestRowSplitting:
+    def test_split_and_join_roundtrip(self):
+        schema = make_schema(group_size=2)
+        row = (1, "x", 2.5, "y")
+        fragments = schema.split_row(row)
+        assert fragments == [(1, "x"), (2.5, "y")]
+        assert schema.join_fragments(fragments) == row
+
+    def test_split_non_contiguous_groups(self):
+        schema = make_schema()
+        schema.set_groups([["a", "d"], ["b", "c"]])
+        row = (1, "x", 2.5, "y")
+        fragments = schema.split_row(row)
+        assert fragments == [(1, "y"), ("x", 2.5)]
+        assert schema.join_fragments(fragments) == row
+
+    def test_split_wrong_width(self):
+        schema = make_schema()
+        with pytest.raises(SchemaError):
+            schema.split_row((1, 2))
+
+    def test_copy_is_independent(self):
+        schema = make_schema()
+        clone = schema.copy()
+        clone.add_column(Column("e"))
+        assert not schema.has_column("e")
+        assert schema != clone

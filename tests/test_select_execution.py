@@ -1,0 +1,327 @@
+"""End-to-end SELECT execution tests (planner + executor + functions)."""
+
+import pytest
+
+from repro import Database
+from repro.errors import PlanError, SqlError
+
+
+@pytest.fixture
+def sample(db):
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, grp TEXT, val REAL)")
+    db.execute(
+        "INSERT INTO t VALUES (1,'a',10.0),(2,'a',20.0),(3,'b',30.0),"
+        "(4,'b',NULL),(5,'c',50.0)"
+    )
+    return db
+
+
+class TestProjection:
+    def test_star(self, sample):
+        result = sample.execute("SELECT * FROM t")
+        assert result.columns == ["id", "grp", "val"]
+        assert len(result.rows) == 5
+
+    def test_expressions_and_aliases(self, sample):
+        result = sample.execute("SELECT id * 2 AS double, upper(grp) FROM t WHERE id = 1")
+        assert result.columns == ["double", "upper"]
+        assert result.rows == [(2, "A")]
+
+    def test_select_without_from(self, db):
+        assert db.execute("SELECT 2 + 3 * 4").scalar() == 14
+
+    def test_qualified_star_in_join(self, sample):
+        result = sample.execute(
+            "SELECT a.* FROM t a JOIN t b ON a.id = b.id WHERE a.id = 1"
+        )
+        assert result.rows == [(1, "a", 10.0)]
+
+    def test_column_case_insensitive(self, sample):
+        assert sample.execute("SELECT ID FROM t WHERE id=1").scalar() == 1
+
+    def test_unknown_column(self, sample):
+        with pytest.raises(PlanError):
+            sample.execute("SELECT nope FROM t")
+
+    def test_ambiguous_column(self, sample):
+        with pytest.raises(PlanError):
+            sample.execute("SELECT id FROM t a JOIN t b ON a.id = b.id")
+
+
+class TestFilters:
+    def test_comparison(self, sample):
+        assert len(sample.execute("SELECT * FROM t WHERE val >= 20").rows) == 3
+
+    def test_null_never_matches(self, sample):
+        assert len(sample.execute("SELECT * FROM t WHERE val <> 30").rows) == 3
+
+    def test_is_null(self, sample):
+        assert sample.execute("SELECT id FROM t WHERE val IS NULL").scalar() == 4
+        assert len(sample.execute("SELECT id FROM t WHERE val IS NOT NULL").rows) == 4
+
+    def test_in_list(self, sample):
+        assert len(sample.execute("SELECT * FROM t WHERE id IN (1, 3, 9)").rows) == 2
+
+    def test_between(self, sample):
+        assert len(sample.execute("SELECT * FROM t WHERE id BETWEEN 2 AND 4").rows) == 3
+
+    def test_like(self, sample):
+        db = sample
+        assert len(db.execute("SELECT * FROM t WHERE grp LIKE 'a'").rows) == 2
+        assert len(db.execute("SELECT * FROM t WHERE grp LIKE '_'").rows) == 5
+
+    def test_and_or(self, sample):
+        rows = sample.execute(
+            "SELECT id FROM t WHERE grp = 'a' OR (grp = 'b' AND val IS NULL)"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 2, 4]
+
+    def test_parameters(self, sample):
+        result = sample.execute("SELECT id FROM t WHERE grp = ? AND val > ?", ("a", 15))
+        assert result.rows == [(2,)]
+
+    def test_case_expression(self, sample):
+        result = sample.execute(
+            "SELECT id, CASE WHEN val >= 30 THEN 'hi' WHEN val IS NULL THEN '?' "
+            "ELSE 'lo' END FROM t ORDER BY id"
+        )
+        assert [r[1] for r in result.rows] == ["lo", "lo", "hi", "?", "hi"]
+
+
+class TestJoins:
+    @pytest.fixture
+    def joined(self, db):
+        db.execute("CREATE TABLE dept (did INT PRIMARY KEY, dname TEXT)")
+        db.execute("INSERT INTO dept VALUES (1,'eng'),(2,'ops'),(3,'empty')")
+        db.execute("CREATE TABLE emp (eid INT PRIMARY KEY, did INT, ename TEXT)")
+        db.execute(
+            "INSERT INTO emp VALUES (10,1,'ann'),(11,1,'bob'),(12,2,'cat'),(13,NULL,'dan')"
+        )
+        return db
+
+    def test_inner_join(self, joined):
+        rows = joined.execute(
+            "SELECT ename, dname FROM emp JOIN dept ON emp.did = dept.did ORDER BY ename"
+        ).rows
+        assert rows == [("ann", "eng"), ("bob", "eng"), ("cat", "ops")]
+
+    def test_left_join_preserves_unmatched(self, joined):
+        rows = joined.execute(
+            "SELECT ename, dname FROM emp LEFT JOIN dept ON emp.did = dept.did "
+            "ORDER BY ename"
+        ).rows
+        assert ("dan", None) in rows
+        assert len(rows) == 4
+
+    def test_implicit_join_syntax(self, joined):
+        rows = joined.execute(
+            "SELECT ename FROM emp e, dept d WHERE e.did = d.did AND d.dname = 'ops'"
+        ).rows
+        assert rows == [("cat",)]
+
+    def test_natural_join_collapses_common_column(self, joined):
+        result = joined.execute("SELECT * FROM emp NATURAL JOIN dept")
+        assert result.columns.count("did") == 1
+        assert len(result.rows) == 3
+
+    def test_using(self, joined):
+        rows = joined.execute(
+            "SELECT ename, dname FROM emp JOIN dept USING (did) ORDER BY ename"
+        ).rows
+        assert len(rows) == 3
+
+    def test_three_way_join(self, joined):
+        joined.execute("CREATE TABLE loc (did INT, city TEXT)")
+        joined.execute("INSERT INTO loc VALUES (1,'NYC'),(2,'SFO')")
+        rows = joined.execute(
+            "SELECT ename, city FROM emp JOIN dept ON emp.did=dept.did "
+            "JOIN loc ON dept.did=loc.did ORDER BY ename"
+        ).rows
+        assert rows == [("ann", "NYC"), ("bob", "NYC"), ("cat", "SFO")]
+
+    def test_cross_join_cardinality(self, joined):
+        assert len(joined.execute("SELECT * FROM emp CROSS JOIN dept").rows) == 12
+
+    def test_non_equi_join_nested_loop(self, joined):
+        rows = joined.execute(
+            "SELECT e.eid, d.did FROM emp e JOIN dept d ON e.did < d.did"
+        ).rows
+        assert all(left is not None for left, _ in rows)
+
+    def test_null_keys_never_join(self, joined):
+        rows = joined.execute(
+            "SELECT ename FROM emp JOIN dept ON emp.did = dept.did WHERE ename='dan'"
+        ).rows
+        assert rows == []
+
+    def test_self_join(self, joined):
+        rows = joined.execute(
+            "SELECT a.ename, b.ename FROM emp a JOIN emp b "
+            "ON a.did = b.did AND a.eid < b.eid"
+        ).rows
+        assert rows == [("ann", "bob")]
+
+
+class TestAggregation:
+    def test_scalar_aggregates(self, sample):
+        result = sample.execute(
+            "SELECT count(*), count(val), sum(val), avg(val), min(val), max(val) FROM t"
+        )
+        assert result.rows == [(5, 4, 110.0, 27.5, 10.0, 50.0)]
+
+    def test_empty_table_aggregates(self, db):
+        db.execute("CREATE TABLE e (x INT)")
+        assert db.execute("SELECT count(*), sum(x) FROM e").rows == [(0, None)]
+
+    def test_group_by(self, sample):
+        rows = sample.execute(
+            "SELECT grp, count(*), sum(val) FROM t GROUP BY grp ORDER BY grp"
+        ).rows
+        assert rows == [("a", 2, 30.0), ("b", 2, 30.0), ("c", 1, 50.0)]
+
+    def test_having(self, sample):
+        rows = sample.execute(
+            "SELECT grp FROM t GROUP BY grp HAVING count(*) > 1 ORDER BY grp"
+        ).rows
+        assert rows == [("a",), ("b",)]
+
+    def test_count_distinct(self, sample):
+        sample.execute("INSERT INTO t VALUES (6, 'a', 10.0)")
+        assert sample.execute("SELECT count(DISTINCT val) FROM t WHERE grp='a'").scalar() == 2
+
+    def test_group_concat(self, sample):
+        value = sample.execute(
+            "SELECT group_concat(grp) FROM t WHERE val IS NOT NULL AND grp <> 'c'"
+        ).scalar()
+        assert value == "a,a,b"
+
+    def test_aggregate_in_expression(self, sample):
+        value = sample.execute("SELECT max(val) - min(val) FROM t").scalar()
+        assert value == 40.0
+
+    def test_having_without_group_rejected(self, sample):
+        with pytest.raises(PlanError):
+            sample.execute("SELECT id FROM t HAVING id > 1")
+
+    def test_star_with_aggregate_rejected(self, sample):
+        with pytest.raises(PlanError):
+            sample.execute("SELECT *, count(*) FROM t")
+
+    def test_scalar_min_two_args_is_not_aggregate(self, sample):
+        assert sample.execute("SELECT min(3, 1)").scalar() == 1
+
+
+class TestOrderLimit:
+    def test_order_asc_desc(self, sample):
+        rows = sample.execute("SELECT id FROM t ORDER BY grp ASC, id DESC").rows
+        assert [r[0] for r in rows] == [2, 1, 4, 3, 5]
+
+    def test_order_by_ordinal(self, sample):
+        rows = sample.execute("SELECT id, val FROM t ORDER BY 2 DESC LIMIT 1").rows
+        assert rows[0][0] == 5
+
+    def test_order_by_alias(self, sample):
+        rows = sample.execute("SELECT val * 2 AS dv FROM t ORDER BY dv LIMIT 2").rows
+        assert rows[0] == (None,)  # NULLs first ascending
+
+    def test_order_by_unselected_expression(self, sample):
+        rows = sample.execute("SELECT id FROM t ORDER BY val DESC LIMIT 2").rows
+        assert [r[0] for r in rows] == [5, 3]
+
+    def test_nulls_first_asc_last_desc(self, sample):
+        asc = sample.execute("SELECT id FROM t ORDER BY val").rows
+        desc = sample.execute("SELECT id FROM t ORDER BY val DESC").rows
+        assert asc[0][0] == 4
+        assert desc[-1][0] == 4
+
+    def test_limit_offset(self, sample):
+        rows = sample.execute("SELECT id FROM t ORDER BY id LIMIT 2 OFFSET 1").rows
+        assert [r[0] for r in rows] == [2, 3]
+
+    def test_limit_zero(self, sample):
+        assert sample.execute("SELECT id FROM t LIMIT 0").rows == []
+
+    def test_distinct(self, sample):
+        rows = sample.execute("SELECT DISTINCT grp FROM t ORDER BY grp").rows
+        assert rows == [("a",), ("b",), ("c",)]
+
+    def test_ordinal_out_of_range(self, sample):
+        with pytest.raises(PlanError):
+            sample.execute("SELECT id FROM t ORDER BY 9")
+
+
+class TestSubqueries:
+    def test_in_subquery(self, sample):
+        sample.execute("CREATE TABLE picks (id INT)")
+        sample.execute("INSERT INTO picks VALUES (1),(3)")
+        rows = sample.execute(
+            "SELECT id FROM t WHERE id IN (SELECT id FROM picks) ORDER BY id"
+        ).rows
+        assert rows == [(1,), (3,)]
+
+    def test_not_in_subquery(self, sample):
+        sample.execute("CREATE TABLE picks (id INT)")
+        sample.execute("INSERT INTO picks VALUES (1),(2),(3),(4)")
+        rows = sample.execute(
+            "SELECT id FROM t WHERE id NOT IN (SELECT id FROM picks)"
+        ).rows
+        assert rows == [(5,)]
+
+    def test_scalar_subquery(self, sample):
+        rows = sample.execute(
+            "SELECT id FROM t WHERE val = (SELECT max(val) FROM t)"
+        ).rows
+        assert rows == [(5,)]
+
+    def test_from_subquery(self, sample):
+        rows = sample.execute(
+            "SELECT g, n FROM (SELECT grp AS g, count(*) AS n FROM t GROUP BY grp) s "
+            "WHERE n > 1 ORDER BY g"
+        ).rows
+        assert rows == [("a", 2), ("b", 2)]
+
+
+class TestScalarFunctions:
+    @pytest.mark.parametrize(
+        "expression,expected",
+        [
+            ("abs(-4)", 4),
+            ("round(2.567, 1)", 2.6),
+            ("floor(2.7)", 2),
+            ("ceil(2.1)", 3),
+            ("length('hello')", 5),
+            ("upper('aBc')", "ABC"),
+            ("lower('aBc')", "abc"),
+            ("trim('  x  ')", "x"),
+            ("substr('hello', 2, 3)", "ell"),
+            ("substr('hello', -3)", "llo"),
+            ("replace('aaa', 'a', 'b')", "bbb"),
+            ("instr('hello', 'll')", 3),
+            ("coalesce(NULL, NULL, 7)", 7),
+            ("nullif(3, 3)", None),
+            ("ifnull(NULL, 'x')", "x"),
+            ("cast('42' AS_IGNORED, 'INT')" if False else "cast('42', 'INT')", 42),
+            ("typeof(1)", "integer"),
+            ("sign(-9)", -1),
+            ("mod(7, 3)", 1),
+            ("power(2, 10)", 1024),
+            ("concat('a', NULL, 'b')", "ab"),
+        ],
+    )
+    def test_functions(self, db, expression, expected):
+        assert db.execute(f"SELECT {expression}").scalar() == expected
+
+    def test_unknown_function(self, db):
+        with pytest.raises(PlanError):
+            db.execute("SELECT frobnicate(1)")
+
+    def test_division_by_zero_is_null(self, db):
+        assert db.execute("SELECT 1 / 0").scalar() is None
+        assert db.execute("SELECT 1 % 0").scalar() is None
+
+    def test_integer_division_stays_exact(self, db):
+        assert db.execute("SELECT 7 / 2").scalar() == 3.5
+        assert db.execute("SELECT 8 / 2").scalar() == 4
+
+    def test_concat_operator_null(self, db):
+        assert db.execute("SELECT 'a' || NULL").scalar() is None

@@ -1,0 +1,94 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.engine.sql_lexer import Token, tokenize
+from repro.errors import SqlSyntaxError
+
+
+def kinds(sql):
+    return [(t.kind, t.text) for t in tokenize(sql)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [
+            ("KEYWORD", "SELECT"),
+            ("KEYWORD", "select"),
+            ("KEYWORD", "SeLeCt"),
+        ]
+
+    def test_identifiers(self):
+        assert kinds("movies m1 _x")[0] == ("IDENT", "movies")
+        assert kinds("movies m1 _x")[2] == ("IDENT", "_x")
+
+    def test_numbers(self):
+        assert kinds("42 3.14 .5 1e3 2E-2") == [
+            ("NUMBER", "42"),
+            ("NUMBER", "3.14"),
+            ("NUMBER", ".5"),
+            ("NUMBER", "1e3"),
+            ("NUMBER", "2E-2"),
+        ]
+
+    def test_malformed_number(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("1.2.3")
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            tokenize("'oops")
+        assert info.value.position == 0
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"weird name"')
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].text == "weird name"
+
+    def test_operators(self):
+        assert [t for _, t in kinds("a <= b <> c || d != e")] == [
+            "a", "<=", "b", "<>", "c", "||", "d", "!=", "e"
+        ]
+
+    def test_punctuation(self):
+        assert [t for _, t in kinds("(a, b.c);")] == ["(", "a", ",", "b", ".", "c", ")", ";"]
+
+    def test_parameter_marker(self):
+        assert kinds("?") == [("OP", "?")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("SELECT -- hidden\n 1") == [("KEYWORD", "SELECT"), ("NUMBER", "1")]
+
+    def test_block_comment(self):
+        assert kinds("SELECT /* x */ 1") == [("KEYWORD", "SELECT"), ("NUMBER", "1")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT /* oops")
+
+
+class TestTokenHelpers:
+    def test_matches(self):
+        token = Token("KEYWORD", "Select", 0)
+        assert token.matches("KEYWORD", "select")
+        assert token.matches("KEYWORD")
+        assert not token.matches("IDENT")
+        ident = Token("IDENT", "Movies", 0)
+        assert ident.matches("IDENT", "Movies")
+        assert not ident.matches("IDENT", "movies")  # idents keep case
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT a")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7

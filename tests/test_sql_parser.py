@@ -1,0 +1,314 @@
+"""Unit tests for the SQL parser (AST shapes)."""
+
+import pytest
+
+from repro.engine import sql_ast as ast
+from repro.engine.sql_parser import parse_expression, parse_sql, parse_statement
+from repro.errors import SqlSyntaxError
+
+
+class TestSelect:
+    def test_minimal(self):
+        stmt = parse_statement("SELECT 1")
+        assert isinstance(stmt, ast.SelectStmt)
+        assert stmt.source is None
+        assert stmt.items[0].expression == ast.Literal(1)
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, ast.Star)
+        assert stmt.source == ast.TableRef("t")
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        assert stmt.items[0].expression == ast.Star(table="t")
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.source.alias == "u"
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+        assert not parse_statement("SELECT ALL a FROM t").distinct
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse_statement(
+            "SELECT a, count(*) FROM t WHERE a > 1 GROUP BY a "
+            "HAVING count(*) > 2 ORDER BY a DESC LIMIT 10 OFFSET 5"
+        )
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.group_by == (ast.ColumnRef("a"),)
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == ast.Literal(10)
+        assert stmt.offset == ast.Literal(5)
+
+    def test_join_on(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b ON a.id = b.id")
+        join = stmt.source
+        assert isinstance(join, ast.Join)
+        assert join.kind == "inner"
+        assert join.condition is not None
+
+    def test_left_join_variants(self):
+        for sql in (
+            "SELECT * FROM a LEFT JOIN b ON a.x=b.x",
+            "SELECT * FROM a LEFT OUTER JOIN b ON a.x=b.x",
+        ):
+            assert parse_statement(sql).source.kind == "left"
+
+    def test_natural_join(self):
+        stmt = parse_statement("SELECT * FROM a NATURAL JOIN b")
+        assert stmt.source.natural
+
+    def test_using(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b USING (id, name)")
+        assert stmt.source.using == ("id", "name")
+
+    def test_cross_join_and_comma(self):
+        assert parse_statement("SELECT * FROM a CROSS JOIN b").source.kind == "cross"
+        assert parse_statement("SELECT * FROM a, b").source.kind == "cross"
+
+    def test_chained_joins_left_assoc(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b ON a.x=b.x JOIN c ON b.y=c.y")
+        outer = stmt.source
+        assert isinstance(outer.left, ast.Join)
+        assert outer.right == ast.TableRef("c")
+
+    def test_subquery_source(self):
+        stmt = parse_statement("SELECT * FROM (SELECT 1 AS one) s")
+        assert isinstance(stmt.source, ast.SubquerySource)
+        assert stmt.source.alias == "s"
+
+    def test_keyword_column_via_quotes(self):
+        stmt = parse_statement('SELECT "year" FROM t')
+        assert stmt.items[0].expression == ast.ColumnRef("year")
+
+
+class TestDataSpreadConstructs:
+    def test_rangevalue_bare(self):
+        expr = parse_expression("RANGEVALUE(B1)")
+        assert expr == ast.RangeValue("B1")
+
+    def test_rangevalue_quoted(self):
+        expr = parse_expression("RANGEVALUE('Sheet2!B1')")
+        assert expr == ast.RangeValue("Sheet2!B1")
+
+    def test_rangetable_in_from(self):
+        stmt = parse_statement("SELECT * FROM RANGETABLE(A1:D100)")
+        assert stmt.source == ast.RangeTable("A1:D100")
+
+    def test_rangetable_alias(self):
+        stmt = parse_statement("SELECT * FROM RANGETABLE(A1:B2) AS r")
+        assert stmt.source.alias == "r"
+
+    def test_rangetable_quoted_sheet(self):
+        stmt = parse_statement("SELECT * FROM RANGETABLE('Grades!A1:B4') g")
+        assert stmt.source.reference == "Grades!A1:B4"
+
+    def test_rangetable_in_expression_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_expression("RANGETABLE(A1:B2)")
+
+    def test_rangetable_joins(self):
+        stmt = parse_statement(
+            "SELECT * FROM actors NATURAL JOIN RANGETABLE(A1:D100)"
+        )
+        assert isinstance(stmt.source.right, ast.RangeTable)
+
+    def test_insert_at_position(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1) AT POSITION 5")
+        assert stmt.position == ast.Literal(5)
+
+
+class TestExpressions:
+    def test_precedence_arith(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert expr == ast.BinaryOp(
+            "+", ast.Literal(1), ast.BinaryOp("*", ast.Literal(2), ast.Literal(3))
+        )
+
+    def test_parens(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a OR b AND c")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not(self):
+        expr = parse_expression("NOT a = b")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "NOT"
+
+    def test_in_list(self):
+        expr = parse_expression("a IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        assert parse_expression("a NOT IN (1)").negated
+
+    def test_in_subquery(self):
+        expr = parse_expression("a IN (SELECT b FROM t)")
+        assert isinstance(expr, ast.InSubquery)
+
+    def test_between(self):
+        expr = parse_expression("a BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        assert parse_expression("a NOT BETWEEN 1 AND 2").negated
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'A%'")
+        assert isinstance(expr, ast.Like)
+
+    def test_is_null_variants(self):
+        assert not parse_expression("a IS NULL").negated
+        assert parse_expression("a IS NOT NULL").negated
+
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, ast.Case)
+        assert expr.operand is None
+        assert expr.default == ast.Literal("small")
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE a WHEN 1 THEN 'one' END")
+        assert expr.operand == ast.ColumnRef("a")
+        assert expr.default is None
+
+    def test_scalar_subquery(self):
+        expr = parse_expression("(SELECT max(x) FROM t)")
+        assert isinstance(expr, ast.ScalarSubquery)
+
+    def test_function_distinct(self):
+        expr = parse_expression("count(DISTINCT a)")
+        assert expr.distinct
+
+    def test_count_star(self):
+        expr = parse_expression("count(*)")
+        assert expr.args == (ast.Star(),)
+
+    def test_parameters_numbered_in_order(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = ? AND b = ?")
+        conjunct = stmt.where
+        assert conjunct.left.right == ast.Parameter(0)
+        assert conjunct.right.right == ast.Parameter(1)
+
+    def test_literals(self):
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("NULL") == ast.Literal(None)
+        assert parse_expression("3.5") == ast.Literal(3.5)
+        assert parse_expression("'s'") == ast.Literal("s")
+
+    def test_concat_operator(self):
+        assert parse_expression("a || b").op == "||"
+
+    def test_unary_minus(self):
+        assert parse_expression("-a") == ast.UnaryOp("-", ast.ColumnRef("a"))
+
+
+class TestDml:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert len(stmt.rows) == 2
+        assert stmt.columns == ()
+
+    def test_insert_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert stmt.select is not None
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 2")
+        assert stmt.assignments[0][0] == "a"
+        assert stmt.where is not None
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.DeleteStmt)
+
+    def test_delete_all(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+
+class TestDdl:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(20) NOT NULL, "
+            "score REAL DEFAULT 0)"
+        )
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].default == ast.Literal(0)
+
+    def test_create_table_constraint_pk(self):
+        stmt = parse_statement("CREATE TABLE t (id INT, name TEXT, PRIMARY KEY (id))")
+        assert stmt.columns[0].primary_key
+
+    def test_create_if_not_exists(self):
+        assert parse_statement("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+    def test_create_as_select(self):
+        stmt = parse_statement("CREATE TABLE t AS SELECT 1 AS one")
+        assert stmt.as_select is not None
+
+    def test_alter_add(self):
+        stmt = parse_statement("ALTER TABLE t ADD COLUMN x INT DEFAULT 3")
+        assert isinstance(stmt.action, ast.AlterAddColumn)
+        assert stmt.action.into_group is None
+
+    def test_alter_add_at_group(self):
+        stmt = parse_statement("ALTER TABLE t ADD COLUMN x INT AT GROUP 2")
+        assert stmt.action.into_group == 2
+
+    def test_alter_drop(self):
+        stmt = parse_statement("ALTER TABLE t DROP COLUMN x")
+        assert stmt.action == ast.AlterDropColumn("x")
+
+    def test_alter_rename(self):
+        stmt = parse_statement("ALTER TABLE t RENAME COLUMN a TO b")
+        assert stmt.action == ast.AlterRenameColumn("a", "b")
+
+    def test_drop_table(self):
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        statements = parse_sql("SELECT 1; SELECT 2;")
+        assert len(statements) == 2
+
+    def test_parse_statement_rejects_many(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement("SELECT 1; SELECT 2")
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT * FORM t",
+            "INSERT t VALUES (1)",
+            "UPDATE SET a=1",
+            "CREATE TABLE t",
+            "SELECT * FROM t WHERE",
+            "SELECT a, FROM t",
+        ],
+    )
+    def test_syntax_errors(self, bad):
+        with pytest.raises(SqlSyntaxError):
+            parse_statement(bad)
+
+    def test_error_carries_position_context(self):
+        with pytest.raises(SqlSyntaxError) as info:
+            parse_statement("SELECT * FROM t WHERE a ==")
+        assert "near" in str(info.value) or "end of input" in str(info.value)

@@ -1,0 +1,257 @@
+"""Unit tests for the three physical layouts (row / column / hybrid).
+
+The schema-change cost table from the hybridstore docstring is verified
+here at page granularity — the core of experiment E6.
+"""
+
+import pytest
+
+from repro.engine.columnstore import ColumnStore
+from repro.engine.hybridstore import HybridStore
+from repro.engine.pager import BufferPool
+from repro.engine.rowstore import RowStore
+from repro.engine.schema import Column, TableSchema
+from repro.engine.types import DBType
+from repro.errors import SchemaError, StorageError
+
+
+def schema4(group_size=None):
+    return TableSchema.from_pairs(
+        [("a", DBType.INTEGER), ("b", DBType.TEXT), ("c", DBType.REAL), ("d", DBType.TEXT)],
+        group_size=group_size,
+    )
+
+
+def fill(store, n):
+    return [store.insert((i, f"t{i}", i * 0.5, f"u{i}")) for i in range(n)]
+
+
+STORES = [
+    pytest.param(lambda: RowStore(schema4(), page_capacity=8), id="row"),
+    pytest.param(lambda: ColumnStore(schema4(), page_capacity=8), id="column"),
+    pytest.param(lambda: HybridStore(schema4(group_size=2), page_capacity=8), id="hybrid"),
+]
+
+
+@pytest.mark.parametrize("make", STORES)
+class TestCommonBehaviour:
+    def test_insert_get_roundtrip(self, make):
+        store = make()
+        rids = fill(store, 20)
+        for i, rid in enumerate(rids):
+            assert store.get(rid) == (i, f"t{i}", i * 0.5, f"u{i}")
+
+    def test_n_rows(self, make):
+        store = make()
+        fill(store, 5)
+        assert store.n_rows == 5
+
+    def test_update_full_row(self, make):
+        store = make()
+        rids = fill(store, 3)
+        store.update(rids[1], (99, "new", 9.9, "z"))
+        assert store.get(rids[1]) == (99, "new", 9.9, "z")
+        assert store.get(rids[0])[0] == 0
+
+    def test_update_single_column(self, make):
+        store = make()
+        rids = fill(store, 3)
+        store.update_column(rids[2], "b", "patched")
+        assert store.get(rids[2]) == (2, "patched", 1.0, "u2")
+
+    def test_delete(self, make):
+        store = make()
+        rids = fill(store, 4)
+        store.delete(rids[1])
+        assert store.n_rows == 3
+        assert not store.exists(rids[1])
+        with pytest.raises(StorageError):
+            store.get(rids[1])
+
+    def test_scan_yields_all_rows(self, make):
+        store = make()
+        rids = fill(store, 10)
+        scanned = dict(store.scan())
+        assert set(scanned) == set(rids)
+        assert scanned[rids[3]] == (3, "t3", 1.5, "u3")
+
+    def test_scan_column(self, make):
+        store = make()
+        fill(store, 6)
+        values = [value for _, value in store.scan_column("a")]
+        assert sorted(values) == list(range(6))
+
+    def test_add_column_values_default(self, make):
+        store = make()
+        rids = fill(store, 5)
+        store.add_column(Column("e", DBType.INTEGER, default=7))
+        for rid in rids:
+            assert store.get(rid) == store.get(rid)[:4] + (7,)
+
+    def test_drop_column(self, make):
+        store = make()
+        rids = fill(store, 5)
+        store.drop_column("c")
+        assert store.get(rids[0]) == (0, "t0", "u0")
+
+    def test_rename_column_metadata_only(self, make):
+        store = make()
+        fill(store, 2)
+        before = store.pool.stats.snapshot()
+        store.checkpoint()
+        baseline_writes = store.pool.stats.writes
+        store.rename_column("b", "bee")
+        store.checkpoint()
+        assert store.pool.stats.writes == baseline_writes  # nothing rewritten
+        assert store.schema.has_column("bee")
+
+    def test_validate_passes(self, make):
+        store = make()
+        fill(store, 25)
+        store.delete(store.rids()[3])
+        store.validate()
+
+    def test_insert_after_schema_change(self, make):
+        store = make()
+        fill(store, 3)
+        store.add_column(Column("e", DBType.TEXT, default="?"))
+        rid = store.insert((9, "x", 0.0, "y", "z"))
+        assert store.get(rid) == (9, "x", 0.0, "y", "z")
+        store.validate()
+
+
+class TestLayoutCosts:
+    """The E6 cost model at page granularity."""
+
+    def test_row_store_add_column_rewrites_all_pages(self):
+        store = RowStore(schema4(), page_capacity=8)
+        fill(store, 80)  # width 4, 8-value pages -> 2 rows/page -> 40 pages
+        total_pages = store.n_pages
+        rewritten = store.add_column(Column("e", default=0))
+        assert rewritten == total_pages == 40
+
+    def test_column_store_add_column_rewrites_nothing(self):
+        store = ColumnStore(schema4(), page_capacity=8)
+        fill(store, 80)
+        rewritten = store.add_column(Column("e", default=0))
+        assert rewritten == 0
+
+    def test_hybrid_add_column_new_group_rewrites_nothing(self):
+        store = HybridStore(schema4(group_size=2), page_capacity=8)
+        fill(store, 80)
+        rewritten = store.add_column(Column("e", default=0))
+        assert rewritten == 0
+        assert store.schema.groups[-1] == ["e"]
+
+    def test_hybrid_add_column_into_group_rewrites_one_group(self):
+        store = HybridStore(schema4(group_size=2), page_capacity=8)
+        fill(store, 80)  # width-2 groups, 4 rows/page -> 20 pages/group
+        pages_before = store.pages_in_group(1)
+        rewritten = store.add_column(Column("e", default=0), group_index=1)
+        assert rewritten == pages_before == 20
+        assert rewritten < store.n_pages  # strictly less than a full rewrite
+
+    def test_row_store_drop_column_rewrites_all_pages(self):
+        store = RowStore(schema4(), page_capacity=8)
+        fill(store, 80)
+        assert store.drop_column("b") == 40  # every page of the sole group
+
+    def test_column_store_drop_column_frees_chain(self):
+        store = ColumnStore(schema4(), page_capacity=8)
+        fill(store, 80)
+        frees_before = store.pool.stats.frees
+        assert store.drop_column("b") == 0
+        assert store.pool.stats.frees > frees_before
+
+    def test_fresh_chain_blocks_cheaper_than_rewrite(self):
+        """The block-budget model: a fresh single-column chain packs
+        page_capacity records per block, so ADD COLUMN via a new group
+        writes ~width× fewer blocks than the row store's full rewrite."""
+        row_store = RowStore(schema4(), page_capacity=8)
+        hybrid = HybridStore(schema4(group_size=2), page_capacity=8)
+        fill(row_store, 80)
+        fill(hybrid, 80)
+        row_store.checkpoint()
+        hybrid.checkpoint()
+        rw0 = row_store.pool.stats.writes
+        hw0 = hybrid.pool.stats.writes
+        row_store.add_column(Column("e", default=0))
+        hybrid.add_column(Column("e", default=0))
+        row_store.checkpoint()
+        hybrid.checkpoint()
+        row_blocks = row_store.pool.stats.writes - rw0
+        hybrid_blocks = hybrid.pool.stats.writes - hw0
+        assert row_blocks == 40          # full rewrite (now 5-wide rows)
+        assert hybrid_blocks == 10       # fresh width-1 chain: 8 recs/page
+        assert hybrid_blocks * 4 == row_blocks
+
+    def test_hybrid_drop_sole_member_rewrites_nothing(self):
+        store = HybridStore(schema4(group_size=2), page_capacity=8)
+        fill(store, 40)
+        store.add_column(Column("e", default=1))  # own group
+        assert store.drop_column("e") == 0
+        store.validate()
+
+    def test_single_column_update_touches_one_group(self):
+        """Tuple-update parity: updating one column in the hybrid layout
+        dirties only that column's group chain."""
+        store = HybridStore(schema4(group_size=2), page_capacity=8)
+        rids = fill(store, 16)
+        store.checkpoint()
+        before = store.pool.stats.writes
+        store.update_column(rids[0], "a", 999)
+        store.checkpoint()
+        assert store.pool.stats.writes - before == 1
+
+    def test_row_insert_cost_scales_with_groups(self):
+        """An insert touches one page per group: the hybrid trade-off."""
+        row_store = RowStore(schema4(), page_capacity=8)
+        column_store = ColumnStore(schema4(), page_capacity=8)
+        fill(row_store, 8)
+        fill(column_store, 8)
+        row_store.checkpoint()
+        column_store.checkpoint()
+        rw0 = row_store.pool.stats.writes
+        cw0 = column_store.pool.stats.writes
+        row_store.insert((1, "x", 0.1, "y"))
+        column_store.insert((1, "x", 0.1, "y"))
+        row_store.checkpoint()
+        column_store.checkpoint()
+        assert row_store.pool.stats.writes - rw0 == 1
+        assert column_store.pool.stats.writes - cw0 == 4
+
+
+class TestHybridCompaction:
+    def test_compact_groups_repartitions(self):
+        store = HybridStore(schema4(group_size=2), page_capacity=8)
+        rids = fill(store, 20)
+        store.add_column(Column("e", default=5))
+        store.compact_groups([["a", "b", "c", "d", "e"]])
+        assert store.schema.n_groups == 1
+        for i, rid in enumerate(rids):
+            assert store.get(rid) == (i, f"t{i}", i * 0.5, f"u{i}", 5)
+        store.validate()
+
+    def test_compact_rejects_wrong_cover(self):
+        store = HybridStore(schema4(group_size=2), page_capacity=8)
+        fill(store, 4)
+        with pytest.raises(SchemaError):
+            store.compact_groups([["a", "b"]])
+
+    def test_group_summary(self):
+        store = HybridStore(schema4(group_size=2), page_capacity=8)
+        fill(store, 20)
+        summary = store.group_summary()
+        assert len(summary) == 2
+        assert summary[0]["columns"] == ["a", "b"]
+        assert summary[0]["pages"] >= 1
+
+
+class TestSharedPool:
+    def test_two_stores_share_io_accounting(self):
+        pool = BufferPool(page_capacity=8)
+        first = RowStore(schema4(), pool=pool)
+        second = RowStore(schema4(), pool=pool)
+        fill(first, 8)
+        fill(second, 8)
+        assert pool.disk.stats.allocations >= 2

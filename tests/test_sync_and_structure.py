@@ -1,0 +1,159 @@
+"""Tests for the sync manager (event routing, batching, convergence) and
+structural sheet edits (row/column insert/delete with formula rewriting
+and region re-anchoring)."""
+
+import pytest
+
+from repro import Workbook
+from repro.errors import RegionError
+
+
+class TestSyncManager:
+    @pytest.fixture
+    def synced(self, wb):
+        wb.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        wb.execute("INSERT INTO t VALUES (1, 10), (2, 20)")
+        return wb
+
+    def test_events_counted_by_kind(self, synced):
+        synced.execute("INSERT INTO t VALUES (3, 30)")
+        synced.execute("UPDATE t SET v = 0 WHERE id = 1")
+        synced.execute("DELETE FROM t WHERE id = 2")
+        kinds = synced.sync.stats.events_by_kind
+        assert kinds["insert"] >= 3  # includes fixture inserts
+        assert kinds["update"] == 1
+        assert kinds["delete"] == 1
+
+    def test_event_log_capture(self, synced):
+        synced.sync.keep_log = True
+        synced.execute("INSERT INTO t VALUES (5, 50)")
+        log = synced.sync.event_log()
+        assert log[-1].kind == "insert"
+        assert log[-1].row == (5, 50)
+
+    def test_unrelated_table_does_not_refresh_region(self, synced):
+        synced.dbtable("Sheet1", "A1", "t")
+        region = synced.regions.all()[0]
+        count = region.refresh_count
+        synced.execute("CREATE TABLE other (x INT)")
+        synced.execute("INSERT INTO other VALUES (1)")
+        assert region.refresh_count == count
+
+    def test_two_dbsql_regions_both_refresh(self, synced):
+        synced.dbsql("Sheet1", "A1", "SELECT sum(v) FROM t")
+        synced.dbsql("Sheet1", "C1", "SELECT count(*) FROM t")
+        synced.execute("INSERT INTO t VALUES (9, 5)")
+        assert synced.get("Sheet1", "A1") == 35
+        assert synced.get("Sheet1", "C1") == 3
+
+    def test_cascading_regions_converge(self, synced):
+        """DBSQL spill feeding another DBSQL through RANGETABLE."""
+        synced.dbsql("Sheet1", "A1", "SELECT v FROM t ORDER BY id")
+        synced.dbsql(
+            "Sheet1", "C1", "SELECT sum(a) FROM RANGETABLE(A1:A2)"
+        )
+        assert synced.get("Sheet1", "C1") == 30
+        synced.execute("UPDATE t SET v = 15 WHERE id = 1")
+        assert synced.get("Sheet1", "C1") == 35
+
+    def test_rollback_restores_sheet_state(self, synced):
+        """Transactional sync: rollback events re-render the region."""
+        synced.dbtable("Sheet1", "A1", "t")
+        synced.execute("BEGIN")
+        synced.execute("UPDATE t SET v = 999 WHERE id = 1")
+        assert synced.get("Sheet1", "B2") == 999
+        synced.execute("ROLLBACK")
+        assert synced.get("Sheet1", "B2") == 10
+
+    def test_auto_sync_off_defers(self, synced):
+        synced.auto_sync = False
+        synced.dbtable("Sheet1", "A1", "t")
+        synced.execute("INSERT INTO t VALUES (7, 70)")
+        assert synced.get("Sheet1", "A4") is None  # not yet rendered
+        synced.sync.flush()
+        assert synced.get("Sheet1", "A4") == 7
+
+
+class TestStructuralEdits:
+    def test_insert_rows_shifts_values_and_formulas(self, wb):
+        wb.set("Sheet1", "A1", 1)
+        wb.set("Sheet1", "A5", 2)
+        wb.set("Sheet1", "B5", "=A5*10")
+        wb.insert_rows("Sheet1", 2, 3)
+        assert wb.get("Sheet1", "A1") == 1
+        assert wb.get("Sheet1", "A8") == 2
+        assert wb.get("Sheet1", "B8") == 20
+        # The moved formula now references the moved cell.
+        wb.set("Sheet1", "A8", 5)
+        assert wb.get("Sheet1", "B8") == 50
+
+    def test_delete_rows_removes_and_shifts(self, wb):
+        wb.set("Sheet1", "A1", "keep")
+        wb.set("Sheet1", "A3", "gone")
+        wb.set("Sheet1", "A5", "moved")
+        wb.delete_rows("Sheet1", 2, 2)
+        assert wb.get("Sheet1", "A3") == "moved"
+
+    def test_delete_referenced_row_makes_ref_error(self, wb):
+        wb.set("Sheet1", "A2", 5)
+        wb.set("Sheet1", "B1", "=A2*2")
+        wb.delete_rows("Sheet1", 1, 1)
+        assert wb.get("Sheet1", "B1") == "#REF!"
+
+    def test_range_formula_shrinks(self, wb):
+        for row in range(1, 6):
+            wb.set("Sheet1", f"A{row}", row)
+        wb.set("Sheet1", "C1", "=SUM(A1:A5)")
+        wb.delete_rows("Sheet1", 1, 2)  # drops values 2 and 3
+        assert wb.get("Sheet1", "C1") == 1 + 4 + 5
+
+    def test_insert_cols(self, wb):
+        wb.set("Sheet1", "B1", 7)
+        wb.set("Sheet1", "C1", "=B1+1")
+        wb.insert_cols("Sheet1", 1, 2)
+        assert wb.get("Sheet1", "D1") == 7
+        assert wb.get("Sheet1", "E1") == 8
+
+    def test_cross_sheet_formula_adjusted(self, wb):
+        wb.add_sheet("Data")
+        wb.set("Data", "A5", 3)
+        wb.set("Sheet1", "A1", "=Data!A5*2")
+        wb.insert_rows("Data", 0, 2)
+        assert wb.get("Sheet1", "A1") == 6
+        wb.set("Data", "A7", 10)
+        assert wb.get("Sheet1", "A1") == 20
+
+    def test_region_below_insert_moves(self, wb):
+        wb.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        wb.execute("INSERT INTO t VALUES (1)")
+        wb.dbtable("Sheet1", "A5", "t")
+        wb.insert_rows("Sheet1", 0, 3)
+        region = wb.regions.all()[0]
+        assert region.context.anchor.row == 7
+        assert wb.get("Sheet1", "A8") == "id"
+        # Region still functional after the move.
+        wb.execute("INSERT INTO t VALUES (2)")
+        assert wb.get("Sheet1", "A10") == 2
+
+    def test_insert_through_region_rejected(self, wb):
+        wb.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        wb.execute("INSERT INTO t VALUES (1),(2)")
+        wb.dbtable("Sheet1", "A1", "t")
+        with pytest.raises(RegionError):
+            wb.insert_rows("Sheet1", 1, 1)
+
+    def test_delete_through_region_rejected(self, wb):
+        wb.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        wb.execute("INSERT INTO t VALUES (1)")
+        wb.dbtable("Sheet1", "A3", "t")
+        with pytest.raises(RegionError):
+            wb.delete_rows("Sheet1", 3, 1)
+
+    def test_formula_cells_keep_working_after_multiple_edits(self, wb):
+        wb.set("Sheet1", "A1", 1)
+        wb.set("Sheet1", "B1", "=A1+1")
+        wb.insert_rows("Sheet1", 0, 1)
+        wb.insert_cols("Sheet1", 0, 1)
+        assert wb.get("Sheet1", "C2") == 2
+        wb.set("Sheet1", "B2", 10)
+        assert wb.get("Sheet1", "C2") == 11

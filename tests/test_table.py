@@ -1,0 +1,178 @@
+"""Unit tests for the Table abstraction: positional order, key index,
+change events."""
+
+import pytest
+
+from repro.engine.schema import Column, TableSchema
+from repro.engine.store import LayoutPolicy
+from repro.engine.table import ChangeEvent, Table
+from repro.engine.types import DBType
+from repro.errors import ConstraintError, ExecutionError
+
+
+def make_table(pk=True):
+    schema = TableSchema.from_pairs(
+        [("id", DBType.INTEGER), ("name", DBType.TEXT)],
+        primary_key="id" if pk else None,
+    )
+    return Table("t", schema)
+
+
+class TestPositionalOrder:
+    def test_append_order(self):
+        table = make_table()
+        for i in range(5):
+            table.insert((i, f"n{i}"))
+        assert [row[0] for row in table.rows()] == [0, 1, 2, 3, 4]
+
+    def test_insert_at_position(self):
+        table = make_table()
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        table.insert((9, "mid"), position=1)
+        assert [row[0] for row in table.rows()] == [1, 9, 2]
+
+    def test_row_at_and_rid_at(self):
+        table = make_table()
+        rid = table.insert((7, "x"))
+        assert table.rid_at(0) == rid
+        assert table.row_at(0) == (7, "x")
+
+    def test_window(self):
+        table = make_table()
+        for i in range(100):
+            table.insert((i, f"n{i}"))
+        window = table.window(40, 5)
+        assert [row[0] for row in window] == [40, 41, 42, 43, 44]
+
+    def test_window_clamps(self):
+        table = make_table()
+        table.insert((1, "a"))
+        assert table.window(5, 10) == []
+
+    def test_delete_at_shifts_positions(self):
+        table = make_table()
+        for i in range(4):
+            table.insert((i, str(i)))
+        table.delete_at(1)
+        assert [row[0] for row in table.rows()] == [0, 2, 3]
+        assert table.row_at(1) == (2, "2")
+
+    def test_scan_yields_positions(self):
+        table = make_table()
+        for i in range(3):
+            table.insert((i, str(i)))
+        positions = [pos for pos, _, _ in table.scan()]
+        assert positions == [0, 1, 2]
+
+
+class TestPrimaryKey:
+    def test_find_by_key(self):
+        table = make_table()
+        rid = table.insert((42, "x"))
+        assert table.find_by_key(42) == rid
+        assert table.find_by_key(99) is None
+
+    def test_no_pk_find_raises(self):
+        table = make_table(pk=False)
+        table.insert((1, "a"))
+        with pytest.raises(ExecutionError):
+            table.find_by_key(1)
+
+    def test_update_changes_key_index(self):
+        table = make_table()
+        rid = table.insert((1, "a"))
+        table.update_rid(rid, {"id": 5})
+        assert table.find_by_key(5) == rid
+        assert table.find_by_key(1) is None
+
+    def test_delete_removes_key(self):
+        table = make_table()
+        table.insert((1, "a"))
+        table.delete_at(0)
+        assert table.find_by_key(1) is None
+
+    def test_not_null_enforced_on_update(self):
+        table = make_table()
+        rid = table.insert((1, "a"))
+        with pytest.raises(ConstraintError):
+            table.update_rid(rid, {"id": None})
+
+
+class TestEvents:
+    def collect(self, table):
+        events = []
+        table.listeners.append(events.append)
+        return events
+
+    def test_insert_event(self):
+        table = make_table()
+        events = self.collect(table)
+        table.insert((1, "a"))
+        assert events[0].kind == "insert"
+        assert events[0].position == 0
+        assert events[0].row == (1, "a")
+
+    def test_update_event_carries_old_row(self):
+        table = make_table()
+        rid = table.insert((1, "a"))
+        events = self.collect(table)
+        table.update_rid(rid, {"name": "b"}, position=0)
+        assert events[0].kind == "update"
+        assert events[0].old_row == (1, "a")
+        assert events[0].row == (1, "b")
+
+    def test_delete_event(self):
+        table = make_table()
+        table.insert((1, "a"))
+        events = self.collect(table)
+        table.delete_at(0)
+        assert events[0].kind == "delete"
+        assert events[0].old_row == (1, "a")
+
+    def test_schema_events(self):
+        table = make_table()
+        events = self.collect(table)
+        table.add_column(Column("x", DBType.INTEGER))
+        table.rename_column("x", "y")
+        table.drop_column("y")
+        assert [e.kind for e in events] == ["add_column", "rename_column", "drop_column"]
+
+    def test_emit_false_suppresses(self):
+        table = make_table()
+        events = self.collect(table)
+        table.insert((1, "a"), emit=False)
+        assert events == []
+
+    def test_delete_rids_bulk(self):
+        table = make_table()
+        rids = [table.insert((i, str(i))) for i in range(5)]
+        events = self.collect(table)
+        deleted = table.delete_rids([rids[1], rids[3]])
+        assert deleted == 2
+        assert [row[0] for row in table.rows()] == [0, 2, 4]
+        assert all(e.kind == "delete" for e in events)
+
+
+class TestValidation:
+    def test_validate_full_consistency(self):
+        table = make_table()
+        for i in range(50):
+            table.insert((i, str(i)))
+        table.delete_at(10)
+        table.update_rid(table.rid_at(5), {"name": "patched"}, position=5)
+        table.validate()
+
+    def test_single_column_update_uses_group_path(self):
+        schema = TableSchema.from_pairs(
+            [("id", DBType.INTEGER), ("a", DBType.TEXT), ("b", DBType.TEXT)],
+            primary_key="id",
+            group_size=1,
+        )
+        table = Table("g", schema, LayoutPolicy.HYBRID)
+        rid = table.insert((1, "x", "y"))
+        table.checkpoint()
+        before = table.store.pool.stats.writes
+        table.update_rid(rid, {"b": "z"})
+        table.checkpoint()
+        assert table.store.pool.stats.writes - before == 1

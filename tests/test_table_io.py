@@ -1,0 +1,147 @@
+"""Tests for schema inference and import/export (Feature 2, Fig 2b)."""
+
+import pytest
+
+from repro import Database, Workbook
+from repro.core.table_io import (
+    create_table_from_grid,
+    export_table_csv,
+    import_csv_table,
+    infer_table_schema,
+)
+from repro.engine.types import DBType
+from repro.errors import ImportExportError
+
+
+class TestInference:
+    def test_header_detected(self):
+        inferred = infer_table_schema([["id", "name"], [1, "x"], [2, "y"]])
+        assert inferred.has_header
+        assert inferred.columns == ["id", "name"]
+        assert inferred.dtypes == [DBType.INTEGER, DBType.TEXT]
+        assert len(inferred.data_rows) == 2
+
+    def test_no_header_all_text(self):
+        inferred = infer_table_schema([["a", "b"], ["c", "d"], ["e", "f"]])
+        assert not inferred.has_header
+        assert inferred.columns == ["a", "b"]  # column letters
+        assert len(inferred.data_rows) == 3
+
+    def test_no_header_numbers(self):
+        inferred = infer_table_schema([[1, 2], [3, 4]])
+        assert not inferred.has_header
+        assert inferred.dtypes == [DBType.INTEGER, DBType.INTEGER]
+
+    def test_type_widening(self):
+        inferred = infer_table_schema([["v"], [1], [2.5], [None]])
+        assert inferred.dtypes == [DBType.REAL]
+
+    def test_mixed_becomes_text(self):
+        inferred = infer_table_schema([["v"], [1], ["x"]])
+        assert inferred.dtypes == [DBType.TEXT]
+
+    def test_all_null_column_defaults_to_text(self):
+        inferred = infer_table_schema([["v"], [None], [None]])
+        assert inferred.dtypes == [DBType.TEXT]
+
+    def test_header_names_sanitised(self):
+        inferred = infer_table_schema([["Student ID", "GPA (4.0)"], [1, 3.5]])
+        assert inferred.columns == ["student_id", "gpa_4_0"]
+
+    def test_duplicate_headers_disambiguated_or_fallback(self):
+        inferred = infer_table_schema([["x", "x"], [1, 2]])
+        # duplicate names -> not a valid header row; falls back to letters
+        assert not inferred.has_header
+
+    def test_ragged_rows_padded(self):
+        inferred = infer_table_schema([["a", "b"], [1], [2, 3]])
+        assert inferred.data_rows[0] == (1, None)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ImportExportError):
+            infer_table_schema([])
+
+    def test_first_col_label_offset(self):
+        inferred = infer_table_schema([[1, 2]], first_col_label=3)
+        assert inferred.columns == ["d", "e"]
+
+
+class TestCreateFromGrid:
+    def test_create_and_query(self, db):
+        table = create_table_from_grid(
+            db, "people", [["id", "name"], [1, "ann"], [2, "bob"]],
+            primary_key="id",
+        )
+        assert table.schema.primary_key == "id"
+        assert db.execute("SELECT name FROM people WHERE id=2").scalar() == "bob"
+
+    def test_bad_primary_key(self, db):
+        with pytest.raises(ImportExportError):
+            create_table_from_grid(db, "t", [["a"], [1]], primary_key="zz")
+
+    def test_group_size_layout(self, db):
+        table = create_table_from_grid(
+            db, "wide", [["a", "b", "c", "d"], [1, 2, 3, 4]], group_size=2
+        )
+        assert table.schema.n_groups == 2
+
+
+class TestCsv:
+    def test_roundtrip(self, db, tmp_path):
+        create_table_from_grid(
+            db, "src", [["id", "name", "score"], [1, "ann", 9.5], [2, "bob", 8.0]],
+            primary_key="id",
+        )
+        path = tmp_path / "out.csv"
+        assert export_table_csv(db, "src", str(path)) == 2
+        table = import_csv_table(db, str(path), "dst", primary_key="id")
+        assert table.n_rows == 2
+        assert db.execute("SELECT score FROM dst WHERE id=1").scalar() == 9.5
+
+    def test_csv_type_coercion(self, db, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("id,flag,when\n1,TRUE,2021-01-02\n")
+        table = import_csv_table(db, str(path), "t")
+        row = table.rows()[0]
+        assert row[1] is True
+        assert str(row[2]) == "2021-01-02"
+
+    def test_empty_csv_rejected(self, db, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ImportExportError):
+            import_csv_table(db, str(path), "t")
+
+    def test_export_nulls_as_empty(self, db, tmp_path):
+        db.execute("CREATE TABLE n (a INT, b TEXT)")
+        db.execute("INSERT INTO n VALUES (1, NULL)")
+        path = tmp_path / "n.csv"
+        export_table_csv(db, "n", str(path))
+        assert path.read_text().splitlines()[1] == "1,"
+
+
+class TestWorkbookExport:
+    def test_create_table_from_range_full_cycle(self, wb):
+        """Fig 2b: range -> table -> DBTABLE replacement, then live sync."""
+        wb.sheet("Sheet1").set_grid(
+            "B2", [["pid", "pname"], [1, "x"], [2, "y"]]
+        )
+        table = wb.create_table_from_range(
+            "Sheet1", "B2:C4", "products", primary_key="pid"
+        )
+        assert table.n_rows == 2
+        # The range is now a DBTABLE region anchored at B2.
+        region = wb.regions.all()[0]
+        assert region.context.kind == "dbtable"
+        assert region.context.anchor.to_a1(include_sheet=False) == "B2"
+        # Two-way: edit through the sheet reaches the table.
+        wb.set("Sheet1", "C3", "X!")
+        assert wb.execute("SELECT pname FROM products WHERE pid=1").scalar() == "X!"
+
+    def test_create_from_range_with_formulas_uses_values(self, wb):
+        wb.sheet("Sheet1").set_grid("A1", [["v"]])
+        wb.set("Sheet1", "A2", 4)
+        wb.set("Sheet1", "A3", "=A2*10")
+        wb.create_table_from_range("Sheet1", "A1:A3", "calc")
+        rows = wb.execute("SELECT v FROM calc").rows
+        assert sorted(r[0] for r in rows) == [4, 40]

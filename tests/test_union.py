@@ -1,0 +1,77 @@
+"""Tests for UNION / UNION ALL."""
+
+import pytest
+
+from repro import Workbook
+from repro.errors import PlanError
+
+
+@pytest.fixture
+def two_tables(db):
+    db.execute("CREATE TABLE a (x INT)")
+    db.execute("CREATE TABLE b (x INT)")
+    db.execute("INSERT INTO a VALUES (1), (2), (3)")
+    db.execute("INSERT INTO b VALUES (3), (4)")
+    return db
+
+
+class TestUnion:
+    def test_union_all_keeps_duplicates(self, two_tables):
+        rows = two_tables.execute(
+            "SELECT x FROM a UNION ALL SELECT x FROM b"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 2, 3, 3, 4]
+
+    def test_union_deduplicates(self, two_tables):
+        rows = two_tables.execute("SELECT x FROM a UNION SELECT x FROM b").rows
+        assert sorted(r[0] for r in rows) == [1, 2, 3, 4]
+
+    def test_three_way_chain(self, two_tables):
+        rows = two_tables.execute(
+            "SELECT x FROM a UNION SELECT x FROM b UNION ALL SELECT 99"
+        ).rows
+        assert sorted(r[0] for r in rows) == [1, 2, 3, 4, 99]
+
+    def test_union_within_members_clauses(self, two_tables):
+        rows = two_tables.execute(
+            "SELECT x FROM a WHERE x > 1 UNION ALL SELECT x FROM b WHERE x < 4"
+        ).rows
+        assert sorted(r[0] for r in rows) == [2, 3, 3]
+
+    def test_column_names_from_first_member(self, two_tables):
+        result = two_tables.execute(
+            "SELECT x AS first_name FROM a UNION ALL SELECT x FROM b"
+        )
+        assert result.columns == ["first_name"]
+
+    def test_mismatched_arity_rejected(self, two_tables):
+        with pytest.raises(PlanError):
+            two_tables.execute("SELECT x FROM a UNION SELECT x, x FROM b")
+
+    def test_union_agrees_with_sqlite(self):
+        from repro.baselines.sqlite_backend import SqliteComparator
+
+        comp = SqliteComparator()
+        try:
+            comp.setup(
+                [
+                    "CREATE TABLE u (v INTEGER)",
+                    "INSERT INTO u VALUES (1),(1),(2),(NULL)",
+                ]
+            )
+            comp.assert_match("SELECT v FROM u UNION SELECT v + 1 FROM u")
+            comp.assert_match("SELECT v FROM u UNION ALL SELECT v FROM u")
+        finally:
+            comp.close()
+
+    def test_union_in_dbsql_spill(self, two_tables):
+        wb = Workbook(database=two_tables)
+        wb.dbsql(
+            "Sheet1", "A1",
+            "SELECT x FROM a WHERE x = 1 UNION ALL SELECT x FROM b WHERE x = 4",
+        )
+        assert wb.get("Sheet1", "A1") == 1
+        assert wb.get("Sheet1", "A2") == 4
+        # Dependencies on BOTH tables: inserting into b refreshes the spill.
+        wb.execute("INSERT INTO b VALUES (4)")
+        assert wb.get("Sheet1", "A3") == 4

@@ -1,0 +1,139 @@
+"""Unit tests for the viewport and the window block cache."""
+
+import pytest
+
+from repro.window.cache import WindowCache
+from repro.window.viewport import Viewport
+
+
+class TestViewport:
+    def test_geometry(self):
+        viewport = Viewport("S", top=10, left=2, n_rows=20, n_cols=5)
+        assert viewport.bottom == 29
+        assert viewport.right == 6
+        assert viewport.as_range().to_a1(include_sheet=False) == "C11:G30"
+        assert viewport.as_range().sheet == "S"
+
+    def test_contains(self):
+        viewport = Viewport("S", top=10, left=0, n_rows=10, n_cols=10)
+        assert viewport.contains(10, 0)
+        assert viewport.contains(19, 9)
+        assert not viewport.contains(20, 0)
+        assert viewport.contains_key(("S", 15, 5))
+        assert not viewport.contains_key(("T", 15, 5))
+
+    def test_scroll_clamps_at_zero(self):
+        viewport = Viewport("S")
+        viewport.scroll_by(-100)
+        assert viewport.top == 0
+
+    def test_page_down_up(self):
+        viewport = Viewport("S", n_rows=40)
+        viewport.page_down()
+        assert viewport.top == 40
+        viewport.page_up()
+        assert viewport.top == 0
+
+    def test_predicate_is_live(self):
+        viewport = Viewport("S", top=0, n_rows=10, n_cols=10)
+        predicate = viewport.visible_predicate()
+        assert predicate(("S", 5, 0))
+        viewport.scroll_to(100)
+        assert not predicate(("S", 5, 0))
+        assert predicate(("S", 105, 0))
+
+    def test_listeners_fire_on_move(self):
+        viewport = Viewport("S")
+        moves = []
+        viewport.add_listener(lambda v: moves.append(v.top))
+        viewport.scroll_to(10)
+        viewport.resize(5, 5)
+        assert moves == [10, 10]
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Viewport("S", n_rows=0)
+        viewport = Viewport("S")
+        with pytest.raises(ValueError):
+            viewport.resize(0, 5)
+
+
+class TestWindowCache:
+    def make(self, n_rows=1000, **kwargs):
+        data = [(i, f"row{i}") for i in range(n_rows)]
+        fetches = []
+
+        def fetcher(start, count):
+            fetches.append((start, count))
+            return data[start : start + count]
+
+        cache = WindowCache(fetcher, **kwargs)
+        return cache, fetches
+
+    def test_window_contents(self):
+        cache, _ = self.make(block_rows=64)
+        rows = cache.window(100, 10)
+        assert rows[0] == (100, "row100")
+        assert len(rows) == 10
+
+    def test_window_spanning_blocks(self):
+        cache, _ = self.make(block_rows=64)
+        rows = cache.window(60, 10)
+        assert [r[0] for r in rows] == list(range(60, 70))
+
+    def test_repeat_window_hits_cache(self):
+        cache, fetches = self.make(block_rows=64, prefetch=False)
+        cache.window(0, 10)
+        cache.window(5, 10)
+        assert len(fetches) == 1
+        assert cache.stats.hits >= 1
+
+    def test_sequential_scroll_prefetches(self):
+        cache, fetches = self.make(block_rows=64)
+        cache.window(0, 10)
+        cache.window(64, 10)  # downward move -> prefetch block 2
+        assert (128, 64) in fetches
+        assert cache.stats.prefetches == 1
+
+    def test_eviction_respects_capacity(self):
+        cache, _ = self.make(block_rows=16, capacity_blocks=2, prefetch=False)
+        cache.window(0, 4)
+        cache.window(100, 4)
+        cache.window(200, 4)
+        assert cache.cached_blocks <= 2
+        assert cache.stats.evictions >= 1
+
+    def test_invalidate_all(self):
+        cache, fetches = self.make(block_rows=64, prefetch=False)
+        cache.window(0, 4)
+        cache.invalidate()
+        cache.window(0, 4)
+        assert len(fetches) == 2
+
+    def test_invalidate_single_row_block(self):
+        cache, fetches = self.make(block_rows=64, prefetch=False)
+        cache.window(0, 4)
+        cache.window(64, 4)
+        cache.invalidate(row=70)  # drops block 1 only
+        cache.window(0, 4)   # still cached
+        cache.window(64, 4)  # refetched
+        assert len(fetches) == 3
+
+    def test_clamps_past_end(self):
+        cache, _ = self.make(n_rows=100, block_rows=64)
+        rows = cache.window(90, 50)
+        assert len(rows) == 10
+
+    def test_empty_window(self):
+        cache, _ = self.make()
+        assert cache.window(0, 0) == []
+
+    def test_hit_ratio(self):
+        cache, _ = self.make(block_rows=64, prefetch=False)
+        cache.window(0, 4)
+        cache.window(0, 4)
+        assert cache.hit_ratio == 0.5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            WindowCache(lambda s, c: [], block_rows=0)

@@ -1,0 +1,126 @@
+"""Unit tests for the Workbook facade (editing, routing, sheets)."""
+
+import pytest
+
+from repro import Workbook
+from repro.errors import RegionError, SheetError
+
+
+class TestSheets:
+    def test_default_sheet(self, wb):
+        assert wb.sheet_names() == ["Sheet1"]
+
+    def test_add_and_get(self, wb):
+        wb.add_sheet("Data")
+        assert wb["Data"].name == "Data"
+
+    def test_duplicate_rejected(self, wb):
+        with pytest.raises(SheetError):
+            wb.add_sheet("Sheet1")
+
+    def test_missing_sheet(self, wb):
+        with pytest.raises(SheetError):
+            wb.sheet("Nope")
+
+    def test_no_default_sheet(self):
+        wb = Workbook(default_sheet="")
+        assert wb.sheet_names() == []
+
+
+class TestEditing:
+    def test_plain_value(self, wb):
+        wb.set("Sheet1", "A1", "42")
+        assert wb.get("Sheet1", "A1") == 42
+
+    def test_formula(self, wb):
+        wb.set("Sheet1", "A1", 6)
+        wb.set("Sheet1", "A2", "=A1*7")
+        assert wb.get("Sheet1", "A2") == 42
+
+    def test_get_range(self, wb):
+        wb.sheet("Sheet1").set_grid("A1", [[1, 2], [3, 4]])
+        assert wb.get_range("Sheet1", "A1:B2") == [[1, 2], [3, 4]]
+
+    def test_get_range_evaluates_formulas(self, wb):
+        wb.set("Sheet1", "A1", 1)
+        wb.set("Sheet1", "B1", "=A1+1")
+        assert wb.get_range("Sheet1", "A1:B1") == [[1, 2]]
+
+    def test_display(self, wb):
+        wb.set("Sheet1", "A1", "=4/2")
+        assert wb.display("Sheet1", "A1") == "2"
+
+    def test_cell_address_objects_accepted(self, wb):
+        from repro.core.address import CellAddress
+
+        wb.set("Sheet1", CellAddress(0, 0), 9)
+        assert wb.get("Sheet1", CellAddress(0, 0)) == 9
+
+
+class TestRegionsRouting:
+    @pytest.fixture
+    def with_table(self, wb):
+        wb.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        wb.execute("INSERT INTO t VALUES (1,'a'),(2,'b')")
+        wb.dbtable("Sheet1", "A1", "t")
+        return wb
+
+    def test_dbsql_cells_read_only(self, wb):
+        wb.execute("CREATE TABLE t (id INT)")
+        wb.execute("INSERT INTO t VALUES (1),(2)")
+        wb.dbsql("Sheet1", "A1", "SELECT id FROM t")
+        with pytest.raises(RegionError):
+            wb.set("Sheet1", "A2", 99)
+
+    def test_dbtable_edit_routes_to_db(self, with_table):
+        with_table.set("Sheet1", "B2", "EDITED")
+        assert with_table.execute("SELECT v FROM t WHERE id=1").scalar() == "EDITED"
+
+    def test_dbtable_header_read_only(self, with_table):
+        with pytest.raises(RegionError):
+            with_table.set("Sheet1", "A1x" if False else "B1", "nope")
+
+    def test_append_below_region_inserts_row(self, with_table):
+        # Region spans A1:B3 (header + 2 rows); writing at row 4 appends.
+        with_table.set("Sheet1", "A4", 3)
+        assert with_table.execute("SELECT count(*) FROM t").scalar() == 3
+
+    def test_replacing_anchor_tears_region_down(self, with_table):
+        with_table.set("Sheet1", "A1", "plain")
+        assert len(with_table.regions) == 0
+        assert with_table.get("Sheet1", "A1") == "plain"
+        # Old spill cells were cleared.
+        assert with_table.get("Sheet1", "B2") is None
+
+    def test_remove_region(self, with_table):
+        region = with_table.regions.all()[0]
+        with_table.remove_region(region.context.region_id)
+        assert with_table.get("Sheet1", "A1") is None
+
+    def test_overlapping_regions_rejected(self, with_table):
+        with pytest.raises(RegionError):
+            with_table.dbtable("Sheet1", "B2", "t")
+
+
+class TestStatsAndBatching:
+    def test_stats_summary_keys(self, wb):
+        summary = wb.stats_summary()
+        assert {"sheets", "regions", "formulas", "compute", "sync", "io"} <= set(summary)
+
+    def test_batch_flushes_once(self, wb):
+        wb.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        wb.dbtable("Sheet1", "A1", "t")
+        region = wb.regions.all()[0]
+        refreshes_before = region.refresh_count
+        with wb.batch():
+            for i in range(10):
+                wb.database.execute(f"INSERT INTO t VALUES ({i})")
+        assert region.refresh_count == refreshes_before + 1
+
+    def test_execute_refreshes_dependents(self, wb):
+        wb.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        wb.execute("INSERT INTO t VALUES (1)")
+        wb.dbsql("Sheet1", "D1", "SELECT count(*) FROM t")
+        assert wb.get("Sheet1", "D1") == 1
+        wb.execute("INSERT INTO t VALUES (2)")
+        assert wb.get("Sheet1", "D1") == 2
