@@ -1,0 +1,129 @@
+"""WAL durability vs full-JSON save, and snapshot+replay recovery.
+
+The seed's only durability story was :func:`repro.core.persist.save_workbook`
+— O(workbook) bytes rewritten per save.  The server's write-ahead log
+(:mod:`repro.server.wal`) makes a single edit durable in O(edit) bytes.
+
+Claims measured here:
+
+* a single-cell edit on a 10k-row workbook costs ≥ 10× fewer bytes (and
+  far less wall-clock) as a WAL append than as a full-JSON save — the
+  bytes ratio is asserted, not just reported;
+* recovery time scales with the *replayed suffix*, not total history:
+  snapshot + short suffix beats full-log replay as the log grows.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Workbook
+from repro.core.persist import save_workbook
+from repro.server.service import WorkbookService, recover_state
+from repro.server.wal import WriteAheadLog
+
+from .conftest import build_sequence_table
+
+N_TABLE_ROWS = 10_000
+
+
+def ten_k_row_workbook() -> Workbook:
+    return Workbook(database=build_sequence_table(N_TABLE_ROWS))
+
+
+def edit_op(n: int) -> dict:
+    return {"type": "set_cell", "sheet": "Sheet1", "ref": "A1", "raw": n}
+
+
+def full_save_bytes(tmp_path) -> int:
+    workbook = ten_k_row_workbook()
+    path = str(tmp_path / "full.json")
+    workbook.set("Sheet1", "A1", 1)
+    save_workbook(workbook, path)
+    return os.path.getsize(path)
+
+
+def test_single_edit_wal_append(benchmark, tmp_path):
+    """Durability cost of one small edit via the WAL (no fsync, matching
+    the plain-write full-save baseline)."""
+    workbook = ten_k_row_workbook()
+    wal = WriteAheadLog(str(tmp_path / "wal.jsonl"), fsync=False)
+    counter = iter(range(10_000_000))
+
+    def edit():
+        n = next(counter)
+        workbook.set("Sheet1", "A1", n)
+        wal.append(edit_op(n))
+
+    benchmark(edit)
+    wal.sync()
+    bytes_per_edit = wal.stats.bytes_written / max(wal.stats.appends, 1)
+    baseline = full_save_bytes(tmp_path)
+    benchmark.extra_info["wal_bytes_per_edit"] = round(bytes_per_edit, 1)
+    benchmark.extra_info["full_save_bytes_per_edit"] = baseline
+    benchmark.extra_info["bytes_ratio"] = round(baseline / bytes_per_edit, 1)
+    benchmark.extra_info["table_rows"] = N_TABLE_ROWS
+    # Acceptance: WAL append writes >= 10x fewer bytes than a full save.
+    assert baseline >= 10 * bytes_per_edit
+    wal.close()
+
+
+def test_single_edit_full_json_save(benchmark, tmp_path):
+    """The seed's per-edit durability: rewrite the whole workbook."""
+    workbook = ten_k_row_workbook()
+    path = str(tmp_path / "full.json")
+    counter = iter(range(10_000_000))
+
+    def edit():
+        workbook.set("Sheet1", "A1", next(counter))
+        save_workbook(workbook, path)
+
+    benchmark(edit)
+    benchmark.extra_info["bytes_per_edit"] = os.path.getsize(path)
+    benchmark.extra_info["table_rows"] = N_TABLE_ROWS
+
+
+def build_service_dir(tmp_path, n_ops: int, snapshot_at: int = 0) -> str:
+    """A service directory with ``n_ops`` logged edits; optionally a
+    snapshot covering the first ``snapshot_at`` of them."""
+    directory = str(tmp_path / f"svc-{n_ops}-{snapshot_at}")
+    service = WorkbookService(directory, fsync=False, compact_every=0)
+    session = service.connect("bench")
+    for n in range(n_ops):
+        if snapshot_at and n == snapshot_at:
+            service.compact()
+        service.set_cell(session.session_id, "Sheet1", f"A{(n % 500) + 1}", n)
+    service.close()
+    return directory
+
+
+@pytest.mark.parametrize("n_ops", [200, 1000, 3000])
+def test_recovery_full_log_replay(benchmark, tmp_path, n_ops):
+    """Recovery with no snapshot: replay every committed record."""
+    directory = build_service_dir(tmp_path, n_ops)
+
+    def recover():
+        return recover_state(directory)
+
+    recovery = benchmark(recover)
+    assert recovery.ops_replayed == n_ops
+    benchmark.extra_info["log_ops"] = n_ops
+    benchmark.extra_info["ops_replayed"] = recovery.ops_replayed
+
+
+@pytest.mark.parametrize("n_ops", [1000, 3000])
+def test_recovery_snapshot_plus_suffix(benchmark, tmp_path, n_ops):
+    """Recovery with a snapshot near the tail: load + short suffix replay;
+    time should track the suffix (here 100 ops), not ``n_ops``."""
+    directory = build_service_dir(tmp_path, n_ops, snapshot_at=n_ops - 100)
+
+    def recover():
+        return recover_state(directory)
+
+    recovery = benchmark(recover)
+    assert recovery.snapshot_used
+    assert recovery.ops_replayed == 100
+    benchmark.extra_info["log_ops"] = n_ops
+    benchmark.extra_info["ops_replayed"] = recovery.ops_replayed

@@ -30,6 +30,10 @@ positional index                      :mod:`repro.index`
 compute engine                        :mod:`repro.compute`
 relational storage manager (hybrid)   :mod:`repro.engine` stores
 ====================================  =====================================
+
+Beyond the paper's demo scope, :mod:`repro.server` turns the in-process
+workbook into a durable multi-session service (write-ahead log, snapshot
+compaction, optimistic concurrency, viewport-scoped broadcast).
 """
 
 from repro.core.address import CellAddress, RangeAddress, column_index, column_label
@@ -43,6 +47,7 @@ from repro.engine.schema import Column, TableSchema
 from repro.engine.store import LayoutPolicy
 from repro.engine.types import DBType
 from repro.errors import DataSpreadError
+from repro.server import WorkbookService
 
 __version__ = "1.0.0"
 
@@ -65,6 +70,7 @@ __all__ = [
     "TableSchema",
     "DBType",
     "LayoutPolicy",
+    "WorkbookService",
     "DataSpreadError",
     "__version__",
 ]

@@ -4,7 +4,9 @@ The original demo used Excel; this REPL is our stand-in interface: a
 scrollable sheet window plus a command line that accepts both cell entry
 and SQL — the "holistic unification" at the prompt.
 
-Run:  python -m repro.cli
+Run:  python -m repro.cli                 (in-memory workbook)
+      python -m repro.cli serve <dir>     (durable, WAL-backed workbook)
+      python -m repro.cli replay <path>   (recover a WAL/service dir, print state)
 
 Commands
 --------
@@ -19,33 +21,99 @@ Commands
 ``stats``                   workbook statistics
 ``save <path>``             persist the whole workbook to JSON
 ``load <path>``             load a saved workbook
+``serve <dir>``             attach to a durable workbook (WAL + snapshots)
+``replay <path>``           recover a WAL or service directory, print state
+``deltas``                  (serving) drain this session's change feed
+``snapshot``                (serving) force a compaction snapshot
 ``help`` / ``quit``
 """
 
 from __future__ import annotations
 
+import os
 import shlex
 import sys
-from typing import Optional
+from typing import List, Optional
 
 from repro import Workbook
 from repro.core.address import CellAddress
 from repro.core.render import render_range, render_window
-from repro.errors import DataSpreadError
+from repro.errors import DataSpreadError, ServerError, StaleWriteError
 
-__all__ = ["DataSpreadShell", "main"]
+__all__ = ["DataSpreadShell", "replay_report", "main"]
 
 _PROMPT = "dataspread> "
+
+
+def replay_report(path: str) -> str:
+    """Recover durable state from ``path`` and describe the result.
+
+    ``path`` may be a service directory (snapshot + WAL) or a bare WAL
+    file (replayed from an empty workbook).  Returns a human-readable
+    summary plus a render of the first sheet's top-left window."""
+    from repro.server.service import WAL_FILENAME, apply_op, recover_state
+    from repro.server.wal import committed_ops, read_wal
+
+    if not os.path.exists(path):
+        raise ServerError(f"no such WAL file or service directory: {path!r}")
+    if os.path.isdir(path):
+        directory = path
+    elif (
+        os.path.basename(path) == WAL_FILENAME
+        and os.path.exists(os.path.join(os.path.dirname(path) or ".", "snapshot.json"))
+    ):
+        # A wal.jsonl next to a snapshot: replay the whole directory so
+        # ops that assume snapshotted state (tables, sheets) resolve.
+        directory = os.path.dirname(path) or "."
+    else:
+        directory = None
+
+    if directory is not None:
+        recovery = recover_state(directory)
+        workbook = recovery.workbook
+        header = (
+            f"recovered {directory}: "
+            f"{'snapshot + ' if recovery.snapshot_used else ''}"
+            f"{recovery.ops_replayed} committed ops replayed "
+            f"(wal lsn {recovery.last_lsn})"
+        )
+    else:
+        records, _, _ = read_wal(path)
+        ops = committed_ops(records)
+        workbook = Workbook()
+        for op in ops:
+            apply_op(workbook, op)
+        workbook.recalc_all()
+        header = (
+            f"replayed {path}: {len(ops)} committed ops "
+            f"of {len(records)} records"
+        )
+
+    lines = [header]
+    for name in workbook.database.table_names():
+        lines.append(f"table {name}: {workbook.database.table(name).n_rows} rows")
+    for region in workbook.regions.all():
+        context = region.context
+        extent = context.extent.to_a1(include_sheet=False) if context.extent else "?"
+        lines.append(f"region #{context.region_id} {context.kind} {context.sheet}!{extent}")
+    first_sheet = workbook.sheet_names()[0]
+    lines.append(render_window(workbook, first_sheet, top=0, left=0, n_rows=12, n_cols=6))
+    return "\n".join(lines)
 
 
 class DataSpreadShell:
     """Line-oriented REPL over a workbook.
 
     Separated from ``main`` so tests can drive it with
-    :meth:`handle_line` and capture the returned output strings.
+    :meth:`handle_line` and capture the returned output strings.  With a
+    :class:`~repro.server.service.WorkbookService` attached (the ``serve``
+    command or ``main(["serve", dir])``), edits and SQL flow through the
+    durable apply pipeline as one session of the service.
     """
 
-    def __init__(self, workbook: Optional[Workbook] = None):
+    def __init__(self, workbook: Optional[Workbook] = None, service=None):
+        self.service = None
+        self.session = None
         self.workbook = workbook if workbook is not None else Workbook()
         self.sheet_name = self.workbook.sheet_names()[0]
         self.top = 0
@@ -53,6 +121,22 @@ class DataSpreadShell:
         self.n_rows = 12
         self.n_cols = 6
         self.running = True
+        if service is not None:
+            self._attach_service(service)
+
+    def _attach_service(self, service) -> None:
+        self.service = service
+        self.workbook = service.workbook
+        self.sheet_name = self.workbook.sheet_names()[0]
+        self.top = self.left = 0
+        self.session = service.connect(
+            "cli",
+            sheet=self.sheet_name,
+            top=self.top,
+            left=self.left,
+            n_rows=self.n_rows,
+            n_cols=self.n_cols,
+        )
 
     # -- command handling --------------------------------------------------
 
@@ -70,9 +154,22 @@ class DataSpreadShell:
         lowered = line.lower()
         if lowered in ("quit", "exit"):
             self.running = False
+            if self.service is not None:
+                self.service.close()
             return "bye"
         if lowered == "help":
             return (__doc__ or "").strip()
+        if lowered.startswith("serve "):
+            return self._serve(line[6:].strip())
+        if lowered.startswith("replay "):
+            return replay_report(line[7:].strip())
+        if lowered == "deltas":
+            return self._deltas()
+        if lowered == "snapshot":
+            if self.service is None:
+                return "not serving (use 'serve <dir>' first)"
+            path = self.service.compact()
+            return f"snapshot written to {path}" if path else "snapshot skipped"
         if lowered.startswith("sql "):
             return self._run_sql(line[4:])
         if lowered.startswith("sheet"):
@@ -102,6 +199,8 @@ class DataSpreadShell:
             return "\n".join(lines) or "(no regions)"
         if lowered == "stats":
             summary = self.workbook.stats_summary()
+            if self.service is not None:
+                summary["server"] = self.service.stats_summary()
             return "\n".join(f"{key}: {value}" for key, value in summary.items())
         if lowered.startswith("save "):
             from repro.core.persist import save_workbook
@@ -112,6 +211,8 @@ class DataSpreadShell:
         if lowered.startswith("load "):
             from repro.core.persist import load_workbook
 
+            if self.service is not None:
+                return "error: cannot 'load' while serving (quit and reopen)"
             path = line[5:].strip()
             self.workbook = load_workbook(path)
             self.sheet_name = self.workbook.sheet_names()[0]
@@ -127,14 +228,30 @@ class DataSpreadShell:
         raw = raw.strip()
         CellAddress.parse(target)  # validate before mutating
         # '=SUM(...)' arrives as 'A1 = =SUM(...)'; plain values without '='.
-        self.workbook.set(self.sheet_name, target, raw if raw.startswith("=") else raw)
+        if self.service is not None:
+            try:
+                self.service.set_cell(
+                    self.session.session_id, self.sheet_name, target, raw
+                )
+            except StaleWriteError as error:
+                return (
+                    f"stale write rejected (now at version "
+                    f"{error.current_version}); run 'deltas' to catch up, "
+                    "then retry"
+                )
+        else:
+            self.workbook.set(self.sheet_name, target, raw)
         value = self.workbook.get(self.sheet_name, target)
         return f"{target} = {value!r}"
 
     def _run_sql(self, sql: str) -> str:
-        result = self.workbook.execute(sql)
-        if not result.columns:
-            return f"ok ({result.rowcount} rows affected)"
+        if self.service is not None:
+            result = self.service.execute(self.session.session_id, sql).result
+        else:
+            result = self.workbook.execute(sql)
+        if result is None or not result.columns:
+            rowcount = getattr(result, "rowcount", 0)
+            return f"ok ({rowcount} rows affected)"
         widths = [
             max(len(str(column)), *(len(str(row[i])) for row in result.rows))
             if result.rows
@@ -157,16 +274,68 @@ class DataSpreadShell:
         if not name:
             return "sheets: " + ", ".join(self.workbook.sheet_names())
         if name not in self.workbook.sheets:
-            self.workbook.add_sheet(name)
+            if self.service is not None:
+                # Through the pipeline, so recovery can recreate the sheet
+                # before replaying edits logged against it.
+                self.service.apply(
+                    self.session.session_id, {"type": "add_sheet", "name": name}
+                )
+            else:
+                self.workbook.add_sheet(name)
         self.sheet_name = name
         self.top = self.left = 0
+        if self.session is not None:
+            self.session.viewport.sheet = name
+            self.session.scroll_to(0, 0)
         return f"on sheet {name}"
 
     def _goto(self, ref: str) -> str:
         address = CellAddress.parse(ref)
         self.top = address.row
         self.left = address.col
+        if self.session is not None:
+            self.session.viewport.sheet = self.sheet_name
+            self.session.scroll_to(self.top, self.left)
         return self._window()
+
+    # -- server-mode commands ----------------------------------------------
+
+    def _serve(self, directory: str) -> str:
+        from repro.server.service import WorkbookService
+
+        if self.service is not None:
+            return f"error: already serving {self.service.directory}"
+        if not directory:
+            return "usage: serve <directory>"
+        service = WorkbookService(directory)
+        self._attach_service(service)
+        return (
+            f"serving {directory} (version {service.version}, "
+            f"{service.recovered_ops} ops recovered, "
+            f"session #{self.session.session_id})"
+        )
+
+    def _deltas(self) -> str:
+        if self.session is None:
+            return "not serving (use 'serve <dir>' first)"
+        deltas = self.service.poll(self.session.session_id)
+        if not deltas:
+            return "(no pending deltas)"
+        lines = []
+        for delta in deltas:
+            if delta.kind == "cell":
+                address = CellAddress(delta.row, delta.col)
+                lines.append(
+                    f"v{delta.version} cell {delta.sheet}!"
+                    f"{address.to_a1(include_sheet=False)} = {delta.value!r}"
+                )
+            else:
+                extent = delta.area.to_a1(include_sheet=False) if delta.area else "?"
+                lines.append(
+                    f"v{delta.version} region #{delta.region_id} "
+                    f"{delta.sheet}!{extent} ({delta.description})"
+                )
+        return "\n".join(lines)
 
     def _window(self) -> str:
         return render_window(
@@ -179,8 +348,34 @@ class DataSpreadShell:
         )
 
 
-def main() -> None:  # pragma: no cover - interactive loop
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point: ``serve <dir>`` / ``replay <path>`` subcommands, or
+    the plain in-memory REPL when no arguments are given."""
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "replay":
+        if len(arguments) != 2:
+            print("usage: python -m repro.cli replay <wal-or-directory>")
+            return 2
+        try:
+            print(replay_report(arguments[1]))
+        except DataSpreadError as error:
+            print(f"error: {error}")
+            return 1
+        return 0
     shell = DataSpreadShell()
+    if arguments and arguments[0] == "serve":
+        if len(arguments) != 2:
+            print("usage: python -m repro.cli serve <directory>")
+            return 2
+        print(shell.handle_line(f"serve {arguments[1]}"))
+    elif arguments:
+        print(f"unknown subcommand {arguments[0]!r} (try 'serve' or 'replay')")
+        return 2
+    _repl(shell)
+    return 0
+
+
+def _repl(shell: DataSpreadShell) -> None:  # pragma: no cover - interactive loop
     print("DataSpread shell — 'help' for commands, 'quit' to exit.")
     while shell.running:
         try:
@@ -194,4 +389,4 @@ def main() -> None:  # pragma: no cover - interactive loop
 
 
 if __name__ == "__main__":  # pragma: no cover
-    main()
+    sys.exit(main())

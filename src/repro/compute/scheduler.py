@@ -19,9 +19,23 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.compute.graph import CellKey
 
-__all__ = ["RecalcScheduler"]
+__all__ = ["RecalcScheduler", "union_predicate"]
 
 VisiblePredicate = Callable[[CellKey], bool]
+
+
+def union_predicate(predicates: List[VisiblePredicate]) -> VisiblePredicate:
+    """A predicate that is true where *any* member predicate is true.
+
+    The multi-session server uses this to drive visible-first recalc over
+    N client viewports at once: a cell inside any session's pane is
+    priority-0.  The member list is captured by reference — callers may
+    pass a live list and mutate it as sessions open/close/scroll."""
+
+    def visible(key: CellKey) -> bool:
+        return any(predicate(key) for predicate in predicates)
+
+    return visible
 
 
 class RecalcScheduler:

@@ -137,8 +137,12 @@ def workbook_to_dict(workbook: Workbook) -> Dict[str, Any]:
     }
 
 
-def workbook_from_dict(payload: Dict[str, Any]) -> Workbook:
-    """Rebuild a live workbook from :func:`workbook_to_dict` output."""
+def workbook_from_dict(payload: Dict[str, Any], eager: bool = True) -> Workbook:
+    """Rebuild a live workbook from :func:`workbook_to_dict` output.
+
+    ``eager=False`` hands recalc scheduling to the caller (the server's
+    visible-first pipeline): loaded formulas are still computed once here
+    so the workbook is consistent, but later edits only *schedule* work."""
     if payload.get("version") != _FORMAT_VERSION:
         raise ImportExportError(
             f"unsupported workbook format version {payload.get('version')!r}"
@@ -163,7 +167,7 @@ def workbook_from_dict(payload: Dict[str, Any]) -> Workbook:
 
     sheet_specs = payload.get("sheets", [])
     first_sheet = sheet_specs[0]["name"] if sheet_specs else "Sheet1"
-    workbook = Workbook(database=database, default_sheet=first_sheet)
+    workbook = Workbook(database=database, default_sheet=first_sheet, eager=eager)
     for spec in sheet_specs[1:]:
         workbook.add_sheet(spec["name"])
 
@@ -214,8 +218,8 @@ def save_workbook(workbook: Workbook, path: str) -> None:
         json.dump(workbook_to_dict(workbook), handle, indent=1)
 
 
-def load_workbook(path: str) -> Workbook:
+def load_workbook(path: str, eager: bool = True) -> Workbook:
     """Load a workbook saved by :func:`save_workbook`."""
     with open(path) as handle:
         payload = json.load(handle)
-    return workbook_from_dict(payload)
+    return workbook_from_dict(payload, eager=eager)

@@ -95,6 +95,7 @@ class SyncManager:
                 if region is None:
                     continue
                 region.refresh()
+                self.workbook._notify_region_refreshed(region)
                 refreshed += 1
                 self.stats.regions_refreshed += 1
         return refreshed

@@ -78,8 +78,23 @@ class Workbook(ComputeHost):
         self.viewport: Optional[Viewport] = None
         self.auto_sync = True
         self._batch_depth = 0
+        #: ``listener(key, value)`` after any cell write (edits, formula
+        #: recomputes, error renders) — the server's delta feed.
+        self.cell_listeners: List[Any] = []
+        #: ``listener(region)`` after a display region re-renders.
+        self.region_refresh_listeners: List[Any] = []
         if default_sheet:
             self.add_sheet(default_sheet)
+
+    # ------------------------------------------------------------- observers
+
+    def _notify_cell_written(self, key: CellKey, value: Any) -> None:
+        for listener in self.cell_listeners:
+            listener(key, value)
+
+    def _notify_region_refreshed(self, region) -> None:
+        for listener in self.region_refresh_listeners:
+            listener(region)
 
     # ------------------------------------------------------------------ sheets
 
@@ -115,11 +130,13 @@ class Workbook(ComputeHost):
         sheet_name, row, col = key
         cell = self.sheet(sheet_name).ensure_cell(CellAddress(row, col))
         cell.set_value(value)
+        self._notify_cell_written(key, value)
 
     def write_error(self, key: CellKey, code: str) -> None:
         sheet_name, row, col = key
         cell = self.sheet(sheet_name).ensure_cell(CellAddress(row, col))
         cell.set_error(code)
+        self._notify_cell_written(key, code)
 
     def call_extension(self, name: str, args: List[Any], at: CellKey) -> Any:
         upper = name.upper()
@@ -132,7 +149,9 @@ class Workbook(ComputeHost):
                 raise FormulaEvalError(
                     f"{upper} formula without a region at anchor", "#REF!"
                 )
-            return region.refresh()
+            value = region.refresh()
+            self._notify_region_refreshed(region)
+            return value
         raise FormulaEvalError(f"unknown function {name}", "#NAME?")
 
     # --------------------------------------------------------------- batching
@@ -175,6 +194,9 @@ class Workbook(ComputeHost):
             if region.context.kind == "dbtable":
                 with self.batch():
                     region.apply_edit(address.row, address.col, raw)
+                    # The region suppresses its own sync refresh (it updates
+                    # its cells in place), so announce the change here.
+                    self._notify_region_refreshed(region)
                 return
             raise RegionError(
                 f"{address.to_a1()} is part of a DBSQL result and is read-only"
@@ -194,6 +216,7 @@ class Workbook(ComputeHost):
             ):
                 with self.batch():
                     above.apply_edit(address.row, address.col, raw)
+                    self._notify_region_refreshed(above)
                 return
 
         if isinstance(raw, str) and raw.startswith("="):
@@ -203,6 +226,7 @@ class Workbook(ComputeHost):
         if cell.is_formula:
             self.compute.unregister_formula(key)
         cell.set_input(raw)
+        self._notify_cell_written(key, cell.value)
         with self.batch():
             self.compute.on_value_changed(key)
 
@@ -224,6 +248,10 @@ class Workbook(ComputeHost):
             return
         cell = sheet.ensure_cell(address)
         cell.set_input(raw)
+        # Announce before recalc: even when the formula's value is computed
+        # later (lazy mode, off-screen cell), observers must see that the
+        # cell was written (the optimistic stale check keys off this).
+        self._notify_cell_written(key, cell.value)
         with self.batch():
             self.compute.register_formula(key, source)
 

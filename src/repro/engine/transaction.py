@@ -11,6 +11,14 @@ both data and schema.
 The design is deliberately simple (single-writer, no concurrency): the
 paper explicitly leaves the transaction manager's full redesign to future
 work, and what the demo needs is atomicity of mixed DML+DDL batches.
+
+Durability integration: the manager publishes its state transitions to
+registered *hooks* — callables ``hook(event, txn_id)`` with ``event`` in
+``("begin", "commit", "rollback")``.  The server's write-ahead log uses
+these to bracket a transaction's records with commit markers and to
+discard the un-committed records when the transaction rolls back, no
+matter which code path (service op, ``Database.execute("ROLLBACK")``,
+direct API call) drove the transition.
 """
 
 from __future__ import annotations
@@ -19,7 +27,10 @@ from typing import Any, Callable, List, Optional
 
 from repro.errors import TransactionError
 
-__all__ = ["Transaction", "TransactionManager"]
+__all__ = ["Transaction", "TransactionManager", "TransactionHook"]
+
+#: ``hook(event, txn_id)`` with event in ("begin", "commit", "rollback").
+TransactionHook = Callable[[str, int], None]
 
 
 class Transaction:
@@ -67,27 +78,46 @@ class TransactionManager:
         self.current: Optional[Transaction] = None
         self.committed = 0
         self.rolled_back = 0
+        self._hooks: List[TransactionHook] = []
+
+    # -- lifecycle hooks (durability layer) ---------------------------------
+
+    def add_hook(self, hook: TransactionHook) -> None:
+        """Subscribe to begin/commit/rollback transitions."""
+        self._hooks.append(hook)
+
+    def remove_hook(self, hook: TransactionHook) -> None:
+        self._hooks.remove(hook)
+
+    def _notify(self, event: str, txn_id: int) -> None:
+        for hook in list(self._hooks):
+            hook(event, txn_id)
 
     def begin(self) -> Transaction:
         if self.current is not None and self.current.active:
             raise TransactionError("a transaction is already open (no nesting)")
         self.current = Transaction(self._next_id)
         self._next_id += 1
+        self._notify("begin", self.current.txn_id)
         return self.current
 
     def commit(self) -> None:
         if self.current is None or not self.current.active:
             raise TransactionError("no open transaction to commit")
+        txn_id = self.current.txn_id
         self.current.commit()
         self.committed += 1
         self.current = None
+        self._notify("commit", txn_id)
 
     def rollback(self) -> int:
         if self.current is None or not self.current.active:
             raise TransactionError("no open transaction to roll back")
+        txn_id = self.current.txn_id
         undone = self.current.rollback()
         self.rolled_back += 1
         self.current = None
+        self._notify("rollback", txn_id)
         return undone
 
     @property

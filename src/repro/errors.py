@@ -138,3 +138,32 @@ class SyncError(InterfaceError):
 class ImportExportError(InterfaceError):
     """Creating a table from a range, or importing/exporting data, failed
     (e.g. no header row, ragged data, unsupported value)."""
+
+
+# ---------------------------------------------------------------------------
+# Server / durability layer
+# ---------------------------------------------------------------------------
+
+class ServerError(DataSpreadError):
+    """Base class for the durable-service layer (:mod:`repro.server`)."""
+
+
+class WALError(ServerError):
+    """The write-ahead log is unusable: corrupt interior record, checksum
+    mismatch before the tail, non-monotonic LSN, or an I/O failure.  A torn
+    *tail* (partial final record after a crash) is NOT an error — recovery
+    silently stops at the last intact record."""
+
+
+class SessionError(ServerError):
+    """Invalid session operation (unknown session id, closed session)."""
+
+
+class StaleWriteError(ServerError):
+    """An optimistic write lost the race: the target cell was modified at a
+    newer version than the one the writing session had seen.  Carries the
+    service's ``current_version`` so the client can refresh and retry."""
+
+    def __init__(self, message: str, current_version: int):
+        super().__init__(message)
+        self.current_version = current_version

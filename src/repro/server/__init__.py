@@ -1,0 +1,75 @@
+"""Durable operation log + multi-session collaboration server.
+
+The seed's persistence story was the single-user demo path: rewrite the
+whole workbook as one JSON blob per save, one writer, no sessions.  This
+package turns the in-process workbook into a durable multi-client
+service:
+
+==============  ============================================================
+module          role
+==============  ============================================================
+``wal``         append-only JSONL write-ahead log (checksums, batched
+                fsync, torn-tail tolerance, txn markers)
+``snapshot``    periodic compaction: persist-format snapshot + WAL offset,
+                so recovery = snapshot + committed suffix replay
+``session``     N client sessions over one workbook: per-session viewports
+                and optimistic version horizons
+``broadcast``   viewport-scoped delta subscriptions (a session only hears
+                about changes it can see)
+``service``     the apply pipeline: validate → WAL append → apply →
+                visible-first recalc → broadcast → compact
+==============  ============================================================
+
+Quick start::
+
+    from repro.server import WorkbookService
+
+    svc = WorkbookService("/tmp/book")          # recovers if data exists
+    alice = svc.connect("alice")
+    svc.execute(alice.session_id, "CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+    svc.set_cell(alice.session_id, "Sheet1", "A1", 42)
+    svc.close()
+
+    svc = WorkbookService("/tmp/book")          # crash-safe: same state
+    assert svc.workbook.get("Sheet1", "A1") == 42
+"""
+
+from repro.server.broadcast import Broadcaster, Delta
+from repro.server.service import (
+    ApplyResult,
+    RecoveryResult,
+    WorkbookService,
+    apply_op,
+    recover_state,
+    validate_op,
+)
+from repro.server.session import Session, SessionManager
+from repro.server.snapshot import SnapshotStore
+from repro.server.wal import (
+    WalMark,
+    WalRecord,
+    WalStats,
+    WriteAheadLog,
+    committed_ops,
+    read_wal,
+)
+
+__all__ = [
+    "WorkbookService",
+    "ApplyResult",
+    "RecoveryResult",
+    "apply_op",
+    "validate_op",
+    "recover_state",
+    "Session",
+    "SessionManager",
+    "Broadcaster",
+    "Delta",
+    "SnapshotStore",
+    "WriteAheadLog",
+    "WalRecord",
+    "WalMark",
+    "WalStats",
+    "read_wal",
+    "committed_ops",
+]

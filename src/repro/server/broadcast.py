@@ -1,0 +1,92 @@
+"""Viewport-scoped delta subscriptions.
+
+When an edit wins, every *other* session should learn about it — but only
+if it can see it: a session panned to row 90,000 does not care that A1
+changed, and at millions of users shipping every change to every client
+is exactly the O(users × edits) blow-up the windowing architecture
+avoids.  The :class:`Broadcaster` therefore filters each outgoing
+:class:`Delta` against the receiving session's viewport
+(:meth:`~repro.window.viewport.Viewport.contains` for single cells,
+:meth:`~repro.window.viewport.Viewport.overlaps` for region re-renders)
+and counts what it suppressed.
+
+Two delta shapes cover the workbook's change vocabulary:
+
+* ``cell`` — one cell's new value (a direct edit, a formula recompute, an
+  error render);
+* ``region`` — a display region re-rendered (DBTABLE window refresh,
+  DBSQL re-query); the delta carries the region's extent rather than
+  every cell, so a 10k-row refresh is one message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.core.address import RangeAddress
+from repro.server.session import Session, SessionManager
+
+__all__ = ["Delta", "Broadcaster"]
+
+
+@dataclass
+class Delta:
+    """One visible change, stamped with the service version that made it."""
+
+    kind: str            # "cell" | "region"
+    sheet: str
+    version: int
+    origin: Optional[int] = None     # session id that caused it (None: system)
+    # cell deltas
+    row: Optional[int] = None
+    col: Optional[int] = None
+    value: Any = None
+    # region deltas
+    region_id: Optional[int] = None
+    area: Optional[RangeAddress] = None
+    description: Optional[str] = None
+
+    def visible_to(self, session: Session) -> bool:
+        viewport = session.viewport
+        if self.kind == "cell":
+            assert self.row is not None and self.col is not None
+            return viewport.contains_key((self.sheet, self.row, self.col))
+        if self.area is None:
+            return False
+        return viewport.overlaps(self.area, sheet=self.sheet)
+
+
+class Broadcaster:
+    """Fans deltas out to the sessions whose viewports cover them."""
+
+    def __init__(self, sessions: SessionManager):
+        self.sessions = sessions
+        self.published = 0
+        self.delivered = 0
+        self.suppressed = 0
+
+    def publish(
+        self,
+        deltas: List[Delta],
+        origin: Optional[int] = None,
+        include_origin: bool = False,
+    ) -> int:
+        """Deliver each delta to every covering session; returns the number
+        of (session, delta) deliveries.  The originating session already
+        holds the result of its own apply, so it is skipped by default."""
+        if not deltas:
+            return 0
+        self.published += len(deltas)
+        deliveries = 0
+        for session in self.sessions.sessions():
+            if session.session_id == origin and not include_origin:
+                continue
+            for delta in deltas:
+                if delta.visible_to(session):
+                    session.deliver(delta)
+                    deliveries += 1
+                else:
+                    self.suppressed += 1
+        self.delivered += deliveries
+        return deliveries

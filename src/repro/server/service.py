@@ -1,0 +1,614 @@
+"""The durable multi-session workbook service.
+
+This is the update-propagation path the ROADMAP's scaling story needs,
+separated from the read/compute path (the Polynesia lesson): every
+mutation flows through one pipeline —
+
+    validate  →  WAL append  →  apply (core/sync fans out to regions)
+              →  visible-first recalc (union of session viewports)
+              →  viewport-scoped broadcast  →  maybe compact
+
+Durability: operations are logged to a :class:`~repro.server.wal.WriteAheadLog`
+*before* they mutate the workbook (a failed apply compensates by
+truncating the just-appended record, keeping log ≡ applied history).
+Recovery loads the last snapshot and replays the committed WAL suffix
+(:func:`recover_state`); transactions only count as committed once their
+``txn_commit`` marker is on disk, and a rollback physically discards the
+bracket via the :class:`~repro.engine.transaction.TransactionManager`
+hook — whichever code path drove it.
+
+Concurrency: sessions are multiplexed cooperatively (one process, no
+threads — the single-writer engine below is unchanged); *conflicts* are
+handled optimistically.  Every applied operation bumps the service
+version; cells and regions remember the version that last wrote them; a
+``set_cell`` whose base version is older than the target's last write is
+rejected with :class:`~repro.errors.StaleWriteError` carrying the
+current version — the client polls its deltas (advancing its horizon)
+and retries.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.address import CellAddress, RangeAddress
+from repro.core.persist import workbook_from_dict
+from repro.core.workbook import Workbook
+from repro.engine import sql_ast
+from repro.engine.database import _TXN_COMMANDS
+from repro.engine.sql_parser import parse_sql
+from repro.errors import ServerError, SqlError, StaleWriteError
+from repro.formula.parser import parse_formula
+from repro.server.broadcast import Broadcaster, Delta
+from repro.server.session import Session, SessionManager
+from repro.server.snapshot import SnapshotStore
+from repro.server.wal import WriteAheadLog, committed_ops, read_wal
+
+__all__ = [
+    "WorkbookService",
+    "ApplyResult",
+    "RecoveryResult",
+    "validate_op",
+    "apply_op",
+    "recover_state",
+]
+
+WAL_FILENAME = "wal.jsonl"
+
+#: Operation vocabulary (the WAL's logical schema).
+OP_TYPES = (
+    "set_cell",      # {sheet, ref, raw}
+    "sql",           # {sql, params?}
+    "add_sheet",     # {name}
+    "dbtable",       # {sheet, anchor, table, include_headers?, window_rows?}
+    "dbsql",         # {sheet, anchor, sql, include_headers?}
+    "insert_rows",   # {sheet, at, count?}
+    "delete_rows",
+    "insert_cols",
+    "delete_cols",
+    "txn_begin",     # markers written by the transaction hook
+    "txn_commit",
+    "txn_rollback",
+)
+
+_STRUCTURAL = ("insert_rows", "delete_rows", "insert_cols", "delete_cols")
+
+
+def _txn_control(op: Dict[str, Any]) -> Optional[str]:
+    """"begin"/"commit"/"rollback" when the op is transaction control."""
+    if op.get("type") != "sql":
+        return None
+    return _TXN_COMMANDS.get(str(op.get("sql", "")).strip().rstrip(";").strip().lower())
+
+
+def _is_readonly_sql(op: Dict[str, Any]) -> bool:
+    """True for a plain SELECT: no state change, so nothing to log or
+    replay — logging reads would bloat the WAL and make recovery
+    O(all queries ever run)."""
+    if op.get("type") != "sql" or _txn_control(op) is not None:
+        return False
+    statements = parse_sql(op["sql"])
+    return len(statements) == 1 and isinstance(
+        statements[0], (sql_ast.SelectStmt, sql_ast.CompoundSelect)
+    )
+
+
+def validate_op(workbook: Workbook, op: Any) -> None:
+    """Reject malformed operations *before* they reach the WAL, so the log
+    only ever contains applicable records."""
+    if not isinstance(op, dict) or not isinstance(op.get("type"), str):
+        raise ServerError(f"operation must be a dict with a 'type', got {op!r}")
+    kind = op["type"]
+    if kind not in OP_TYPES:
+        raise ServerError(f"unknown operation type {kind!r}")
+    if kind == "set_cell":
+        workbook.sheet(str(op["sheet"]))  # raises SheetError when missing
+        CellAddress.parse(str(op["ref"]))
+        raw = op.get("raw")
+        if isinstance(raw, str) and raw.startswith("="):
+            parse_formula(raw[1:])  # syntax-check; install happens at apply
+    elif kind == "sql":
+        sql = op.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            raise ServerError("sql operation requires a non-empty 'sql' string")
+        if _txn_control(op) is None:
+            statements = parse_sql(sql)
+            if len(statements) != 1:
+                raise SqlError(
+                    f"sql operation takes one statement, got {len(statements)}"
+                )
+    elif kind == "add_sheet":
+        name = op.get("name")
+        if not isinstance(name, str) or not name:
+            raise ServerError("add_sheet requires a non-empty 'name'")
+    elif kind == "dbtable":
+        workbook.sheet(str(op["sheet"]))
+        CellAddress.parse(str(op["anchor"]))
+        if not workbook.database.has_table(str(op["table"])):
+            raise ServerError(f"no such table {op['table']!r}")
+    elif kind == "dbsql":
+        workbook.sheet(str(op["sheet"]))
+        CellAddress.parse(str(op["anchor"]))
+        if not isinstance(op.get("sql"), str) or not op["sql"].strip():
+            raise ServerError("dbsql operation requires a non-empty 'sql' string")
+    elif kind in _STRUCTURAL:
+        workbook.sheet(str(op["sheet"]))
+        if int(op["at"]) < 0 or int(op.get("count", 1)) < 1:
+            raise ServerError(f"{kind} requires at >= 0 and count >= 1")
+    # txn markers carry no payload worth validating
+
+
+def apply_op(workbook: Workbook, op: Dict[str, Any]) -> Any:
+    """Apply one logged operation to a live workbook (also the replay
+    interpreter — recovery feeds committed records straight through
+    here)."""
+    kind = op["type"]
+    if kind == "set_cell":
+        workbook.set(op["sheet"], op["ref"], op["raw"])
+        return None
+    if kind == "sql":
+        return workbook.execute(op["sql"], tuple(op.get("params") or ()))
+    if kind == "add_sheet":
+        return workbook.add_sheet(op["name"])
+    if kind == "dbtable":
+        return workbook.dbtable(
+            op["sheet"],
+            op["anchor"],
+            op["table"],
+            include_headers=op.get("include_headers", True),
+            window_rows=op.get("window_rows"),
+        )
+    if kind == "dbsql":
+        return workbook.dbsql(
+            op["sheet"],
+            op["anchor"],
+            op["sql"],
+            include_headers=op.get("include_headers", False),
+        )
+    if kind in _STRUCTURAL:
+        method = getattr(workbook, kind)
+        method(op["sheet"], int(op["at"]), int(op.get("count", 1)))
+        return None
+    if kind in ("txn_begin", "txn_commit", "txn_rollback"):
+        return None  # markers: interpreted by committed_ops, not applied
+    raise ServerError(f"unknown operation type {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveryResult:
+    workbook: Workbook
+    ops_replayed: int
+    snapshot_used: bool
+    snapshot_lsn: int
+    last_lsn: int
+    #: raw (records, intact_end, file_size) scan, reusable as
+    #: :class:`WriteAheadLog` ``preread`` so startup reads the log once.
+    wal_scan: Optional[Any] = None
+
+
+def recover_state(directory: str, eager: bool = True) -> RecoveryResult:
+    """Rebuild the durable workbook state from ``directory``:
+    snapshot (if any) + committed WAL suffix."""
+    store = SnapshotStore(directory)
+    payload = store.load()
+    if payload is not None:
+        workbook = workbook_from_dict(payload["workbook"], eager=eager)
+        start_offset = int(payload["wal_offset"])
+        snapshot_lsn = int(payload["wal_lsn"])
+    else:
+        workbook = Workbook(eager=eager)
+        start_offset = 0
+        snapshot_lsn = 0
+    scan = read_wal(os.path.join(directory, WAL_FILENAME))
+    records = scan[0]
+    suffix = [record for record in records if record.offset >= start_offset]
+    ops = committed_ops(suffix)
+    for op in ops:
+        apply_op(workbook, op)
+    workbook.recalc_all()
+    return RecoveryResult(
+        workbook=workbook,
+        ops_replayed=len(ops),
+        snapshot_used=payload is not None,
+        snapshot_lsn=snapshot_lsn,
+        last_lsn=records[-1].lsn if records else snapshot_lsn,
+        wal_scan=scan,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Delta capture
+# ---------------------------------------------------------------------------
+
+
+class _DeltaCollector:
+    """Accumulates cell writes and region refreshes during one apply."""
+
+    def __init__(self) -> None:
+        self.active = False
+        self.cells: Dict[Tuple[str, int, int], Any] = {}
+        self.regions: Dict[int, Any] = {}
+
+    def start(self) -> None:
+        self.active = True
+        self.cells = {}
+        self.regions = {}
+
+    def stop(self) -> None:
+        self.active = False
+
+    def on_cell(self, key: Tuple[str, int, int], value: Any) -> None:
+        if self.active:
+            self.cells[key] = value
+
+    def on_region(self, region: Any) -> None:
+        if self.active:
+            self.regions[region.context.region_id] = region
+
+    def take(self) -> Tuple[Dict[Tuple[str, int, int], Any], Dict[int, Any]]:
+        cells, regions = self.cells, self.regions
+        self.cells, self.regions = {}, {}
+        return cells, regions
+
+
+@dataclass
+class ApplyResult:
+    """What one successful apply produced."""
+
+    version: int
+    lsn: Optional[int]
+    deltas: List[Delta] = field(default_factory=list)
+    visible_recalcs: int = 0
+    result: Any = None
+
+
+# ---------------------------------------------------------------------------
+# The service
+# ---------------------------------------------------------------------------
+
+
+class WorkbookService:
+    """One durable workbook, N sessions, one apply pipeline."""
+
+    def __init__(
+        self,
+        directory: str,
+        workbook: Optional[Workbook] = None,
+        sync_every: int = 32,
+        fsync: bool = True,
+        compact_every: int = 256,
+        eager: bool = False,
+    ):
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self.snapshots = SnapshotStore(directory, compact_every=compact_every)
+        self.recovered_ops = 0
+        self._snapshot_lsn = 0
+        wal_scan = None
+        if workbook is None:
+            recovery = recover_state(directory, eager=eager)
+            workbook = recovery.workbook
+            self.recovered_ops = recovery.ops_replayed
+            self._snapshot_lsn = recovery.snapshot_lsn
+            wal_scan = recovery.wal_scan
+        elif self.snapshots.exists():
+            payload = self.snapshots.load()
+            self._snapshot_lsn = int(payload["wal_lsn"]) if payload else 0
+        self.workbook = workbook
+        self.wal = WriteAheadLog(
+            os.path.join(directory, WAL_FILENAME),
+            sync_every=sync_every,
+            fsync=fsync,
+            preread=wal_scan,
+        )
+        #: monotonic service version (starts where the log ends; never
+        #: decreases — a rollback is itself a new version).
+        self.version = max(self.wal.last_lsn, self._snapshot_lsn)
+        self._cell_versions: Dict[Tuple[str, int, int], int] = {}
+        self._region_versions: Dict[int, int] = {}
+        self.sessions = SessionManager()
+        self.broadcast = Broadcaster(self.sessions)
+        self.workbook.compute.set_visible_predicate(
+            self.sessions.visible_predicate()
+        )
+        self._collector = _DeltaCollector()
+        self.workbook.cell_listeners.append(self._collector.on_cell)
+        self.workbook.region_refresh_listeners.append(self._collector.on_region)
+        self._txn_mark = None
+        self.workbook.database.transactions.add_hook(self._on_txn_event)
+        self.ops_applied = 0
+
+    # -- sessions -------------------------------------------------------------
+
+    def connect(
+        self,
+        name: Optional[str] = None,
+        sheet: Optional[str] = None,
+        top: int = 0,
+        left: int = 0,
+        n_rows: int = 40,
+        n_cols: int = 20,
+    ) -> Session:
+        """Open a session with its own viewport, synced to the current
+        version (it has implicitly 'seen' everything already applied)."""
+        sheet_name = sheet or self.workbook.sheet_names()[0]
+        return self.sessions.open(
+            name=name,
+            sheet=sheet_name,
+            top=top,
+            left=left,
+            n_rows=n_rows,
+            n_cols=n_cols,
+            version=self.version,
+        )
+
+    def disconnect(self, session_id: int) -> None:
+        self.sessions.close(session_id)
+
+    def poll(self, session_id: int) -> List[Delta]:
+        """Drain a session's inbox and advance its version horizon to the
+        service's current version.  Polling means "I have seen everything
+        visible to me as of now" — changes outside the viewport were
+        filtered by broadcast and can never appear in the inbox, so
+        without this a write rejected because of an *off-screen* change
+        could be re-rejected forever."""
+        session = self.sessions.get(session_id)
+        deltas = session.poll()
+        if self.version > session.last_seen_version:
+            session.last_seen_version = self.version
+        return deltas
+
+    # -- transaction hook ------------------------------------------------------
+
+    def _on_txn_event(self, event: str, txn_id: int) -> None:
+        if event == "begin":
+            self._txn_mark = self.wal.mark()
+            self.wal.append({"type": "txn_begin", "txn": txn_id})
+        elif event == "commit":
+            # The commit marker IS the durability point: fsync immediately.
+            self.wal.append({"type": "txn_commit", "txn": txn_id}, sync=True)
+            self._txn_mark = None
+        elif event == "rollback":
+            if self._txn_mark is not None:
+                self.wal.truncate_to(self._txn_mark)
+                self._txn_mark = None
+
+    # -- the apply pipeline -----------------------------------------------------
+
+    def apply(
+        self,
+        session_id: int,
+        op: Dict[str, Any],
+        base_version: Optional[int] = None,
+    ) -> ApplyResult:
+        """Run one operation through the full pipeline on behalf of a
+        session.  Raises :class:`StaleWriteError` when the optimistic
+        version check fails (nothing is logged or applied in that case)."""
+        session = self.sessions.get(session_id)
+        base = session.last_seen_version if base_version is None else base_version
+        validate_op(self.workbook, op)
+        self._check_stale(session, op, base)
+        control = _txn_control(op)
+        if (
+            self.workbook.database.in_transaction
+            and control is None
+            and op["type"] != "sql"
+        ):
+            # The engine's undo log only covers database mutations, so a
+            # rolled-back sheet edit would diverge live state from the
+            # truncated WAL.  Refuse rather than corrupt.
+            raise ServerError(
+                f"{op['type']} operations cannot run inside an open "
+                "transaction (only SQL participates in rollback)"
+            )
+        mark = self.wal.mark()
+        lsn: Optional[int] = None
+        if (
+            control is None
+            and op["type"] not in ("txn_begin", "txn_commit", "txn_rollback")
+            and not _is_readonly_sql(op)
+        ):
+            lsn = self.wal.append(op).lsn
+        self._collector.start()
+        try:
+            try:
+                result = apply_op(self.workbook, op)
+            except Exception:
+                if lsn is not None:
+                    self.wal.truncate_to(mark)
+                raise
+            visible = self.workbook.compute.recalc_visible()
+            self.version += 1
+            self.ops_applied += 1
+            deltas = self._drain_deltas(origin=session_id)
+            self.broadcast.publish(deltas, origin=session_id)
+            session.last_seen_version = self.version
+            session.writes_applied += 1
+        finally:
+            self._collector.stop()
+        self.maybe_compact()
+        return ApplyResult(
+            version=self.version,
+            lsn=lsn,
+            deltas=deltas,
+            visible_recalcs=visible,
+            result=result,
+        )
+
+    # Convenience wrappers (what a client library would expose).
+
+    def set_cell(
+        self,
+        session_id: int,
+        sheet: str,
+        ref: Any,
+        raw: Any,
+        base_version: Optional[int] = None,
+    ) -> ApplyResult:
+        address = ref if isinstance(ref, CellAddress) else CellAddress.parse(str(ref))
+        op = {
+            "type": "set_cell",
+            "sheet": sheet,
+            "ref": address.to_a1(include_sheet=False),
+            "raw": raw,
+        }
+        return self.apply(session_id, op, base_version=base_version)
+
+    def execute(
+        self, session_id: int, sql: str, params: Tuple[Any, ...] = ()
+    ) -> ApplyResult:
+        op: Dict[str, Any] = {"type": "sql", "sql": sql}
+        if params:
+            op["params"] = list(params)
+        return self.apply(session_id, op)
+
+    # -- staleness -----------------------------------------------------------------
+
+    def _check_stale(self, session: Session, op: Dict[str, Any], base: int) -> None:
+        if op.get("type") != "set_cell":
+            return  # SQL/DDL/structural ops are authoritative, not optimistic
+        address = CellAddress.parse(str(op["ref"]))
+        key = (op["sheet"], address.row, address.col)
+        newest = self._cell_versions.get(key, 0)
+        region = self.workbook.regions.region_at(*key)
+        if region is not None:
+            newest = max(
+                newest,
+                self._region_versions.get(region.context.region_id, 0),
+            )
+        if newest > base:
+            session.writes_rejected += 1
+            raise StaleWriteError(
+                f"cell {op['sheet']}!{op['ref']} was modified at version "
+                f"{newest}, newer than the session's base {base}; refresh "
+                "and retry",
+                current_version=self.version,
+            )
+
+    # -- delta assembly ---------------------------------------------------------------
+
+    def _drain_deltas(self, origin: Optional[int]) -> List[Delta]:
+        cells, regions = self._collector.take()
+        deltas: List[Delta] = []
+        region_areas: List[Tuple[str, RangeAddress]] = []
+        for region in regions.values():
+            context = region.context
+            area = context.extent or RangeAddress(context.anchor, context.anchor)
+            region_areas.append((context.sheet, area))
+            self._region_versions[context.region_id] = self.version
+            deltas.append(
+                Delta(
+                    kind="region",
+                    sheet=context.sheet,
+                    version=self.version,
+                    origin=origin,
+                    region_id=context.region_id,
+                    area=area,
+                    description=context.description,
+                )
+            )
+        for key, value in cells.items():
+            sheet, row, col = key
+            covered = any(
+                sheet == region_sheet and area.contains(CellAddress(row, col))
+                for region_sheet, area in region_areas
+            )
+            self._cell_versions[key] = self.version
+            if covered:
+                continue  # the region delta already announces this cell
+            deltas.append(
+                Delta(
+                    kind="cell",
+                    sheet=sheet,
+                    version=self.version,
+                    origin=origin,
+                    row=row,
+                    col=col,
+                    value=value,
+                )
+            )
+        return deltas
+
+    # -- background compute ------------------------------------------------------------
+
+    def step(self, budget: int = 64) -> int:
+        """Run a slice of non-visible recalc work and broadcast what it
+        produced (a cell can be visible to a session even though no apply
+        touched it — e.g. after a scroll)."""
+        self._collector.start()
+        try:
+            computed = self.workbook.background_step(budget)
+            if computed:
+                self.version += 1
+                deltas = self._drain_deltas(origin=None)
+                self.broadcast.publish(deltas, origin=None)
+        finally:
+            self._collector.stop()
+        return computed
+
+    # -- compaction ----------------------------------------------------------------------
+
+    def compact(self, force: bool = False) -> Optional[str]:
+        """Write a snapshot covering the current WAL position."""
+        if self.workbook.database.in_transaction:
+            if force:
+                raise ServerError("cannot snapshot inside an open transaction")
+            return None
+        self.wal.sync()
+        path = self.snapshots.write(
+            self.workbook, self.wal.last_lsn, self.wal.end_offset
+        )
+        self._snapshot_lsn = self.wal.last_lsn
+        return path
+
+    def maybe_compact(self) -> Optional[str]:
+        if self.snapshots.should_compact(
+            self.wal.last_lsn,
+            self._snapshot_lsn,
+            self.workbook.database.in_transaction,
+        ):
+            return self.compact()
+        return None
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        self.wal.close()
+        try:
+            self.workbook.database.transactions.remove_hook(self._on_txn_event)
+            self.workbook.cell_listeners.remove(self._collector.on_cell)
+            self.workbook.region_refresh_listeners.remove(self._collector.on_region)
+        except ValueError:  # pragma: no cover - already detached
+            pass
+
+    def __enter__(self) -> "WorkbookService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- stats -------------------------------------------------------------------------
+
+    def stats_summary(self) -> Dict[str, Any]:
+        return {
+            "version": self.version,
+            "ops_applied": self.ops_applied,
+            "recovered_ops": self.recovered_ops,
+            "sessions": len(self.sessions),
+            "wal": self.wal.stats,
+            "wal_lsn": self.wal.last_lsn,
+            "snapshot_lsn": self._snapshot_lsn,
+            "snapshots_written": self.snapshots.snapshots_written,
+            "broadcast": {
+                "published": self.broadcast.published,
+                "delivered": self.broadcast.delivered,
+                "suppressed": self.broadcast.suppressed,
+            },
+        }

@@ -1,0 +1,140 @@
+"""Client sessions: N viewports over one workbook.
+
+Each connected client gets a :class:`Session` — a viewport (reusing
+:class:`repro.window.viewport.Viewport`), an inbox of deltas scoped to
+that viewport (:mod:`repro.server.broadcast`), and the optimistic
+concurrency bookkeeping: ``last_seen_version`` is the newest service
+version the session has observed (bumped by its own applies and by
+polling its inbox).  A write based on an older version than the target
+cell's last modification is rejected with
+:class:`~repro.errors.StaleWriteError` — never silently clobbered — and
+the client refreshes (polls) and retries.
+
+The :class:`SessionManager` also derives the *visible predicate* the
+compute scheduler prioritises by: a cell is "visible" when any open
+session's viewport contains it, so the service recalculates what someone
+is actually looking at first (paper §2.2(e), generalised to N panes).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.compute.graph import CellKey
+from repro.compute.scheduler import union_predicate
+from repro.errors import SessionError
+from repro.window.viewport import Viewport
+
+__all__ = ["Session", "SessionManager"]
+
+
+class Session:
+    """One client's connection state."""
+
+    def __init__(self, session_id: int, name: str, viewport: Viewport, version: int):
+        self.session_id = session_id
+        self.name = name
+        self.viewport = viewport
+        self.last_seen_version = version
+        self.inbox: Deque[Any] = deque()
+        self.closed = False
+        self.deltas_received = 0
+        self.writes_applied = 0
+        self.writes_rejected = 0
+
+    # -- delta intake ---------------------------------------------------------
+
+    def deliver(self, delta: Any) -> None:
+        self.inbox.append(delta)
+        self.deltas_received += 1
+
+    def poll(self) -> List[Any]:
+        """Drain the inbox; observing a delta advances the session's
+        version horizon (so a subsequent write is no longer stale with
+        respect to the changes it just saw)."""
+        deltas = list(self.inbox)
+        self.inbox.clear()
+        for delta in deltas:
+            version = getattr(delta, "version", None)
+            if version is not None and version > self.last_seen_version:
+                self.last_seen_version = version
+        return deltas
+
+    @property
+    def pending_deltas(self) -> int:
+        return len(self.inbox)
+
+    # -- viewport --------------------------------------------------------------
+
+    def scroll_to(self, top: int, left: Optional[int] = None) -> None:
+        self.viewport.scroll_to(top, left)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Session #{self.session_id} {self.name!r} "
+            f"v{self.last_seen_version} {self.viewport.as_range().to_a1()}>"
+        )
+
+
+class SessionManager:
+    """Opens, closes and enumerates sessions; derives shared visibility."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[int, Session] = {}
+        self._next_id = 1
+        self.opened = 0
+        self.closed_count = 0
+        #: live list of per-session viewport predicates; mutated on
+        #: open/close, shared by reference with the union predicate.
+        self._predicates: List[Callable[[CellKey], bool]] = []
+        self._predicate_of: Dict[int, Callable[[CellKey], bool]] = {}
+
+    def open(
+        self,
+        name: Optional[str] = None,
+        sheet: str = "Sheet1",
+        top: int = 0,
+        left: int = 0,
+        n_rows: int = 40,
+        n_cols: int = 20,
+        version: int = 0,
+        viewport: Optional[Viewport] = None,
+    ) -> Session:
+        session_id = self._next_id
+        self._next_id += 1
+        pane = viewport if viewport is not None else Viewport(
+            sheet, top=top, left=left, n_rows=n_rows, n_cols=n_cols
+        )
+        session = Session(session_id, name or f"session-{session_id}", pane, version)
+        self._sessions[session_id] = session
+        predicate = session.viewport.contains_key
+        self._predicates.append(predicate)
+        self._predicate_of[session_id] = predicate
+        self.opened += 1
+        return session
+
+    def close(self, session_id: int) -> None:
+        session = self.get(session_id)
+        session.closed = True
+        del self._sessions[session_id]
+        self._predicates.remove(self._predicate_of.pop(session_id))
+        self.closed_count += 1
+
+    def get(self, session_id: int) -> Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise SessionError(f"no such session #{session_id}") from None
+
+    def sessions(self) -> List[Session]:
+        return list(self._sessions.values())
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def visible_predicate(self) -> Callable[[CellKey], bool]:
+        """True where any *currently open* session's viewport contains the
+        cell.  The union is over a live predicate list, so opening,
+        closing and scrolling sessions needs no re-registration."""
+        return union_predicate(self._predicates)

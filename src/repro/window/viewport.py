@@ -60,6 +60,22 @@ class Viewport:
         sheet, row, col = key
         return sheet == self.sheet and self.contains(row, col)
 
+    def overlaps(self, reference: RangeAddress, sheet: Optional[str] = None) -> bool:
+        """True when any cell of ``reference`` is inside this viewport.
+
+        ``sheet`` defaults to the range's own sheet tag; pass it explicitly
+        for untagged ranges.  Used by the broadcast layer to decide whether
+        a region-refresh delta is visible to a session."""
+        range_sheet = sheet or reference.start.sheet or reference.end.sheet
+        if range_sheet is not None and range_sheet != self.sheet:
+            return False
+        return not (
+            reference.end.row < self.top
+            or reference.start.row > self.bottom
+            or reference.end.col < self.left
+            or reference.start.col > self.right
+        )
+
     def visible_predicate(self) -> Callable[[CellKey], bool]:
         """A predicate suitable for
         :meth:`repro.compute.scheduler.RecalcScheduler.set_visible_predicate`.

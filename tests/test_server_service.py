@@ -1,0 +1,489 @@
+"""The durable multi-session service: pipeline, recovery, concurrency."""
+
+from __future__ import annotations
+
+import os
+import shutil
+
+import pytest
+
+from repro.core.address import CellAddress
+from repro.errors import (
+    CatalogError,
+    ServerError,
+    SheetError,
+    StaleWriteError,
+)
+from repro.server import (
+    SnapshotStore,
+    WorkbookService,
+    read_wal,
+    recover_state,
+)
+from repro.server.service import WAL_FILENAME
+
+
+def make_service(tmp_path, name="svc", **kwargs) -> WorkbookService:
+    kwargs.setdefault("fsync", False)
+    return WorkbookService(str(tmp_path / name), **kwargs)
+
+
+class TestPipeline:
+    def test_edit_compute_and_durability(self, tmp_path):
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.set_cell(session.session_id, "Sheet1", "A1", 21)
+        service.set_cell(session.session_id, "Sheet1", "A2", "=A1*2")
+        assert service.workbook.get("Sheet1", "A2") == 42
+        service.close()
+
+        reopened = make_service(tmp_path)
+        assert reopened.recovered_ops == 2
+        assert reopened.workbook.get("Sheet1", "A2") == 42
+        reopened.close()
+
+    def test_sql_and_region_ops_replay(self, tmp_path):
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.execute(session.session_id, "CREATE TABLE m (id INT PRIMARY KEY, t TEXT)")
+        service.execute(session.session_id, "INSERT INTO m VALUES (1,'x'),(2,'y')")
+        service.apply(
+            session.session_id,
+            {"type": "dbtable", "sheet": "Sheet1", "anchor": "C1", "table": "m"},
+        )
+        service.apply(session.session_id, {"type": "add_sheet", "name": "Other"})
+        service.apply(
+            session.session_id,
+            {"type": "insert_rows", "sheet": "Other", "at": 0, "count": 2},
+        )
+        service.close()
+
+        reopened = make_service(tmp_path)
+        workbook = reopened.workbook
+        assert workbook.database.table("m").n_rows == 2
+        assert workbook.get("Sheet1", "C1") == "id"
+        assert workbook.get("Sheet1", "D2") == "x"
+        assert "Other" in workbook.sheet_names()
+        assert len(workbook.regions.all()) == 1
+        reopened.close()
+
+    def test_validation_rejects_before_wal(self, tmp_path):
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        with pytest.raises(ServerError):
+            service.apply(session.session_id, {"type": "no_such_op"})
+        with pytest.raises(SheetError):
+            service.set_cell(session.session_id, "Nope", "A1", 1)
+        assert service.wal.last_lsn == 0  # nothing reached the log
+        service.close()
+
+    def test_failed_apply_compensates_wal(self, tmp_path):
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.set_cell(session.session_id, "Sheet1", "A1", 1)
+        before = service.wal.last_lsn
+        # parses fine (passes validation) but fails at apply: unknown table
+        with pytest.raises(CatalogError):
+            service.execute(session.session_id, "INSERT INTO ghost VALUES (1)")
+        assert service.wal.last_lsn == before
+        assert [r.op["type"] for r in service.wal.records()] == ["set_cell"]
+        service.close()
+
+    def test_select_is_not_logged(self, tmp_path):
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.execute(session.session_id, "CREATE TABLE t (k INT PRIMARY KEY)")
+        service.execute(session.session_id, "INSERT INTO t VALUES (1)")
+        lsn = service.wal.last_lsn
+        for _ in range(5):
+            result = service.execute(session.session_id, "SELECT * FROM t")
+        assert result.result.rows == [(1,)]
+        assert service.wal.last_lsn == lsn  # reads add nothing to replay
+        service.close()
+
+    def test_version_monotonic_and_result_passthrough(self, tmp_path):
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        v0 = service.version
+        service.execute(session.session_id, "CREATE TABLE t (k INT PRIMARY KEY)")
+        service.execute(session.session_id, "INSERT INTO t VALUES (1),(2),(3)")
+        result = service.execute(session.session_id, "SELECT COUNT(*) AS n FROM t")
+        assert result.result.scalar() == 3
+        assert service.version == v0 + 3
+        service.close()
+
+
+class TestSessionsAndBroadcast:
+    def test_stale_write_rejected_with_current_version(self, tmp_path):
+        service = make_service(tmp_path)
+        alice = service.connect("alice", n_rows=10, n_cols=10)
+        bob = service.connect("bob", n_rows=10, n_cols=10)
+        service.set_cell(alice.session_id, "Sheet1", "A1", "first")
+        with pytest.raises(StaleWriteError) as excinfo:
+            # bob writes based on the version he saw at connect time
+            service.set_cell(bob.session_id, "Sheet1", "A1", "second")
+        assert excinfo.value.current_version == service.version
+        assert service.workbook.get("Sheet1", "A1") == "first"  # not clobbered
+        assert bob.writes_rejected == 1
+        # bob catches up by polling, then the retry wins
+        bob.poll()
+        service.set_cell(bob.session_id, "Sheet1", "A1", "second")
+        assert service.workbook.get("Sheet1", "A1") == "second"
+        service.close()
+
+    def test_delta_delivered_only_to_covering_viewports(self, tmp_path):
+        service = make_service(tmp_path)
+        alice = service.connect("alice", n_rows=10, n_cols=10)
+        bob = service.connect("bob", n_rows=10, n_cols=10)        # sees A1
+        carol = service.connect("carol", top=500, n_rows=10, n_cols=10)
+        service.set_cell(alice.session_id, "Sheet1", "A1", 7)
+        assert bob.pending_deltas == 1
+        assert carol.pending_deltas == 0  # panned away: suppressed
+        assert alice.pending_deltas == 0  # origin already has the result
+        [delta] = bob.poll()
+        assert (delta.kind, delta.sheet, delta.row, delta.col, delta.value) == (
+            "cell", "Sheet1", 0, 0, 7
+        )
+        assert bob.last_seen_version == service.version
+        assert service.broadcast.suppressed > 0
+        service.close()
+
+    def test_region_refresh_delta_scoped_by_viewport(self, tmp_path):
+        service = make_service(tmp_path)
+        writer = service.connect("writer", top=500, n_rows=5, n_cols=5)
+        viewer = service.connect("viewer", n_rows=10, n_cols=10)
+        far = service.connect("far", top=500, n_rows=5, n_cols=5)
+        service.execute(writer.session_id, "CREATE TABLE m (id INT PRIMARY KEY, t TEXT)")
+        service.execute(writer.session_id, "INSERT INTO m VALUES (1,'x')")
+        service.apply(
+            writer.session_id,
+            {"type": "dbtable", "sheet": "Sheet1", "anchor": "A1", "table": "m"},
+        )
+        viewer.poll()
+        far.poll()
+        # a back-end write refreshes the region; only the viewer covers it
+        service.execute(writer.session_id, "INSERT INTO m VALUES (2,'y')")
+        kinds = [delta.kind for delta in viewer.poll()]
+        assert "region" in kinds
+        assert far.pending_deltas == 0
+        assert service.workbook.get("Sheet1", "B3") == "y"
+        service.close()
+
+    def test_poll_unblocks_off_viewport_conflict(self, tmp_path):
+        """A stale rejection caused by an *off-screen* change can never be
+        seen in the inbox; service.poll must still advance the horizon so
+        the retry is not rejected forever."""
+        service = make_service(tmp_path)
+        alice = service.connect("alice", n_rows=10, n_cols=10)
+        bob = service.connect("bob", n_rows=10, n_cols=10)
+        # alice edits far outside both viewports
+        service.apply(
+            alice.session_id,
+            {"type": "set_cell", "sheet": "Sheet1", "ref": "A1000", "raw": 1},
+        )
+        with pytest.raises(StaleWriteError):
+            service.set_cell(bob.session_id, "Sheet1", "A1000", 2)
+        assert service.poll(bob.session_id) == []  # nothing visible to bob
+        service.set_cell(bob.session_id, "Sheet1", "A1000", 2)  # now wins
+        assert service.workbook.get("Sheet1", "A1000") == 2
+        service.close()
+
+    def test_region_edit_broadcasts_and_stamps_versions(self, tmp_path):
+        """Regression: edits routed through DBTableRegion.apply_edit
+        update the region's cells in place (its own sync refresh is
+        suppressed), so they used to produce no delta and no version
+        stamp — letting a second session silently clobber the edit."""
+        service = make_service(tmp_path)
+        alice = service.connect("alice", n_rows=10, n_cols=10)
+        bob = service.connect("bob", n_rows=10, n_cols=10)
+        service.execute(alice.session_id, "CREATE TABLE m (id INT PRIMARY KEY, t TEXT)")
+        service.execute(alice.session_id, "INSERT INTO m VALUES (1,'x')")
+        service.apply(
+            alice.session_id,
+            {"type": "dbtable", "sheet": "Sheet1", "anchor": "A1", "table": "m"},
+        )
+        service.poll(bob.session_id)
+        base = bob.last_seen_version
+        # alice edits the region's B2 cell (column t of row 1)
+        result = service.set_cell(alice.session_id, "Sheet1", "B2", "ALICE")
+        assert any(d.kind == "region" for d in result.deltas)
+        assert bob.pending_deltas >= 1  # bob sees the change
+        with pytest.raises(StaleWriteError):
+            service.set_cell(
+                bob.session_id, "Sheet1", "B2", "BOB", base_version=base
+            )
+        assert service.workbook.get("Sheet1", "B2") == "ALICE"
+        service.close()
+
+    def test_offscreen_formula_install_stamps_version(self, tmp_path):
+        """Regression: installing a formula in a cell no viewport covers
+        skipped the cell-written notification, so a stale overwrite of
+        the formula was silently accepted."""
+        service = make_service(tmp_path)
+        alice = service.connect("alice", n_rows=10, n_cols=10)
+        bob = service.connect("bob", n_rows=10, n_cols=10)
+        base = bob.last_seen_version
+        service.apply(
+            alice.session_id,
+            {"type": "set_cell", "sheet": "Sheet1", "ref": "Z100", "raw": "=1+1"},
+        )
+        with pytest.raises(StaleWriteError):
+            service.set_cell(bob.session_id, "Sheet1", "Z100", "BOB", base_version=base)
+        assert service.workbook.get("Sheet1", "Z100") == 2
+        service.close()
+
+    def test_second_writer_on_same_directory_is_locked_out(self, tmp_path):
+        from repro.errors import WALError
+
+        service = make_service(tmp_path)
+        with pytest.raises(WALError):
+            make_service(tmp_path)  # same directory, first still open
+        service.close()
+        reopened = make_service(tmp_path)  # lock released on close
+        reopened.close()
+
+    def test_concurrent_edits_to_different_cells_both_win(self, tmp_path):
+        service = make_service(tmp_path)
+        alice = service.connect("alice")
+        bob = service.connect("bob")
+        service.set_cell(alice.session_id, "Sheet1", "A1", 1)
+        # bob has not polled, but B5 was never written: no conflict
+        service.set_cell(bob.session_id, "Sheet1", "B5", 2)
+        assert service.workbook.get("Sheet1", "A1") == 1
+        assert service.workbook.get("Sheet1", "B5") == 2
+        service.close()
+
+    def test_visible_first_recalc_and_background_step(self, tmp_path):
+        service = make_service(tmp_path)
+        near = service.connect("near", n_rows=10, n_cols=10)
+        service.set_cell(near.session_id, "Sheet1", "A1", 10)
+        # visible dependent computed inside the apply; far one deferred
+        service.set_cell(near.session_id, "Sheet1", "B1", "=A1+1")
+        service.apply(
+            near.session_id,
+            {"type": "set_cell", "sheet": "Sheet1", "ref": "A500", "raw": "=A1*2"},
+        )
+        assert service.workbook.sheet("Sheet1").value_at(0, 1) == 11
+        assert service.workbook.compute.pending > 0  # A500 not yet computed
+        far = service.connect("far", top=499, n_rows=5, n_cols=5)
+        computed = service.step()
+        assert computed >= 1
+        assert service.workbook.sheet("Sheet1").value_at(499, 0) == 20
+        assert far.pending_deltas >= 1  # background result broadcast to far
+        service.close()
+
+    def test_disconnect_stops_delivery(self, tmp_path):
+        service = make_service(tmp_path)
+        alice = service.connect("alice")
+        bob = service.connect("bob")
+        service.disconnect(bob.session_id)
+        service.set_cell(alice.session_id, "Sheet1", "A1", 1)
+        assert bob.pending_deltas == 0
+        assert len(service.sessions) == 1
+        service.close()
+
+
+class TestTransactionsInWal:
+    def test_rollback_discards_mixed_dml_ddl_records(self, tmp_path):
+        """Satellite regression: rolling back a mixed DML+DDL batch must
+        discard its WAL records (and the begin marker) entirely."""
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.execute(session.session_id, "CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        service.execute(session.session_id, "INSERT INTO t VALUES (1,'a')")
+        lsn_before = service.wal.last_lsn
+        service.execute(session.session_id, "BEGIN")
+        service.execute(session.session_id, "INSERT INTO t VALUES (2,'b')")
+        service.execute(session.session_id, "ALTER TABLE t ADD COLUMN w INT")
+        service.execute(session.session_id, "UPDATE t SET v = 'z' WHERE k = 1")
+        service.execute(session.session_id, "ROLLBACK")
+        # in-memory state rolled back...
+        table = service.workbook.database.table("t")
+        assert table.n_rows == 1
+        assert table.column_names == ["k", "v"]
+        # ...and the log holds no trace of the transaction
+        assert service.wal.last_lsn == lsn_before
+        kinds = [r.op.get("type") for r in service.wal.records()]
+        assert "txn_begin" not in kinds
+        service.close()
+
+        reopened = make_service(tmp_path)
+        table = reopened.workbook.database.table("t")
+        assert table.n_rows == 1
+        assert table.column_names == ["k", "v"]
+        assert [row for _, _, row in table.scan()] == [(1, "a")]
+        reopened.close()
+
+    def test_commit_makes_batch_durable(self, tmp_path):
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.execute(session.session_id, "CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        service.execute(session.session_id, "BEGIN")
+        service.execute(session.session_id, "INSERT INTO t VALUES (1,'a')")
+        service.execute(session.session_id, "ALTER TABLE t ADD COLUMN w INT")
+        service.execute(session.session_id, "COMMIT")
+        kinds = [r.op.get("type") for r in service.wal.records()]
+        assert kinds.count("txn_begin") == 1 and kinds.count("txn_commit") == 1
+        service.close()
+
+        reopened = make_service(tmp_path)
+        table = reopened.workbook.database.table("t")
+        assert table.column_names == ["k", "v", "w"]
+        assert table.n_rows == 1
+        reopened.close()
+
+    def test_sheet_edits_refused_inside_transaction(self, tmp_path):
+        """The engine's undo log only rolls back database state, so a
+        sheet edit inside a transaction would survive the rollback in
+        memory while being truncated from the WAL — refuse it."""
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.execute(session.session_id, "BEGIN")
+        with pytest.raises(ServerError):
+            service.set_cell(session.session_id, "Sheet1", "A1", 1)
+        with pytest.raises(ServerError):
+            service.apply(session.session_id, {"type": "add_sheet", "name": "X"})
+        service.execute(session.session_id, "ROLLBACK")
+        # outside a transaction the same ops are fine
+        service.set_cell(session.session_id, "Sheet1", "A1", 1)
+        assert service.workbook.get("Sheet1", "A1") == 1
+        service.close()
+
+    def test_direct_database_rollback_also_discards(self, tmp_path):
+        """The hook lives on the TransactionManager, so a rollback driven
+        through the workbook (not a service op) is still discarded."""
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.execute(session.session_id, "CREATE TABLE t (k INT PRIMARY KEY)")
+        lsn_before = service.wal.last_lsn
+        service.execute(session.session_id, "BEGIN")
+        service.execute(session.session_id, "INSERT INTO t VALUES (1)")
+        service.workbook.execute("ROLLBACK")  # bypasses service.apply
+        assert service.wal.last_lsn == lsn_before
+        service.close()
+
+
+class TestSnapshotCompaction:
+    def test_auto_compaction_and_suffix_replay(self, tmp_path):
+        service = make_service(tmp_path, compact_every=5)
+        session = service.connect("alice")
+        for n in range(1, 8):  # crosses the compaction threshold at 5
+            service.set_cell(session.session_id, "Sheet1", f"A{n}", n)
+        assert service.snapshots.snapshots_written >= 1
+        snapshot_lsn = service._snapshot_lsn
+        assert snapshot_lsn >= 5
+        service.close()
+
+        recovery = recover_state(str(tmp_path / "svc"))
+        assert recovery.snapshot_used
+        # only the suffix past the snapshot was replayed
+        assert recovery.ops_replayed == recovery.last_lsn - recovery.snapshot_lsn
+        for n in range(1, 8):
+            assert recovery.workbook.get("Sheet1", f"A{n}") == n
+
+    def test_compact_refused_inside_transaction(self, tmp_path):
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.execute(session.session_id, "CREATE TABLE t (k INT PRIMARY KEY)")
+        service.execute(session.session_id, "BEGIN")
+        assert service.compact() is None
+        with pytest.raises(ServerError):
+            service.compact(force=True)
+        service.execute(session.session_id, "COMMIT")
+        assert service.compact() is not None
+        service.close()
+
+    def test_snapshot_atomic_replace(self, tmp_path):
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.set_cell(session.session_id, "Sheet1", "A1", 1)
+        first = service.compact()
+        service.set_cell(session.session_id, "Sheet1", "A2", 2)
+        second = service.compact()
+        assert first == second  # same path, replaced atomically
+        assert not os.path.exists(first + ".tmp")
+        service.close()
+
+
+class TestCrashRecoveryInvariant:
+    """Acceptance: for ANY prefix truncation of the WAL, recovery yields
+    exactly the committed prefix — plain edits up to the cut, and the
+    transactional batch all-or-nothing on its commit marker."""
+
+    def build_workload(self, tmp_path):
+        directory = str(tmp_path / "svc")
+        service = WorkbookService(directory, fsync=False)
+        session = service.connect("alice")
+        service.execute(session.session_id, "CREATE TABLE t (k INT PRIMARY KEY, v TEXT)")
+        for n in range(1, 4):
+            service.set_cell(session.session_id, "Sheet1", f"A{n}", n)
+        service.execute(session.session_id, "BEGIN")
+        service.execute(session.session_id, "INSERT INTO t VALUES (1,'a')")
+        service.execute(session.session_id, "ALTER TABLE t ADD COLUMN w INT")
+        service.execute(session.session_id, "COMMIT")
+        service.close()
+        wal_file = os.path.join(directory, WAL_FILENAME)
+        with open(wal_file, "rb") as handle:
+            data = handle.read()
+        records, intact_end, size = read_wal(wal_file)
+        assert intact_end == size
+        return directory, data, records
+
+    def recover_truncated(self, tmp_path, data, cut, case_dir):
+        directory = str(tmp_path / case_dir)
+        os.makedirs(directory)
+        with open(os.path.join(directory, WAL_FILENAME), "wb") as handle:
+            handle.write(data[:cut])
+        return recover_state(directory)
+
+    def test_every_byte_boundary_of_the_tail(self, tmp_path):
+        directory, data, records = self.build_workload(tmp_path)
+        by_type = {}
+        for record in records:
+            by_type.setdefault(record.op["type"], []).append(record)
+        begin_record = by_type["txn_begin"][0]
+        commit_record = by_type["txn_commit"][0]
+        set_cell_records = by_type["set_cell"]
+
+        # every byte boundary from the start of the transaction bracket to
+        # EOF (covers every boundary of the final record), plus every
+        # record boundary before it
+        cuts = sorted(
+            {record.end_offset for record in records if record.end_offset <= begin_record.offset}
+            | set(range(begin_record.offset, len(data) + 1))
+        )
+        for index, cut in enumerate(cuts):
+            recovery = self.recover_truncated(tmp_path, data, cut, f"case{index}")
+            workbook = recovery.workbook
+            # plain cells: applied iff their record is fully on disk
+            for record in set_cell_records:
+                n = int(record.op["raw"])
+                expected = n if record.end_offset <= cut else None
+                assert workbook.get("Sheet1", f"A{n}") == expected, f"cut={cut}"
+            # the batch: all-or-nothing on the commit marker
+            committed = commit_record.end_offset <= cut
+            if workbook.database.has_table("t"):
+                table = workbook.database.table("t")
+                if committed:
+                    assert table.n_rows == 1, f"cut={cut}"
+                    assert table.column_names == ["k", "v", "w"], f"cut={cut}"
+                else:
+                    assert table.n_rows == 0, f"cut={cut}"
+                    assert table.column_names == ["k", "v"], f"cut={cut}"
+            else:
+                assert not committed
+
+    def test_truncated_tail_repaired_and_service_continues(self, tmp_path):
+        directory, data, records = self.build_workload(tmp_path)
+        # crash mid-way through the final record
+        with open(os.path.join(directory, WAL_FILENAME), "wb") as handle:
+            handle.write(data[: len(data) - 7])
+        service = WorkbookService(directory, fsync=False)
+        table = service.workbook.database.table("t")
+        assert table.n_rows == 0  # batch lost its commit marker
+        session = service.connect("alice")
+        service.set_cell(session.session_id, "Sheet1", "B1", "after-crash")
+        service.close()
+        reopened = WorkbookService(directory, fsync=False)
+        assert reopened.workbook.get("Sheet1", "B1") == "after-crash"
+        reopened.close()

@@ -1,0 +1,190 @@
+"""Write-ahead log: records, checksums, torn tails, transactions."""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+
+import pytest
+
+from repro.errors import WALError
+from repro.server.wal import (
+    WriteAheadLog,
+    committed_ops,
+    read_wal,
+)
+
+
+def wal_path(tmp_path) -> str:
+    return str(tmp_path / "wal.jsonl")
+
+
+def op(n: int) -> dict:
+    return {"type": "set_cell", "sheet": "Sheet1", "ref": f"A{n}", "raw": n}
+
+
+class TestAppendRead:
+    def test_roundtrip(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path, fsync=False) as wal:
+            for n in range(1, 6):
+                record = wal.append(op(n))
+                assert record.lsn == n
+        records, intact_end, size = read_wal(path)
+        assert [r.lsn for r in records] == [1, 2, 3, 4, 5]
+        assert [r.op["ref"] for r in records] == ["A1", "A2", "A3", "A4", "A5"]
+        assert intact_end == size
+        # byte extents tile the file exactly
+        assert records[0].offset == 0
+        for previous, current in zip(records, records[1:]):
+            assert previous.end_offset == current.offset
+        assert records[-1].end_offset == size
+
+    def test_reopen_continues_lsn(self, tmp_path):
+        path = wal_path(tmp_path)
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append(op(1))
+        with WriteAheadLog(path, fsync=False) as wal:
+            assert wal.last_lsn == 1
+            assert wal.append(op(2)).lsn == 2
+        records, _, _ = read_wal(path)
+        assert [r.lsn for r in records] == [1, 2]
+
+    def test_date_values_roundtrip(self, tmp_path):
+        path = wal_path(tmp_path)
+        when = datetime.date(2026, 7, 28)
+        with WriteAheadLog(path, fsync=False) as wal:
+            wal.append({"type": "sql", "sql": "INSERT ...", "params": [when]})
+        records, _, _ = read_wal(path)
+        assert records[0].op["params"] == [when]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        records, intact_end, size = read_wal(str(tmp_path / "nope.jsonl"))
+        assert records == [] and intact_end == 0 and size == 0
+
+    def test_batched_fsync_counts(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path, sync_every=4, fsync=False)
+        for n in range(1, 9):
+            wal.append(op(n))
+        assert wal.stats.appends == 8
+        assert wal.stats.syncs == 2  # every 4th append
+        wal.append(op(9), sync=True)
+        assert wal.stats.syncs == 3
+        wal.close()
+
+
+class TestTornTail:
+    def build(self, path: str, n: int = 4) -> bytes:
+        with WriteAheadLog(path, fsync=False) as wal:
+            for k in range(1, n + 1):
+                wal.append(op(k))
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def test_partial_final_line_tolerated(self, tmp_path):
+        path = wal_path(tmp_path)
+        data = self.build(path)
+        with open(path, "wb") as handle:
+            handle.write(data[:-5])  # cut through the final record
+        records, intact_end, size = read_wal(path)
+        assert [r.lsn for r in records] == [1, 2, 3]
+        assert intact_end == records[-1].end_offset
+        assert size > intact_end
+
+    def test_garbled_final_line_tolerated(self, tmp_path):
+        path = wal_path(tmp_path)
+        data = self.build(path)
+        # flip a byte inside the final record (newline intact)
+        corrupted = bytearray(data)
+        corrupted[-10] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(corrupted))
+        records, _, _ = read_wal(path)
+        assert [r.lsn for r in records] == [1, 2, 3]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = wal_path(tmp_path)
+        self.build(path)
+        records, _, _ = read_wal(path)
+        first = records[0]
+        with open(path, "r+b") as handle:
+            handle.seek(first.offset + 10)
+            handle.write(b"\xff")
+        with pytest.raises(WALError):
+            read_wal(path)
+
+    def test_open_repairs_torn_tail(self, tmp_path):
+        path = wal_path(tmp_path)
+        data = self.build(path)
+        with open(path, "wb") as handle:
+            handle.write(data[:-5])
+        wal = WriteAheadLog(path, fsync=False)
+        assert wal.last_lsn == 3
+        wal.append(op(99))  # reuses lsn 4 after the repair
+        wal.close()
+        records, intact_end, size = read_wal(path)
+        assert [r.lsn for r in records] == [1, 2, 3, 4]
+        assert records[-1].op["raw"] == 99
+        assert intact_end == size
+
+
+class TestTransactions:
+    def test_mark_truncate(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path, fsync=False)
+        wal.append(op(1))
+        mark = wal.mark()
+        wal.append({"type": "txn_begin", "txn": 1})
+        wal.append(op(2))
+        removed = wal.truncate_to(mark)
+        assert removed > 0
+        assert wal.last_lsn == 1
+        wal.append(op(3))  # lsn continues from the mark
+        wal.close()
+        records, _, _ = read_wal(path)
+        assert [r.lsn for r in records] == [1, 2]
+        assert records[-1].op["raw"] == 3
+
+    def test_committed_ops_rules(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path, fsync=False)
+        wal.append(op(1))                                # autocommit
+        wal.append({"type": "txn_begin", "txn": 1})
+        wal.append(op(2))
+        wal.append({"type": "txn_commit", "txn": 1})     # committed bracket
+        wal.append(op(3))                                # autocommit
+        wal.append({"type": "txn_begin", "txn": 2})
+        wal.append(op(4))                                # open bracket: dropped
+        wal.close()
+        ops = committed_ops(wal.records())
+        assert [o["raw"] for o in ops] == [1, 2, 3]
+
+    def test_open_repairs_dangling_bracket(self, tmp_path):
+        """A crash after txn_begin but before the commit marker leaves a
+        dead bracket: reopening must cut it so later appends are not
+        swallowed by the open bracket at the next recovery."""
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path, fsync=False)
+        wal.append(op(1))
+        wal.append({"type": "txn_begin", "txn": 1})
+        wal.append(op(2))
+        wal.close()  # simulated crash before commit
+        wal = WriteAheadLog(path, fsync=False)
+        assert wal.last_lsn == 1  # the dead bracket was truncated
+        wal.append(op(3))
+        wal.close()
+        ops = committed_ops(WriteAheadLog(path, fsync=False).records())
+        assert [o["raw"] for o in ops] == [1, 3]
+
+    def test_rollback_marker_discards(self, tmp_path):
+        path = wal_path(tmp_path)
+        wal = WriteAheadLog(path, fsync=False)
+        wal.append({"type": "txn_begin", "txn": 1})
+        wal.append(op(1))
+        wal.append({"type": "txn_rollback", "txn": 1})
+        wal.append(op(2))
+        wal.close()
+        ops = committed_ops(wal.records())
+        assert [o["raw"] for o in ops] == [2]
