@@ -57,6 +57,9 @@ class ComputeStats:
     scheduled_evaluations: int = 0
     errors: int = 0
     cycles: int = 0
+    #: formula (re)parses via register_formula — the logical-work metric
+    #: bench_structural_edits uses to show edits no longer reparse the world.
+    reparses: int = 0
 
     def reset(self) -> None:
         self.evaluations = 0
@@ -64,6 +67,7 @@ class ComputeStats:
         self.scheduled_evaluations = 0
         self.errors = 0
         self.cycles = 0
+        self.reparses = 0
 
 
 class _EngineEvalContext(EvalContext):
@@ -104,6 +108,9 @@ class ComputeEngine:
         self.stats = ComputeStats()
         self.eager = eager
         self._formulas: Dict[CellKey, FormulaNode] = {}
+        # sheet -> formula keys on it, so structural edits enumerate only
+        # the edited sheet's formulas (not the whole workbook's).
+        self._formulas_by_sheet: Dict[str, Set[CellKey]] = {}
         self._eval_stack: List[CellKey] = []
 
     # -- formula registration ------------------------------------------------
@@ -116,8 +123,10 @@ class ComputeEngine:
         edge set closes a cycle.
         """
         node = parse_formula(source)
+        self.stats.reparses += 1
         precedents = extract_dependencies(node, base_sheet=key[0])
         self._formulas[key] = node
+        self._formulas_by_sheet.setdefault(key[0], set()).add(key)
         self.graph.set_dependencies(key, precedents.cells, precedents.ranges)
         self.scheduler.mark_dirty(key)
         self._mark_dependents_dirty(key)
@@ -125,16 +134,71 @@ class ComputeEngine:
             self.drain()
 
     def unregister_formula(self, key: CellKey) -> None:
-        self._formulas.pop(key, None)
+        if self._formulas.pop(key, None) is not None:
+            bucket = self._formulas_by_sheet.get(key[0])
+            if bucket is not None:
+                bucket.discard(key)
+                if not bucket:
+                    del self._formulas_by_sheet[key[0]]
         self.graph.clear_dependencies(key)
         self.scheduler.discard(key)
 
     def has_formula(self, key: CellKey) -> bool:
         return key in self._formulas
 
+    def formula_keys(self) -> List[CellKey]:
+        return list(self._formulas)
+
+    def formula_keys_on_sheet(self, sheet: str) -> List[CellKey]:
+        return list(self._formulas_by_sheet.get(sheet, ()))
+
     @property
     def n_formulas(self) -> int:
         return len(self._formulas)
+
+    # -- structural-edit support ---------------------------------------------
+
+    def rekey_formulas(self, mapping: Dict[CellKey, CellKey]) -> None:
+        """Relocate registered formulas to new keys without reparsing or
+        touching their dependency edges (a structural edit moved their
+        cells; their *text* is handled separately, and only when the
+        references actually changed).  Two-phase so old/new ranges may
+        overlap.  Dirty marks travel with the formula."""
+        if not mapping:
+            return
+        moved = {
+            old_key: self._formulas.pop(old_key)
+            for old_key in mapping
+            if old_key in self._formulas
+        }
+        for old_key in moved:
+            self._formulas_by_sheet[old_key[0]].discard(old_key)
+        for old_key, node in moved.items():
+            new_key = mapping[old_key]
+            self._formulas[new_key] = node
+            self._formulas_by_sheet.setdefault(new_key[0], set()).add(new_key)
+        self.graph.rekey_dependents({old: mapping[old] for old in moved})
+        dirty_moves = [old for old in moved if self.scheduler.is_dirty(old)]
+        for old_key in dirty_moves:
+            self.scheduler.discard(old_key)
+        for old_key in dirty_moves:
+            self.scheduler.mark_dirty(mapping[old_key])
+
+    def invalidate_formula(self, key: CellKey) -> None:
+        """Schedule ``key`` (and its transitive dependents) without
+        re-registering — used when a formula's *inputs* moved but its text
+        is untouched (e.g. a DBSQL anchor whose SQL-level precedent
+        shifted)."""
+        if key in self._formulas:
+            self.scheduler.mark_dirty(key)
+        self._mark_dependents_dirty(key)
+
+    def drop_formula(self, key: CellKey) -> None:
+        """Unregister ``key`` after marking its dependents dirty — the
+        structural-edit path for formulas whose cell was deleted (or whose
+        references died): readers of the now-#REF! cell must recompute."""
+        self._mark_dependents_dirty(key)
+        self.unregister_formula(key)
 
     # -- change notification ------------------------------------------------------
 
@@ -265,4 +329,5 @@ class ComputeEngine:
         self.graph = DependencyGraph()
         self.scheduler = RecalcScheduler(predicate)
         self._formulas.clear()
+        self._formulas_by_sheet.clear()
         self._eval_stack.clear()

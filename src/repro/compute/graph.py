@@ -42,6 +42,12 @@ class DependencyGraph:
         self._range_subs: Dict[str, Dict[Tuple[int, int], Set[Tuple[RangeAddress, CellKey]]]] = (
             defaultdict(lambda: defaultdict(set))
         )
+        # sheet -> tile -> set of (precedent cell, dependent): the cell-edge
+        # twin of _range_subs, so structural edits can find every formula
+        # whose references touch a half-space without scanning all edges.
+        self._cell_subs: Dict[str, Dict[Tuple[int, int], Set[Tuple[CellKey, CellKey]]]] = (
+            defaultdict(lambda: defaultdict(set))
+        )
 
     # -- registration -----------------------------------------------------
 
@@ -62,25 +68,37 @@ class DependencyGraph:
         sheet = default_sheet or dependent[0]
         self.clear_dependencies(dependent)
         cell_keys = {key_of(address, sheet) for address in cells}
-        self._precedent_cells[dependent] = cell_keys
-        for cell_key in cell_keys:
-            self._dependents[cell_key].add(dependent)
-        range_set: Set[Tuple[str, RangeAddress]] = set()
-        for reference in ranges:
-            range_sheet = reference.sheet or sheet
-            range_set.add((range_sheet, reference))
-            for tile in self._tiles_of(reference):
-                self._range_subs[range_sheet][tile].add((reference, dependent))
-        self._precedent_ranges[dependent] = range_set
+        range_set: Set[Tuple[str, RangeAddress]] = {
+            (reference.sheet or sheet, reference) for reference in ranges
+        }
+        self._attach_dependent(dependent, cell_keys, range_set)
 
     def clear_dependencies(self, dependent: CellKey) -> None:
-        for cell_key in self._precedent_cells.pop(dependent, ()):
+        self._detach_dependent(dependent)
+
+    def _detach_dependent(
+        self, dependent: CellKey
+    ) -> Tuple[Set[CellKey], Set[Tuple[str, RangeAddress]]]:
+        """Remove every edge of ``dependent``; returns the precedent sets
+        that were detached (so :meth:`rekey_dependents` can re-attach them
+        under a new key)."""
+        cells = self._precedent_cells.pop(dependent, set())
+        for cell_key in cells:
             bucket = self._dependents.get(cell_key)
             if bucket is not None:
                 bucket.discard(dependent)
                 if not bucket:
                     del self._dependents[cell_key]
-        for range_sheet, reference in self._precedent_ranges.pop(dependent, ()):
+            cell_sheet_subs = self._cell_subs.get(cell_key[0])
+            if cell_sheet_subs is not None:
+                tile = (cell_key[1] // _TILE, cell_key[2] // _TILE)
+                sub_bucket = cell_sheet_subs.get(tile)
+                if sub_bucket is not None:
+                    sub_bucket.discard((cell_key, dependent))
+                    if not sub_bucket:
+                        del cell_sheet_subs[tile]
+        ranges = self._precedent_ranges.pop(dependent, set())
+        for range_sheet, reference in ranges:
             sheet_subs = self._range_subs.get(range_sheet)
             if sheet_subs is None:
                 continue
@@ -90,6 +108,37 @@ class DependencyGraph:
                     bucket.discard((reference, dependent))
                     if not bucket:
                         del sheet_subs[tile]
+        return cells, ranges
+
+    def _attach_dependent(
+        self,
+        dependent: CellKey,
+        cells: Set[CellKey],
+        ranges: Set[Tuple[str, RangeAddress]],
+    ) -> None:
+        self._precedent_cells[dependent] = cells
+        for cell_key in cells:
+            self._dependents[cell_key].add(dependent)
+            self._cell_subs[cell_key[0]][
+                (cell_key[1] // _TILE, cell_key[2] // _TILE)
+            ].add((cell_key, dependent))
+        self._precedent_ranges[dependent] = ranges
+        for range_sheet, reference in ranges:
+            for tile in self._tiles_of(reference):
+                self._range_subs[range_sheet][tile].add((reference, dependent))
+
+    def rekey_dependents(self, mapping: Dict[CellKey, CellKey]) -> None:
+        """Move dependents to new keys (a structural edit relocated their
+        cells) *without* touching their precedent sets.  Two-phase so
+        old/new key ranges may overlap (every formula below an inserted
+        row shifts by the same delta)."""
+        detached = []
+        for old_key, new_key in mapping.items():
+            if old_key in self._precedent_cells or old_key in self._precedent_ranges:
+                cells, ranges = self._detach_dependent(old_key)
+                detached.append((new_key, cells, ranges))
+        for new_key, cells, ranges in detached:
+            self._attach_dependent(new_key, cells, ranges)
 
     # -- queries ------------------------------------------------------------
 
@@ -107,6 +156,30 @@ class DependencyGraph:
                         and reference.start.col <= col <= reference.end.col
                     ):
                         result.add(dependent)
+        return result
+
+    def dependents_intersecting(self, sheet: str, axis: str, at: int) -> Set[CellKey]:
+        """Every dependent with at least one reference into the half-space
+        ``row >= at`` (``axis='row'``) or ``col >= at`` (``axis='col'``) of
+        ``sheet`` — exactly the formulas a structural edit at ``at`` must
+        rewrite.  Walks only the tile buckets whose tile coordinate can
+        reach the half-space, not the whole edge set."""
+        index = 1 if axis == "row" else 2
+        tile_floor = at // _TILE
+        result: Set[CellKey] = set()
+        for tile, bucket in self._cell_subs.get(sheet, {}).items():
+            if tile[index - 1] < tile_floor:
+                continue
+            for cell_key, dependent in bucket:
+                if cell_key[index] >= at:
+                    result.add(dependent)
+        for tile, bucket in self._range_subs.get(sheet, {}).items():
+            if tile[index - 1] < tile_floor:
+                continue
+            for reference, dependent in bucket:
+                end = reference.end.row if axis == "row" else reference.end.col
+                if end >= at:
+                    result.add(dependent)
         return result
 
     def precedents_of(self, key: CellKey) -> Tuple[Set[CellKey], Set[Tuple[str, RangeAddress]]]:

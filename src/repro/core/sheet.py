@@ -158,8 +158,8 @@ class Sheet:
             if cell.is_formula:
                 yield CellAddress(row, col, sheet=self.name), cell
 
-    # -- structural edits (cell movement only; the workbook rewrites
-    #    formulas and re-anchors regions) ------------------------------------
+    # -- structural edits (key-space splices in the store — no cell moves;
+    #    the workbook rewrites formulas and re-anchors regions) -------------
 
     def insert_rows(self, at: int, count: int = 1) -> int:
         return self.store.insert_rows(at, count)

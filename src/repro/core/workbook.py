@@ -459,9 +459,16 @@ class Workbook(ComputeHost):
         self._structural_edit(sheet_name, "col", at, -count)
 
     def _structural_edit(self, sheet_name: str, axis: str, at: int, count: int) -> None:
-        """Insert (count>0) or delete (count<0) rows/columns: shift cells,
-        re-anchor regions, rewrite formula references everywhere, rebuild
-        the dependency graph, recompute."""
+        """Insert (count>0) or delete (count<0) rows/columns.
+
+        The positional-mapping fast path: the sheet's cell store splices
+        its key space (zero cells move), and only formulas whose references
+        actually intersect the shifted half-space — found through the
+        dependency graph's tile-bucketed subscriptions — are rewritten and
+        reparsed.  Formulas that merely *live* below the edit are re-keyed
+        (an O(1) dictionary move each), not reparsed, and nothing else is
+        recomputed.  Logical work is proportional to the affected set, not
+        the workbook."""
         sheet = self.sheet(sheet_name)
         # Regions: refuse edits that cut through a region; shift those below/right.
         for region in self.regions.regions_on_sheet(sheet_name):
@@ -482,12 +489,21 @@ class Workbook(ComputeHost):
                     f"structural insert splits region "
                     f"{region.context.region_id} ({extent.to_a1()})"
                 )
-        # 1. shift stored cells
+        # 1. formulas whose references intersect the shifted half-space —
+        #    resolved against the *pre-splice* graph, under their old keys.
+        affected = {
+            key
+            for key in self.compute.graph.dependents_intersecting(sheet_name, axis, at)
+            if self.compute.has_formula(key)
+        }
+        # 2. splice the key space: zero stored cells move; deletes purge
+        #    only the cells that occupied the removed slice.
+        removed = -count if count < 0 else 0
         if axis == "row":
-            sheet.insert_rows(at, count) if count > 0 else sheet.delete_rows(at, -count)
+            sheet.insert_rows(at, count) if count > 0 else sheet.delete_rows(at, removed)
         else:
-            sheet.insert_cols(at, count) if count > 0 else sheet.delete_cols(at, -count)
-        # 2. re-anchor regions
+            sheet.insert_cols(at, count) if count > 0 else sheet.delete_cols(at, removed)
+        # 3. re-anchor regions
         delta = count
         for region in self.regions.regions_on_sheet(sheet_name):
             extent = region.context.extent
@@ -499,35 +515,56 @@ class Workbook(ComputeHost):
                 region.context.anchor = anchor.translate(d_row, d_col)
                 if extent is not None:
                     region.context.extent = extent.translate(d_row, d_col)
-        # 3. rewrite all formulas (on every sheet) referencing this sheet
-        self.compute.reset()
-        for owner in self.sheets.values():
-            for address, cell in list(owner.formula_cells()):
-                node = parse_formula(cell.formula)
-                if isinstance(node, Call) and node.name in ("DBSQL", "DBTABLE"):
-                    continue  # re-registered below with the region
+        # 4. re-key formulas located in the shifted half-space of this sheet
+        #    (their cells answered to new logical coordinates the moment the
+        #    store spliced) — a dictionary move, not a reparse.
+        mapping: Dict[CellKey, CellKey] = {}
+        doomed: List[CellKey] = []
+        for key in self.compute.formula_keys_on_sheet(sheet_name):
+            coordinate = key[1] if axis == "row" else key[2]
+            if coordinate < at:
+                continue
+            if count < 0 and coordinate < at + removed:
+                doomed.append(key)  # the formula's cell was deleted
+            elif axis == "row":
+                mapping[key] = (key[0], key[1] + delta, key[2])
+            else:
+                mapping[key] = (key[0], key[1], key[2] + delta)
+        for key in doomed:
+            affected.discard(key)
+            self.compute.drop_formula(key)
+        self.compute.rekey_formulas(mapping)
+        affected = {mapping.get(key, key) for key in affected}
+        # 5. rewrite only the affected formulas (the ≤|affected| reparses a
+        #    structural edit now costs), deferring recomputation to one
+        #    drain at the end.
+        was_eager = self.compute.eager
+        self.compute.eager = False
+        try:
+            for key in sorted(affected):
+                owner = self.sheet(key[0])
+                cell = owner.cell_at(key[1], key[2])
+                if cell is None or not cell.is_formula:
+                    continue
+                if cell.region_id is not None:
+                    # DBSQL/DBTABLE anchor: references live inside the SQL
+                    # string and are not rewritten; re-render because a
+                    # precedent cell moved under it.
+                    self.compute.invalidate_formula(key)
+                    continue
                 try:
                     cell.formula = adjust_formula_for_structural_edit(
-                        cell.formula, axis, at, count, sheet_name, owner.name
+                        cell.formula, axis, at, count, sheet_name, key[0]
                     )
                 except ReferenceDeleted:
                     cell.set_error("#REF!")
                     cell.formula = None
+                    self.compute.drop_formula(key)
+                    self._notify_cell_written(key, cell.value)
                     continue
-                self.compute.register_formula(
-                    (owner.name, address.row, address.col), cell.formula
-                )
-        # 4. re-register region anchors
-        for region in self.regions.all():
-            anchor = region.context.anchor
-            key = (region.context.sheet, anchor.row, anchor.col)
-            anchor_cell = self.sheet(region.context.sheet).ensure_cell(anchor)
-            if anchor_cell.formula:
-                self.compute.register_formula(key, anchor_cell.formula)
-                if region.context.kind == "dbsql":
-                    self.compute.graph.set_dependencies(
-                        key, region.precedent_cells, region.precedent_ranges
-                    )
+                self.compute.register_formula(key, cell.formula)
+        finally:
+            self.compute.eager = was_eager
         with self.batch():
             if self.compute.eager:
                 self.compute.drain()

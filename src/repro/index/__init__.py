@@ -6,6 +6,9 @@
 * :mod:`repro.index.positional` — the positional index proper: maps table
   positions to record ids and keeps them stable under middle
   inserts/deletes.
+* :mod:`repro.index.posmap` — positional mapping for the *interface*
+  axes: logical row/column positions over stable physical cell keys, so
+  structural edits splice the key space instead of moving cells.
 * :mod:`repro.index.btree` — B+-tree key index used for primary keys and the
   key↔position mapping of the interface manager.
 * :mod:`repro.index.index2d` — grid and quadtree indexes over spreadsheet
@@ -14,7 +17,16 @@
 
 from repro.index.order_statistic import OrderStatisticTree
 from repro.index.positional import PositionalIndex
+from repro.index.posmap import LOGICAL_MAX, PositionalMapper
 from repro.index.btree import BPlusTree
 from repro.index.index2d import GridIndex, QuadTree
 
-__all__ = ["OrderStatisticTree", "PositionalIndex", "BPlusTree", "GridIndex", "QuadTree"]
+__all__ = [
+    "OrderStatisticTree",
+    "PositionalIndex",
+    "PositionalMapper",
+    "LOGICAL_MAX",
+    "BPlusTree",
+    "GridIndex",
+    "QuadTree",
+]

@@ -32,6 +32,11 @@ class GridIndex:
         self.tile_rows = tile_rows
         self.tile_cols = tile_cols
         self._tiles: Dict[Tuple[int, int], Dict[Tuple[int, int], Any]] = {}
+        # Per-tile bounding boxes [min_row, min_col, max_row, max_col]:
+        # the metadata that lets used_bounds-style probes answer from
+        # tile summaries instead of scanning cells.  Kept exact: puts
+        # expand, removes shrink-by-rescan only when an extreme cell left.
+        self._bounds: Dict[Tuple[int, int], List[int]] = {}
         self._count = 0
 
     def _tile_key(self, row: int, col: int) -> Tuple[int, int]:
@@ -45,10 +50,23 @@ class GridIndex:
         return len(self._tiles)
 
     def put(self, row: int, col: int, payload: Any) -> None:
-        tile = self._tiles.setdefault(self._tile_key(row, col), {})
+        key = self._tile_key(row, col)
+        tile = self._tiles.setdefault(key, {})
         if (row, col) not in tile:
             self._count += 1
         tile[(row, col)] = payload
+        bounds = self._bounds.get(key)
+        if bounds is None:
+            self._bounds[key] = [row, col, row, col]
+        else:
+            if row < bounds[0]:
+                bounds[0] = row
+            if col < bounds[1]:
+                bounds[1] = col
+            if row > bounds[2]:
+                bounds[2] = row
+            if col > bounds[3]:
+                bounds[3] = col
 
     def get(self, row: int, col: int, default: Any = None) -> Any:
         tile = self._tiles.get(self._tile_key(row, col))
@@ -65,6 +83,14 @@ class GridIndex:
         self._count -= 1
         if not tile:
             del self._tiles[key]
+            del self._bounds[key]
+            return True
+        bounds = self._bounds[key]
+        if row in (bounds[0], bounds[2]) or col in (bounds[1], bounds[3]):
+            rows = [r for r, _ in tile]
+            cols = [c for _, c in tile]
+            bounds[0], bounds[1] = min(rows), min(cols)
+            bounds[2], bounds[3] = max(rows), max(cols)
         return True
 
     def query_range(
@@ -113,6 +139,62 @@ class GridIndex:
         for tile in self._tiles.values():
             for (row, col), payload in tile.items():
                 yield row, col, payload
+
+    # -- bounds from tile metadata ----------------------------------------
+
+    def _extreme_in(
+        self, axis: int, lo: int, hi: int, smallest: bool
+    ) -> Optional[int]:
+        """Extreme occupied coordinate on ``axis`` (0=row, 1=col) within
+        ``[lo, hi]``.  One pass over the tile directory groups tiles by
+        stripe; the extreme stripe is then answered from the per-tile
+        bounding boxes — cells are only inspected in *boundary* tiles
+        whose bounds straddle the interval edge.  Only a boundary stripe
+        with no in-interval cells forces a second stripe."""
+        tile_span = self.tile_rows if axis == 0 else self.tile_cols
+        stripe_lo, stripe_hi = lo // tile_span, hi // tile_span
+        by_stripe: Dict[int, List[Tuple[Tuple[int, int], List[int]]]] = {}
+        for key, bounds in self._bounds.items():
+            stripe = key[axis]
+            if stripe_lo <= stripe <= stripe_hi:
+                by_stripe.setdefault(stripe, []).append((key, bounds))
+        for stripe in sorted(by_stripe, reverse=not smallest):
+            # The best any cell in this stripe can do:
+            limit = max(lo, stripe * tile_span) if smallest else min(
+                hi, stripe * tile_span + tile_span - 1
+            )
+            best: Optional[int] = None
+            for key, bounds in by_stripe[stripe]:
+                tile_lo, tile_hi = bounds[axis], bounds[axis + 2]
+                if tile_hi < lo or tile_lo > hi:
+                    continue  # metadata says: nothing in the interval
+                if lo <= tile_lo and tile_hi <= hi:
+                    candidate = tile_lo if smallest else tile_hi  # metadata only
+                else:
+                    matches = [
+                        coords[axis]
+                        for coords in self._tiles[key]
+                        if lo <= coords[axis] <= hi
+                    ]
+                    if not matches:
+                        continue
+                    candidate = min(matches) if smallest else max(matches)
+                if best is None or (candidate < best if smallest else candidate > best):
+                    best = candidate
+                    if best == limit:
+                        return best
+            if best is not None:
+                return best
+        return None
+
+    def extreme_row_in(self, lo: int, hi: int, smallest: bool = True) -> Optional[int]:
+        """Smallest (or largest) occupied row within rows ``[lo, hi]``,
+        derived from tile metadata — see :meth:`_extreme_in`."""
+        return self._extreme_in(0, lo, hi, smallest)
+
+    def extreme_col_in(self, lo: int, hi: int, smallest: bool = True) -> Optional[int]:
+        """Column-axis twin of :meth:`extreme_row_in`."""
+        return self._extreme_in(1, lo, hi, smallest)
 
 
 @dataclass
@@ -267,4 +349,18 @@ class QuadTree:
         return iter(results)
 
     def items(self) -> Iterator[Tuple[int, int, Any]]:
-        return self.query_range(0, 0, 2 ** 41, 2 ** 41)
+        return self.query_range(0, 0, 2 ** 42, 2 ** 42)
+
+    def extreme_row_in(self, lo: int, hi: int, smallest: bool = True) -> Optional[int]:
+        """Extreme occupied row within rows ``[lo, hi]`` (quadtree variant:
+        region pruning bounds the scan to the matching stripe)."""
+        rows = [row for row, _col, _ in self.query_range(lo, 0, hi, 2 ** 42)]
+        if not rows:
+            return None
+        return min(rows) if smallest else max(rows)
+
+    def extreme_col_in(self, lo: int, hi: int, smallest: bool = True) -> Optional[int]:
+        cols = [col for _row, col, _ in self.query_range(0, lo, 2 ** 42, hi)]
+        if not cols:
+            return None
+        return min(cols) if smallest else max(cols)

@@ -86,11 +86,15 @@ class PositionalIndex:
         return self._tree.delete_slice(pos, count)
 
     def move(self, from_pos: int, to_pos: int) -> None:
-        """Reorder one row (drag a row to a new place on the sheet)."""
+        """Reorder one row (drag a row to a new place on the sheet).
+
+        ``to_pos`` is the row's position in the **resulting** sequence:
+        after ``move(f, t)``, ``rid_at(t)`` returns the moved rid (``t``
+        clamps to the end).  Because the rid is removed first, ``to_pos``
+        indexes the already-shortened sequence directly — no off-by-one
+        adjustment is needed for forward moves."""
         rid = self.delete_at(from_pos)
-        if to_pos > from_pos:
-            to_pos -= 0  # positions after removal already shifted left by one
-        self.insert_at(to_pos if to_pos <= len(self) else len(self), rid)
+        self.insert_at(min(to_pos, len(self)), rid)
 
     def position_of(self, rid: int) -> Optional[int]:
         """Linear scan fallback (O(n)); the interface manager keeps its own

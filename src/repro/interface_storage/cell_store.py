@@ -1,4 +1,4 @@
-"""Schema-free cell storage with proximity blocking.
+"""Schema-free cell storage with proximity blocking and positional mapping.
 
 Paper §3, *Interface Storage Manager*: "This interface data requires special
 treatment as it does not have a schema.  The interface storage component
@@ -12,10 +12,14 @@ two-dimensional indexing method."
 a range fetch touches only the blocks overlapping the range — the property
 experiment E8 charts against a flat per-cell dictionary.
 
-The store also implements the structural edits a spreadsheet needs —
-inserting/deleting whole rows and columns with the implied shifting of every
-cell below/right — because free-form interface data must move when the user
-restructures the sheet.
+Structural edits are where the paper's positional index earns its keep at
+the interface layer: cells are stored under **stable physical keys**, and a
+:class:`~repro.index.posmap.PositionalMapper` per axis translates the
+logical row/column the user sees into the physical key the 2-D index
+stores.  ``insert_rows``/``delete_rows`` splice the mapper's key space in
+O(log s) — **zero stored cells move**; deletes only purge the cells that
+actually occupied the removed slice.  The 2-D indexes keep operating on
+physical keys and never notice a structural edit happened.
 """
 
 from __future__ import annotations
@@ -24,26 +28,40 @@ from dataclasses import dataclass
 from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.index.index2d import GridIndex, QuadTree
+from repro.index.posmap import LOGICAL_MAX, PositionalMapper
 
 __all__ = ["CellStore", "CellStoreStats"]
+
+#: Upper bound on physical keys (mapper allocates fresh keys past
+#: LOGICAL_MAX; a whole-axis purge query uses this as its far edge).
+_PHYS_MAX = 1 << 44
 
 
 @dataclass
 class CellStoreStats:
-    """Logical-work counters: how many blocks/cells operations touched."""
+    """Logical-work counters: how many blocks/cells operations touched.
+
+    ``cells_moved`` counts cells physically relocated by a structural edit
+    (zero on the positional-mapping path — the E8 headline number);
+    ``cells_dropped`` counts cells destroyed because their row/column was
+    deleted.  They are deliberately separate: a drop is mandatory work
+    proportional to the removed slice, a move is pure overhead.
+    """
 
     point_reads: int = 0
     point_writes: int = 0
     range_queries: int = 0
     blocks_scanned: int = 0
-    cells_shifted: int = 0
+    cells_moved: int = 0
+    cells_dropped: int = 0
 
     def reset(self) -> None:
         self.point_reads = 0
         self.point_writes = 0
         self.range_queries = 0
         self.blocks_scanned = 0
-        self.cells_shifted = 0
+        self.cells_moved = 0
+        self.cells_dropped = 0
 
 
 class CellStore:
@@ -64,23 +82,43 @@ class CellStore:
             self._index = QuadTree()
         else:
             raise ValueError(f"unknown index kind {index_kind!r} (grid|quadtree)")
+        self.rows = PositionalMapper(seed=0xA11)
+        self.cols = PositionalMapper(seed=0xB22)
         self.stats = CellStoreStats()
+
+    # -- coordinate mapping -------------------------------------------------
+
+    def _phys(self, row: int, col: int) -> Tuple[int, int]:
+        # Fast path: until the first structural edit both mappers are the
+        # identity, and point access pays nothing for the indirection.
+        prow = row if self.rows.pristine else self.rows.physical_of(row)
+        pcol = col if self.cols.pristine else self.cols.physical_of(col)
+        return prow, pcol
 
     # -- point access ------------------------------------------------------
 
     def set(self, row: int, col: int, value: Any) -> None:
         if row < 0 or col < 0:
             raise ValueError("cell coordinates must be non-negative")
+        if row >= LOGICAL_MAX or col >= LOGICAL_MAX:
+            raise ValueError("cell coordinates exceed the addressable sheet")
         self.stats.point_writes += 1
-        self._index.put(row, col, value)
+        prow, pcol = self._phys(row, col)
+        self._index.put(prow, pcol, value)
 
     def get(self, row: int, col: int, default: Any = None) -> Any:
         self.stats.point_reads += 1
-        return self._index.get(row, col, default)
+        if row < 0 or col < 0 or row >= LOGICAL_MAX or col >= LOGICAL_MAX:
+            return default
+        prow, pcol = self._phys(row, col)
+        return self._index.get(prow, pcol, default)
 
     def delete(self, row: int, col: int) -> bool:
         self.stats.point_writes += 1
-        return self._index.remove(row, col)
+        if row < 0 or col < 0 or row >= LOGICAL_MAX or col >= LOGICAL_MAX:
+            return False
+        prow, pcol = self._phys(row, col)
+        return self._index.remove(prow, pcol)
 
     def __len__(self) -> int:
         return len(self._index)
@@ -96,93 +134,126 @@ class CellStore:
     def get_range(
         self, top: int, left: int, bottom: int, right: int
     ) -> Iterator[Tuple[int, int, Any]]:
-        """All occupied cells in the inclusive rectangle, row-major."""
+        """All occupied cells in the inclusive rectangle, row-major.
+
+        The logical rectangle maps to a small grid of physical rectangles
+        (one per overlapping mapper span pair — a single one on a sheet
+        with no structural edits)."""
         self.stats.range_queries += 1
-        if isinstance(self._index, GridIndex):
-            self.stats.blocks_scanned += self._index.tiles_overlapping(
-                top, left, bottom, right
-            )
-        return self._index.query_range(top, left, bottom, right)
+        results: List[Tuple[int, int, Any]] = []
+        for prow_lo, prow_hi, lrow_lo in self.rows.intervals(top, bottom):
+            for pcol_lo, pcol_hi, lcol_lo in self.cols.intervals(left, right):
+                if isinstance(self._index, GridIndex):
+                    self.stats.blocks_scanned += self._index.tiles_overlapping(
+                        prow_lo, pcol_lo, prow_hi, pcol_hi
+                    )
+                for prow, pcol, payload in self._index.query_range(
+                    prow_lo, pcol_lo, prow_hi, pcol_hi
+                ):
+                    results.append(
+                        (lrow_lo + (prow - prow_lo), lcol_lo + (pcol - pcol_lo), payload)
+                    )
+        results.sort(key=lambda item: (item[0], item[1]))
+        return iter(results)
 
     def items(self) -> Iterator[Tuple[int, int, Any]]:
-        return self._index.items()
+        """All occupied cells at their *logical* coordinates (unordered)."""
+        for prow, pcol, payload in self._index.items():
+            lrow = self.rows.position_of(prow)
+            lcol = self.cols.position_of(pcol)
+            if lrow is None or lcol is None:  # pragma: no cover - purged keys
+                continue
+            yield lrow, lcol, payload
 
     def used_bounds(self) -> Optional[Tuple[int, int, int, int]]:
-        """Bounding box of occupied cells: (top, left, bottom, right)."""
-        top = left = None
-        bottom = right = None
-        for row, col, _ in self._index.items():
-            if top is None:
-                top = bottom = row
-                left = right = col
-            else:
-                top = min(top, row)
-                bottom = max(bottom, row)
-                left = min(left, col)
-                right = max(right, col)
-        if top is None:
+        """Bounding box of occupied cells: (top, left, bottom, right).
+
+        Derived from the 2-D index's tile metadata instead of a full cell
+        scan: per mapper span, only the extreme occupied tile stripe is
+        inspected.  An un-spliced sheet (a single span per axis) pays one
+        metadata probe per edge."""
+        if len(self._index) == 0:
+            return None
+        row_spans = self.rows.intervals(0, LOGICAL_MAX - 1)
+        col_spans = self.cols.intervals(0, LOGICAL_MAX - 1)
+        top = bottom = left = right = None
+        for plo, phi, llo in row_spans:
+            found = self._index.extreme_row_in(plo, phi, smallest=True)
+            if found is not None:
+                top = llo + (found - plo)
+                break
+        for plo, phi, llo in reversed(row_spans):
+            found = self._index.extreme_row_in(plo, phi, smallest=False)
+            if found is not None:
+                bottom = llo + (found - plo)
+                break
+        for plo, phi, llo in col_spans:
+            found = self._index.extreme_col_in(plo, phi, smallest=True)
+            if found is not None:
+                left = llo + (found - plo)
+                break
+        for plo, phi, llo in reversed(col_spans):
+            found = self._index.extreme_col_in(plo, phi, smallest=False)
+            if found is not None:
+                right = llo + (found - plo)
+                break
+        if top is None or left is None:  # pragma: no cover - index said non-empty
             return None
         return (top, left, bottom, right)
 
     # -- structural edits ------------------------------------------------------
 
-    def _shift(self, predicate, mover) -> int:
-        """Remove every cell matching ``predicate`` and re-insert it at
-        ``mover(row, col)`` (or drop it when mover returns None)."""
-        moved: List[Tuple[int, int, Any]] = [
-            (row, col, value)
-            for row, col, value in list(self._index.items())
-            if predicate(row, col)
-        ]
-        for row, col, _ in moved:
-            self._index.remove(row, col)
-        for row, col, value in moved:
-            target = mover(row, col)
-            if target is not None:
-                self._index.put(target[0], target[1], value)
-        self.stats.cells_shifted += len(moved)
-        return len(moved)
+    def _purge(self, intervals: List[Tuple[int, int]], axis: str) -> int:
+        """Remove every cell whose physical row/col falls in ``intervals``;
+        returns how many were dropped.  Cost is proportional to the blocks
+        overlapping the removed slice, not to the sheet."""
+        doomed: List[Tuple[int, int]] = []
+        for lo, hi in intervals:
+            if axis == "row":
+                hits = self._index.query_range(lo, 0, hi, _PHYS_MAX)
+            else:
+                hits = self._index.query_range(0, lo, _PHYS_MAX, hi)
+            doomed.extend((prow, pcol) for prow, pcol, _ in hits)
+        for prow, pcol in doomed:
+            self._index.remove(prow, pcol)
+        self.stats.cells_dropped += len(doomed)
+        return len(doomed)
 
     def insert_rows(self, at: int, count: int = 1) -> int:
-        """Shift every cell at ``row >= at`` down by ``count`` rows."""
+        """Splice ``count`` fresh rows in at ``at``.  Every cell at logical
+        ``row >= at`` now answers ``count`` rows lower — **no stored cell
+        moves**.  Returns the number of cells physically relocated (always
+        0 on this path)."""
         if count <= 0:
             return 0
-        return self._shift(
-            lambda row, col: row >= at,
-            lambda row, col: (row + count, col),
-        )
+        self._purge(self.rows.insert(at, count), "row")
+        return 0
 
     def delete_rows(self, at: int, count: int = 1) -> int:
-        """Drop cells in rows ``[at, at+count)``; shift the rest up."""
+        """Drop cells in rows ``[at, at+count)``; the rest shift up by
+        key-space splice.  Returns the number of cells dropped."""
         if count <= 0:
             return 0
-        return self._shift(
-            lambda row, col: row >= at,
-            lambda row, col: None if row < at + count else (row - count, col),
-        )
+        return self._purge(self.rows.delete(at, count), "row")
 
     def insert_cols(self, at: int, count: int = 1) -> int:
         if count <= 0:
             return 0
-        return self._shift(
-            lambda row, col: col >= at,
-            lambda row, col: (row, col + count),
-        )
+        self._purge(self.cols.insert(at, count), "col")
+        return 0
 
     def delete_cols(self, at: int, count: int = 1) -> int:
         if count <= 0:
             return 0
-        return self._shift(
-            lambda row, col: col >= at,
-            lambda row, col: None if col < at + count else (row, col - count),
-        )
+        return self._purge(self.cols.delete(at, count), "col")
 
     def clear_range(self, top: int, left: int, bottom: int, right: int) -> int:
         """Empty the rectangle; returns the number of cells removed."""
         doomed = [
-            (row, col)
-            for row, col, _ in self._index.query_range(top, left, bottom, right)
+            (row, col) for row, col, _ in self.get_range(top, left, bottom, right)
         ]
+        removed = 0
         for row, col in doomed:
-            self._index.remove(row, col)
-        return len(doomed)
+            prow, pcol = self._phys(row, col)
+            removed += bool(self._index.remove(prow, pcol))
+        return removed

@@ -10,13 +10,17 @@ avoids.  The :class:`Broadcaster` therefore filters each outgoing
 :meth:`~repro.window.viewport.Viewport.overlaps` for region re-renders)
 and counts what it suppressed.
 
-Two delta shapes cover the workbook's change vocabulary:
+Three delta shapes cover the workbook's change vocabulary:
 
 * ``cell`` — one cell's new value (a direct edit, a formula recompute, an
   error render);
 * ``region`` — a display region re-rendered (DBTABLE window refresh,
   DBSQL re-query); the delta carries the region's extent rather than
-  every cell, so a 10k-row refresh is one message.
+  every cell, so a 10k-row refresh is one message;
+* ``shift`` — a structural edit (rows/columns inserted or deleted at
+  ``at`` on ``axis``); one compact message describes the whole half-space
+  translation, matching the storage layer's key-space splice — a million
+  shifted rows is *one* delta, never a million cell deltas.
 """
 
 from __future__ import annotations
@@ -34,7 +38,7 @@ __all__ = ["Delta", "Broadcaster"]
 class Delta:
     """One visible change, stamped with the service version that made it."""
 
-    kind: str            # "cell" | "region"
+    kind: str            # "cell" | "region" | "shift"
     sheet: str
     version: int
     origin: Optional[int] = None     # session id that caused it (None: system)
@@ -46,12 +50,24 @@ class Delta:
     region_id: Optional[int] = None
     area: Optional[RangeAddress] = None
     description: Optional[str] = None
+    # shift deltas (structural edits): positions >= `at` on `axis` moved by
+    # `count` (negative: a delete; the slice [at, at-count) vanished)
+    axis: Optional[str] = None       # "row" | "col"
+    at: Optional[int] = None
+    count: Optional[int] = None
 
     def visible_to(self, session: Session) -> bool:
         viewport = session.viewport
         if self.kind == "cell":
             assert self.row is not None and self.col is not None
             return viewport.contains_key((self.sheet, self.row, self.col))
+        if self.kind == "shift":
+            if viewport.sheet != self.sheet:
+                return False
+            assert self.axis is not None and self.at is not None
+            # Visible iff the shifted half-space reaches into the pane.
+            edge = viewport.bottom if self.axis == "row" else viewport.right
+            return edge >= self.at
         if self.area is None:
             return False
         return viewport.overlaps(self.area, sheet=self.sheet)

@@ -428,6 +428,25 @@ class WorkbookService:
             self.version += 1
             self.ops_applied += 1
             deltas = self._drain_deltas(origin=session_id)
+            if op["type"] in _STRUCTURAL:
+                # One compact delta describes the whole half-space shift —
+                # clients remap their pane instead of receiving a cell
+                # delta for every relocated position.
+                signed = int(op.get("count", 1))
+                if op["type"].startswith("delete"):
+                    signed = -signed
+                deltas.insert(
+                    0,
+                    Delta(
+                        kind="shift",
+                        sheet=op["sheet"],
+                        version=self.version,
+                        origin=session_id,
+                        axis="row" if op["type"].endswith("rows") else "col",
+                        at=int(op["at"]),
+                        count=signed,
+                    ),
+                )
             self.broadcast.publish(deltas, origin=session_id)
             session.last_seen_version = self.version
             session.writes_applied += 1

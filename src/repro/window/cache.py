@@ -103,7 +103,13 @@ class WindowCache:
             self._blocks.clear()
             self._last_block = None
             return
-        self._blocks.pop(row // self.block_rows, None)
+        block_index = row // self.block_rows
+        self._blocks.pop(block_index, None)
+        if self._last_block == block_index:
+            # The scroll-direction hint pointed at the dropped block; keep
+            # it and the next window() would prefetch in a stale direction
+            # (or re-fetch a neighbour of data that no longer exists).
+            self._last_block = None
 
     @property
     def cached_blocks(self) -> int:

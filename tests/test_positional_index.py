@@ -1,0 +1,64 @@
+"""PositionalIndex: presentation-order rid sequence — including the
+pinned-down move() semantics (regression for the dead-code adjustment)."""
+
+from repro.index.positional import PositionalIndex
+
+
+def make(n: int = 5) -> PositionalIndex:
+    return PositionalIndex(list(range(100, 100 + n)))
+
+
+class TestMove:
+    """``move(f, t)``: the rid ends up at position ``t`` of the resulting
+    sequence (``t`` clamps to the end)."""
+
+    def test_move_forward(self):
+        index = make()  # [100, 101, 102, 103, 104]
+        index.move(0, 2)
+        assert index.to_list() == [101, 102, 100, 103, 104]
+        assert index.rid_at(2) == 100
+
+    def test_move_backward(self):
+        index = make()
+        index.move(3, 1)
+        assert index.to_list() == [100, 103, 101, 102, 104]
+        assert index.rid_at(1) == 103
+
+    def test_move_to_end(self):
+        index = make()
+        index.move(0, 4)
+        assert index.to_list() == [101, 102, 103, 104, 100]
+
+    def test_move_past_end_clamps(self):
+        index = make()
+        index.move(1, 99)
+        assert index.to_list() == [100, 102, 103, 104, 101]
+
+    def test_move_to_same_position_is_identity(self):
+        index = make()
+        index.move(2, 2)
+        assert index.to_list() == [100, 101, 102, 103, 104]
+
+    def test_move_adjacent_forward(self):
+        """The classic off-by-one trap the removed dead code gestured at:
+        moving one slot forward must swap neighbours, not no-op."""
+        index = make()
+        index.move(1, 2)
+        assert index.to_list() == [100, 102, 101, 103, 104]
+
+    def test_move_keeps_tree_valid(self):
+        index = make(50)
+        for step in range(40):
+            index.move(step % len(index), (step * 7) % len(index))
+        index.validate()
+        assert sorted(index.to_list()) == list(range(100, 150))
+
+
+class TestBasics:
+    def test_window_and_positions(self):
+        index = make(10)
+        assert index.window(3, 4) == [103, 104, 105, 106]
+        index.insert_at(0, 999)
+        assert index.rid_at(0) == 999
+        assert index.position_of(999) == 0
+        assert index.position_of(123456) is None

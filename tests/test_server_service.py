@@ -169,6 +169,40 @@ class TestSessionsAndBroadcast:
         assert service.workbook.get("Sheet1", "B3") == "y"
         service.close()
 
+    def test_structural_edit_broadcasts_compact_shift_delta(self, tmp_path):
+        """A structural edit reaches other sessions as ONE shift delta
+        describing the half-space translation — not a per-cell flood for
+        every relocated position."""
+        service = make_service(tmp_path)
+        editor = service.connect("editor", n_rows=10, n_cols=10)
+        viewer = service.connect("viewer", n_rows=10, n_cols=10)
+        above = service.connect("above", n_rows=3, n_cols=10)  # rows 0..2
+        for n in range(1, 9):
+            service.set_cell(editor.session_id, "Sheet1", f"A{n}", n)
+        viewer.poll()
+        above.poll()
+        result = service.apply(
+            editor.session_id,
+            {"type": "insert_rows", "sheet": "Sheet1", "at": 5, "count": 2},
+        )
+        shifts = [delta for delta in result.deltas if delta.kind == "shift"]
+        assert [(d.axis, d.at, d.count) for d in shifts] == [("row", 5, 2)]
+        # The viewer's pane reaches the shifted half-space: one shift delta.
+        viewer_kinds = [delta.kind for delta in viewer.poll()]
+        assert viewer_kinds.count("shift") == 1
+        # 8 values moved down but zero per-cell deltas were manufactured.
+        assert "cell" not in viewer_kinds
+        # A pane entirely above the edit never sees it.
+        assert all(delta.kind != "shift" for delta in above.poll())
+        # Deletes carry a negative count.
+        result = service.apply(
+            editor.session_id,
+            {"type": "delete_rows", "sheet": "Sheet1", "at": 5, "count": 2},
+        )
+        [shift] = [delta for delta in result.deltas if delta.kind == "shift"]
+        assert (shift.axis, shift.at, shift.count) == ("row", 5, -2)
+        service.close()
+
     def test_poll_unblocks_off_viewport_conflict(self, tmp_path):
         """A stale rejection caused by an *off-screen* change can never be
         seen in the inbox; service.poll must still advance the horizon so

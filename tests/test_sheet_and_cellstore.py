@@ -50,12 +50,13 @@ class TestCellStore:
         store.set(1, 7, "y")
         assert store.used_bounds() == (1, 2, 5, 7)
 
-    def test_insert_rows_shifts_down(self):
+    def test_insert_rows_shifts_down_without_moving_cells(self):
         store = CellStore()
         store.set(5, 0, "below")
         store.set(2, 0, "above")
         moved = store.insert_rows(3, 2)
-        assert moved == 1
+        assert moved == 0  # positional mapping: the key space splices
+        assert store.stats.cells_moved == 0
         assert store.get(7, 0) == "below"
         assert store.get(2, 0) == "above"
 
@@ -63,7 +64,10 @@ class TestCellStore:
         store = CellStore()
         store.set(2, 0, "doomed")
         store.set(5, 0, "survivor")
-        store.delete_rows(2, 2)
+        dropped = store.delete_rows(2, 2)
+        assert dropped == 1
+        assert store.stats.cells_dropped == 1
+        assert store.stats.cells_moved == 0
         assert store.get(2, 0) is None
         assert store.get(3, 0) == "survivor"
 

@@ -1,0 +1,123 @@
+"""The structural-edit fast path: half-space queries on the dependency
+graph, formula re-keying, and the workbook-level guarantee that an edit's
+logical work is proportional to the affected set."""
+
+import pytest
+
+from repro import Workbook
+from repro.compute.graph import DependencyGraph
+from repro.core.address import CellAddress, RangeAddress
+
+
+def key(sheet, row, col):
+    return (sheet, row, col)
+
+
+class TestDependentsIntersecting:
+    def test_cell_edges(self):
+        graph = DependencyGraph()
+        graph.set_dependencies(key("S", 0, 1), [CellAddress(5, 0)], [])
+        graph.set_dependencies(key("S", 0, 2), [CellAddress(1, 0)], [])
+        assert graph.dependents_intersecting("S", "row", 3) == {key("S", 0, 1)}
+        assert graph.dependents_intersecting("S", "row", 0) == {
+            key("S", 0, 1),
+            key("S", 0, 2),
+        }
+        assert graph.dependents_intersecting("S", "col", 1) == set()
+        assert graph.dependents_intersecting("Other", "row", 0) == set()
+
+    def test_range_edges_use_end_coordinate(self):
+        graph = DependencyGraph()
+        reference = RangeAddress(CellAddress(0, 0), CellAddress(9, 0))
+        graph.set_dependencies(key("S", 0, 5), [], [reference])
+        assert graph.dependents_intersecting("S", "row", 9) == {key("S", 0, 5)}
+        assert graph.dependents_intersecting("S", "row", 10) == set()
+
+    def test_far_tile_buckets_are_reached(self):
+        """A reference far below the edit point lives in a distant tile
+        bucket; the half-space scan must still find it."""
+        graph = DependencyGraph()
+        graph.set_dependencies(key("S", 0, 0), [CellAddress(100_000, 3)], [])
+        assert graph.dependents_intersecting("S", "row", 5) == {key("S", 0, 0)}
+
+    def test_rekey_preserves_edges_both_directions(self):
+        graph = DependencyGraph()
+        graph.set_dependencies(key("S", 5, 0), [CellAddress(1, 0)], [])
+        graph.set_dependencies(key("S", 6, 0), [CellAddress(5, 0)], [])
+        # Shift both dependents down by one (overlapping old/new ranges).
+        graph.rekey_dependents(
+            {key("S", 5, 0): key("S", 6, 0), key("S", 6, 0): key("S", 7, 0)}
+        )
+        assert graph.dependents_of(key("S", 1, 0)) == {key("S", 6, 0)}
+        assert graph.dependents_of(key("S", 5, 0)) == {key("S", 7, 0)}
+        cells, _ = graph.precedents_of(key("S", 7, 0))
+        assert cells == {key("S", 5, 0)}
+
+
+class TestWorkbookLogicalWork:
+    @pytest.fixture
+    def grid(self):
+        workbook = Workbook()
+        for row in range(20):
+            workbook.set("Sheet1", CellAddress(row, 2), row)           # C col
+            workbook.set("Sheet1", CellAddress(row, 0), f"=C{row+1}*2")  # A col
+        return workbook
+
+    def test_insert_reparses_only_intersecting_formulas(self, grid):
+        grid.compute.stats.reset()
+        grid.insert_rows("Sheet1", 15, 1)
+        # Formulas in rows 15..19 reference rows >= 15; the other 15 are
+        # re-keyed (or untouched) without a reparse.
+        assert grid.compute.stats.reparses == 5
+        assert grid.sheet("Sheet1").store.stats.cells_moved == 0
+        assert grid.get("Sheet1", "A1") == 0
+        assert grid.get("Sheet1", "A21") == 38
+
+    def test_unaffected_formula_not_recomputed(self, grid):
+        grid.compute.stats.reset()
+        grid.insert_rows("Sheet1", 15, 1)
+        # Only the rewritten formulas (and their dependents) recompute.
+        assert grid.compute.stats.evaluations <= 5
+
+    def test_delete_makes_only_readers_ref_error(self, grid):
+        grid.set("Sheet1", "E1", "=C11+1")  # reads the soon-deleted row 10
+        grid.delete_rows("Sheet1", 10, 1)
+        assert grid.get("Sheet1", "E1") == "#REF!"
+        assert grid.sheet("Sheet1").cell_at(0, 4).formula is None
+        assert grid.get("Sheet1", "A10") == 18  # row above: untouched
+        assert grid.get("Sheet1", "A11") == 22  # shifted up, rewritten
+        assert grid.get("Sheet1", "A19") == 38
+
+    def test_moved_formula_keeps_identity_and_dependencies(self, grid):
+        cell_before = grid.sheet("Sheet1").cell_at(19, 0)
+        grid.insert_rows("Sheet1", 0, 3)
+        assert grid.sheet("Sheet1").cell_at(22, 0) is cell_before
+        grid.set("Sheet1", CellAddress(22, 2), 100)
+        assert grid.get("Sheet1", CellAddress(22, 0)) == 200
+
+    def test_formula_chain_across_edit_boundary(self):
+        workbook = Workbook()
+        workbook.set("Sheet1", "A1", 1)
+        workbook.set("Sheet1", "A10", "=A1+1")   # below edit, refs above
+        workbook.set("Sheet1", "B2", "=A10*10")  # above edit, refs below
+        workbook.insert_rows("Sheet1", 4, 2)
+        assert workbook.get("Sheet1", "A12") == 2
+        assert workbook.get("Sheet1", "B2") == 20
+        workbook.set("Sheet1", "A1", 5)
+        assert workbook.get("Sheet1", "B2") == 60
+
+    def test_range_formula_above_edit_expands(self):
+        workbook = Workbook()
+        for row in range(1, 6):
+            workbook.set("Sheet1", f"A{row}", row)
+        workbook.set("Sheet1", "C1", "=SUM(A1:A5)")
+        workbook.insert_rows("Sheet1", 2, 1)
+        workbook.set("Sheet1", "A3", 100)  # the inserted blank row
+        assert workbook.get("Sheet1", "C1") == 115
+
+    def test_lazy_mode_edit_keeps_demand_consistency(self):
+        workbook = Workbook(eager=False)
+        workbook.set("Sheet1", "A5", 7)
+        workbook.set("Sheet1", "B5", "=A5+1")
+        workbook.insert_rows("Sheet1", 0, 2)
+        assert workbook.get("Sheet1", "B7") == 8

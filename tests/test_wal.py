@@ -1,4 +1,5 @@
-"""Write-ahead log: records, checksums, torn tails, transactions."""
+"""Write-ahead log: records, checksums, torn tails, transactions, and
+crash recovery through structural edits."""
 
 from __future__ import annotations
 
@@ -8,7 +9,9 @@ import os
 
 import pytest
 
+from repro.core.workbook import Workbook
 from repro.errors import WALError
+from repro.server.service import WorkbookService, apply_op, recover_state
 from repro.server.wal import (
     WriteAheadLog,
     committed_ops,
@@ -188,3 +191,58 @@ class TestTransactions:
         wal.close()
         ops = committed_ops(wal.records())
         assert [o["raw"] for o in ops] == [2]
+
+
+class TestStructuralCrashRecovery:
+    """A WAL torn at *any* byte boundary mid-structural-edit must recover
+    to exactly the committed prefix — the key-space splice makes structural
+    replay order-sensitive, so a half-applied edit would corrupt every
+    address below it."""
+
+    @staticmethod
+    def sheet_state(workbook: Workbook):
+        return {
+            (row, col): (cell.value, cell.formula)
+            for row, col, cell in workbook.sheet("Sheet1").store.items()
+        }
+
+    def build_history(self, directory: str) -> bytes:
+        """A history interleaving cell edits, formulas, and structural ops."""
+        service = WorkbookService(str(directory), fsync=False)
+        session = service.connect("writer")
+        sid = session.session_id
+        for n in range(1, 6):
+            service.set_cell(sid, "Sheet1", f"A{n}", n)
+        service.set_cell(sid, "Sheet1", "C1", "=A1+A2")
+        service.apply(sid, {"type": "insert_rows", "sheet": "Sheet1", "at": 2, "count": 2})
+        service.set_cell(sid, "Sheet1", "A3", 33)
+        service.apply(sid, {"type": "delete_rows", "sheet": "Sheet1", "at": 0, "count": 1})
+        service.apply(sid, {"type": "insert_cols", "sheet": "Sheet1", "at": 0, "count": 1})
+        service.set_cell(sid, "Sheet1", "B1", "=C2*10")
+        service.apply(sid, {"type": "delete_cols", "sheet": "Sheet1", "at": 3, "count": 1})
+        service.close()
+        with open(os.path.join(str(directory), "wal.jsonl"), "rb") as handle:
+            return handle.read()
+
+    def test_truncation_at_arbitrary_byte_boundaries(self, tmp_path):
+        data = self.build_history(tmp_path / "full")
+        assert len(data) > 0
+        for cut in range(0, len(data) + 1, 11):
+            directory = tmp_path / f"cut{cut}"
+            directory.mkdir()
+            with open(directory / "wal.jsonl", "wb") as handle:
+                handle.write(data[:cut])
+            # Oracle: apply the committed prefix to a fresh workbook.
+            records, _, _ = read_wal(str(directory / "wal.jsonl"))
+            expected = Workbook()
+            prefix = committed_ops(records)
+            for operation in prefix:
+                apply_op(expected, operation)
+            expected.recalc_all()
+            # Recovery must reproduce exactly that state.
+            recovery = recover_state(str(directory))
+            assert recovery.ops_replayed == len(prefix)
+            assert self.sheet_state(recovery.workbook) == self.sheet_state(expected)
+        # Sanity: the untruncated history recovers the full final state.
+        full = recover_state(str(tmp_path / "full"))
+        assert full.ops_replayed == 12

@@ -119,6 +119,29 @@ class TestWindowCache:
         cache.window(64, 4)  # refetched
         assert len(fetches) == 3
 
+    def test_invalidate_last_block_resets_direction_hint(self):
+        """Dropping the block the hint points at must clear it: otherwise
+        the next window() compares against a stale block index and
+        prefetches in a direction the user is not scrolling."""
+        cache, fetches = self.make(block_rows=64)
+        cache.window(128, 10)   # _last_block = 2
+        cache.invalidate(row=130)  # drops block 2 (the last-touched one)
+        assert cache._last_block is None
+        before = cache.stats.prefetches
+        # Before the fix this looked like an upward scroll (1 < 2) and
+        # prefetched block 0 — a stale direction.
+        cache.window(64, 10)
+        assert cache.stats.prefetches == before
+        cache.window(128, 10)  # a real downward move resumes prefetching
+        assert cache.stats.prefetches == before + 1
+        assert (192, 64) in fetches  # ...of the *next* block
+
+    def test_invalidate_other_block_keeps_direction_hint(self):
+        cache, _ = self.make(block_rows=64)
+        cache.window(128, 10)
+        cache.invalidate(row=0)  # block 0: unrelated to the hint
+        assert cache._last_block == 2
+
     def test_clamps_past_end(self):
         cache, _ = self.make(n_rows=100, block_rows=64)
         rows = cache.window(90, 50)
