@@ -1,0 +1,178 @@
+"""Workload-adaptive layouts: adaptive beats the best static layout.
+
+Paper §3 stores each table as attribute groups so the physical layout
+*can* track the workload; this benchmark shows the adaptive loop
+(:class:`~repro.engine.layout.LayoutAdvisor` +
+:class:`~repro.engine.layout.LayoutMigration`) actually cashing that in.
+
+Three identical tables replay the same alternating HTAP trace
+(:func:`repro.workloads.traces.alternating_layout_trace` — scan-heavy
+analytical phases interleaved with update-heavy transactional phases):
+
+* static ROW layout — wins the transactional phases, pays the full table
+  width on every column scan,
+* static COLUMN layout — wins the analytical phases, pays one block per
+  group on every point read / insert,
+* ADAPTIVE — starts as a row store, gets a maintenance tick every few
+  operations, and migrates online (one bounded restructure step at a
+  time, with the replayed reads/writes landing *between* steps).
+
+Claims measured and asserted:
+
+* adaptive total page I/O (reads + writes, migration traffic included)
+  is **strictly below both** static layouts on the mixed trace,
+* zero correctness divergence: all three tables hold identical rows at
+  every phase boundary — i.e. before, during (ticks leave migrations
+  mid-flight across phase boundaries) and after migrations,
+* the adaptive table really did re-partition (at least one migration).
+
+Run ``BENCH_SMOKE=1`` (the CI smoke step) to shrink the trace while
+keeping every assertion live.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine.pager import BufferPool
+from repro.engine.schema import TableSchema
+from repro.engine.store import LayoutPolicy
+from repro.engine.table import Table
+from repro.engine.types import DBType
+from repro.workloads.traces import alternating_layout_trace
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+N_COLS = 8
+N_ROWS = 300 if SMOKE else 1500
+PAGE_CAPACITY = 32 if SMOKE else 64
+FRAMES = 16 if SMOKE else 32
+PHASE_LENGTH = 300 if SMOKE else 1000
+N_PHASES = 4
+TICK_EVERY = 10 if SMOKE else 25
+
+
+def build_table(name: str, layout: LayoutPolicy) -> Table:
+    schema = TableSchema.from_pairs([(f"c{i}", DBType.INTEGER) for i in range(N_COLS)])
+    pool = BufferPool(capacity=FRAMES, page_capacity=PAGE_CAPACITY)
+    table = Table(name, schema, layout=layout, pool=pool, page_capacity=PAGE_CAPACITY)
+    for i in range(N_ROWS):
+        table.insert(tuple((i * 7 + j) % 1000 for j in range(N_COLS)), emit=False)
+    table.checkpoint()
+    pool.stats.reset()
+    return table
+
+
+def replay_phase(table: Table, ops, state: dict, adaptive: bool) -> int:
+    """Replay one phase; returns the block I/O it cost (verification and
+    checkpointing excluded from no table's account — both are inside)."""
+    store = table.store
+    columns = store.schema.column_names
+    rids = state["rids"]
+    before = store.pool.stats.snapshot()
+    for index, op in enumerate(ops):
+        kind = op[0]
+        if kind == "scan_col":
+            for _ in store.scan_column(columns[op[1] % len(columns)]):
+                pass
+        elif kind == "point_read":
+            store.get(rids[op[1] % len(rids)])
+        elif kind == "col_update":
+            store.update_column(
+                rids[op[1] % len(rids)], columns[op[2] % len(columns)], op[3]
+            )
+        else:  # insert
+            value = state["next_value"]
+            state["next_value"] += 1
+            rids.append(
+                store.insert(tuple((value * 7 + j) % 1000 for j in range(N_COLS)))
+            )
+        if adaptive and (index + 1) % TICK_EVERY == 0:
+            table.layout_tick(steps=1)
+    store.checkpoint()
+    return store.pool.stats.delta(before).total
+
+
+def run_benchmark():
+    tables = {
+        "row": build_table("t_row", LayoutPolicy.ROW),
+        "column": build_table("t_col", LayoutPolicy.COLUMN),
+        "adaptive": build_table("t_adaptive", LayoutPolicy.ROW),
+    }
+    adaptive = tables["adaptive"]
+    adaptive.set_auto_layout(True)
+    adaptive.layout_advisor.min_ops = 24
+
+    states = {
+        name: {"rids": list(table.store.rids()), "next_value": N_ROWS}
+        for name, table in tables.items()
+    }
+    totals = {name: 0 for name in tables}
+    wall = {name: 0.0 for name in tables}
+    layouts_seen = [[list(g) for g in adaptive.schema.groups]]
+
+    for phase in range(N_PHASES):
+        # One phase of the alternating trace (regenerated deterministically
+        # so every table replays the identical op sequence).
+        ops = alternating_layout_trace(N_COLS, PHASE_LENGTH, phase + 1, seed=40)[
+            phase * PHASE_LENGTH :
+        ]
+        for name, table in tables.items():
+            started = time.perf_counter()
+            totals[name] += replay_phase(
+                table, ops, states[name], adaptive=(name == "adaptive")
+            )
+            wall[name] += time.perf_counter() - started
+        # Correctness: identical logical contents at every phase boundary —
+        # including boundaries where the adaptive table is mid-migration.
+        reference = sorted(
+            tables["row"].store.read_row(rid) for rid in tables["row"].store.rids()
+        )
+        for name, table in tables.items():
+            rows = sorted(table.store.read_row(rid) for rid in table.store.rids())
+            assert rows == reference, f"{name} diverged at phase {phase}"
+            # Replay drives the store directly (positions unused), so
+            # validate the storage layer itself.
+            table.store.validate()
+        layouts_seen.append([list(g) for g in adaptive.schema.groups])
+
+    # Drain any still-running migration so its cost is charged too.
+    before = adaptive.store.pool.stats.snapshot()
+    while adaptive.migration_active:
+        adaptive.layout_tick(steps=4)
+    adaptive.store.checkpoint()
+    totals["adaptive"] += adaptive.store.pool.stats.delta(before).total
+
+    distinct_layouts = {
+        frozenset(frozenset(c.lower() for c in g) for g in layout)
+        for layout in layouts_seen
+    }
+    migrations = len(distinct_layouts) - 1
+    return totals, migrations, wall, layouts_seen
+
+
+def test_adaptive_beats_static_layouts():
+    totals, migrations, wall, layouts_seen = run_benchmark()
+    print(
+        f"\nblocks touched over {N_PHASES}x{PHASE_LENGTH} alternating ops: "
+        f"row={totals['row']} column={totals['column']} "
+        f"adaptive={totals['adaptive']} "
+        f"(wall row={wall['row']:.2f}s column={wall['column']:.2f}s "
+        f"adaptive={wall['adaptive']:.2f}s)"
+    )
+    print(f"adaptive layouts per phase: {layouts_seen}")
+    # The headline claim: adaptivity strictly beats *both* static extremes
+    # on total page I/O for the mixed trace — migration traffic included.
+    assert totals["adaptive"] < totals["row"], (
+        f"adaptive {totals['adaptive']} not below static row {totals['row']}"
+    )
+    assert totals["adaptive"] < totals["column"], (
+        f"adaptive {totals['adaptive']} not below static column {totals['column']}"
+    )
+    # And it got there by actually re-partitioning.
+    assert migrations >= 1, "adaptive table never changed layout"
+
+
+if __name__ == "__main__":
+    test_adaptive_beats_static_layouts()

@@ -74,6 +74,12 @@ def test_add_column_blocks(benchmark, layout):
     benchmark.extra_info["n_rows"] = N_ROWS
     benchmark.extra_info["blocks_written_last_add"] = state.get("blocks")
     benchmark.extra_info["existing_pages_rewritten"] = state.get("rewritten")
+    # Paper-shape assertion (E6): attribute-group layouts add a column
+    # without rewriting any existing page; the row store rewrites them all.
+    if layout == "row":
+        assert state["rewritten"] >= N_ROWS // PAGE_CAPACITY
+    else:
+        assert state["rewritten"] == 0
 
 
 @pytest.mark.parametrize("layout", LAYOUTS)
@@ -92,6 +98,8 @@ def test_tuple_update_blocks(benchmark, layout):
     blocks = benchmark(update_one)
     benchmark.extra_info["layout"] = layout
     benchmark.extra_info["blocks_written_per_update"] = blocks
+    # A single-column update touches exactly one block in every layout.
+    assert blocks == 1
 
 
 @pytest.mark.parametrize("layout", LAYOUTS)
@@ -109,6 +117,8 @@ def test_tuple_insert_blocks(benchmark, layout):
     benchmark.extra_info["layout"] = layout
     benchmark.extra_info["blocks_written_per_insert"] = blocks
     benchmark.extra_info["n_groups"] = store.schema.n_groups
+    # The trade-off: an insert dirties one page per attribute group.
+    assert blocks == store.schema.n_groups
 
 
 @pytest.mark.parametrize("group_size", [1, 2, 4, 8])

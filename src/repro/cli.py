@@ -19,6 +19,8 @@ Commands
 ``tables``                  list tables
 ``regions``                 list display regions
 ``stats``                   workbook statistics
+``layout-stats [table]``    physical layout: groups, pages, per-group I/O
+``layout-advise [table]``   ask the layout advisor what it would do
 ``save <path>``             persist the whole workbook to JSON
 ``load <path>``             load a saved workbook
 ``serve <dir>``             attach to a durable workbook (WAL + snapshots)
@@ -197,6 +199,10 @@ class DataSpreadShell:
                     f"<- {context.description}"
                 )
             return "\n".join(lines) or "(no regions)"
+        if lowered.startswith("layout-stats"):
+            return self._layout_stats(line[len("layout-stats") :].strip())
+        if lowered.startswith("layout-advise"):
+            return self._layout_advise(line[len("layout-advise") :].strip())
         if lowered == "stats":
             summary = self.workbook.stats_summary()
             if self.service is not None:
@@ -268,6 +274,73 @@ class DataSpreadShell:
             )
         if len(result.rows) > 50:
             lines.append(f"... ({len(result.rows)} rows total)")
+        return "\n".join(lines)
+
+    # -- adaptive-layout commands -------------------------------------------
+
+    def _layout_tables(self, name: str):
+        database = self.workbook.database
+        if name:
+            return [database.table(name)]
+        return [database.table(table) for table in database.table_names()]
+
+    def _layout_stats(self, name: str) -> str:
+        tables = self._layout_tables(name)
+        if not tables:
+            return "(no tables)"
+        lines = []
+        for table in tables:
+            mode = "auto" if table.auto_layout else "manual"
+            suffix = ", migration in progress" if table.migration_active else ""
+            lines.append(
+                f"table {table.name}: {table.n_rows} rows, "
+                f"{table.store.n_groups} groups, layout {mode}{suffix}"
+            )
+            for info in table.store.group_summary():
+                io = info["io"]
+                lines.append(
+                    f"  group {info['group']} [{', '.join(info['columns'])}]: "
+                    f"{info['pages']} pages, {io['reads']} block reads, "
+                    f"{io['writes']} block writes"
+                )
+            stats = table.store.access_stats
+            lines.append(
+                f"  ops: {stats.inserts} inserts, {stats.deletes} deletes, "
+                f"{stats.point_reads} point reads, {stats.full_updates} row updates, "
+                f"{stats.full_scans} table scans, {stats.schema_changes} schema changes"
+            )
+            for column_name, column in sorted(stats.columns.items()):
+                if column.scans or column.updates:
+                    lines.append(
+                        f"  col {column_name}: {column.scans} scans, "
+                        f"{column.updates} updates"
+                    )
+        return "\n".join(lines)
+
+    def _layout_advise(self, name: str) -> str:
+        tables = self._layout_tables(name)
+        if not tables:
+            return "(no tables)"
+        lines = []
+        for table in tables:
+            recommendation = table.advise_layout()
+            if recommendation is None:
+                lines.append(
+                    f"table {table.name}: keep current layout "
+                    f"{table.schema.groups} (no cheaper candidate, or too "
+                    "little workload observed)"
+                )
+                continue
+            verdict = (
+                "recommended" if recommendation.worthwhile
+                else "not worth the migration yet"
+            )
+            lines.append(
+                f"table {table.name}: {verdict} -> {recommendation.target_groups} "
+                f"(predicted blocks {recommendation.current_cost} -> "
+                f"{recommendation.target_cost}, migration ~"
+                f"{recommendation.migration_cost})"
+            )
         return "\n".join(lines)
 
     def _switch_sheet(self, name: str) -> str:

@@ -147,6 +147,15 @@ class RecalcScheduler:
     def has_visible_work(self) -> bool:
         return any(self._visible(key) for key in self._dirty)
 
+    def reset_stats(self) -> None:
+        self.scheduled = 0
+        self.popped_visible = 0
+        self.popped_background = 0
+
     def clear(self) -> None:
+        """Forget all pending work *and* the schedule counters — a
+        cleared scheduler belongs to a fresh workbook state, so stats
+        must not bleed across resets."""
         self._heap.clear()
         self._dirty.clear()
+        self.reset_stats()

@@ -21,8 +21,19 @@ __all__ = ["Catalog"]
 class Catalog:
     """Name → table registry with a shared buffer pool."""
 
-    def __init__(self, pool: Optional[BufferPool] = None, page_capacity: int = 128):
-        self.pool = pool if pool is not None else BufferPool(page_capacity=page_capacity)
+    def __init__(
+        self,
+        pool: Optional[BufferPool] = None,
+        page_capacity: int = 128,
+        buffer_frames: Optional[int] = None,
+    ):
+        """``buffer_frames`` bounds the shared buffer pool (None =
+        unbounded) so benchmarks can measure re-read traffic honestly."""
+        self.pool = (
+            pool
+            if pool is not None
+            else BufferPool(capacity=buffer_frames, page_capacity=page_capacity)
+        )
         self._tables: Dict[str, Table] = {}
 
     def __contains__(self, name: str) -> bool:

@@ -16,8 +16,9 @@ interface layer (:mod:`repro.core`) talks to exactly this class:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.engine import sql_ast as ast
 from repro.engine.catalog import Catalog
@@ -84,12 +85,25 @@ class Database:
         self,
         page_capacity: int = 128,
         default_layout: LayoutPolicy = LayoutPolicy.HYBRID,
+        buffer_frames: Optional[int] = None,
+        auto_layout_interval: int = 64,
     ):
-        self.catalog = Catalog(page_capacity=page_capacity)
+        self.catalog = Catalog(
+            page_capacity=page_capacity, buffer_frames=buffer_frames
+        )
         self.default_layout = default_layout
         self.transactions = TransactionManager()
         self._listeners: List[Callable[[ChangeEvent], None]] = []
         self.statements_executed = 0
+        # Adaptive-layout maintenance: every ``auto_layout_interval``
+        # statements (0 disables), tables with auto layout enabled get a
+        # tick — advisor consult or a few online migration steps.
+        self.auto_layout_interval = auto_layout_interval
+        self._statements_since_tick = 0
+        # Recent non-idle tick reports (bounded: long-lived sessions tick
+        # forever; callers wanting everything consume maintenance_tick()'s
+        # return value instead).
+        self.maintenance_reports: Deque[Dict[str, Any]] = deque(maxlen=256)
 
     # -- events -------------------------------------------------------------
 
@@ -165,6 +179,34 @@ class Database:
     def reset_io_stats(self) -> None:
         self.catalog.pool.stats.reset()
 
+    # -- adaptive layout maintenance -----------------------------------------------
+
+    def maintenance_tick(self, steps: int = 2) -> List[Dict[str, Any]]:
+        """Tick every table that opted into adaptive layout (or has a
+        migration in flight); returns the non-idle per-table reports."""
+        reports = []
+        for table in self.catalog.tables():
+            if table.auto_layout or table.migration_active:
+                report = table.layout_tick(steps)
+                if report.get("action") != "idle":
+                    reports.append(report)
+        self.maintenance_reports.extend(reports)
+        return reports
+
+    def _maybe_auto_tick(self) -> None:
+        if not self.auto_layout_interval:
+            return
+        self._statements_since_tick += 1
+        if self._statements_since_tick < self.auto_layout_interval:
+            return
+        # Never re-partition mid-transaction: undo closures must replay
+        # against a stable store, and a rollback should not be charged
+        # migration I/O.
+        if self.in_transaction:
+            return
+        self._statements_since_tick = 0
+        self.maintenance_tick()
+
     # -- SQL entry point ------------------------------------------------------------------
 
     def execute(
@@ -222,6 +264,7 @@ class Database:
         resolver: Optional[RangeResolver],
     ) -> ResultSet:
         self.statements_executed += 1
+        self._maybe_auto_tick()
         planner = Planner(self.catalog, resolver)
         if isinstance(statement, (ast.SelectStmt, ast.CompoundSelect)):
             planned = planner.plan_select(statement)
@@ -415,6 +458,39 @@ class Database:
 
             self.transactions.record_undo(undo_drop)
             return ResultSet(rowcount=rewritten)
+        if isinstance(action, ast.AlterSetLayout):
+            mode = action.mode
+            if mode in ("auto", "manual"):
+                previous = table.auto_layout
+                table.set_auto_layout(mode == "auto")
+                if mode == "manual":
+                    # Stop adapting *now*: an in-flight migration would
+                    # otherwise keep being stepped by maintenance ticks.
+                    table.cancel_layout_migration()
+                self.transactions.record_undo(
+                    (lambda t, p: (lambda: t.set_auto_layout(p)))(table, previous)
+                )
+                return ResultSet()
+            # row / column: migrate immediately (synchronously) to the
+            # static extreme.  An explicit static layout also suspends the
+            # advisor loop — otherwise the next maintenance tick would
+            # consult the same accumulated stats and migrate right back.
+            old_groups = table.schema.groups
+            previous_auto = table.auto_layout
+            table.set_auto_layout(False)
+            if mode == "row":
+                target = [list(table.schema.column_names)]
+            else:
+                target = [[name] for name in table.schema.column_names]
+            migration = table.migrate_layout(target, online=False)
+            self.transactions.record_undo(
+                (
+                    lambda t, g, p: (
+                        lambda: (t.store.restructure(g), t.set_auto_layout(p))
+                    )
+                )(table, old_groups, previous_auto)
+            )
+            return ResultSet(rowcount=migration.pages_written)
         if isinstance(action, ast.AlterRenameColumn):
             table.rename_column(action.old, action.new)
             self.transactions.record_undo(

@@ -26,13 +26,104 @@ production system would run off-line.
 
 from __future__ import annotations
 
-from typing import Optional
+import math
+from typing import Dict, List, Optional, Sequence
 
 from repro.engine.pager import BufferPool, DEFAULT_PAGE_CAPACITY
 from repro.engine.schema import TableSchema
-from repro.engine.store import GroupedTupleStore, LayoutPolicy
+from repro.engine.store import AccessStats, GroupedTupleStore, LayoutPolicy
 
-__all__ = ["HybridStore"]
+__all__ = [
+    "HybridStore",
+    "pages_for_group",
+    "estimate_workload_blocks",
+    "restructure_blocks",
+]
+
+
+# -- the E6 cost table, as code -------------------------------------------------
+#
+# Blocks touched per logical operation under an attribute-group partition
+# (the table in the module docstring, generalised to arbitrary groupings):
+#
+# * insert / delete / full-row update / full-row point read: one block per
+#   group (``n_groups``),
+# * single-column update: one block in *any* layout (the column lives in
+#   exactly one group),
+# * column scan: every block of that column's chain — ``n_rows`` divided by
+#   how many records a page holds at the group's fragment width,
+# * full-table scan: every block of every chain.
+#
+# :class:`repro.engine.layout.LayoutAdvisor` prices candidate partitions
+# against an observed workload with these functions.
+
+
+def pages_for_group(n_rows: int, width: int, page_capacity: int) -> int:
+    """Blocks in one group's chain: narrow fragments pack more records."""
+    if n_rows <= 0:
+        return 0
+    capacity = max(1, page_capacity // max(1, width))
+    return math.ceil(n_rows / capacity)
+
+
+def estimate_workload_blocks(
+    grouping: Sequence[Sequence[str]],
+    stats: AccessStats,
+    n_rows: int,
+    page_capacity: int,
+) -> int:
+    """Predicted blocks touched replaying ``stats`` under ``grouping``."""
+    groups: List[List[str]] = [list(group) for group in grouping if group]
+    n_groups = max(1, len(groups))
+    group_of: Dict[str, int] = {
+        name.lower(): index for index, group in enumerate(groups) for name in group
+    }
+    pages = [pages_for_group(n_rows, len(group), page_capacity) for group in groups]
+    cost = (
+        stats.inserts + stats.deletes + stats.full_updates + stats.point_reads
+    ) * n_groups
+    cost += stats.full_scans * sum(pages)
+    for name, column in stats.columns.items():
+        index = group_of.get(name)
+        if index is None:
+            continue  # column since dropped/renamed
+        cost += column.scans * max(1, pages[index])
+        cost += column.updates  # one block regardless of layout
+    return cost
+
+
+def restructure_blocks(
+    current: Sequence[Sequence[str]],
+    target: Sequence[Sequence[str]],
+    n_rows: int,
+    page_capacity: int,
+) -> int:
+    """Blocks one build-then-swap-then-free restructure step touches.
+
+    Groups whose member list is unchanged are reused for free; every other
+    target group reads each member column's current chain and writes its
+    own fresh chain.
+    """
+    current_groups = [list(group) for group in current if group]
+    target_groups = [list(group) for group in target if group]
+    current_keys = {
+        tuple(name.lower() for name in group) for group in current_groups
+    }
+    home: Dict[str, int] = {}
+    for group in current_groups:
+        for name in group:
+            home[name.lower()] = len(group)
+    blocks = 0
+    for group in target_groups:
+        key = tuple(name.lower() for name in group)
+        if key in current_keys:
+            continue
+        for name in group:
+            width = home.get(name.lower())
+            if width is not None:
+                blocks += pages_for_group(n_rows, width, page_capacity)
+        blocks += pages_for_group(n_rows, len(group), page_capacity)
+    return blocks
 
 
 class HybridStore(GroupedTupleStore):

@@ -1,0 +1,291 @@
+"""Workload-adaptive storage layouts: advisor + online group migration.
+
+The paper's Relational Storage Manager (§3) stores a table as attribute
+groups precisely so the physical layout can track the workload — but a
+layout frozen at CREATE TABLE cannot.  This module closes the loop:
+
+* :class:`LayoutAdvisor` prices candidate attribute-group partitions
+  against the store's observed :class:`~repro.engine.store.AccessStats`
+  using the E6 cost table (:mod:`repro.engine.hybridstore`) and recommends
+  a re-partition when the predicted page-I/O saving clears the migration
+  cost by a configurable threshold.
+* :class:`LayoutMigration` applies a recommendation **online**: the
+  re-partition is decomposed into bounded split/merge steps, each a
+  crash-safe build-then-swap-then-free
+  :meth:`~repro.engine.store.GroupedTupleStore.restructure` of one group,
+  so reads and writes keep working between steps and an interrupted
+  migration leaves a fully consistent (merely intermediate) layout.
+
+The HTAP tension this resolves (cf. Polynesia in PAPERS.md): point
+inserts/reads want few wide groups (row-ish), column scans want narrow
+chains (column-ish); real spreadsheet workloads interleave both, so the
+winning layout changes over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, FrozenSet
+
+from repro.engine.hybridstore import estimate_workload_blocks, restructure_blocks
+from repro.engine.store import GroupedTupleStore
+
+__all__ = [
+    "LayoutRecommendation",
+    "LayoutAdvisor",
+    "LayoutMigration",
+    "plan_groupings",
+]
+
+Grouping = List[List[str]]
+
+
+def _signature(grouping: Sequence[Sequence[str]]) -> FrozenSet[FrozenSet[str]]:
+    """Order-insensitive identity of a partition (member order inside a
+    group changes fragment layout but not which pages an op touches)."""
+    return frozenset(
+        frozenset(name.lower() for name in group) for group in grouping if group
+    )
+
+
+def _next_grouping(
+    current: Sequence[Sequence[str]], target: Sequence[Sequence[str]]
+) -> Optional[Grouping]:
+    """One split-or-merge step toward ``target``; None when already there.
+
+    Split phase first: any current group straddling two target groups is
+    split into its intersections with them (one group per step).  Then
+    merges: the pieces of each multi-piece target group are coalesced
+    (one target group per step).  Every step rebuilds only the groups it
+    touches.
+    """
+    current_groups: Grouping = [list(group) for group in current if group]
+    target_groups: Grouping = [list(group) for group in target if group]
+    current_sets = [
+        frozenset(name.lower() for name in group) for group in current_groups
+    ]
+    target_sets = [
+        frozenset(name.lower() for name in group) for group in target_groups
+    ]
+    if set(current_sets) == set(target_sets):
+        return None
+    # Split: first current group that is not contained in any target group
+    # is cut into its intersections with the target groups.
+    for index, members in enumerate(current_sets):
+        if len(current_groups[index]) > 1 and not any(
+            members <= target for target in target_sets
+        ):
+            pieces: Grouping = []
+            assigned: Set[str] = set()
+            for target_set in target_sets:
+                piece = [
+                    name
+                    for name in current_groups[index]
+                    if name.lower() in target_set and name.lower() not in assigned
+                ]
+                if piece:
+                    pieces.append(piece)
+                    assigned.update(name.lower() for name in piece)
+            # Columns absent from the target (racing DDL): keep them as
+            # singletons so the step still covers the live schema.
+            pieces.extend(
+                [name]
+                for name in current_groups[index]
+                if name.lower() not in assigned
+            )
+            next_groups: Grouping = []
+            for other, group in enumerate(current_groups):
+                if other == index:
+                    next_groups.extend(pieces)
+                else:
+                    next_groups.append(list(group))
+            return next_groups
+    # Merge: first target group whose columns live in more than one
+    # current group (after the split phase, pieces exactly cover it).
+    for target_group, target_set in zip(target_groups, target_sets):
+        pieces = [
+            index
+            for index, members in enumerate(current_sets)
+            if members <= target_set
+        ]
+        if len(pieces) <= 1:
+            continue
+        next_groups = [
+            list(group)
+            for index, group in enumerate(current_groups)
+            if index not in pieces
+        ]
+        next_groups.insert(pieces[0], list(target_group))
+        return next_groups
+    return None
+
+
+def plan_groupings(
+    current: Sequence[Sequence[str]], target: Sequence[Sequence[str]]
+) -> List[Grouping]:
+    """The full sequence of intermediate groupings a migration will walk."""
+    steps: List[Grouping] = []
+    cursor: Sequence[Sequence[str]] = current
+    while True:
+        step = _next_grouping(cursor, target)
+        if step is None:
+            return steps
+        steps.append(step)
+        cursor = step
+
+
+@dataclass
+class LayoutRecommendation:
+    """Advisor output: where to migrate and what the model predicts."""
+
+    target_groups: Grouping
+    current_cost: int  # predicted blocks replaying the window as-is
+    target_cost: int  # predicted blocks under the recommended grouping
+    migration_cost: int  # predicted blocks the stepped migration costs
+    worthwhile: bool  # saving clears threshold × migration cost
+
+    @property
+    def saving(self) -> int:
+        return self.current_cost - self.target_cost
+
+    def to_dict(self) -> dict:
+        return {
+            "target_groups": [list(group) for group in self.target_groups],
+            "current_cost": self.current_cost,
+            "target_cost": self.target_cost,
+            "migration_cost": self.migration_cost,
+            "saving": self.saving,
+            "worthwhile": self.worthwhile,
+        }
+
+
+class LayoutAdvisor:
+    """Prices candidate partitions against the observed workload.
+
+    Candidates are the spectrum between the two static extremes: for each
+    ``k``, the ``k`` most-scanned columns as singleton (column-store-like)
+    groups and the rest co-located in one row-store-like group — ``k=0``
+    is the pure row layout, ``k=n`` the pure column layout.  The best
+    candidate is recommended only when the predicted saving over the
+    *observed window* is at least ``threshold`` times the predicted
+    migration cost.
+    """
+
+    def __init__(self, threshold: float = 1.0, min_ops: int = 32):
+        self.threshold = threshold
+        self.min_ops = min_ops
+
+    def candidates(self, store: GroupedTupleStore) -> List[Grouping]:
+        columns = store.schema.column_names
+        stats = store.access_stats
+        ranked = sorted(
+            columns,
+            key=lambda name: (
+                -(stats.columns[name.lower()].scans if name.lower() in stats.columns else 0),
+                name.lower(),
+            ),
+        )
+        seen: Set[FrozenSet[FrozenSet[str]]] = set()
+        result: List[Grouping] = []
+        for k in range(len(columns) + 1):
+            hot = ranked[:k]
+            hot_keys = {name.lower() for name in hot}
+            cold = [name for name in columns if name.lower() not in hot_keys]
+            grouping: Grouping = [[name] for name in hot]
+            if cold:
+                grouping.append(cold)
+            signature = _signature(grouping)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            result.append(grouping)
+        return result
+
+    def advise(self, store: GroupedTupleStore) -> Optional[LayoutRecommendation]:
+        """A recommendation, or None (too little data / current is best)."""
+        stats = store.access_stats
+        if stats.total_ops < self.min_ops:
+            return None
+        n_rows = store.n_rows
+        page_capacity = store.pool.page_capacity
+        current = store.schema.groups
+        current_cost = estimate_workload_blocks(current, stats, n_rows, page_capacity)
+        best: Optional[Grouping] = None
+        best_cost = current_cost
+        for candidate in self.candidates(store):
+            cost = estimate_workload_blocks(candidate, stats, n_rows, page_capacity)
+            if cost < best_cost:
+                best, best_cost = candidate, cost
+        if best is None or _signature(best) == _signature(current):
+            return None
+        migration_cost = 0
+        cursor: Sequence[Sequence[str]] = current
+        for step in plan_groupings(current, best):
+            migration_cost += restructure_blocks(cursor, step, n_rows, page_capacity)
+            cursor = step
+        saving = current_cost - best_cost
+        worthwhile = saving > 0 and saving >= self.threshold * migration_cost
+        return LayoutRecommendation(
+            target_groups=best,
+            current_cost=current_cost,
+            target_cost=best_cost,
+            migration_cost=migration_cost,
+            worthwhile=worthwhile,
+        )
+
+
+class LayoutMigration:
+    """Incremental online re-partitioning toward a target grouping.
+
+    Each :meth:`step` performs one bounded, crash-safe restructure (split
+    one straddling group into singletons, or merge the pieces of one
+    target group).  Between steps every read/write path works normally —
+    the schema's groups always partition the live columns.  DDL racing the
+    migration is tolerated: the target is re-reconciled with the live
+    column set at every step (new columns become singleton groups, dropped
+    columns vanish from the target).
+    """
+
+    def __init__(self, store: GroupedTupleStore, target_groups: Sequence[Sequence[str]]):
+        self.store = store
+        self.target: Grouping = [list(group) for group in target_groups if group]
+        self.steps_taken = 0
+        self.pages_written = 0
+
+    def _adjusted_target(self) -> Grouping:
+        live = {name.lower(): name for name in self.store.schema.column_names}
+        adjusted: Grouping = []
+        covered: Set[str] = set()
+        for group in self.target:
+            members = [live[name.lower()] for name in group if name.lower() in live]
+            if members:
+                adjusted.append(members)
+                covered.update(name.lower() for name in members)
+        extras = [
+            name
+            for name in self.store.schema.column_names
+            if name.lower() not in covered
+        ]
+        adjusted.extend([name] for name in extras)
+        return adjusted
+
+    @property
+    def done(self) -> bool:
+        return _next_grouping(self.store.schema.groups, self._adjusted_target()) is None
+
+    def step(self) -> bool:
+        """Run one migration step; returns True when the layout has
+        reached the (reconciled) target."""
+        next_groups = _next_grouping(self.store.schema.groups, self._adjusted_target())
+        if next_groups is None:
+            return True
+        self.pages_written += self.store.restructure(next_groups)
+        self.steps_taken += 1
+        return self.done
+
+    def run_to_completion(self, max_steps: int = 10_000) -> int:
+        """Drive the migration to the end; returns steps taken."""
+        for _ in range(max_steps):
+            if self.step():
+                return self.steps_taken
+        raise RuntimeError("layout migration did not converge")

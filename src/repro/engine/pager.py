@@ -93,19 +93,47 @@ class DiskManager:
         self._pages: Dict[int, Tuple[List[Tuple[Any, ...]], Dict[str, Any]]] = {}
         self._next_id = 0
         self.stats = IOStats()
+        # Per-tag accounting: a tag identifies the logical owner of a page
+        # (the stores tag pages ``(owner, group_id)`` so layout tooling can
+        # read per-attribute-group I/O).  Tag stats survive page frees so
+        # counters stay cumulative.
+        self._tags: Dict[int, Any] = {}
+        self._tag_stats: Dict[Any, IOStats] = {}
 
-    def allocate(self) -> int:
+    def _bump(self, page_id: int, field_name: str) -> None:
+        tag = self._tags.get(page_id)
+        if tag is None:
+            return
+        stats = self._tag_stats.get(tag)
+        if stats is None:
+            stats = self._tag_stats[tag] = IOStats()
+        setattr(stats, field_name, getattr(stats, field_name) + 1)
+
+    def allocate(self, tag: Any = None) -> int:
         page_id = self._next_id
         self._next_id += 1
         self._pages[page_id] = ([], {})
         self.stats.allocations += 1
+        if tag is not None:
+            self._tags[page_id] = tag
+            self._bump(page_id, "allocations")
         return page_id
+
+    def tag_stats(self, tag: Any) -> IOStats:
+        """Cumulative I/O charged to one tag (zeros if never touched)."""
+        return self._tag_stats.get(tag, IOStats())
+
+    def drop_tag_stats(self, tag: Any) -> None:
+        """Forget a tag's counters once its owner is gone — migrations
+        mint fresh group tags, so dead ones would pile up forever."""
+        self._tag_stats.pop(tag, None)
 
     def read(self, page_id: int) -> Page:
         if page_id not in self._pages:
             raise StorageError(f"read of unallocated page {page_id}")
         records, header = self._pages[page_id]
         self.stats.reads += 1
+        self._bump(page_id, "reads")
         return Page(page_id, copy.deepcopy(records), copy.deepcopy(header))
 
     def write(self, page: Page) -> None:
@@ -116,12 +144,15 @@ class DiskManager:
             copy.deepcopy(page.header),
         )
         self.stats.writes += 1
+        self._bump(page.page_id, "writes")
 
     def free(self, page_id: int) -> None:
         if page_id not in self._pages:
             raise StorageError(f"free of unallocated page {page_id}")
         del self._pages[page_id]
         self.stats.frees += 1
+        self._bump(page_id, "frees")
+        self._tags.pop(page_id, None)
 
     @property
     def n_pages(self) -> int:
@@ -147,6 +178,11 @@ class BufferPool:
     ):
         if page_capacity <= 0:
             raise StorageError("page_capacity must be positive")
+        if capacity is not None and capacity < 1:
+            # capacity <= 0 would make _admit evict the page it just
+            # admitted, so mutations through the still-held Page reference
+            # would never be seen by flush_all — silent lost writes.
+            raise StorageError("buffer pool capacity must be >= 1 (or None)")
         self.disk = disk if disk is not None else DiskManager()
         self.capacity = capacity
         self.page_capacity = page_capacity
@@ -168,12 +204,18 @@ class BufferPool:
         self._admit(page)
         return page
 
-    def new_page(self) -> Page:
-        """Allocate a fresh page and admit it dirty."""
-        page_id = self.disk.allocate()
+    def new_page(self, tag: Any = None) -> Page:
+        """Allocate a fresh page (optionally tagged) and admit it dirty."""
+        page_id = self.disk.allocate(tag)
         page = Page(page_id, dirty=True)
         self._admit(page)
         return page
+
+    def tag_stats(self, tag: Any) -> IOStats:
+        return self.disk.tag_stats(tag)
+
+    def drop_tag_stats(self, tag: Any) -> None:
+        self.disk.drop_tag_stats(tag)
 
     def free_page(self, page_id: int) -> None:
         self._frames.pop(page_id, None)

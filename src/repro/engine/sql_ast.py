@@ -57,6 +57,7 @@ __all__ = [
     "AlterAddColumn",
     "AlterDropColumn",
     "AlterRenameColumn",
+    "AlterSetLayout",
     "AlterTableStmt",
     "DropTableStmt",
     "Statement",
@@ -315,9 +316,17 @@ class AlterRenameColumn:
 
 
 @dataclass(frozen=True)
+class AlterSetLayout:
+    # DataSpread extension: adaptive physical layout control.
+    # ``auto``/``manual`` toggle the advisor loop; ``row``/``column``
+    # migrate immediately to a static extreme.
+    mode: str
+
+
+@dataclass(frozen=True)
 class AlterTableStmt:
     table: str
-    action: Union[AlterAddColumn, AlterDropColumn, AlterRenameColumn]
+    action: Union[AlterAddColumn, AlterDropColumn, AlterRenameColumn, AlterSetLayout]
 
 
 @dataclass(frozen=True)

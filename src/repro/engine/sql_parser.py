@@ -15,6 +15,7 @@ Produces :mod:`repro.engine.sql_ast` nodes.  Grammar summary::
     alter       := ALTER TABLE t ADD [COLUMN] coldef [AT GROUP n]
                  | ALTER TABLE t DROP [COLUMN] c
                  | ALTER TABLE t RENAME [COLUMN] old TO new
+                 | ALTER TABLE t SET LAYOUT (AUTO|MANUAL|ROW|COLUMN)
 
 Expression precedence (loosest first): ``OR``, ``AND``, ``NOT``,
 comparison / ``IS`` / ``IN`` / ``BETWEEN`` / ``LIKE``, additive (``+ - ||``),
@@ -458,7 +459,15 @@ class _Parser:
             self.expect_keyword("to")
             new = self.ident_or_keyword()
             return ast.AlterTableStmt(table, ast.AlterRenameColumn(old, new))
-        raise self.error("expected ADD, DROP or RENAME")
+        if self.try_keyword("set"):
+            word = self.ident_or_keyword()
+            if word.lower() != "layout":
+                raise self.error("expected LAYOUT after SET")
+            mode = self.ident_or_keyword().lower()
+            if mode not in ("auto", "manual", "row", "column"):
+                raise self.error("expected AUTO, MANUAL, ROW or COLUMN")
+            return ast.AlterTableStmt(table, ast.AlterSetLayout(mode))
+        raise self.error("expected ADD, DROP, RENAME or SET")
 
     def drop_table(self) -> ast.DropTableStmt:
         self.expect_keyword("drop", "table")

@@ -25,14 +25,24 @@ positional order of a table lives in the positional index
 
 from __future__ import annotations
 
+import itertools
+from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.engine.pager import BufferPool, DEFAULT_PAGE_CAPACITY
+from repro.engine.pager import BufferPool, DEFAULT_PAGE_CAPACITY, IOStats
 from repro.engine.schema import Column, TableSchema
 from repro.errors import SchemaError, StorageError
 
-__all__ = ["LayoutPolicy", "GroupedTupleStore"]
+__all__ = [
+    "LayoutPolicy",
+    "GroupedTupleStore",
+    "ColumnAccessStats",
+    "AccessStats",
+]
+
+#: Distinguishes anonymous stores in the shared pool's per-tag accounting.
+_store_counter = itertools.count()
 
 
 class LayoutPolicy(Enum):
@@ -41,6 +51,86 @@ class LayoutPolicy(Enum):
     ROW = "row"
     COLUMN = "column"
     HYBRID = "hybrid"
+
+
+@dataclass
+class ColumnAccessStats:
+    """Access counters for one column (workload signal for the advisor)."""
+
+    scans: int = 0  # scan_column passes over this column
+    updates: int = 0  # single-column updates
+
+    def total(self) -> int:
+        return self.scans + self.updates
+
+
+@dataclass
+class AccessStats:
+    """Workload profile of one store, fed to the layout advisor.
+
+    Counts *logical* operations (not blocks): how the table is being used,
+    so :class:`~repro.engine.layout.LayoutAdvisor` can price candidate
+    attribute-group partitions with the E6 cost table and pick the layout
+    this workload wants.
+    """
+
+    inserts: int = 0
+    deletes: int = 0
+    point_reads: int = 0  # full-row get()
+    full_updates: int = 0  # whole-row update()
+    full_scans: int = 0  # scan() passes over the table
+    schema_changes: int = 0
+    columns: Dict[str, ColumnAccessStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnAccessStats:
+        key = name.lower()
+        stats = self.columns.get(key)
+        if stats is None:
+            stats = self.columns[key] = ColumnAccessStats()
+        return stats
+
+    @property
+    def total_ops(self) -> int:
+        return (
+            self.inserts
+            + self.deletes
+            + self.point_reads
+            + self.full_updates
+            + self.full_scans
+            + self.schema_changes
+            + sum(c.total() for c in self.columns.values())
+        )
+
+    def reset(self) -> None:
+        self.inserts = self.deletes = self.point_reads = 0
+        self.full_updates = self.full_scans = self.schema_changes = 0
+        self.columns.clear()
+
+    def decay(self, factor: float = 0.5) -> None:
+        """Age the profile so the advisor tracks the *recent* workload."""
+        self.inserts = int(self.inserts * factor)
+        self.deletes = int(self.deletes * factor)
+        self.point_reads = int(self.point_reads * factor)
+        self.full_updates = int(self.full_updates * factor)
+        self.full_scans = int(self.full_scans * factor)
+        self.schema_changes = int(self.schema_changes * factor)
+        for stats in self.columns.values():
+            stats.scans = int(stats.scans * factor)
+            stats.updates = int(stats.updates * factor)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "inserts": self.inserts,
+            "deletes": self.deletes,
+            "point_reads": self.point_reads,
+            "full_updates": self.full_updates,
+            "full_scans": self.full_scans,
+            "schema_changes": self.schema_changes,
+            "columns": {
+                name: {"scans": c.scans, "updates": c.updates}
+                for name, c in sorted(self.columns.items())
+            },
+        }
 
 
 class GroupedTupleStore:
@@ -52,9 +142,14 @@ class GroupedTupleStore:
         pool: Optional[BufferPool] = None,
         layout: LayoutPolicy = LayoutPolicy.HYBRID,
         page_capacity: int = DEFAULT_PAGE_CAPACITY,
+        owner: Optional[str] = None,
     ):
         self.schema = schema
         self.layout = layout
+        # The owner string is only an accounting key; the counter suffix
+        # keeps it unique so a table dropped and re-created under the same
+        # name does not inherit the dead store's per-group I/O counters.
+        self.owner = f"{owner if owner is not None else 'store'}#{next(_store_counter)}"
         self.pool = pool if pool is not None else BufferPool(page_capacity=page_capacity)
         if layout is LayoutPolicy.ROW:
             schema.set_groups([schema.column_names])
@@ -63,8 +158,14 @@ class GroupedTupleStore:
         # HYBRID keeps whatever grouping the schema was built with.
         self._chains: List[List[int]] = [[] for _ in range(schema.n_groups)]
         self._rid_page: List[Dict[int, int]] = [{} for _ in range(schema.n_groups)]
+        # Stable per-group ids: chains keep their id across group-index
+        # shifts (add/drop/restructure), so per-group I/O accounting in the
+        # pager survives layout changes.
+        self._group_ids: List[int] = list(range(schema.n_groups))
+        self._next_gid = schema.n_groups
         self._next_rid = 0
         self._n_rows = 0
+        self.access_stats = AccessStats()
 
     # -- basic properties --------------------------------------------------
 
@@ -95,6 +196,14 @@ class GroupedTupleStore:
 
     # -- internal page helpers ---------------------------------------------
 
+    def _tag(self, group_index: int) -> Tuple[str, int]:
+        """Pager accounting tag for one group's pages."""
+        return (self.owner, self._group_ids[group_index])
+
+    def group_io_stats(self, group_index: int) -> IOStats:
+        """Cumulative block I/O charged to one group's page chain."""
+        return self.pool.tag_stats(self._tag(group_index))
+
     def _group_capacity(self, group_index: int) -> int:
         """Records per page for one group's chain.
 
@@ -114,7 +223,7 @@ class GroupedTupleStore:
             if last.n_records < self._group_capacity(group_index):
                 page = last
         if page is None:
-            page = self.pool.new_page()
+            page = self.pool.new_page(tag=self._tag(group_index))
             chain.append(page.page_id)
         page.records.append((rid, fragment))
         page.mark_dirty()
@@ -149,14 +258,25 @@ class GroupedTupleStore:
         for group_index, fragment in enumerate(fragments):
             self._append_record(group_index, rid, fragment)
         self._n_rows += 1
+        self.access_stats.inserts += 1
         return rid
 
-    def get(self, rid: int) -> Tuple[Any, ...]:
+    def read_row(self, rid: int) -> Tuple[Any, ...]:
+        """Fetch a full row without charging workload statistics.
+
+        Scans, migration and validation use this so that bulk access is
+        accounted at its own (cheaper, chain-sequential) cost rather than
+        as per-row point reads."""
         fragments = []
         for group_index in range(self.n_groups):
             page, slot = self._find_slot(group_index, rid)
             fragments.append(page.records[slot][1])
         return self.schema.join_fragments(fragments)
+
+    def get(self, rid: int) -> Tuple[Any, ...]:
+        """Point read of one full row (one page per group)."""
+        self.access_stats.point_reads += 1
+        return self.read_row(rid)
 
     def exists(self, rid: int) -> bool:
         return bool(self._rid_page) and rid in self._rid_page[0]
@@ -167,11 +287,13 @@ class GroupedTupleStore:
             page, slot = self._find_slot(group_index, rid)
             page.records[slot] = (rid, fragment)
             page.mark_dirty()
+        self.access_stats.full_updates += 1
 
     def update_column(self, rid: int, column_name: str, value: Any) -> None:
         """Partial update touching only the column's own group — the
         tuple-update cost the paper wants schema changes to match."""
         group_index = self.schema.group_of(column_name)
+        self.access_stats.column(column_name).updates += 1
         members = self.schema.groups[group_index]
         offset = next(
             i for i, name in enumerate(members) if name.lower() == column_name.lower()
@@ -191,15 +313,18 @@ class GroupedTupleStore:
             page.mark_dirty()
             del self._rid_page[group_index][rid]
         self._n_rows -= 1
+        self.access_stats.deletes += 1
 
     def scan(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
         """Yield ``(rid, row)`` in heap order of the first group's chain."""
+        self.access_stats.full_scans += 1
         for rid in self.rids():
-            yield rid, self.get(rid)
+            yield rid, self.read_row(rid)
 
     def scan_column(self, column_name: str) -> Iterator[Tuple[int, Any]]:
         """Column scan touching only that column's group chain."""
         group_index = self.schema.group_of(column_name)
+        self.access_stats.column(column_name).scans += 1
         members = self.schema.groups[group_index]
         offset = next(
             i for i, name in enumerate(members) if name.lower() == column_name.lower()
@@ -232,11 +357,15 @@ class GroupedTupleStore:
             placed = self.schema.add_column(column, new_group=True)
         else:
             placed = self.schema.add_column(column, group_index=group_index, new_group=new_group)
+        self.access_stats.schema_changes += 1
+        self.access_stats.column(column.name)
         default = column.default
         if placed >= len(self._chains):
             # Fresh group: build its chain from scratch; zero rewrites.
             self._chains.append([])
             self._rid_page.append({})
+            self._group_ids.append(self._next_gid)
+            self._next_gid += 1
             for rid in self.rids():
                 self._append_record(placed, rid, (default,))
             return 0
@@ -259,14 +388,18 @@ class GroupedTupleStore:
     def drop_column(self, column_name: str) -> int:
         """Drop a column; returns the number of existing pages rewritten."""
         group_index = self.schema.group_of(column_name)
+        self.access_stats.schema_changes += 1
+        self.access_stats.columns.pop(column_name.lower(), None)
         members = self.schema.groups[group_index]
         if len(members) == 1:
             # Sole member: free the whole chain, rewrite nothing.
             self.schema.drop_column(column_name)
             for page_id in self._chains[group_index]:
                 self.pool.free_page(page_id)
+            self.pool.drop_tag_stats(self._tag(group_index))
             del self._chains[group_index]
             del self._rid_page[group_index]
+            del self._group_ids[group_index]
             return 0
         offset = next(
             i for i, name in enumerate(members) if name.lower() == column_name.lower()
@@ -286,39 +419,154 @@ class GroupedTupleStore:
     def rename_column(self, old: str, new: str) -> None:
         """Metadata-only operation; no pages touched in any layout."""
         self.schema.rename_column(old, new)
+        self.access_stats.schema_changes += 1
+        moved = self.access_stats.columns.pop(old.lower(), None)
+        if moved is not None:
+            self.access_stats.columns[new.lower()] = moved
 
     # -- re-partitioning -------------------------------------------------------
+
+    def _column_values(self, column_name: str) -> Dict[int, Any]:
+        """rid → value for one column, read chain-sequentially without
+        charging workload statistics (migration-internal)."""
+        group_index = self.schema.group_of(column_name)
+        members = self.schema.groups[group_index]
+        offset = next(
+            i for i, name in enumerate(members) if name.lower() == column_name.lower()
+        )
+        values: Dict[int, Any] = {}
+        for page_id in self._chains[group_index]:
+            page = self.pool.get(page_id)
+            for rid, fragment in page.records:
+                values[rid] = fragment[offset]
+        return values
+
+    def _build_chain(
+        self,
+        members: Sequence[str],
+        rid_order: Sequence[int],
+        gid: int,
+        allocated: List[int],
+    ) -> Tuple[List[int], Dict[int, int]]:
+        """Materialise a fresh chain for one prospective group.
+
+        Only allocates new pages (recorded in ``allocated`` so a failed
+        restructure can release them); never mutates existing chains."""
+        width = max(1, len(members))
+        capacity = max(1, self.pool.page_capacity // width)
+        sources = [self._column_values(name) for name in members]
+        chain: List[int] = []
+        directory: Dict[int, int] = {}
+        page = None
+        tag = (self.owner, gid)
+        for rid in rid_order:
+            fragment = tuple(source[rid] for source in sources)
+            if page is None or page.n_records >= capacity:
+                page = self.pool.new_page(tag=tag)
+                chain.append(page.page_id)
+                allocated.append(page.page_id)
+            page.records.append((rid, fragment))
+            page.mark_dirty()
+            directory[rid] = page.page_id
+        return chain, directory
+
+    def restructure(self, target_groups: Sequence[Sequence[str]]) -> int:
+        """Re-partition into ``target_groups``, rebuilding only the groups
+        whose member list actually changes; returns new pages written.
+
+        **Build-then-swap-then-free**: every replacement chain is fully
+        materialised through the buffer pool *before* the schema and chain
+        directory are swapped, and old pages are freed only after the swap.
+        An exception at any point (bad grouping discovered late, allocation
+        failure, crash injection) leaves the store exactly as it was —
+        the crash hole the old free-then-rebuild ``compact_groups`` had.
+        """
+        targets = [list(group) for group in target_groups if group]
+        flat = [name.lower() for group in targets for name in group]
+        expected = sorted(name.lower() for name in self.schema.column_names)
+        if sorted(flat) != expected:
+            raise SchemaError("target groups must cover exactly the current columns")
+        old_keys = {
+            tuple(name.lower() for name in group): index
+            for index, group in enumerate(self.schema.groups)
+        }
+        rid_order = self.rids()
+        built: List[Optional[Tuple[List[int], Dict[int, int], int]]] = []
+        reused: List[Optional[int]] = []
+        allocated: List[int] = []
+        pages_written = 0
+        try:
+            for members in targets:
+                key = tuple(name.lower() for name in members)
+                old_index = old_keys.get(key)
+                if old_index is not None:
+                    reused.append(old_index)
+                    built.append(None)
+                    continue
+                reused.append(None)
+                gid = self._next_gid
+                self._next_gid += 1
+                chain, directory = self._build_chain(members, rid_order, gid, allocated)
+                built.append((chain, directory, gid))
+                pages_written += len(chain)
+        except BaseException:
+            for page_id in allocated:
+                self.pool.free_page(page_id)
+            raise
+        # Swap: from here on nothing can fail.
+        old_chains = self._chains
+        old_rid_page = self._rid_page
+        old_gids = self._group_ids
+        self.schema.set_groups(targets)
+        self._chains, self._rid_page, self._group_ids = [], [], []
+        kept = set()
+        for index in range(len(targets)):
+            old_index = reused[index]
+            if old_index is not None:
+                kept.add(old_index)
+                self._chains.append(old_chains[old_index])
+                self._rid_page.append(old_rid_page[old_index])
+                self._group_ids.append(old_gids[old_index])
+            else:
+                chain, directory, gid = built[index]  # type: ignore[misc]
+                self._chains.append(chain)
+                self._rid_page.append(directory)
+                self._group_ids.append(gid)
+        # Free: the old layout's pages, now unreachable, and the dead
+        # groups' I/O counters (migrations mint fresh group ids, so stale
+        # tags would otherwise accumulate forever).
+        for old_index, chain in enumerate(old_chains):
+            if old_index not in kept:
+                for page_id in chain:
+                    self.pool.free_page(page_id)
+                self.pool.drop_tag_stats((self.owner, old_gids[old_index]))
+        return pages_written
 
     def compact_groups(self, target_groups: Sequence[Sequence[str]]) -> int:
         """Physically re-partition the table into ``target_groups``.
 
-        Rebuilds every chain — the expensive, off-line operation that
-        amortises many cheap ADD COLUMNs (see the hybrid-store ablation in
-        DESIGN.md §5); returns the page count of the new layout.
+        The offline maintenance operation that amortises many cheap ADD
+        COLUMNs (see the hybrid-store ablation in DESIGN.md §5); returns
+        the page count of the new layout.  Crash-safe: delegates to
+        :meth:`restructure`, which builds new chains before freeing old
+        ones.  For *online* re-partitioning one group at a time, see
+        :class:`repro.engine.layout.LayoutMigration`.
         """
-        flat = [name.lower() for group in target_groups for name in group]
-        expected = sorted(name.lower() for name in self.schema.column_names)
-        if sorted(flat) != expected:
-            raise SchemaError("target groups must cover exactly the current columns")
-        rows = [(rid, self.get(rid)) for rid in self.rids()]
-        for chain in self._chains:
-            for page_id in chain:
-                self.pool.free_page(page_id)
-        self.schema.set_groups(target_groups)
-        self._chains = [[] for _ in range(self.schema.n_groups)]
-        self._rid_page = [{} for _ in range(self.schema.n_groups)]
-        for rid, row in rows:
-            for group_index, fragment in enumerate(self.schema.split_row(row)):
-                self._append_record(group_index, rid, fragment)
+        self.restructure(target_groups)
         return self.n_pages
 
     def group_summary(self) -> List[dict]:
-        """Per-group statistics (columns, pages)."""
+        """Per-group statistics (columns, pages, cumulative block I/O)."""
         return [
             {
                 "group": index,
+                "group_id": self._group_ids[index],
                 "columns": list(members),
                 "pages": self.pages_in_group(index),
+                "io": {
+                    "reads": self.group_io_stats(index).reads,
+                    "writes": self.group_io_stats(index).writes,
+                },
             }
             for index, members in enumerate(self.schema.groups)
         ]
@@ -334,6 +582,8 @@ class GroupedTupleStore:
         """Internal consistency check used by property-based tests."""
         if len(self._chains) != self.schema.n_groups:
             raise StorageError("chain count does not match schema groups")
+        if len(self._group_ids) != len(self._chains):
+            raise StorageError("group id directory does not match chains")
         counts = set()
         for group_index, chain in enumerate(self._chains):
             seen = 0

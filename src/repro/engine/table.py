@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.layout import LayoutAdvisor, LayoutMigration, LayoutRecommendation
 from repro.engine.pager import BufferPool
 from repro.engine.schema import Column, TableSchema
 from repro.engine.store import GroupedTupleStore, LayoutPolicy
@@ -63,8 +64,14 @@ class Table:
     ):
         self.name = name
         self.schema = schema
-        self.store = GroupedTupleStore(schema, pool, layout, page_capacity)
+        self.store = GroupedTupleStore(schema, pool, layout, page_capacity, owner=name)
         self.positions = PositionalIndex()
+        # Adaptive layout: off by default; ALTER TABLE ... SET LAYOUT AUTO
+        # (or set_auto_layout) turns the advisor loop on.
+        self.auto_layout = False
+        self.layout_advisor = LayoutAdvisor()
+        self.layout_stats_horizon = 2048
+        self._layout_migration: Optional[LayoutMigration] = None
         self._pk_index: Optional[BPlusTree] = None
         if schema.primary_key is not None:
             self._pk_index = BPlusTree(unique=True)
@@ -128,8 +135,9 @@ class Table:
 
     def scan(self) -> Iterator[Tuple[int, int, Tuple[Any, ...]]]:
         """Yield ``(position, rid, row)`` in presentation order."""
+        self.store.access_stats.full_scans += 1
         for position, rid in enumerate(self.positions):
-            yield position, rid, self.store.get(rid)
+            yield position, rid, self.store.read_row(rid)
 
     def rows(self) -> List[Tuple[Any, ...]]:
         return [row for _, _, row in self.scan()]
@@ -285,6 +293,81 @@ class Table:
         self.store.rename_column(old, new)
         if emit:
             self._emit(ChangeEvent(self.name, "rename_column", column=old, extra=new))
+
+    # -- adaptive layout ---------------------------------------------------------------
+
+    @property
+    def migration_active(self) -> bool:
+        return self._layout_migration is not None
+
+    def set_auto_layout(self, enabled: bool) -> None:
+        self.auto_layout = enabled
+
+    def cancel_layout_migration(self) -> None:
+        """Abandon any in-flight migration (the store keeps its current,
+        fully consistent intermediate layout)."""
+        self._layout_migration = None
+
+    def migrate_layout(
+        self, target_groups: Sequence[Sequence[str]], online: bool = True
+    ) -> LayoutMigration:
+        """Start (or, with ``online=False``, fully run) a re-partition of
+        the physical layout toward ``target_groups``.  Either way the new
+        target supersedes any migration already in flight — otherwise a
+        later maintenance tick would keep pulling the layout toward the
+        abandoned target."""
+        migration = LayoutMigration(self.store, target_groups)
+        if online:
+            self._layout_migration = None if migration.done else migration
+        else:
+            self._layout_migration = None
+            migration.run_to_completion()
+        return migration
+
+    def advise_layout(self) -> Optional[LayoutRecommendation]:
+        return self.layout_advisor.advise(self.store)
+
+    def layout_tick(self, steps: int = 1) -> Dict[str, Any]:
+        """One beat of the adaptive-layout maintenance loop.
+
+        Advances an in-flight migration by up to ``steps`` bounded
+        restructure steps; otherwise (with auto layout on) consults the
+        advisor and starts a migration when the predicted saving clears
+        the migration cost.  Returns a small report dict for observability.
+        """
+        report: Dict[str, Any] = {"table": self.name, "action": "idle"}
+        # Age the workload window first so it keeps tracking recent
+        # behaviour on every tick — including the ticks spent stepping a
+        # migration (a multi-step migration must not freeze the window).
+        if self.store.access_stats.total_ops > self.layout_stats_horizon:
+            self.store.access_stats.decay()
+        migration = self._layout_migration
+        if migration is not None:
+            done = False
+            for _ in range(max(1, steps)):
+                done = migration.step()
+                if done:
+                    break
+            if done:
+                self._layout_migration = None
+            report.update(
+                action="migrated" if done else "migrating",
+                steps_taken=migration.steps_taken,
+                pages_written=migration.pages_written,
+                groups=self.schema.groups,
+            )
+            return report
+        if self.auto_layout:
+            recommendation = self.layout_advisor.advise(self.store)
+            if recommendation is not None and recommendation.worthwhile:
+                self._layout_migration = LayoutMigration(
+                    self.store, recommendation.target_groups
+                )
+                report.update(
+                    action="migration_started",
+                    recommendation=recommendation.to_dict(),
+                )
+        return report
 
     # -- maintenance ------------------------------------------------------------------
 

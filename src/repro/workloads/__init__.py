@@ -19,6 +19,10 @@ from repro.workloads.traces import (
     random_jump_trace,
     mixed_scroll_trace,
     random_edit_trace,
+    SCAN_HEAVY_MIX,
+    UPDATE_HEAVY_MIX,
+    layout_op_trace,
+    alternating_layout_trace,
 )
 
 __all__ = [
@@ -32,4 +36,8 @@ __all__ = [
     "random_jump_trace",
     "mixed_scroll_trace",
     "random_edit_trace",
+    "SCAN_HEAVY_MIX",
+    "UPDATE_HEAVY_MIX",
+    "layout_op_trace",
+    "alternating_layout_trace",
 ]

@@ -14,21 +14,41 @@ __all__ = [
     "random_jump_trace",
     "mixed_scroll_trace",
     "random_edit_trace",
+    "SCAN_HEAVY_MIX",
+    "UPDATE_HEAVY_MIX",
+    "layout_op_trace",
+    "alternating_layout_trace",
 ]
+
+
+def _advance(position: int, window: int, n_rows: int) -> int:
+    """Next page-down position, visiting the final partial window.
+
+    The last full-window start is ``n_rows - window``; a plain
+    ``position + window > n_rows → 0`` wrap (the old behaviour) skipped
+    the tail rows of any table whose height is not a multiple of the
+    window, so "scan the whole table" traces silently never showed them.
+    """
+    position += window
+    if position >= n_rows:
+        return 0
+    if position + window > n_rows:
+        return max(n_rows - window, 0)
+    return position
 
 
 def sequential_scroll_trace(
     n_rows: int, window: int, steps: int, start: int = 0
 ) -> List[int]:
     """Page-down panning: the classic "scan through the whole table"
-    interaction the paper's §1 windowing story targets."""
+    interaction the paper's §1 windowing story targets.  Every pass
+    visits the final partial window before wrapping, so the trace covers
+    all ``n_rows`` rows."""
     positions = []
     position = start
     for _ in range(steps):
         positions.append(position)
-        position += window
-        if position + window > n_rows:
-            position = 0
+        position = _advance(position, window, n_rows)
     return positions
 
 
@@ -43,18 +63,85 @@ def mixed_scroll_trace(
     n_rows: int, window: int, steps: int, jump_probability: float = 0.2, seed: int = 22
 ) -> List[int]:
     """Mostly sequential panning with occasional jumps — a realistic
-    browse pattern."""
+    browse pattern.  Jumps may land on any valid window start (including
+    the last, ``n_rows - window``), and sequential panning visits the
+    final partial window instead of wrapping past it (the old
+    ``% (n_rows - window)`` arithmetic excluded the tail rows)."""
     rng = random.Random(seed)
     positions = []
     position = 0
-    upper = max(n_rows - window, 1)
+    upper = max(n_rows - window + 1, 1)
     for _ in range(steps):
         positions.append(position)
         if rng.random() < jump_probability:
             position = rng.randrange(upper)
         else:
-            position = (position + window) % upper
+            position = _advance(position, window, n_rows)
     return positions
+
+
+# -- table-operation traces for layout benchmarks ---------------------------
+#
+# Logical operations against one table, abstract enough to replay against
+# any physical layout: ("scan_col", col), ("point_read", token),
+# ("col_update", token, col, value), ("insert",).  Row tokens are resolved
+# ``token % n_rows`` at replay time so the trace stays valid as inserts
+# grow the table.
+
+#: Analytical phase: dominated by column scans over the leading columns.
+SCAN_HEAVY_MIX = {"scan_col": 0.70, "point_read": 0.10, "col_update": 0.10, "insert": 0.10}
+
+#: Transactional phase: point reads, single-column updates and inserts.
+UPDATE_HEAVY_MIX = {"scan_col": 0.02, "point_read": 0.48, "col_update": 0.25, "insert": 0.25}
+
+
+def layout_op_trace(
+    n_cols: int,
+    steps: int,
+    mix: dict,
+    seed: int = 24,
+    hot_cols: int = 1,
+) -> List[Tuple]:
+    """A weighted stream of table operations (deterministic per seed).
+
+    ``mix`` maps op kind to weight; column scans target the first
+    ``hot_cols`` columns (the "analysts keep charting the same measures"
+    pattern that makes narrow chains pay off)."""
+    rng = random.Random(seed)
+    kinds = sorted(mix)
+    weights = [mix[kind] for kind in kinds]
+    ops: List[Tuple] = []
+    for _ in range(steps):
+        kind = rng.choices(kinds, weights)[0]
+        if kind == "scan_col":
+            ops.append(("scan_col", rng.randrange(max(1, min(hot_cols, n_cols)))))
+        elif kind == "point_read":
+            ops.append(("point_read", rng.randrange(1 << 30)))
+        elif kind == "col_update":
+            ops.append(
+                ("col_update", rng.randrange(1 << 30), rng.randrange(n_cols), rng.randint(0, 10_000))
+            )
+        else:
+            ops.append(("insert",))
+    return ops
+
+
+def alternating_layout_trace(
+    n_cols: int,
+    phase_length: int,
+    n_phases: int,
+    seed: int = 25,
+    hot_cols: int = 1,
+) -> List[Tuple]:
+    """Scan-heavy and update-heavy phases interleaved — the HTAP mix
+    where no *static* layout wins and adaptivity pays."""
+    ops: List[Tuple] = []
+    for phase in range(n_phases):
+        mix = SCAN_HEAVY_MIX if phase % 2 == 0 else UPDATE_HEAVY_MIX
+        ops.extend(
+            layout_op_trace(n_cols, phase_length, mix, seed=seed + phase, hot_cols=hot_cols)
+        )
+    return ops
 
 
 def random_edit_trace(

@@ -145,9 +145,23 @@ class TestDatasets:
 
 
 class TestTraces:
-    def test_sequential_wraps(self):
+    def test_sequential_visits_final_partial_window(self):
+        # 100 rows / window 40: the tail window starts at 60; the old
+        # wrap-to-0 arithmetic skipped rows 80..99 entirely.
         trace = sequential_scroll_trace(n_rows=100, window=40, steps=5)
-        assert trace == [0, 40, 0, 40, 0]
+        assert trace == [0, 40, 60, 0, 40]
+
+    def test_sequential_covers_every_row(self):
+        for n_rows, window in [(100, 40), (95, 30), (64, 64), (50, 7), (10, 3)]:
+            steps = 3 * (n_rows // window + 2)
+            trace = sequential_scroll_trace(n_rows, window, steps)
+            covered = set()
+            for position in trace:
+                covered.update(range(position, min(position + window, n_rows)))
+            assert covered == set(range(n_rows)), (n_rows, window)
+
+    def test_sequential_exact_multiple_unchanged(self):
+        assert sequential_scroll_trace(n_rows=80, window=40, steps=4) == [0, 40, 0, 40]
 
     def test_random_jump_bounds(self):
         trace = random_jump_trace(n_rows=1000, window=40, steps=50)
@@ -158,6 +172,21 @@ class TestTraces:
         first = mixed_scroll_trace(500, 40, 20, seed=9)
         second = mixed_scroll_trace(500, 40, 20, seed=9)
         assert first == second
+
+    def test_mixed_can_reach_the_tail_window(self):
+        # Sequential panning inside the mixed trace must visit the final
+        # partial window (the old `% (n_rows - window)` arithmetic could
+        # never produce a start > n_rows - 2*window + 1).
+        trace = mixed_scroll_trace(100, 40, 12, jump_probability=0.0, seed=1)
+        assert 60 in trace
+        covered = set()
+        for position in trace:
+            covered.update(range(position, min(position + 40, 100)))
+        assert covered == set(range(100))
+        # Jumps draw from every valid window start, inclusive of the last.
+        jumpy = mixed_scroll_trace(60, 20, 400, jump_probability=1.0, seed=3)
+        assert all(0 <= p <= 40 for p in jumpy)
+        assert 40 in jumpy
 
     def test_edit_trace(self):
         trace = random_edit_trace(10, 3, 25)

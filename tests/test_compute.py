@@ -111,6 +111,33 @@ class TestScheduler:
         scheduler.discard(("S", 1, 1))
         assert scheduler.pop() is None
 
+    def test_clear_resets_stats(self):
+        # Regression: clear() emptied the heap/dirty set but left the
+        # schedule counters standing, so stats bled across workbook resets.
+        scheduler = RecalcScheduler(lambda key: key[1] < 10)
+        scheduler.mark_dirty(("S", 1, 0))
+        scheduler.mark_dirty(("S", 50, 0))
+        assert scheduler.pop() is not None
+        assert scheduler.pop() is not None
+        assert scheduler.scheduled == 2
+        assert scheduler.popped_visible == 1
+        assert scheduler.popped_background == 1
+        scheduler.mark_dirty(("S", 2, 0))
+        scheduler.clear()
+        assert scheduler.pending == 0
+        assert scheduler.pop() is None
+        assert scheduler.scheduled == 0
+        assert scheduler.popped_visible == 0
+        assert scheduler.popped_background == 0
+
+    def test_reset_stats_keeps_pending_work(self):
+        scheduler = RecalcScheduler()
+        scheduler.mark_dirty(("S", 1, 1))
+        scheduler.reset_stats()
+        assert scheduler.scheduled == 0
+        assert scheduler.pending == 1
+        assert scheduler.pop() == ("S", 1, 1)
+
 
 class TestEngineThroughWorkbook:
     def test_chain_recalc(self, wb):

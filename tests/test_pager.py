@@ -127,3 +127,48 @@ class TestBufferPool:
         pool.get(page.page_id)
         pool.get(page.page_id)
         assert pool.hit_ratio == 1.0
+
+    def test_rejects_non_positive_capacity(self):
+        # capacity <= 0 made _admit evict the page it had just admitted;
+        # writes through the still-held reference were then lost.
+        for capacity in (0, -1):
+            with pytest.raises(StorageError):
+                BufferPool(capacity=capacity)
+        BufferPool(capacity=1)  # the smallest legal pool is fine
+
+    def test_held_reference_write_back(self):
+        # The store's access pattern: get a page, mutate it through the
+        # held reference, mark dirty — the mutation must survive eviction
+        # and be visible on disk and to later reads.
+        pool = BufferPool(capacity=1)
+        page = pool.new_page()
+        page.records.append((0, ("held",)))
+        page.mark_dirty()
+        pool.new_page()  # evicts the held page, writing it back
+        records, _ = pool.disk._pages[page.page_id]
+        assert records == [(0, ("held",))]
+        assert pool.get(page.page_id).records == [(0, ("held",))]
+        # And flush_all on a clean pool has nothing left to lose.
+        pool.flush_all()
+        assert pool.get(page.page_id).records == [(0, ("held",))]
+
+
+class TestTagStats:
+    def test_per_tag_accounting(self):
+        pool = BufferPool(capacity=1)
+        tagged = pool.new_page(tag=("t", 0))
+        other = pool.new_page(tag=("t", 1))  # evicts `tagged` (dirty)
+        pool.get(tagged.page_id)  # miss -> read charged to ("t", 0)
+        stats = pool.tag_stats(("t", 0))
+        assert stats.allocations == 1
+        assert stats.writes == 1
+        assert stats.reads == 1
+        assert pool.tag_stats(("t", 1)).allocations == 1
+        assert pool.tag_stats(("missing", 9)).total == 0
+
+    def test_tag_stats_survive_free(self):
+        pool = BufferPool()
+        page = pool.new_page(tag="gone")
+        pool.free_page(page.page_id)
+        assert pool.tag_stats("gone").allocations == 1
+        assert pool.tag_stats("gone").frees == 1

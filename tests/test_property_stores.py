@@ -75,6 +75,107 @@ def test_store_matches_dict_model(operations, layout):
 
 
 # ---------------------------------------------------------------------------
+# GroupedTupleStore under advisor-triggered online migrations
+# ---------------------------------------------------------------------------
+
+migration_ops = st.lists(
+    st.tuples(
+        st.sampled_from(
+            [
+                "insert",
+                "delete",
+                "update",
+                "update_col",
+                "scan_col",
+                "add_col",
+                "drop_col",
+                "advise",
+                "step",
+            ]
+        ),
+        st.integers(0, 10_000),
+        st.integers(0, 10_000),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations=migration_ops, layout=st.sampled_from(list(LayoutPolicy)))
+def test_store_with_online_migrations_matches_dict_model(operations, layout):
+    """Random DML/DDL interleaved with advisor-triggered online layout
+    migrations: scan() stays identical to a naive dict model and the
+    store validates after every individual migration step."""
+    from repro.engine.layout import LayoutAdvisor, LayoutMigration
+
+    schema = TableSchema.from_pairs(
+        [("a", DBType.INTEGER), ("b", DBType.INTEGER), ("c", DBType.INTEGER)],
+        group_size=2,
+    )
+    store = GroupedTupleStore(schema, layout=layout, page_capacity=4)
+    advisor = LayoutAdvisor(threshold=0.0, min_ops=0)
+    migration = None
+    model = {}  # rid -> row list
+    extra_columns = []
+    for op, x, y in operations:
+        width = 3 + len(extra_columns)
+        columns = store.schema.column_names
+        if op == "insert":
+            row = tuple(range(x, x + width))
+            rid = store.insert(row)
+            model[rid] = list(row)
+        elif op == "delete" and model:
+            rid = sorted(model)[x % len(model)]
+            store.delete(rid)
+            del model[rid]
+        elif op == "update" and model:
+            rid = sorted(model)[x % len(model)]
+            row = tuple(range(y, y + width))
+            store.update(rid, row)
+            model[rid] = list(row)
+        elif op == "update_col" and model:
+            rid = sorted(model)[x % len(model)]
+            name = columns[y % len(columns)]
+            store.update_column(rid, name, y)
+            model[rid][store.schema.column_index(name)] = y
+        elif op == "scan_col":
+            name = columns[x % len(columns)]
+            got = dict(store.scan_column(name))
+            index = store.schema.column_index(name)
+            assert got == {rid: row[index] for rid, row in model.items()}
+        elif op == "add_col" and len(extra_columns) < 3:
+            name = f"x{len(extra_columns)}"
+            store.add_column(Column(name, DBType.INTEGER, default=0))
+            extra_columns.append(name)
+            for row in model.values():
+                row.append(0)
+        elif op == "drop_col" and extra_columns:
+            name = extra_columns.pop()
+            index = store.schema.column_index(name)
+            store.drop_column(name)
+            for row in model.values():
+                del row[index]
+        elif op == "advise" and migration is None:
+            recommendation = advisor.advise(store)
+            if recommendation is not None:
+                migration = LayoutMigration(store, recommendation.target_groups)
+        elif op == "step" and migration is not None:
+            done = migration.step()
+            store.validate()
+            if done:
+                migration = None
+    # Drain any in-flight migration, validating after every step.
+    while migration is not None:
+        done = migration.step()
+        store.validate()
+        if done:
+            migration = None
+    store.validate()
+    assert store.n_rows == len(model)
+    assert dict(store.scan()) == {rid: tuple(row) for rid, row in model.items()}
+
+
+# ---------------------------------------------------------------------------
 # CellStore vs dict model, including structural shifts
 # ---------------------------------------------------------------------------
 

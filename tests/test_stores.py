@@ -238,6 +238,47 @@ class TestHybridCompaction:
         with pytest.raises(SchemaError):
             store.compact_groups([["a", "b"]])
 
+    def test_compact_crash_mid_rebuild_leaves_store_intact(self, monkeypatch):
+        """Regression: the old compact_groups freed every page *before*
+        rebuilding, so a failure mid-rebuild corrupted the store.  With
+        build-then-swap-then-free, an injected crash at any allocation
+        leaves data, layout and directory exactly as they were."""
+        store = HybridStore(schema4(group_size=2), page_capacity=8)
+        rids = fill(store, 20)
+        before_rows = [store.read_row(rid) for rid in rids]
+        before_groups = store.schema.groups
+        before_pages = store.pool.disk.n_pages
+        real_new_page = BufferPool.new_page
+        # Crash at every possible allocation point of the rebuild.
+        crash_at = 0
+        while True:
+            calls = {"n": 0}
+
+            def exploding_new_page(pool, tag=None, _limit=crash_at):
+                if calls["n"] >= _limit:
+                    raise RuntimeError("injected crash mid-rebuild")
+                calls["n"] += 1
+                return real_new_page(pool, tag)
+
+            monkeypatch.setattr(BufferPool, "new_page", exploding_new_page)
+            try:
+                store.compact_groups([["a", "b", "c", "d"]])
+                monkeypatch.setattr(BufferPool, "new_page", real_new_page)
+                break  # enough allocations allowed: compaction succeeded
+            except RuntimeError:
+                monkeypatch.setattr(BufferPool, "new_page", real_new_page)
+                # Every crash point must leave a fully usable store.
+                store.validate()
+                assert store.schema.groups == before_groups
+                assert [store.read_row(rid) for rid in rids] == before_rows
+                # Staged pages were released — no leaked allocations.
+                assert store.pool.disk.n_pages == before_pages
+            crash_at += 1
+        # And once no crash fires, the compaction itself still works.
+        assert store.schema.groups == [["a", "b", "c", "d"]]
+        assert [store.read_row(rid) for rid in rids] == before_rows
+        store.validate()
+
     def test_group_summary(self):
         store = HybridStore(schema4(group_size=2), page_capacity=8)
         fill(store, 20)
