@@ -10,7 +10,11 @@ Claims measured here:
   far less wall-clock) as a WAL append than as a full-JSON save — the
   bytes ratio is asserted, not just reported;
 * recovery time scales with the *replayed suffix*, not total history:
-  snapshot + short suffix beats full-log replay as the log grows.
+  snapshot + short suffix beats full-log replay as the log grows;
+* recovery preserves the *tuned physical layout*: a recovered server's
+  grouping matches pre-crash, and replaying the scan trace against it
+  costs the tuned — not the default — page I/O
+  (``test_recovery_preserves_tuned_layout``, also the CI smoke step).
 """
 
 from __future__ import annotations
@@ -26,6 +30,7 @@ from repro.server.wal import WriteAheadLog
 
 from .conftest import build_sequence_table
 
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 N_TABLE_ROWS = 10_000
 
 
@@ -111,6 +116,74 @@ def test_recovery_full_log_replay(benchmark, tmp_path, n_ops):
     assert recovery.ops_replayed == n_ops
     benchmark.extra_info["log_ops"] = n_ops
     benchmark.extra_info["ops_replayed"] = recovery.ops_replayed
+
+
+def test_recovery_preserves_tuned_layout(tmp_path):
+    """A server tuned by the layout advisor crashes (no clean shutdown,
+    no snapshot since tuning); the recovered server must come back with
+    the tuned grouping and the advisor still on, and the scan-heavy trace
+    must cost the tuned layout's page I/O — strictly below what the same
+    trace costs on the untuned CREATE TABLE default layout."""
+    n_rows = 200 if SMOKE else 600
+    scans = 12 if SMOKE else 48
+    directory = str(tmp_path / "tuned")
+    service = WorkbookService(directory, fsync=False, compact_every=0)
+    session = service.connect("bench")
+    service.execute(
+        session.session_id, "CREATE TABLE t (a INT, b INT, c INT, d INT)"
+    )
+    for start in range(0, n_rows, 10):
+        values = ",".join(
+            f"({j},{j + 1},{j + 2},{j + 3})" for j in range(start, start + 10)
+        )
+        service.execute(session.session_id, f"INSERT INTO t VALUES {values}")
+    service.execute(session.session_id, "ALTER TABLE t SET LAYOUT AUTO")
+    table = service.workbook.database.table("t")
+    table.layout_advisor.min_ops = 8
+    # Tune on the steady-state trace, not the one-off bulk load.
+    table.store.access_stats.reset()
+    for _ in range(scans):
+        list(table.store.scan_column("a"))
+    for _ in range(40):
+        service.maintenance_tick(steps=2)
+        if not table.migration_active and ["a"] in table.schema.groups:
+            break
+    tuned_groups = table.schema.groups
+    assert ["a"] in tuned_groups, "advisor never split the hot column"
+    service.close()
+
+    def scan_trace_blocks(target_table) -> int:
+        store = target_table.store
+        store.checkpoint()
+        store.pool.drop_cache()
+        before = store.pool.stats.snapshot()
+        for _ in range(4):
+            for _ in store.scan_column("a"):
+                pass
+        return store.pool.stats.delta(before).total
+
+    recovery = recover_state(directory)
+    recovered = recovery.workbook.database.table("t")
+    assert recovered.schema.groups == tuned_groups
+    assert recovered.auto_layout
+    recovered.validate()
+
+    # The untuned baseline: identical rows, CREATE TABLE default grouping.
+    baseline_db = Workbook().database
+    baseline_db.execute("CREATE TABLE t (a INT, b INT, c INT, d INT)")
+    baseline = baseline_db.table("t")
+    for rid in recovered.store.rids():
+        baseline.insert(recovered.store.read_row(rid), emit=False)
+    tuned_blocks = scan_trace_blocks(recovered)
+    default_blocks = scan_trace_blocks(baseline)
+    print(
+        f"\nscan-trace blocks: recovered(tuned)={tuned_blocks} "
+        f"default={default_blocks} groups={tuned_groups}"
+    )
+    assert tuned_blocks < default_blocks, (
+        f"recovered layout costs {tuned_blocks} blocks on the scan trace, "
+        f"not below the untuned default's {default_blocks}"
+    )
 
 
 @pytest.mark.parametrize("n_ops", [1000, 3000])

@@ -93,7 +93,15 @@ def replay_report(path: str) -> str:
 
     lines = [header]
     for name in workbook.database.table_names():
-        lines.append(f"table {name}: {workbook.database.table(name).n_rows} rows")
+        table = workbook.database.table(name)
+        mode = "auto" if table.auto_layout else "manual"
+        line = (
+            f"table {name}: {table.n_rows} rows, "
+            f"groups {table.schema.groups}, layout {mode}"
+        )
+        if table.migration_active:
+            line += f", migrating -> {table.layout_migration_target}"
+        lines.append(line)
     for region in workbook.regions.all():
         context = region.context
         extent = context.extent.to_a1(include_sheet=False) if context.extent else "?"
@@ -291,7 +299,11 @@ class DataSpreadShell:
         lines = []
         for table in tables:
             mode = "auto" if table.auto_layout else "manual"
-            suffix = ", migration in progress" if table.migration_active else ""
+            suffix = (
+                f", migration in progress -> {table.layout_migration_target}"
+                if table.migration_active
+                else ""
+            )
             lines.append(
                 f"table {table.name}: {table.n_rows} rows, "
                 f"{table.store.n_groups} groups, layout {mode}{suffix}"
@@ -459,6 +471,12 @@ def _repl(shell: DataSpreadShell) -> None:  # pragma: no cover - interactive loo
         output = shell.handle_line(line)
         if output:
             print(output)
+        if shell.service is not None and shell.running:
+            # The serve loop's maintenance beat: background recalc plus a
+            # Database.maintenance_tick (via the service, so layout
+            # transitions are WAL-logged) — a recovered server keeps
+            # adapting and resumes any restored half-done migration.
+            shell.service.step(budget=32)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,14 +7,17 @@ of it to a single JSON document so sessions survive process restarts —
 table maintenance an open-source release needs even though the demo paper
 never discusses storage format.
 
-Format (version 1)::
+Format (version 2; version-1 files load transparently)::
 
     {
-      "version": 1,
+      "version": 2,
       "tables": [
         {"name": ..., "layout": "hybrid",
          "columns": [{"name","type","primary_key","not_null","default"}],
-         "groups": [["a","b"], ["c"]],
+         "groups": [["a","b"], ["c"]],   # the LIVE physical grouping
+         "auto_layout": false,           # advisor loop on/off (v2)
+         "access_stats": {...},          # decayed workload window (v2)
+         "migration_target": null,       # in-flight migration target (v2)
          "rows": [[...], ...]}          # presentation order
       ],
       "sheets": [
@@ -28,6 +31,13 @@ Format (version 1)::
 Values are JSON-native plus ISO dates (tagged).  Regions are re-created on
 load and re-render from the restored tables, so the loaded workbook is
 immediately live (edits sync, formulas recalculate).
+
+Version 2 makes the *tuned physical layout* durable: ``groups`` always
+carried the live grouping, but a v1 load silently dropped the advisor
+flag, the observed workload window, and any half-done online migration —
+so a recovered server reverted to an untuned, advisor-off layout.  A v2
+load restores all three; a v1 file loads with v2 defaults (advisor off,
+cold stats, no migration).
 """
 
 from __future__ import annotations
@@ -40,13 +50,14 @@ from repro.core.address import CellAddress
 from repro.core.workbook import Workbook
 from repro.engine.database import Database
 from repro.engine.schema import Column, TableSchema
-from repro.engine.store import LayoutPolicy
+from repro.engine.store import AccessStats, LayoutPolicy
 from repro.engine.types import DBType
 from repro.errors import ImportExportError
 
 __all__ = ["save_workbook", "load_workbook", "workbook_to_dict", "workbook_from_dict"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 def _encode_value(value: Any) -> Any:
@@ -86,8 +97,18 @@ def workbook_to_dict(workbook: Workbook) -> Dict[str, Any]:
                     for column in schema.columns
                 ],
                 "groups": schema.groups,
+                # The tuned-layout state a recovered server needs: the
+                # advisor flag, the decayed workload window it advises
+                # from, and any half-done online migration's target.
+                "auto_layout": table.auto_layout,
+                "access_stats": table.store.access_stats.to_dict(),
+                "migration_target": table.layout_migration_target,
+                # Presentation order, read WITHOUT charging workload
+                # statistics: a dump is maintenance, not workload, and the
+                # serialized access_stats above must match the live window.
                 "rows": [
-                    [_encode_value(value) for value in row] for row in table.rows()
+                    [_encode_value(value) for value in table.store.read_row(rid)]
+                    for rid in table.positions
                 ],
             }
         )
@@ -143,7 +164,7 @@ def workbook_from_dict(payload: Dict[str, Any], eager: bool = True) -> Workbook:
     ``eager=False`` hands recalc scheduling to the caller (the server's
     visible-first pipeline): loaded formulas are still computed once here
     so the workbook is consistent, but later edits only *schedule* work."""
-    if payload.get("version") != _FORMAT_VERSION:
+    if payload.get("version") not in _SUPPORTED_VERSIONS:
         raise ImportExportError(
             f"unsupported workbook format version {payload.get('version')!r}"
         )
@@ -164,6 +185,19 @@ def workbook_from_dict(payload: Dict[str, Any], eager: bool = True) -> Workbook:
         table = database.create_table(spec["name"], schema, layout=layout)
         for row in spec.get("rows", []):
             table.insert([_decode_value(value) for value in row], emit=False)
+        table.set_auto_layout(bool(spec.get("auto_layout", False)))
+        stats_spec = spec.get("access_stats")
+        if stats_spec is not None:
+            # Overwrite AFTER the row loads above: load-time inserts must
+            # not be double-counted on top of the persisted window.
+            table.store.access_stats = AccessStats.from_dict(stats_spec)
+        migration_target = spec.get("migration_target")
+        if migration_target:
+            # Re-arm (don't run) the half-done migration; the owner's
+            # maintenance loop resumes it via Table.layout_tick.
+            table.migrate_layout(
+                [list(group) for group in migration_target], online=True
+            )
 
     sheet_specs = payload.get("sheets", [])
     first_sheet = sheet_specs[0]["name"] if sheet_specs else "Sheet1"

@@ -181,13 +181,21 @@ class Database:
 
     # -- adaptive layout maintenance -----------------------------------------------
 
-    def maintenance_tick(self, steps: int = 2) -> List[Dict[str, Any]]:
+    def maintenance_tick(
+        self,
+        steps: int = 2,
+        observer: Optional[Callable[[str, str, List[List[str]]], None]] = None,
+    ) -> List[Dict[str, Any]]:
         """Tick every table that opted into adaptive layout (or has a
-        migration in flight); returns the non-idle per-table reports."""
+        migration in flight); returns the non-idle per-table reports.
+
+        ``observer`` (forwarded to :meth:`Table.layout_tick`) sees every
+        migration start and applied step — the durable server logs these
+        to its WAL so a recovered server converges to the same layout."""
         reports = []
         for table in self.catalog.tables():
             if table.auto_layout or table.migration_active:
-                report = table.layout_tick(steps)
+                report = table.layout_tick(steps, observer=observer)
                 if report.get("action") != "idle":
                     reports.append(report)
         self.maintenance_reports.extend(reports)
@@ -472,17 +480,10 @@ class Database:
                 )
                 return ResultSet()
             # row / column: migrate immediately (synchronously) to the
-            # static extreme.  An explicit static layout also suspends the
-            # advisor loop — otherwise the next maintenance tick would
-            # consult the same accumulated stats and migrate right back.
+            # static extreme, suspending the advisor loop.
             old_groups = table.schema.groups
             previous_auto = table.auto_layout
-            table.set_auto_layout(False)
-            if mode == "row":
-                target = [list(table.schema.column_names)]
-            else:
-                target = [[name] for name in table.schema.column_names]
-            migration = table.migrate_layout(target, online=False)
+            migration = table.set_static_layout(mode)
             self.transactions.record_undo(
                 (
                     lambda t, g, p: (

@@ -27,7 +27,7 @@ production system would run off-line.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.pager import BufferPool, DEFAULT_PAGE_CAPACITY
 from repro.engine.schema import TableSchema
@@ -101,27 +101,35 @@ def restructure_blocks(
     """Blocks one build-then-swap-then-free restructure step touches.
 
     Groups whose member list is unchanged are reused for free; every other
-    target group reads each member column's current chain and writes its
-    own fresh chain.
+    target group reads each **distinct source chain** holding one of its
+    members once, then writes its own fresh chain.  The build walks a
+    source chain sequentially no matter how many member columns it
+    contributes, so charging per member column (the old model) double-
+    bills shared chains — splitting one 4-wide group into two pairs used
+    to bill four reads of the same chain instead of two, making the
+    advisor overestimate split costs and under-migrate.
     """
     current_groups = [list(group) for group in current if group]
     target_groups = [list(group) for group in target if group]
     current_keys = {
         tuple(name.lower() for name in group) for group in current_groups
     }
-    home: Dict[str, int] = {}
+    home: Dict[str, Tuple[str, ...]] = {}
+    source_pages: Dict[Tuple[str, ...], int] = {}
     for group in current_groups:
+        key = tuple(name.lower() for name in group)
+        source_pages[key] = pages_for_group(n_rows, len(group), page_capacity)
         for name in group:
-            home[name.lower()] = len(group)
+            home[name.lower()] = key
     blocks = 0
     for group in target_groups:
         key = tuple(name.lower() for name in group)
         if key in current_keys:
             continue
-        for name in group:
-            width = home.get(name.lower())
-            if width is not None:
-                blocks += pages_for_group(n_rows, width, page_capacity)
+        sources = {
+            home[name.lower()] for name in group if name.lower() in home
+        }
+        blocks += sum(source_pages[source] for source in sources)
         blocks += pages_for_group(n_rows, len(group), page_capacity)
     return blocks
 

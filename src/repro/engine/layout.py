@@ -269,14 +269,22 @@ class LayoutMigration:
         adjusted.extend([name] for name in extras)
         return adjusted
 
+    def peek(self) -> Optional[Grouping]:
+        """The intermediate grouping the next :meth:`step` would
+        restructure to — None when the layout already matches the
+        (reconciled) target.  Lets observers (the durable server's WAL
+        logger, the CLI's layout-stats view) see a step before or without
+        applying it."""
+        return _next_grouping(self.store.schema.groups, self._adjusted_target())
+
     @property
     def done(self) -> bool:
-        return _next_grouping(self.store.schema.groups, self._adjusted_target()) is None
+        return self.peek() is None
 
     def step(self) -> bool:
         """Run one migration step; returns True when the layout has
         reached the (reconciled) target."""
-        next_groups = _next_grouping(self.store.schema.groups, self._adjusted_target())
+        next_groups = self.peek()
         if next_groups is None:
             return True
         self.pages_written += self.store.restructure(next_groups)

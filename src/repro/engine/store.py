@@ -132,6 +132,28 @@ class AccessStats:
             },
         }
 
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "AccessStats":
+        """Rebuild a persisted profile (inverse of :meth:`to_dict`).
+
+        A recovered store resumes advising from the live (decayed) window
+        it had at snapshot time instead of re-learning from cold counters
+        — without this, a restarted server's advisor is blind until the
+        workload has been replayed against it a second time."""
+        stats = cls(
+            inserts=int(payload.get("inserts", 0)),
+            deletes=int(payload.get("deletes", 0)),
+            point_reads=int(payload.get("point_reads", 0)),
+            full_updates=int(payload.get("full_updates", 0)),
+            full_scans=int(payload.get("full_scans", 0)),
+            schema_changes=int(payload.get("schema_changes", 0)),
+        )
+        for name, counters in (payload.get("columns") or {}).items():
+            column = stats.column(name)
+            column.scans = int(counters.get("scans", 0))
+            column.updates = int(counters.get("updates", 0))
+        return stats
+
 
 class GroupedTupleStore:
     """rid-addressed tuple storage partitioned into attribute-group chains."""

@@ -300,13 +300,46 @@ class Table:
     def migration_active(self) -> bool:
         return self._layout_migration is not None
 
+    @property
+    def layout_migration_target(self) -> Optional[List[List[str]]]:
+        """The in-flight migration's target grouping (None when idle) —
+        what persistence carries so a recovered server resumes the
+        half-done migration instead of waiting for the advisor to
+        re-learn it from cold statistics."""
+        if self._layout_migration is None:
+            return None
+        return [list(group) for group in self._layout_migration.target]
+
     def set_auto_layout(self, enabled: bool) -> None:
         self.auto_layout = enabled
+
+    def set_static_layout(self, mode: str) -> LayoutMigration:
+        """Migrate synchronously to a static extreme (``row``/``column``)
+        and suspend the advisor loop — otherwise the next maintenance
+        tick would consult the same accumulated stats and migrate right
+        back.  Shared by the live ``ALTER ... SET LAYOUT`` path and WAL
+        replay of ``layout_set`` records, so the two cannot drift."""
+        if mode == "row":
+            target: List[List[str]] = [list(self.schema.column_names)]
+        elif mode == "column":
+            target = [[name] for name in self.schema.column_names]
+        else:
+            raise SchemaError(f"unknown static layout mode {mode!r}")
+        self.set_auto_layout(False)
+        return self.migrate_layout(target, online=False)
 
     def cancel_layout_migration(self) -> None:
         """Abandon any in-flight migration (the store keeps its current,
         fully consistent intermediate layout)."""
         self._layout_migration = None
+
+    def reconcile_layout_migration(self) -> None:
+        """Drop an armed migration whose (reconciled) target the store has
+        already reached — needed after an externally applied restructure
+        (WAL replay of a layout_step) so a migration that completed before
+        a crash is not reported as still in flight."""
+        if self._layout_migration is not None and self._layout_migration.done:
+            self._layout_migration = None
 
     def migrate_layout(
         self, target_groups: Sequence[Sequence[str]], online: bool = True
@@ -327,13 +360,23 @@ class Table:
     def advise_layout(self) -> Optional[LayoutRecommendation]:
         return self.layout_advisor.advise(self.store)
 
-    def layout_tick(self, steps: int = 1) -> Dict[str, Any]:
+    def layout_tick(
+        self,
+        steps: int = 1,
+        observer: Optional[Callable[[str, str, List[List[str]]], None]] = None,
+    ) -> Dict[str, Any]:
         """One beat of the adaptive-layout maintenance loop.
 
         Advances an in-flight migration by up to ``steps`` bounded
         restructure steps; otherwise (with auto layout on) consults the
         advisor and starts a migration when the predicted saving clears
         the migration cost.  Returns a small report dict for observability.
+
+        ``observer(table_name, event, groups)`` is called with
+        ``("start", target_groups)`` when the advisor launches a migration
+        and ``("step", new_groups)`` after each applied restructure step —
+        the hook the durable server uses to WAL-log layout transitions so
+        replay converges to the live physical layout.
         """
         report: Dict[str, Any] = {"table": self.name, "action": "idle"}
         # Age the workload window first so it keeps tracking recent
@@ -345,7 +388,10 @@ class Table:
         if migration is not None:
             done = False
             for _ in range(max(1, steps)):
+                before = self.schema.groups
                 done = migration.step()
+                if observer is not None and self.schema.groups != before:
+                    observer(self.name, "step", self.schema.groups)
                 if done:
                     break
             if done:
@@ -363,6 +409,12 @@ class Table:
                 self._layout_migration = LayoutMigration(
                     self.store, recommendation.target_groups
                 )
+                if observer is not None:
+                    observer(
+                        self.name,
+                        "start",
+                        [list(g) for g in recommendation.target_groups],
+                    )
                 report.update(
                     action="migration_started",
                     recommendation=recommendation.to_dict(),

@@ -37,7 +37,7 @@ from repro.core.address import CellAddress, RangeAddress
 from repro.core.persist import workbook_from_dict
 from repro.core.workbook import Workbook
 from repro.engine import sql_ast
-from repro.engine.database import _TXN_COMMANDS
+from repro.engine.database import ResultSet, _TXN_COMMANDS
 from repro.engine.sql_parser import parse_sql
 from repro.errors import ServerError, SqlError, StaleWriteError
 from repro.formula.parser import parse_formula
@@ -68,12 +68,15 @@ OP_TYPES = (
     "delete_rows",
     "insert_cols",
     "delete_cols",
+    "layout_set",    # {table, mode: auto|manual|row|column|target, groups?}
+    "layout_step",   # {table, groups} — one applied migration restructure
     "txn_begin",     # markers written by the transaction hook
     "txn_commit",
     "txn_rollback",
 )
 
 _STRUCTURAL = ("insert_rows", "delete_rows", "insert_cols", "delete_cols")
+_LAYOUT_MODES = ("auto", "manual", "row", "column", "target")
 
 
 def _txn_control(op: Dict[str, Any]) -> Optional[str]:
@@ -137,6 +140,29 @@ def validate_op(workbook: Workbook, op: Any) -> None:
         workbook.sheet(str(op["sheet"]))
         if int(op["at"]) < 0 or int(op.get("count", 1)) < 1:
             raise ServerError(f"{kind} requires at >= 0 and count >= 1")
+    elif kind in ("layout_set", "layout_step"):
+        if not workbook.database.has_table(str(op.get("table", ""))):
+            raise ServerError(f"no such table {op.get('table')!r}")
+        mode = op.get("mode", "target")
+        if kind == "layout_set" and mode not in _LAYOUT_MODES:
+            raise ServerError(f"unknown layout mode {mode!r}")
+        if kind == "layout_step" or mode == "target":
+            groups = op.get("groups")
+            well_formed = (
+                isinstance(groups, list)
+                and bool(groups)
+                and all(
+                    isinstance(group, list)
+                    and bool(group)
+                    and all(isinstance(name, str) for name in group)
+                    for group in groups
+                )
+            )
+            if not well_formed:
+                raise ServerError(
+                    f"{kind} requires 'groups': a non-empty list of "
+                    "non-empty column-name lists"
+                )
     # txn markers carry no payload worth validating
 
 
@@ -171,6 +197,34 @@ def apply_op(workbook: Workbook, op: Dict[str, Any]) -> Any:
         method = getattr(workbook, kind)
         method(op["sheet"], int(op["at"]), int(op.get("count", 1)))
         return None
+    if kind == "layout_set":
+        table = workbook.database.table(op["table"])
+        mode = op.get("mode", "target")
+        if mode == "auto":
+            table.set_auto_layout(True)
+            return ResultSet()
+        if mode == "manual":
+            table.set_auto_layout(False)
+            table.cancel_layout_migration()
+            return ResultSet()
+        if mode in ("row", "column"):
+            # Same helper as the live ALTER ... SET LAYOUT path, so replay
+            # cannot drift from what the server did.
+            migration = table.set_static_layout(mode)
+            return ResultSet(rowcount=migration.pages_written)
+        # mode == "target": (re-)arm an online migration toward `groups`
+        # (advisor-started live, or a replayed start record); the steps
+        # themselves arrive as layout_step ops / maintenance ticks.
+        table.migrate_layout([list(g) for g in op["groups"]], online=True)
+        return ResultSet()
+    if kind == "layout_step":
+        table = workbook.database.table(op["table"])
+        pages = table.store.restructure([list(g) for g in op["groups"]])
+        # A replayed step lands outside the armed LayoutMigration object;
+        # if it was the final one, retire the migration now so recovery
+        # does not report a finished migration as still in flight.
+        table.reconcile_layout_migration()
+        return ResultSet(rowcount=pages)
     if kind in ("txn_begin", "txn_commit", "txn_rollback"):
         return None  # markers: interpreted by committed_ops, not applied
     raise ServerError(f"unknown operation type {kind!r}")
@@ -193,9 +247,48 @@ class RecoveryResult:
     wal_scan: Optional[Any] = None
 
 
+def _check_snapshot_wal_alignment(
+    records: List[Any], size: int, start_offset: int, snapshot_lsn: int, directory: str
+) -> None:
+    """Refuse to recover from a snapshot whose WAL no longer matches.
+
+    A deleted-and-recreated (or truncated) log makes the
+    ``offset >= start_offset`` suffix filter silently replay nothing —
+    recovery would "succeed" with committed operations lost.  Detect the
+    mismatch instead: the log must extend to the snapshot's covered
+    offset, and the record ending exactly there must carry the
+    snapshot's LSN (a recreated log restarts at LSN 1, so its record
+    boundaries and LSNs cannot line up)."""
+    if start_offset > size:
+        raise ServerError(
+            f"snapshot in {directory} covers the WAL up to byte "
+            f"{start_offset}, but the log holds only {size} bytes — the "
+            "WAL was truncated or deleted after the snapshot; committed "
+            "operations are missing"
+        )
+    if start_offset == 0:
+        return
+    prefix = [record for record in records if record.end_offset <= start_offset]
+    if (
+        not prefix
+        or prefix[-1].end_offset != start_offset
+        or prefix[-1].lsn != snapshot_lsn
+    ):
+        found = prefix[-1].lsn if prefix else None
+        raise ServerError(
+            f"snapshot in {directory} expects LSN {snapshot_lsn} at WAL "
+            f"byte {start_offset}, found {found!r} — the log does not "
+            "match the snapshot (recreated or corrupted WAL)"
+        )
+
+
 def recover_state(directory: str, eager: bool = True) -> RecoveryResult:
     """Rebuild the durable workbook state from ``directory``:
-    snapshot (if any) + committed WAL suffix."""
+    snapshot (if any) + committed WAL suffix.
+
+    Raises :class:`~repro.errors.ServerError` when the WAL on disk cannot
+    contain the history the snapshot claims to cover (see
+    :func:`_check_snapshot_wal_alignment`)."""
     store = SnapshotStore(directory)
     payload = store.load()
     if payload is not None:
@@ -207,11 +300,25 @@ def recover_state(directory: str, eager: bool = True) -> RecoveryResult:
         start_offset = 0
         snapshot_lsn = 0
     scan = read_wal(os.path.join(directory, WAL_FILENAME))
-    records = scan[0]
+    records, _, size = scan
+    if payload is not None:
+        _check_snapshot_wal_alignment(
+            records, size, start_offset, snapshot_lsn, directory
+        )
     suffix = [record for record in records if record.offset >= start_offset]
     ops = committed_ops(suffix)
-    for op in ops:
-        apply_op(workbook, op)
+    # Replay must be deterministic: the physical layout is reconstructed
+    # from the snapshot plus logged layout_set/layout_step records, so the
+    # advisor must not run its own (stats-driven, unlogged) migrations
+    # while the history replays.
+    database = workbook.database
+    saved_interval = database.auto_layout_interval
+    database.auto_layout_interval = 0
+    try:
+        for op in ops:
+            apply_op(workbook, op)
+    finally:
+        database.auto_layout_interval = saved_interval
     workbook.recalc_all()
     return RecoveryResult(
         workbook=workbook,
@@ -324,6 +431,15 @@ class WorkbookService:
         self._txn_mark = None
         self.workbook.database.transactions.add_hook(self._on_txn_event)
         self.ops_applied = 0
+        # The service takes over adaptive-layout maintenance from the
+        # database's inline statement ticks: a migration stepped inside
+        # Database.execute would re-partition the physical layout without
+        # WAL-logging the transition, so a recovered server could never
+        # converge to it.  The interval moves here and every transition is
+        # appended to the log (see maintenance_tick).
+        self._maintenance_interval = self.workbook.database.auto_layout_interval
+        self.workbook.database.auto_layout_interval = 0
+        self._ops_since_maintenance = 0
 
     # -- sessions -------------------------------------------------------------
 
@@ -408,6 +524,7 @@ class WorkbookService:
                 f"{op['type']} operations cannot run inside an open "
                 "transaction (only SQL participates in rollback)"
             )
+        op = self._promote_layout_sql(op)
         mark = self.wal.mark()
         lsn: Optional[int] = None
         if (
@@ -424,6 +541,8 @@ class WorkbookService:
                 if lsn is not None:
                     self.wal.truncate_to(mark)
                 raise
+            if op["type"] in _STRUCTURAL:
+                self._remap_cell_versions(op)
             visible = self.workbook.compute.recalc_visible()
             self.version += 1
             self.ops_applied += 1
@@ -452,6 +571,7 @@ class WorkbookService:
             session.writes_applied += 1
         finally:
             self._collector.stop()
+        self._maybe_maintain()
         self.maybe_compact()
         return ApplyResult(
             version=self.version,
@@ -460,6 +580,64 @@ class WorkbookService:
             visible_recalcs=visible,
             result=result,
         )
+
+    def _promote_layout_sql(self, op: Dict[str, Any]) -> Dict[str, Any]:
+        """``ALTER TABLE ... SET LAYOUT`` becomes a first-class
+        ``layout_set`` record, so the WAL captures the layout transition
+        semantically rather than as opaque SQL text.  Inside an open
+        transaction the statement stays SQL: rollback of a layout change
+        rides the engine's undo log, and the bracket's records are
+        discarded wholesale."""
+        if op.get("type") != "sql" or self.workbook.database.in_transaction:
+            return op
+        # Cheap gate before re-parsing on the apply hot path: every
+        # SET LAYOUT statement contains the keyword.
+        if "layout" not in op["sql"].lower():
+            return op
+        if _txn_control(op) is not None:
+            return op
+        statements = parse_sql(op["sql"])
+        if len(statements) == 1 and isinstance(statements[0], sql_ast.AlterTableStmt):
+            action = statements[0].action
+            if isinstance(action, sql_ast.AlterSetLayout):
+                return {
+                    "type": "layout_set",
+                    "table": statements[0].table,
+                    "mode": action.mode,
+                }
+        return op
+
+    def _remap_cell_versions(self, op: Dict[str, Any]) -> None:
+        """Mirror a structural shift in the optimistic-concurrency map.
+
+        ``_cell_versions`` is keyed by logical ``(sheet, row, col)``;
+        after an insert/delete of rows or columns the stamps must move
+        with their cells (the shift delta's half-space translation) and
+        stamps of deleted cells must be dropped.  Without this, a stale
+        write silently clobbers a moved-but-modified cell — the exact
+        thing the module docstring promises never happens — and is
+        spuriously rejected by the ghost version of whatever used to
+        occupy the coordinates it targets."""
+        sheet = op["sheet"]
+        axis_is_row = op["type"].endswith("rows")
+        at = int(op["at"])
+        count = int(op.get("count", 1))
+        delta = -count if op["type"].startswith("delete") else count
+        removed = count if delta < 0 else 0
+        remapped: Dict[Tuple[str, int, int], int] = {}
+        for key, version in self._cell_versions.items():
+            key_sheet, row, col = key
+            coordinate = row if axis_is_row else col
+            if key_sheet != sheet or coordinate < at:
+                remapped[key] = version
+                continue
+            if removed and coordinate < at + removed:
+                continue  # the stamped cell itself was deleted
+            if axis_is_row:
+                remapped[(key_sheet, row + delta, col)] = version
+            else:
+                remapped[(key_sheet, row, col + delta)] = version
+        self._cell_versions = remapped
 
     # Convenience wrappers (what a client library would expose).
 
@@ -560,7 +738,10 @@ class WorkbookService:
     def step(self, budget: int = 64) -> int:
         """Run a slice of non-visible recalc work and broadcast what it
         produced (a cell can be visible to a session even though no apply
-        touched it — e.g. after a scroll)."""
+        touched it — e.g. after a scroll).  Each step is also a beat of
+        the serve loop's adaptive-layout maintenance, so a recovered
+        server keeps adapting (and resumes a restored half-done
+        migration) even while no edits arrive."""
         self._collector.start()
         try:
             computed = self.workbook.background_step(budget)
@@ -570,7 +751,73 @@ class WorkbookService:
                 self.broadcast.publish(deltas, origin=None)
         finally:
             self._collector.stop()
+        if self._maintenance_interval:
+            # The implicit serve-loop beat honours interval=0 = maintenance
+            # off and otherwise shares the apply cadence counter, except
+            # that an in-flight migration is stepped every beat so it makes
+            # progress on an idle server; the advisor itself is only
+            # consulted every Nth beat (its answer cannot change between
+            # beats with no applies).  An explicit maintenance_tick() call
+            # remains an operator override.
+            migrating = any(
+                table.migration_active
+                for table in self.workbook.database.catalog.tables()
+            )
+            self._ops_since_maintenance += 1
+            if migrating or self._ops_since_maintenance >= self._maintenance_interval:
+                self._ops_since_maintenance = 0
+                self.maintenance_tick()
+                self.maybe_compact()
         return computed
+
+    # -- adaptive-layout maintenance ---------------------------------------------
+
+    def maintenance_tick(self, steps: int = 2) -> List[Dict[str, Any]]:
+        """One beat of :meth:`Database.maintenance_tick` with *durable*
+        layout transitions: an advisor-started migration is logged as a
+        ``layout_set`` (mode ``target``) record and every applied
+        restructure step as a ``layout_step`` record, so the committed-
+        suffix replay converges to the same physical layout the live
+        server had."""
+        database = self.workbook.database
+        if database.in_transaction:
+            return []
+        return database.maintenance_tick(
+            steps, observer=self._on_layout_transition
+        )
+
+    def _maybe_maintain(self) -> None:
+        """The apply-pipeline cadence: tick maintenance every
+        ``auto_layout_interval`` applied operations (the interval the
+        database would have used for its inline statement ticks)."""
+        if not self._maintenance_interval:
+            return
+        self._ops_since_maintenance += 1
+        if self._ops_since_maintenance < self._maintenance_interval:
+            return
+        self._ops_since_maintenance = 0
+        self.maintenance_tick()
+
+    def _on_layout_transition(
+        self, table_name: str, event: str, groups: List[List[str]]
+    ) -> None:
+        """WAL-log one layout transition observed during a maintenance
+        tick.  Steps are logged after they apply; a crash in the tiny
+        window between restructure and append loses at most the last
+        step's record, and recovery still converges because the logged
+        migration start (or the snapshot's ``migration_target``) re-arms
+        the migration, which the serve loop then completes."""
+        payload = [list(group) for group in groups]
+        if event == "start":
+            op: Dict[str, Any] = {
+                "type": "layout_set",
+                "table": table_name,
+                "mode": "target",
+                "groups": payload,
+            }
+        else:
+            op = {"type": "layout_step", "table": table_name, "groups": payload}
+        self.wal.append(op)
 
     # -- compaction ----------------------------------------------------------------------
 
@@ -600,6 +847,7 @@ class WorkbookService:
 
     def close(self) -> None:
         self.wal.close()
+        self.workbook.database.auto_layout_interval = self._maintenance_interval
         try:
             self.workbook.database.transactions.remove_hook(self._on_txn_event)
             self.workbook.cell_listeners.remove(self._collector.on_cell)

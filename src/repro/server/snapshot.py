@@ -28,7 +28,11 @@ from repro.errors import ServerError
 
 __all__ = ["SnapshotStore"]
 
-_SNAPSHOT_VERSION = 1
+#: Version 2 snapshots carry the workbook's tuned-layout state (advisor
+#: flags, access statistics, in-flight migration targets) via the v2
+#: persist format; version-1 snapshots still load (layout state defaults).
+_SNAPSHOT_VERSION = 2
+_SUPPORTED_VERSIONS = (1, 2)
 
 
 class SnapshotStore:
@@ -76,7 +80,7 @@ class SnapshotStore:
             return None
         with open(self.path) as handle:
             payload = json.load(handle)
-        if payload.get("version") != _SNAPSHOT_VERSION:
+        if payload.get("version") not in _SUPPORTED_VERSIONS:
             raise ServerError(
                 f"unsupported snapshot version {payload.get('version')!r}"
             )

@@ -3,8 +3,9 @@
 The single-user demo path (:mod:`repro.core.persist`) rewrites the whole
 workbook as one JSON blob on every save — O(workbook) bytes per edit.  The
 server instead logs each *operation* (cell edit, SQL statement, region
-bind, structural edit) as one JSONL record and makes it durable with a
-batched ``fsync``; a full dump only happens at snapshot/compaction time
+bind, structural edit, physical-layout transition — ``layout_set`` /
+``layout_step``) as one JSONL record and makes it durable with a batched
+``fsync``; a full dump only happens at snapshot/compaction time
 (:mod:`repro.server.snapshot`).
 
 Record format (one JSON object per line)::

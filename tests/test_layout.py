@@ -67,6 +67,49 @@ class TestCostModel:
         target = [["a"], ["c", "b"]]  # reordered members -> rebuild
         assert restructure_blocks(current, target, 100, 16) > 0
 
+    def test_split_charges_each_source_chain_once(self):
+        """Regression: the old model charged a full source-chain read per
+        *member column*, so splitting one 4-wide group into two pairs
+        billed four reads of the same chain instead of two — the advisor
+        overestimated split costs and under-migrated."""
+        source = pages_for_group(100, 4, 16)
+        pair = pages_for_group(100, 2, 16)
+        cost = restructure_blocks(
+            [["a", "b", "c", "d"]], [["a", "b"], ["c", "d"]], 100, 16
+        )
+        # Each target-group build reads the shared source chain ONCE.
+        assert cost == 2 * (source + pair)
+        # Full shred to singletons: still one source read per build.
+        single = pages_for_group(100, 1, 16)
+        shred = restructure_blocks(
+            [["a", "b", "c", "d"]],
+            [["a"], ["b"], ["c"], ["d"]],
+            100,
+            16,
+        )
+        assert shred == 4 * (source + single)
+
+    def test_merge_charges_each_distinct_chain_once(self):
+        single = pages_for_group(100, 1, 16)
+        merged = pages_for_group(100, 2, 16)
+        cost = restructure_blocks([["a"], ["b"]], [["a", "b"]], 100, 16)
+        # Two distinct source chains: both read, plus the fresh chain.
+        assert cost == 2 * single + merged
+
+    def test_mixed_sources_deduped_per_target_build(self):
+        # Target [a, b, c] draws a and b from one chain, c from another:
+        # exactly two source reads, never three.
+        wide = pages_for_group(100, 3, 16)
+        cost = restructure_blocks(
+            [["a", "b"], ["c"], ["d"]],
+            [["a", "b", "c"], ["d"]],
+            100,
+            16,
+        )
+        assert cost == (
+            pages_for_group(100, 2, 16) + pages_for_group(100, 1, 16) + wide
+        )
+
 
 class TestAccessStats:
     def test_operations_are_attributed(self):

@@ -108,3 +108,89 @@ class TestRoundTrip:
     def test_empty_workbook(self):
         wb = workbook_from_dict(workbook_to_dict(Workbook()))
         assert wb.sheet_names() == ["Sheet1"]
+
+
+class TestLayoutState:
+    """Format v2: the tuned physical layout round-trips — advisor flag,
+    decayed workload window, and any in-flight migration target."""
+
+    def build(self) -> Workbook:
+        wb = Workbook()
+        wb.execute("CREATE TABLE t (a INT, b INT, c INT, d INT)")
+        table = wb.database.table("t")
+        for i in range(40):
+            table.insert((i, i + 1, i + 2, i + 3), emit=False)
+        return wb
+
+    def test_auto_layout_flag_roundtrip(self):
+        source = self.build()
+        source.execute("ALTER TABLE t SET LAYOUT AUTO")
+        wb = workbook_from_dict(workbook_to_dict(source))
+        assert wb.database.table("t").auto_layout
+        # And the off state stays off.
+        source.execute("ALTER TABLE t SET LAYOUT MANUAL")
+        wb = workbook_from_dict(workbook_to_dict(source))
+        assert not wb.database.table("t").auto_layout
+
+    def test_access_stats_roundtrip(self):
+        source = self.build()
+        table = source.database.table("t")
+        for _ in range(7):
+            list(table.store.scan_column("b"))
+        for rid in table.store.rids()[:5]:
+            table.store.get(rid)
+        table.store.access_stats.decay()
+        wb = workbook_from_dict(workbook_to_dict(source))
+        # Verbatim — load-time row inserts must not be double-counted on
+        # top of the persisted (decayed) window.
+        assert (
+            wb.database.table("t").store.access_stats.to_dict()
+            == table.store.access_stats.to_dict()
+        )
+
+    def test_migration_target_roundtrip_and_resume(self):
+        source = self.build()
+        table = source.database.table("t")
+        table.migrate_layout([["a"], ["b", "c", "d"]], online=True)
+        assert table.migration_active
+        wb = workbook_from_dict(workbook_to_dict(source))
+        clone = wb.database.table("t")
+        assert clone.migration_active
+        assert clone.layout_migration_target == [["a"], ["b", "c", "d"]]
+        # The loaded workbook's maintenance loop resumes and completes it.
+        while clone.migration_active:
+            clone.layout_tick(steps=1)
+        assert clone.schema.groups == [["a"], ["b", "c", "d"]]
+        clone.validate()
+
+    def test_mid_migration_grouping_is_the_live_one(self):
+        source = self.build()
+        table = source.database.table("t")
+        # [[a,b],[c,d]] -> [[a,c],[b,d]] takes four steps (two splits,
+        # two merges); stop after one so the grouping is intermediate.
+        table.store.restructure([["a", "b"], ["c", "d"]])
+        migration = table.migrate_layout(
+            [["a", "c"], ["b", "d"]], online=True
+        )
+        migration.step()
+        assert not migration.done
+        intermediate = table.schema.groups
+        wb = workbook_from_dict(workbook_to_dict(source))
+        clone = wb.database.table("t")
+        assert clone.schema.groups == intermediate
+        assert clone.migration_active
+        assert clone.layout_migration_target == [["a", "c"], ["b", "d"]]
+
+    def test_v1_payload_loads_with_layout_defaults(self):
+        source = self.build()
+        source.execute("ALTER TABLE t SET LAYOUT AUTO")
+        payload = workbook_to_dict(source)
+        payload["version"] = 1
+        for spec in payload["tables"]:
+            for key in ("auto_layout", "access_stats", "migration_target"):
+                spec.pop(key, None)
+        wb = workbook_from_dict(payload)
+        table = wb.database.table("t")
+        assert not table.auto_layout
+        assert not table.migration_active
+        assert table.schema.groups == [["a", "b", "c", "d"]]

@@ -287,6 +287,35 @@ class TestSessionsAndBroadcast:
         assert service.workbook.get("Sheet1", "B5") == 2
         service.close()
 
+    def test_step_honours_disabled_maintenance(self, tmp_path):
+        """Regression: the serve loop's implicit maintenance beat must
+        respect auto_layout_interval=0 (layouts pinned) — before the fix,
+        step() ticked the advisor anyway and could migrate a table whose
+        operator had maintenance configured off."""
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        service.execute(
+            session.session_id, "CREATE TABLE t (a INT, b INT, c INT, d INT)"
+        )
+        for start in range(0, 400, 100):
+            values = ",".join(f"({j},{j},{j},{j})" for j in range(start, start + 100))
+            service.execute(session.session_id, f"INSERT INTO t VALUES {values}")
+        service.execute(session.session_id, "ALTER TABLE t SET LAYOUT AUTO")
+        table = service.workbook.database.table("t")
+        table.layout_advisor.min_ops = 1
+        table.store.access_stats.reset()
+        for _ in range(40):
+            list(table.store.scan_column("a"))
+        service._maintenance_interval = 0  # operator: maintenance off
+        for _ in range(5):
+            service.step()
+        assert not table.migration_active
+        assert table.schema.groups == [["a", "b", "c", "d"]]
+        # An explicit tick is still an operator override.
+        reports = service.maintenance_tick()
+        assert reports and reports[0]["action"] == "migration_started"
+        service.close()
+
     def test_visible_first_recalc_and_background_step(self, tmp_path):
         service = make_service(tmp_path)
         near = service.connect("near", n_rows=10, n_cols=10)
@@ -315,6 +344,113 @@ class TestSessionsAndBroadcast:
         assert bob.pending_deltas == 0
         assert len(service.sessions) == 1
         service.close()
+
+
+class TestShiftVersionRemap:
+    """Satellite regression: `_cell_versions` is keyed by logical
+    coordinates, so structural shifts must remap the stamps — otherwise
+    the optimistic check compares against the wrong cell's history."""
+
+    def test_stale_write_cannot_clobber_moved_cell(self, tmp_path):
+        service = make_service(tmp_path)
+        alice = service.connect("alice", n_rows=20, n_cols=10)
+        bob = service.connect("bob", n_rows=20, n_cols=10)
+        base = bob.last_seen_version  # bob's view predates everything below
+        service.set_cell(alice.session_id, "Sheet1", "A5", "precious")
+        service.apply(
+            alice.session_id,
+            {"type": "insert_rows", "sheet": "Sheet1", "at": 0, "count": 1},
+        )
+        assert service.workbook.get("Sheet1", "A6") == "precious"
+        # bob writes to the cell's NEW home with a stale base: before the
+        # fix the version stamp stayed at A5, so this silently clobbered
+        # the moved-but-modified cell.
+        with pytest.raises(StaleWriteError):
+            service.set_cell(
+                bob.session_id, "Sheet1", "A6", "clobber", base_version=base
+            )
+        assert service.workbook.get("Sheet1", "A6") == "precious"
+        service.close()
+
+    def test_slid_in_coordinates_not_spuriously_rejected(self, tmp_path):
+        service = make_service(tmp_path)
+        alice = service.connect("alice", n_rows=20, n_cols=10)
+        bob = service.connect("bob", n_rows=20, n_cols=10)
+        base = bob.last_seen_version
+        service.set_cell(alice.session_id, "Sheet1", "A5", "moved-away")
+        service.apply(
+            alice.session_id,
+            {"type": "insert_rows", "sheet": "Sheet1", "at": 0, "count": 1},
+        )
+        # A5 is now a fresh, never-written slot; before the fix the moved
+        # cell's ghost stamp rejected this write forever.
+        result = service.set_cell(
+            bob.session_id, "Sheet1", "A5", "fresh", base_version=base
+        )
+        assert result.version == service.version
+        assert service.workbook.get("Sheet1", "A5") == "fresh"
+        assert service.workbook.get("Sheet1", "A6") == "moved-away"
+        service.close()
+
+    def test_deleted_cell_stamp_is_dropped(self, tmp_path):
+        service = make_service(tmp_path)
+        alice = service.connect("alice", n_rows=20, n_cols=10)
+        bob = service.connect("bob", n_rows=20, n_cols=10)
+        base = bob.last_seen_version
+        service.set_cell(alice.session_id, "Sheet1", "A3", "doomed")
+        service.set_cell(alice.session_id, "Sheet1", "A4", "survivor")
+        service.apply(
+            alice.session_id,
+            {"type": "delete_rows", "sheet": "Sheet1", "at": 2, "count": 1},
+        )
+        assert service.workbook.get("Sheet1", "A3") == "survivor"
+        # The deleted cell's stamp must not linger at A3 — but the
+        # survivor's stamp moved there, so a stale write is still (and
+        # correctly) rejected against the *surviving* cell's version.
+        with pytest.raises(StaleWriteError):
+            service.set_cell(
+                bob.session_id, "Sheet1", "A3", "late", base_version=base
+            )
+        # One row below, nothing was ever written: accepted.
+        service.set_cell(bob.session_id, "Sheet1", "A4", "ok", base_version=base)
+        assert service.workbook.get("Sheet1", "A4") == "ok"
+        service.close()
+
+    def test_column_shift_remaps_versions(self, tmp_path):
+        service = make_service(tmp_path)
+        alice = service.connect("alice", n_rows=20, n_cols=10)
+        bob = service.connect("bob", n_rows=20, n_cols=10)
+        base = bob.last_seen_version
+        service.set_cell(alice.session_id, "Sheet1", "B2", "precious")
+        service.apply(
+            alice.session_id,
+            {"type": "insert_cols", "sheet": "Sheet1", "at": 0, "count": 2},
+        )
+        assert service.workbook.get("Sheet1", "D2") == "precious"
+        with pytest.raises(StaleWriteError):
+            service.set_cell(
+                bob.session_id, "Sheet1", "D2", "clobber", base_version=base
+            )
+        service.set_cell(bob.session_id, "Sheet1", "B2", "fresh", base_version=base)
+        assert service.workbook.get("Sheet1", "D2") == "precious"
+        assert service.workbook.get("Sheet1", "B2") == "fresh"
+        service.close()
+
+    def test_remap_survives_recovery_semantics(self, tmp_path):
+        """The remap is in-memory state; after recovery the stamps are
+        empty, which is safe (no false accepts relative to the recovered
+        version horizon) — just pin that reopening works after shifts."""
+        service = make_service(tmp_path)
+        alice = service.connect("alice")
+        service.set_cell(alice.session_id, "Sheet1", "A5", 1)
+        service.apply(
+            alice.session_id,
+            {"type": "insert_rows", "sheet": "Sheet1", "at": 0, "count": 1},
+        )
+        service.close()
+        reopened = make_service(tmp_path)
+        assert reopened.workbook.get("Sheet1", "A6") == 1
+        reopened.close()
 
 
 class TestTransactionsInWal:
