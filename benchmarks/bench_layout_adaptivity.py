@@ -35,6 +35,8 @@ from __future__ import annotations
 import os
 import time
 
+from repro.engine.database import Database
+from repro.engine.layout import LayoutAdvisor
 from repro.engine.pager import BufferPool
 from repro.engine.schema import TableSchema
 from repro.engine.store import LayoutPolicy
@@ -174,5 +176,137 @@ def test_adaptive_beats_static_layouts():
     assert migrations >= 1, "adaptive table never changed layout"
 
 
+# -- the column-set-aware scan pipeline -------------------------------------
+#
+# Two further claims, added with the ProjectedScan refactor:
+#
+# * a narrow SELECT over a wide hybrid-layout table reads strictly fewer
+#   pages than the same query on the full-row scan path (the seed
+#   behaviour, reproduced with ``projection_pushdown=False``),
+# * an alternating two-query workload whose column sets overlap drives
+#   the co-access advisor to a grouping that beats the singleton-only
+#   advisor AND both static extremes on total page I/O.
+
+WIDE_COLS = 12
+WIDE_ROWS = 250 if SMOKE else 400
+WIDE_CAPACITY = 32
+WIDE_FRAMES = 16
+CO_ROUNDS = 50 if SMOKE else 100
+
+
+def build_wide_db(projection_pushdown: bool, auto_interval: int = 0) -> Database:
+    db = Database(
+        page_capacity=WIDE_CAPACITY,
+        buffer_frames=WIDE_FRAMES,
+        auto_layout_interval=auto_interval,
+        projection_pushdown=projection_pushdown,
+    )
+    columns = ", ".join(f"c{i} INT" for i in range(WIDE_COLS))
+    db.execute(f"CREATE TABLE t ({columns})")
+    table = db.table("t")
+    for i in range(WIDE_ROWS):
+        table.insert(
+            tuple((i * 7 + j) % 1000 for j in range(WIDE_COLS)), emit=False
+        )
+    return db
+
+
+def reset_measurement(db: Database) -> None:
+    db.table("t").store.access_stats.reset()
+    db.checkpoint()
+    db.catalog.pool.drop_cache()
+    db.reset_io_stats()
+
+
+def test_narrow_select_reads_fewer_pages():
+    """A 2-column SELECT with a selective WHERE over a wide hybrid table
+    touches strictly fewer pages than the seed's full-row scan path."""
+    groups = [[f"c{g * 3 + j}" for j in range(3)] for g in range(WIDE_COLS // 3)]
+    query = "SELECT c0, c1 FROM t WHERE c2 < 200"
+    reads = {}
+    rows = {}
+    for label, pushdown in (("projected", True), ("full-row", False)):
+        db = build_wide_db(projection_pushdown=pushdown)
+        db.table("t").store.restructure(groups)  # hybrid: 4 groups of 3
+        reset_measurement(db)
+        rows[label] = db.execute(query).rows
+        reads[label] = db.io_stats.reads
+    print(
+        f"\nnarrow SELECT over {WIDE_COLS}-col hybrid table: "
+        f"projected={reads['projected']} page reads, "
+        f"full-row={reads['full-row']} page reads"
+    )
+    assert rows["projected"] == rows["full-row"]
+    assert reads["projected"] < reads["full-row"], (
+        f"projected scan read {reads['projected']} pages, "
+        f"full-row path {reads['full-row']}"
+    )
+
+
+def replay_overlapping_workload(mode: str):
+    """The HTAP mix for one configuration: two alternating narrow SELECTs
+    with overlapping column sets ({c0,c1} and {c0,c1,c2}), viewport
+    window fetches (full-row point reads), and single-row INSERTs."""
+    db = build_wide_db(
+        projection_pushdown=True,
+        auto_interval=(8 if mode.startswith("auto") else 0),
+    )
+    table = db.table("t")
+    if mode == "row":
+        db.execute("ALTER TABLE t SET LAYOUT ROW")
+    elif mode == "column":
+        db.execute("ALTER TABLE t SET LAYOUT COLUMN")
+    else:
+        db.execute("ALTER TABLE t SET LAYOUT AUTO")
+        table.layout_advisor = LayoutAdvisor(
+            min_ops=24, co_access=(mode == "auto-coaccess")
+        )
+    reset_measurement(db)
+    value = WIDE_ROWS
+    for index in range(CO_ROUNDS):
+        db.execute(f"SELECT c0 FROM t WHERE c1 > {(index * 13) % 900}")
+        db.execute(f"SELECT c0, c1 FROM t WHERE c2 > {(index * 29) % 900}")
+        for k in range(10):
+            table.window((index * 37 + k * 53) % (table.n_rows - 8), 8)
+        for _ in range(4):
+            values = ",".join(
+                str((value * 7 + j) % 1000) for j in range(WIDE_COLS)
+            )
+            db.execute(f"INSERT INTO t VALUES ({values})")
+            value += 1
+    # Charge any still-running migration to its own account.
+    while table.migration_active:
+        table.layout_tick(steps=4)
+    db.checkpoint()
+    return db.io_stats.total, table.schema.groups
+
+
+def test_coaccess_advisor_beats_singletons_and_statics():
+    """The co-access advisor's clustered grouping wins the overlapping
+    two-query workload on total page I/O — against the singleton-only
+    advisor and against both static extremes."""
+    totals = {}
+    groups = {}
+    for mode in ("row", "column", "auto-singleton", "auto-coaccess"):
+        totals[mode], groups[mode] = replay_overlapping_workload(mode)
+    print(
+        f"\noverlapping workload over {CO_ROUNDS} rounds: "
+        + " ".join(f"{mode}={totals[mode]}" for mode in totals)
+    )
+    print(f"co-access grouping: {groups['auto-coaccess']}")
+    for rival in ("row", "column", "auto-singleton"):
+        assert totals["auto-coaccess"] < totals[rival], (
+            f"co-access {totals['auto-coaccess']} not below {rival} "
+            f"{totals[rival]}"
+        )
+    # It won by clustering: the jointly scanned columns share a group.
+    assert any(
+        {"c0", "c1"} <= {name.lower() for name in group}
+        for group in groups["auto-coaccess"]
+    ), f"no co-access cluster in {groups['auto-coaccess']}"
+
+
 if __name__ == "__main__":
     test_adaptive_beats_static_layouts()
+    test_narrow_select_reads_fewer_pages()
+    test_coaccess_advisor_beats_singletons_and_statics()

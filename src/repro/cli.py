@@ -327,6 +327,10 @@ class DataSpreadShell:
                         f"  col {column_name}: {column.scans} scans, "
                         f"{column.updates} updates"
                     )
+            # Joint-scan affinity (the co-access signal the layout
+            # advisor clusters on), hottest pairs first.
+            for (first, second), count in stats.co_access_pairs()[:8]:
+                lines.append(f"  co-scan {first}+{second}: {count} joint scans")
         return "\n".join(lines)
 
     def _layout_advise(self, name: str) -> str:

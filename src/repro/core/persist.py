@@ -18,6 +18,7 @@ Format (version 2; version-1 files load transparently)::
          "auto_layout": false,           # advisor loop on/off (v2)
          "access_stats": {...},          # decayed workload window (v2)
          "migration_target": null,       # in-flight migration target (v2)
+         "group_io": [{...}, ...],       # per-group I/O counters (v2)
          "rows": [[...], ...]}          # presentation order
       ],
       "sheets": [
@@ -103,6 +104,10 @@ def workbook_to_dict(workbook: Workbook) -> Dict[str, Any]:
                 "auto_layout": table.auto_layout,
                 "access_stats": table.store.access_stats.to_dict(),
                 "migration_target": table.layout_migration_target,
+                # Cumulative per-group block I/O (aligned with "groups"):
+                # pager tags are process-local, so without this the
+                # layout-stats surface resets to zero on every restart.
+                "group_io": table.store.group_io_snapshot(),
                 # Presentation order, read WITHOUT charging workload
                 # statistics: a dump is maintenance, not workload, and the
                 # serialized access_stats above must match the live window.
@@ -191,6 +196,13 @@ def workbook_from_dict(payload: Dict[str, Any], eager: bool = True) -> Workbook:
             # Overwrite AFTER the row loads above: load-time inserts must
             # not be double-counted on top of the persisted window.
             table.store.access_stats = AccessStats.from_dict(stats_spec)
+        group_io = spec.get("group_io")
+        if group_io:
+            # Same overwrite-after-load contract: the restart's own page
+            # allocations are replaced by the pre-crash cumulative
+            # counters, so the stats surface continues instead of
+            # restarting from the load's write burst.
+            table.store.restore_group_io(group_io)
         migration_target = spec.get("migration_target")
         if migration_target:
             # Re-arm (don't run) the half-done migration; the owner's

@@ -87,11 +87,15 @@ class Database:
         default_layout: LayoutPolicy = LayoutPolicy.HYBRID,
         buffer_frames: Optional[int] = None,
         auto_layout_interval: int = 64,
+        projection_pushdown: bool = True,
     ):
         self.catalog = Catalog(
             page_capacity=page_capacity, buffer_frames=buffer_frames
         )
         self.default_layout = default_layout
+        # Column-set-aware scans (ProjectedScan); off = full-width scans,
+        # the pre-pipeline behaviour benchmarks compare against.
+        self.projection_pushdown = projection_pushdown
         self.transactions = TransactionManager()
         self._listeners: List[Callable[[ChangeEvent], None]] = []
         self.statements_executed = 0
@@ -185,9 +189,14 @@ class Database:
         self,
         steps: int = 2,
         observer: Optional[Callable[[str, str, List[List[str]]], None]] = None,
+        max_blocks: Optional[int] = None,
     ) -> List[Dict[str, Any]]:
         """Tick every table that opted into adaptive layout (or has a
         migration in flight); returns the non-idle per-table reports.
+
+        ``max_blocks`` budgets the restructure work of each table's beat
+        (see :meth:`Table.layout_tick`) so one big migration cannot stall
+        the serve loop; ``None`` preserves the unbudgeted behaviour.
 
         ``observer`` (forwarded to :meth:`Table.layout_tick`) sees every
         migration start and applied step — the durable server logs these
@@ -195,7 +204,9 @@ class Database:
         reports = []
         for table in self.catalog.tables():
             if table.auto_layout or table.migration_active:
-                report = table.layout_tick(steps, observer=observer)
+                report = table.layout_tick(
+                    steps, observer=observer, max_blocks=max_blocks
+                )
                 if report.get("action") != "idle":
                     reports.append(report)
         self.maintenance_reports.extend(reports)
@@ -273,7 +284,9 @@ class Database:
     ) -> ResultSet:
         self.statements_executed += 1
         self._maybe_auto_tick()
-        planner = Planner(self.catalog, resolver)
+        planner = Planner(
+            self.catalog, resolver, projection_pushdown=self.projection_pushdown
+        )
         if isinstance(statement, (ast.SelectStmt, ast.CompoundSelect)):
             planned = planner.plan_select(statement)
             rows = planned.execute(params)

@@ -5,10 +5,12 @@ The planner (:mod:`repro.engine.planner`) assembles these nodes into a tree;
 and benchmarks can assert *logical* work (e.g. E10's one-pass claim: a DBSQL
 spill of 100 rows runs one plan, not 100).
 
-Operator inventory: sequential scan (in presentation order, via the
-positional index), values scan (``RANGETABLE`` data and VALUES lists),
-filter, project, nested-loop join, hash join (equi-joins, inner/left),
-aggregate (hash grouping), distinct, sort, limit/offset.
+Operator inventory: projected scan (column-set-aware table scan with
+pushed predicates, in presentation order via the positional index; the
+legacy full-width ``SeqScan`` is the degenerate all-columns case), values
+scan (``RANGETABLE`` data and VALUES lists), filter, project, nested-loop
+join, hash join (equi-joins, inner/left), aggregate (hash grouping),
+distinct, sort, limit/offset.
 """
 
 from __future__ import annotations
@@ -25,6 +27,7 @@ from repro.errors import ExecutionError
 __all__ = [
     "ExecContext",
     "PlanNode",
+    "ProjectedScan",
     "SeqScan",
     "ValuesScan",
     "FilterNode",
@@ -81,23 +84,75 @@ class PlanNode:
         return self.rows_out + sum(c.total_rows_processed() for c in self.children())
 
 
-class SeqScan(PlanNode):
-    """Scan a table in presentation (positional) order."""
+class ProjectedScan(PlanNode):
+    """Column-set-aware table scan in presentation (positional) order.
 
-    def __init__(self, table: Table, binding: str):
-        super().__init__([(binding, name) for name in table.column_names])
+    The planner computes each table's *required* column set (SELECT list
+    + WHERE conjuncts + join keys, post-pushdown) and the scan touches
+    only the page chains covering that set — the refactor that lets the
+    hybrid attribute-group store actually reduce the blocks a SQL query
+    reads.  Pushed predicates (``add_predicate``) are evaluated on the
+    narrow fragments *before* a row is emitted, so ``rows_out`` counts
+    surviving rows; ``rows_scanned`` counts rows examined and
+    ``cols_read`` the width of the set, letting tests assert logical
+    work.  ``column_names=None`` scans every column (the legacy
+    ``SeqScan`` behaviour).
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        binding: str,
+        column_names: Optional[Sequence[str]] = None,
+    ):
+        names = (
+            list(table.column_names) if column_names is None else list(column_names)
+        )
+        super().__init__([(binding, name) for name in names])
         self.table = table
         self.binding = binding
+        self.column_names = names
+        self.predicates: List[Tuple[RowFn, str]] = []
+        self.rows_scanned = 0
+
+    @property
+    def cols_read(self) -> int:
+        return len(self.column_names)
+
+    def add_predicate(self, predicate: RowFn, description: str = "") -> None:
+        """Attach a pushed predicate, evaluated on the narrow fragment."""
+        self.predicates.append((predicate, description))
 
     def label(self) -> str:
-        return f"SeqScan({self.table.name} as {self.binding})"
+        suffix = f", {len(self.predicates)} pushed" if self.predicates else ""
+        return (
+            f"ProjectedScan({self.table.name} as {self.binding}, "
+            f"cols=[{', '.join(self.column_names)}]{suffix})"
+        )
 
     def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
         def rows() -> Iterator[Tuple[Any, ...]]:
-            for _, _, row in self.table.scan():
-                yield row
+            for _, _, values in self.table.scan_columns(self.column_names):
+                self.rows_scanned += 1
+                keep = True
+                for predicate, _ in self.predicates:
+                    if predicate(values, ctx.params) is not True:
+                        keep = False
+                        break
+                if keep:
+                    yield values
 
         return self._count(rows())
+
+
+class SeqScan(ProjectedScan):
+    """Full-width scan: a :class:`ProjectedScan` over every column."""
+
+    def __init__(self, table: Table, binding: str):
+        super().__init__(table, binding, None)
+
+    def label(self) -> str:
+        return f"SeqScan({self.table.name} as {self.binding})"
 
 
 class ValuesScan(PlanNode):

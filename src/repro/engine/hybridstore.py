@@ -72,7 +72,15 @@ def estimate_workload_blocks(
     n_rows: int,
     page_capacity: int,
 ) -> int:
-    """Predicted blocks touched replaying ``stats`` under ``grouping``."""
+    """Predicted blocks touched replaying ``stats`` under ``grouping``.
+
+    Column scans are priced from the *co-access sets* when the window
+    recorded them: one request over a set of columns reads each distinct
+    covering chain once, so co-locating columns that are scanned together
+    does not multiply the scan bill while it does shrink the per-tuple
+    group count.  Scan counts not covered by any recorded set (older
+    stats, or direct counter writes) fall back to the per-column charge.
+    """
     groups: List[List[str]] = [list(group) for group in grouping if group]
     n_groups = max(1, len(groups))
     group_of: Dict[str, int] = {
@@ -83,11 +91,23 @@ def estimate_workload_blocks(
         stats.inserts + stats.deletes + stats.full_updates + stats.point_reads
     ) * n_groups
     cost += stats.full_scans * sum(pages)
+    # Joint scans: each recorded co-access set reads every distinct chain
+    # covering it once per request.
+    coverage: Dict[str, int] = {}
+    for names, count in stats.group_scans.items():
+        covering = {group_of[name] for name in names if name in group_of}
+        if not covering:
+            continue  # every member since dropped/renamed
+        cost += count * sum(max(1, pages[index]) for index in covering)
+        for name in names:
+            coverage[name] = coverage.get(name, 0) + count
     for name, column in stats.columns.items():
         index = group_of.get(name)
         if index is None:
             continue  # column since dropped/renamed
-        cost += column.scans * max(1, pages[index])
+        residual = column.scans - coverage.get(name, 0)
+        if residual > 0:
+            cost += residual * max(1, pages[index])
         cost += column.updates  # one block regardless of layout
     return cost
 

@@ -162,18 +162,33 @@ class LayoutRecommendation:
 class LayoutAdvisor:
     """Prices candidate partitions against the observed workload.
 
-    Candidates are the spectrum between the two static extremes: for each
-    ``k``, the ``k`` most-scanned columns as singleton (column-store-like)
-    groups and the rest co-located in one row-store-like group — ``k=0``
-    is the pure row layout, ``k=n`` the pure column layout.  The best
-    candidate is recommended only when the predicted saving over the
-    *observed window* is at least ``threshold`` times the predicted
+    Two candidate families cover the layout space:
+
+    * the **singleton spectrum** between the two static extremes: for each
+      ``k``, the ``k`` most-scanned columns as singleton
+      (column-store-like) groups and the rest co-located in one
+      row-store-like group — ``k=0`` is the pure row layout, ``k=n`` the
+      pure column layout;
+    * **co-access clusters** (``co_access=True``): columns the workload
+      scans *together* (per :attr:`AccessStats.group_scans`, charged by
+      the real query path's ``ProjectedScan``) become one group — a joint
+      scan then reads the same pages as under singletons while every
+      tuple operation touches fewer groups, the combination the singleton
+      family cannot express.
+
+    The best candidate is recommended only when the predicted saving over
+    the *observed window* is at least ``threshold`` times the predicted
     migration cost.
     """
 
-    def __init__(self, threshold: float = 1.0, min_ops: int = 32):
+    #: Only this many of the hottest co-access sets seed cluster
+    #: candidates — the tail of a decayed window is noise.
+    MAX_CO_ACCESS_SETS = 8
+
+    def __init__(self, threshold: float = 1.0, min_ops: int = 32, co_access: bool = True):
         self.threshold = threshold
         self.min_ops = min_ops
+        self.co_access = co_access
 
     def candidates(self, store: GroupedTupleStore) -> List[Grouping]:
         columns = store.schema.column_names
@@ -187,6 +202,13 @@ class LayoutAdvisor:
         )
         seen: Set[FrozenSet[FrozenSet[str]]] = set()
         result: List[Grouping] = []
+
+        def offer(grouping: Grouping) -> None:
+            signature = _signature(grouping)
+            if signature not in seen:
+                seen.add(signature)
+                result.append(grouping)
+
         for k in range(len(columns) + 1):
             hot = ranked[:k]
             hot_keys = {name.lower() for name in hot}
@@ -194,12 +216,92 @@ class LayoutAdvisor:
             grouping: Grouping = [[name] for name in hot]
             if cold:
                 grouping.append(cold)
-            signature = _signature(grouping)
-            if signature in seen:
-                continue
-            seen.add(signature)
-            result.append(grouping)
+            offer(grouping)
+        if self.co_access:
+            for grouping in self._co_access_candidates(store):
+                offer(grouping)
         return result
+
+    def _co_access_candidates(self, store: GroupedTupleStore) -> List[Grouping]:
+        """Groupings built from the columns scanned together.
+
+        Three shapes per window: the hottest mutually disjoint co-access
+        sets as groups (rest in one cold group); those clusters plus the
+        remaining scanned columns as hot singletons; and the connected
+        components of overlapping sets merged into wider clusters.  All
+        are priced like any other candidate — clustering only *proposes*.
+        """
+        stats = store.access_stats
+        columns = store.schema.column_names
+        canonical = {name.lower(): name for name in columns}
+        weighted: List[Tuple[int, List[str]]] = []
+        for names, count in stats.group_scans.items():
+            members = [canonical[name] for name in names if name in canonical]
+            if len(members) >= 2 and count > 0:
+                weighted.append((count, members))
+        if not weighted:
+            return []
+        weighted.sort(key=lambda item: (-item[0], item[1]))
+        top = weighted[: self.MAX_CO_ACCESS_SETS]
+
+        def finish(clusters: List[List[str]]) -> Grouping:
+            used = {name.lower() for group in clusters for name in group}
+            cold = [name for name in columns if name.lower() not in used]
+            grouping = [list(group) for group in clusters]
+            if cold:
+                grouping.append(cold)
+            return grouping
+
+        out: List[Grouping] = []
+        # 1. Hottest mutually disjoint sets, verbatim.
+        packed: List[List[str]] = []
+        covered: Set[str] = set()
+        for count, members in top:
+            keys = {name.lower() for name in members}
+            if keys & covered:
+                continue
+            packed.append(members)
+            covered |= keys
+        if packed:
+            out.append(finish(packed))
+            # 2. Same clusters, plus the remaining scanned columns as hot
+            # singletons (scan-heavy columns outside any set stay narrow).
+            singles = [
+                [name]
+                for name in columns
+                if name.lower() not in covered
+                and name.lower() in stats.columns
+                and stats.columns[name.lower()].scans > 0
+            ]
+            if singles:
+                out.append(finish(packed + singles))
+        # 3. Overlapping sets merged: connected components over shared
+        # members (two queries touching an overlapping column set often
+        # want one wider group).
+        parent: dict = {}
+
+        def find(key: str) -> str:
+            while parent[key] != key:
+                parent[key] = parent[parent[key]]
+                key = parent[key]
+            return key
+
+        for _, members in top:
+            keys = [name.lower() for name in members]
+            for key in keys:
+                parent.setdefault(key, key)
+            for key in keys[1:]:
+                parent[find(keys[0])] = find(key)
+        components: dict = {}
+        for key in parent:
+            components.setdefault(find(key), []).append(key)
+        merged = [
+            [canonical[key] for key in sorted(member_keys)]
+            for member_keys in components.values()
+        ]
+        if merged:
+            out.append(finish(merged))
+        return out
 
     def advise(self, store: GroupedTupleStore) -> Optional[LayoutRecommendation]:
         """A recommendation, or None (too little data / current is best)."""

@@ -128,6 +128,12 @@ class DiskManager:
         mint fresh group tags, so dead ones would pile up forever."""
         self._tag_stats.pop(tag, None)
 
+    def set_tag_stats(self, tag: Any, stats: IOStats) -> None:
+        """Overwrite a tag's cumulative counters (recovery: restores the
+        pre-crash per-group I/O that page tags, being process-local,
+        cannot carry across a restart themselves)."""
+        self._tag_stats[tag] = stats.snapshot()
+
     def read(self, page_id: int) -> Page:
         if page_id not in self._pages:
             raise StorageError(f"read of unallocated page {page_id}")
@@ -216,6 +222,9 @@ class BufferPool:
 
     def drop_tag_stats(self, tag: Any) -> None:
         self.disk.drop_tag_stats(tag)
+
+    def set_tag_stats(self, tag: Any, stats: IOStats) -> None:
+        self.disk.set_tag_stats(tag, stats)
 
     def free_page(self, page_id: int) -> None:
         self._frames.pop(page_id, None)

@@ -10,9 +10,16 @@ this is how a single SQL statement joins database tables with sheet data
 
 Optimisations implemented (deliberately classical):
 
+* **projection pushdown**: each base table's *required column set* (SELECT
+  list + WHERE conjuncts + join keys + GROUP BY/HAVING/ORDER BY refs) is
+  computed up front and the plan scans it through a
+  :class:`~repro.engine.executor.ProjectedScan`, so only the attribute-group
+  page chains covering that set are ever touched (and the store's
+  co-access statistics see exactly which columns travel together),
 * WHERE conjunct **pushdown** to the deepest plan node whose scope resolves
   the conjunct (including below inner joins, not below the null-producing
-  side of LEFT joins),
+  side of LEFT joins); conjuncts reaching a ``ProjectedScan`` are absorbed
+  into the scan and evaluated on the narrow fragments,
 * **hash joins** for equi-join conditions (explicit ON, NATURAL, USING, and
   implicit ``FROM a, b WHERE a.x = b.y``), nested loops otherwise,
 * single-pass hash **aggregation** with post-aggregation expression rewrite.
@@ -21,7 +28,7 @@ Optimisations implemented (deliberately classical):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.engine import sql_ast as ast
 from repro.engine.catalog import Catalog
@@ -36,8 +43,8 @@ from repro.engine.executor import (
     LimitNode,
     NestedLoopJoin,
     PlanNode,
+    ProjectedScan,
     ProjectNode,
-    SeqScan,
     SortNode,
     ValuesScan,
 )
@@ -92,10 +99,24 @@ def _resolvable(expression: ast.Expression, scope: Scope) -> bool:
     return True
 
 
+#: Per-binding required-column sets: a set of lower-cased column names, or
+#: ``None`` meaning "every column" (a star expansion or NATURAL join).
+RequiredColumns = Dict[str, Optional[Set[str]]]
+
+
 class Planner:
-    def __init__(self, catalog: Catalog, resolver: Optional[RangeResolver] = None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        resolver: Optional[RangeResolver] = None,
+        projection_pushdown: bool = True,
+    ):
         self.catalog = catalog
         self.resolver = resolver if resolver is not None else RangeResolver()
+        # Off = every table scan is full-width (the pre-pipeline
+        # behaviour); benchmarks use this to measure what the
+        # column-set-aware path saves.
+        self.projection_pushdown = projection_pushdown
 
     # -- public entry points ------------------------------------------------
 
@@ -136,14 +157,117 @@ class Planner:
             range_resolver=self.resolver.resolve_range_value,
         )
 
+    # -- required column sets -------------------------------------------------
+
+    def _gather_tables(self, item: Optional[ast.FromItem], out: List[Tuple[str, Any]]) -> None:
+        """All base-table bindings under a FROM item (subqueries plan
+        their own column sets recursively and are not descended into)."""
+        if isinstance(item, ast.TableRef):
+            out.append((item.binding.lower(), self.catalog.get(item.name)))
+        elif isinstance(item, ast.Join):
+            self._gather_tables(item.left, out)
+            self._gather_tables(item.right, out)
+
+    def _required_columns(self, stmt: ast.SelectStmt) -> RequiredColumns:
+        """The minimal column set each base table must supply.
+
+        Collects every column reference in the statement — SELECT list,
+        WHERE, GROUP BY, HAVING, ORDER BY, and join conditions — and
+        attributes it to the bindings that can resolve it (an unqualified
+        name charges every table having that column: a superset is always
+        safe, the planner's scope resolution still raises on genuine
+        ambiguity).  ``None`` marks a full-width binding: a star
+        expansion, or membership in a NATURAL join (whose common-column
+        computation needs the full schemas).  A bare ``COUNT(*)`` needs
+        no columns at all — the scan then drives off the positional index
+        without touching a single page.
+        """
+        tables: List[Tuple[str, Any]] = []
+        self._gather_tables(stmt.source, tables)
+        required: RequiredColumns = {binding: set() for binding, _ in tables}
+
+        def mark_all(binding: Optional[str]) -> None:
+            if binding is None:
+                for key in required:
+                    required[key] = None
+            elif binding in required:
+                required[binding] = None
+
+        def add(binding: str, name: str) -> None:
+            # Untracked bindings (subquery aliases) and full-width
+            # bindings both fall through.
+            wanted = required.get(binding)
+            if wanted is not None:
+                wanted.add(name.lower())
+
+        def collect(expression: ast.Expression) -> None:
+            for node in ast.walk_expression(expression):
+                if isinstance(node, ast.ColumnRef):
+                    if node.table is not None:
+                        add(node.table.lower(), node.name)
+                    else:
+                        for binding, table in tables:
+                            if table.schema.has_column(node.name):
+                                add(binding, node.name)
+                # A Star inside an expression is COUNT(*): counts rows,
+                # needs no column data.
+
+        def walk_joins(item: Optional[ast.FromItem]) -> None:
+            if not isinstance(item, ast.Join):
+                return
+            walk_joins(item.left)
+            walk_joins(item.right)
+            if item.condition is not None:
+                collect(item.condition)
+            for name in item.using:
+                for binding, table in tables:
+                    if table.schema.has_column(name):
+                        add(binding, name)
+            if item.natural:
+                # NATURAL join semantics hinge on the *full* column sets
+                # of both sides; keep every table underneath full-width.
+                subtree: List[Tuple[str, Any]] = []
+                self._gather_tables(item, subtree)
+                for binding, _ in subtree:
+                    mark_all(binding)
+
+        for item in stmt.items:
+            expression = item.expression
+            if isinstance(expression, ast.Star):
+                mark_all(expression.table.lower() if expression.table else None)
+            else:
+                collect(expression)
+        for clause in (stmt.where, stmt.having, stmt.limit, stmt.offset):
+            if clause is not None:
+                collect(clause)
+        for expression in stmt.group_by:
+            collect(expression)
+        for order in stmt.order_by:
+            collect(order.expression)
+        walk_joins(stmt.source)
+        return required
+
     # -- FROM clause -----------------------------------------------------------
 
     def _plan_source(
-        self, item: ast.FromItem, pending: List[ast.Expression], allow_push: bool
+        self,
+        item: ast.FromItem,
+        pending: List[ast.Expression],
+        allow_push: bool,
+        required: Optional[RequiredColumns] = None,
     ) -> PlanNode:
         if isinstance(item, ast.TableRef):
             table = self.catalog.get(item.name)
-            node: PlanNode = SeqScan(table, item.binding)
+            names: Optional[List[str]] = None
+            if self.projection_pushdown and required is not None:
+                wanted = required.get(item.binding.lower())
+                if wanted is not None:
+                    names = [
+                        name
+                        for name in table.column_names
+                        if name.lower() in wanted
+                    ]
+            node: PlanNode = ProjectedScan(table, item.binding, names)
         elif isinstance(item, ast.RangeTable):
             columns, rows = self.resolver.resolve_range_table(item.reference)
             binding = item.binding
@@ -158,7 +282,7 @@ class Planner:
             ]
             node = ProjectNode(inner.plan, identity, rebound)
         elif isinstance(item, ast.Join):
-            return self._plan_join(item, pending, allow_push)
+            return self._plan_join(item, pending, allow_push, required)
         else:  # pragma: no cover - parser prevents this
             raise PlanError(f"unsupported FROM item {type(item).__name__}")
         if allow_push:
@@ -169,16 +293,26 @@ class Planner:
         taken = [c for c in pending if _resolvable(c, node.scope)]
         for conjunct in taken:
             pending.remove(conjunct)
-            node = FilterNode(node, self._compile(conjunct, node.scope), "pushed")
+            compiled = self._compile(conjunct, node.scope)
+            if isinstance(node, ProjectedScan):
+                # Absorb into the scan: the predicate runs on the narrow
+                # fragment before any output tuple is materialised.
+                node.add_predicate(compiled, "pushed")
+            else:
+                node = FilterNode(node, compiled, "pushed")
         return node
 
     def _plan_join(
-        self, join: ast.Join, pending: List[ast.Expression], allow_push: bool
+        self,
+        join: ast.Join,
+        pending: List[ast.Expression],
+        allow_push: bool,
+        required: Optional[RequiredColumns] = None,
     ) -> PlanNode:
         left_push = allow_push
         right_push = allow_push and join.kind != "left"
-        left = self._plan_source(join.left, pending, left_push)
-        right = self._plan_source(join.right, pending, right_push)
+        left = self._plan_source(join.left, pending, left_push, required)
+        right = self._plan_source(join.right, pending, right_push, required)
 
         condition_conjuncts = _split_conjuncts(join.condition)
         drop_right: List[str] = []
@@ -304,7 +438,10 @@ class Planner:
         if stmt.source is None:
             node: PlanNode = ValuesScan([()], [], "dual")
         else:
-            node = self._plan_source(stmt.source, pending, allow_push=True)
+            required = self._required_columns(stmt)
+            node = self._plan_source(
+                stmt.source, pending, allow_push=True, required=required
+            )
         # Whatever could not be pushed applies here.
         for conjunct in pending:
             node = FilterNode(node, self._compile(conjunct, node.scope), "where")

@@ -81,6 +81,12 @@ class AccessStats:
     full_scans: int = 0  # scan() passes over the table
     schema_changes: int = 0
     columns: Dict[str, ColumnAccessStats] = field(default_factory=dict)
+    # Co-access sets: how many times each *set* of columns was scanned
+    # together (one query = one count), keyed by the sorted lower-cased
+    # column-name tuple.  Single-column scans record singleton sets, so
+    # ``column(name).scans`` always equals the sum over sets containing
+    # the column — the invariant the joint-scan cost model relies on.
+    group_scans: Dict[Tuple[str, ...], int] = field(default_factory=dict)
 
     def column(self, name: str) -> ColumnAccessStats:
         key = name.lower()
@@ -88,6 +94,41 @@ class AccessStats:
         if stats is None:
             stats = self.columns[key] = ColumnAccessStats()
         return stats
+
+    def record_scan(self, names: Sequence[str]) -> None:
+        """Charge one scan request over ``names`` (a column set scanned
+        *together*): bumps each column's scan counter and the co-access
+        set counter the layout advisor clusters on."""
+        key = tuple(sorted(name.lower() for name in names))
+        if not key:
+            return
+        for name in key:
+            self.column(name).scans += 1
+        self.group_scans[key] = self.group_scans.get(key, 0) + 1
+
+    def remap_scan_sets(self, transform) -> None:
+        """Rewrite every co-access set key through ``transform(names)``
+        (returning the new sorted tuple, or a falsy value to discard the
+        set), merging counts that collide — the shared machinery behind
+        column renames and drops."""
+        remapped: Dict[Tuple[str, ...], int] = {}
+        for names, count in self.group_scans.items():
+            key = transform(names)
+            if key:
+                remapped[key] = remapped.get(key, 0) + count
+        self.group_scans = remapped
+
+    def co_access_pairs(self) -> List[Tuple[Tuple[str, str], int]]:
+        """Pairwise joint-scan affinity, highest first — the signal the
+        CLI surfaces and the advisor clusters on."""
+        pairs: Dict[Tuple[str, str], int] = {}
+        for names, count in self.group_scans.items():
+            if len(names) < 2 or count <= 0:
+                continue
+            for i, first in enumerate(names):
+                for second in names[i + 1 :]:
+                    pairs[(first, second)] = pairs.get((first, second), 0) + count
+        return sorted(pairs.items(), key=lambda item: (-item[1], item[0]))
 
     @property
     def total_ops(self) -> int:
@@ -105,6 +146,7 @@ class AccessStats:
         self.inserts = self.deletes = self.point_reads = 0
         self.full_updates = self.full_scans = self.schema_changes = 0
         self.columns.clear()
+        self.group_scans.clear()
 
     def decay(self, factor: float = 0.5) -> None:
         """Age the profile so the advisor tracks the *recent* workload."""
@@ -117,6 +159,12 @@ class AccessStats:
         for stats in self.columns.values():
             stats.scans = int(stats.scans * factor)
             stats.updates = int(stats.updates * factor)
+        for key in list(self.group_scans):
+            aged = int(self.group_scans[key] * factor)
+            if aged:
+                self.group_scans[key] = aged
+            else:
+                del self.group_scans[key]
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -130,6 +178,12 @@ class AccessStats:
                 name: {"scans": c.scans, "updates": c.updates}
                 for name, c in sorted(self.columns.items())
             },
+            # JSON objects need string keys; serialise the set as a list
+            # of [member-list, count] pairs instead of joining names.
+            "group_scans": [
+                [list(names), count]
+                for names, count in sorted(self.group_scans.items())
+            ],
         }
 
     @classmethod
@@ -152,6 +206,10 @@ class AccessStats:
             column = stats.column(name)
             column.scans = int(counters.get("scans", 0))
             column.updates = int(counters.get("updates", 0))
+        for names, count in payload.get("group_scans") or []:
+            key = tuple(sorted(str(name).lower() for name in names))
+            if key and int(count) > 0:
+                stats.group_scans[key] = stats.group_scans.get(key, 0) + int(count)
         return stats
 
 
@@ -346,7 +404,7 @@ class GroupedTupleStore:
     def scan_column(self, column_name: str) -> Iterator[Tuple[int, Any]]:
         """Column scan touching only that column's group chain."""
         group_index = self.schema.group_of(column_name)
-        self.access_stats.column(column_name).scans += 1
+        self.access_stats.record_scan([column_name])
         members = self.schema.groups[group_index]
         offset = next(
             i for i, name in enumerate(members) if name.lower() == column_name.lower()
@@ -355,6 +413,90 @@ class GroupedTupleStore:
             page = self.pool.get(page_id)
             for rid, fragment in page.records:
                 yield rid, fragment[offset]
+
+    def scan_groups(
+        self, column_names: Sequence[str]
+    ) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        """Scan a *set* of columns together, touching only the page chains
+        of the groups that cover them.
+
+        Yields ``(rid, values)`` with ``values`` ordered like
+        ``column_names``, rid-aligned across the covering groups.  The
+        chains are walked **in lockstep**: every mutation applies to all
+        chains identically (inserts append everywhere, deletes remove
+        everywhere, restructures rebuild in the shared rid order), so all
+        chains enumerate records in the same order and the scan streams
+        lazily — an early-exiting consumer (LIMIT) only reads the page
+        prefix it consumed, and a full pass reads each covering chain
+        sequentially exactly once.  Charges one co-access scan over the
+        set (or a plain full scan when the set covers every column) — the
+        workload signals the layout advisor prices.  Iteration order is
+        the heap order of the covering chains; callers wanting
+        presentation order go through
+        :meth:`repro.engine.table.Table.scan_columns`.
+        """
+        names = list(column_names)
+        if not names:
+            return iter(())
+        # (group_index, fragment_offset, output_offset) for every column.
+        placements: List[Tuple[int, int, int]] = []
+        for out_offset, column_name in enumerate(names):
+            group_index = self.schema.group_of(column_name)
+            members = self.schema.groups[group_index]
+            frag_offset = next(
+                i
+                for i, name in enumerate(members)
+                if name.lower() == column_name.lower()
+            )
+            placements.append((group_index, frag_offset, out_offset))
+        if {name.lower() for name in names} == {
+            name.lower() for name in self.schema.column_names
+        }:
+            # A full-width request is a table scan, not a column-set
+            # signal: keep the historical full_scans accounting (and the
+            # advisor's hot-column ranking unskewed by SELECT *).
+            self.access_stats.full_scans += 1
+        else:
+            self.access_stats.record_scan(names)
+        covering = sorted({group_index for group_index, _, _ in placements})
+        by_group: Dict[int, List[Tuple[int, int]]] = {}
+        for group_index, frag_offset, out_offset in placements:
+            by_group.setdefault(group_index, []).append((frag_offset, out_offset))
+
+        def chain_records(group_index: int) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+            for page_id in self._chains[group_index]:
+                page = self.pool.get(page_id)
+                for record in page.records:
+                    yield record
+
+        def rows() -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+            width = len(names)
+            driver = covering[0]
+            others = covering[1:]
+            cursors = {group_index: chain_records(group_index) for group_index in others}
+            fallback: set = set()
+            for rid, fragment in chain_records(driver):
+                slot: List[Any] = [None] * width
+                for frag_offset, out_offset in by_group[driver]:
+                    slot[out_offset] = fragment[frag_offset]
+                for group_index in others:
+                    record = None
+                    if group_index not in fallback:
+                        record = next(cursors[group_index], None)
+                        if record is None or record[0] != rid:
+                            # Lockstep invariant violated (should not
+                            # happen); degrade this chain to per-rid
+                            # directory lookups — slower, still correct.
+                            fallback.add(group_index)
+                            record = None
+                    if record is None:
+                        page, page_slot = self._find_slot(group_index, rid)
+                        record = page.records[page_slot]
+                    for frag_offset, out_offset in by_group[group_index]:
+                        slot[out_offset] = record[1][frag_offset]
+                yield rid, tuple(slot)
+
+        return rows()
 
     # -- schema evolution ----------------------------------------------------
 
@@ -412,6 +554,10 @@ class GroupedTupleStore:
         group_index = self.schema.group_of(column_name)
         self.access_stats.schema_changes += 1
         self.access_stats.columns.pop(column_name.lower(), None)
+        dropped_key = column_name.lower()
+        self.access_stats.remap_scan_sets(
+            lambda names: tuple(name for name in names if name != dropped_key)
+        )
         members = self.schema.groups[group_index]
         if len(members) == 1:
             # Sole member: free the whole chain, rewrite nothing.
@@ -445,6 +591,14 @@ class GroupedTupleStore:
         moved = self.access_stats.columns.pop(old.lower(), None)
         if moved is not None:
             self.access_stats.columns[new.lower()] = moved
+        old_key = old.lower()
+        self.access_stats.remap_scan_sets(
+            lambda names: tuple(
+                sorted(new.lower() if name == old_key else name for name in names)
+            )
+            if old_key in names
+            else names
+        )
 
     # -- re-partitioning -------------------------------------------------------
 
@@ -576,6 +730,42 @@ class GroupedTupleStore:
         """
         self.restructure(target_groups)
         return self.n_pages
+
+    def group_io_snapshot(self) -> List[Dict[str, int]]:
+        """Cumulative per-group I/O counters, in group order — what the
+        persistence layer carries so the ``stats`` surface survives a
+        restart (pager tags are process-local and rebuilt on load)."""
+        return [
+            {
+                "reads": stats.reads,
+                "writes": stats.writes,
+                "allocations": stats.allocations,
+                "frees": stats.frees,
+            }
+            for stats in (
+                self.group_io_stats(index) for index in range(self.n_groups)
+            )
+        ]
+
+    def restore_group_io(self, payloads: Sequence[Dict[str, int]]) -> None:
+        """Overwrite the live per-group I/O counters with persisted ones.
+
+        Called after a load's row inserts, so the restart-time page
+        allocations are *replaced* by the pre-crash cumulative counters
+        rather than stacked on top of them.  Extra/missing entries (the
+        grouping changed between snapshot and load — should not happen,
+        but a truncated payload must not corrupt the store) are ignored.
+        """
+        for group_index, payload in enumerate(payloads[: self.n_groups]):
+            self.pool.set_tag_stats(
+                self._tag(group_index),
+                IOStats(
+                    reads=int(payload.get("reads", 0)),
+                    writes=int(payload.get("writes", 0)),
+                    allocations=int(payload.get("allocations", 0)),
+                    frees=int(payload.get("frees", 0)),
+                ),
+            )
 
     def group_summary(self) -> List[dict]:
         """Per-group statistics (columns, pages, cumulative block I/O)."""

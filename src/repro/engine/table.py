@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.hybridstore import restructure_blocks
 from repro.engine.layout import LayoutAdvisor, LayoutMigration, LayoutRecommendation
 from repro.engine.pager import BufferPool
 from repro.engine.schema import Column, TableSchema
@@ -138,6 +139,40 @@ class Table:
         self.store.access_stats.full_scans += 1
         for position, rid in enumerate(self.positions):
             yield position, rid, self.store.read_row(rid)
+
+    def scan_columns(
+        self, names: Sequence[str]
+    ) -> Iterator[Tuple[int, int, Tuple[Any, ...]]]:
+        """Yield ``(position, rid, values)`` in presentation order,
+        touching only the page chains covering ``names``.
+
+        The narrow scan the query pipeline rides: the store walks each
+        covering chain sequentially (charging per-column and co-access
+        statistics), and the positional index restores presentation
+        order on top of the rid-aligned fragments.  The store stream is
+        consumed *on demand*: while presentation order tracks heap order
+        (no positional inserts or moves — the common case) each row is
+        handed through as it is read, so an early-exiting consumer
+        (LIMIT) touches only a page prefix; rows surfaced out of order
+        are buffered until their position comes up.  An empty ``names``
+        yields empty tuples without touching any page — what a bare
+        ``COUNT(*)`` costs."""
+        if not names:
+            for position, rid in enumerate(self.positions):
+                yield position, rid, ()
+            return
+        source = self.store.scan_groups(names)
+        buffered: Dict[int, Tuple[Any, ...]] = {}
+        for position, rid in enumerate(self.positions):
+            while rid not in buffered:
+                try:
+                    heap_rid, values = next(source)
+                except StopIteration:
+                    raise StorageError(
+                        f"rid {rid} missing from column scan of {self.name!r}"
+                    ) from None
+                buffered[heap_rid] = values
+            yield position, rid, buffered.pop(rid)
 
     def rows(self) -> List[Tuple[Any, ...]]:
         return [row for _, _, row in self.scan()]
@@ -364,6 +399,7 @@ class Table:
         self,
         steps: int = 1,
         observer: Optional[Callable[[str, str, List[List[str]]], None]] = None,
+        max_blocks: Optional[int] = None,
     ) -> Dict[str, Any]:
         """One beat of the adaptive-layout maintenance loop.
 
@@ -371,6 +407,13 @@ class Table:
         restructure steps; otherwise (with auto layout on) consults the
         advisor and starts a migration when the predicted saving clears
         the migration cost.  Returns a small report dict for observability.
+
+        ``max_blocks`` additionally budgets the restructure work of one
+        beat: after the first step (which always runs, so a migration can
+        never stall outright), further steps are taken only while the
+        beat's written pages plus the next step's predicted cost stay
+        within the budget.  ``None`` (the default) keeps the unbudgeted
+        behaviour.
 
         ``observer(table_name, event, groups)`` is called with
         ``("start", target_groups)`` when the advisor launches a migration
@@ -387,7 +430,22 @@ class Table:
         migration = self._layout_migration
         if migration is not None:
             done = False
-            for _ in range(max(1, steps)):
+            written_before = migration.pages_written
+            for index in range(max(1, steps)):
+                if index > 0 and max_blocks is not None:
+                    spent = migration.pages_written - written_before
+                    if spent >= max_blocks:
+                        break
+                    upcoming = migration.peek()
+                    if upcoming is not None:
+                        predicted = restructure_blocks(
+                            self.schema.groups,
+                            upcoming,
+                            self.store.n_rows,
+                            self.store.pool.page_capacity,
+                        )
+                        if spent + predicted > max_blocks:
+                            break
                 before = self.schema.groups
                 done = migration.step()
                 if observer is not None and self.schema.groups != before:
@@ -400,6 +458,7 @@ class Table:
                 action="migrated" if done else "migrating",
                 steps_taken=migration.steps_taken,
                 pages_written=migration.pages_written,
+                blocks_this_tick=migration.pages_written - written_before,
                 groups=self.schema.groups,
             )
             return report

@@ -440,6 +440,10 @@ class WorkbookService:
         self._maintenance_interval = self.workbook.database.auto_layout_interval
         self.workbook.database.auto_layout_interval = 0
         self._ops_since_maintenance = 0
+        # Restructure-work budget per maintenance beat (blocks); None =
+        # unbudgeted, the historical behaviour.  Operators serving large
+        # tables set this so layout migrations never monopolise a beat.
+        self.layout_tick_budget: Optional[int] = None
 
     # -- sessions -------------------------------------------------------------
 
@@ -772,18 +776,26 @@ class WorkbookService:
 
     # -- adaptive-layout maintenance ---------------------------------------------
 
-    def maintenance_tick(self, steps: int = 2) -> List[Dict[str, Any]]:
+    def maintenance_tick(
+        self, steps: int = 2, max_blocks: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
         """One beat of :meth:`Database.maintenance_tick` with *durable*
         layout transitions: an advisor-started migration is logged as a
         ``layout_set`` (mode ``target``) record and every applied
         restructure step as a ``layout_step`` record, so the committed-
         suffix replay converges to the same physical layout the live
-        server had."""
+        server had.
+
+        ``max_blocks`` (default: the service's ``layout_tick_budget``)
+        caps each table's restructure work per beat so a big migration is
+        spread over many beats instead of stalling the serve loop."""
         database = self.workbook.database
         if database.in_transaction:
             return []
+        if max_blocks is None:
+            max_blocks = self.layout_tick_budget
         return database.maintenance_tick(
-            steps, observer=self._on_layout_transition
+            steps, observer=self._on_layout_transition, max_blocks=max_blocks
         )
 
     def _maybe_maintain(self) -> None:

@@ -487,6 +487,269 @@ class TestCli:
         shell = self.make_shell()
         assert "error" in shell.handle_line("layout-stats nope").lower()
 
+    def test_layout_stats_shows_co_access_pairs(self):
+        shell = self.make_shell()
+        shell.handle_line("sql CREATE TABLE wide (a INT, b INT, c INT)")
+        shell.handle_line("sql INSERT INTO wide VALUES (1, 2, 3)")
+        # Narrow SQL scans drive the co-access counters the CLI surfaces.
+        for _ in range(3):
+            shell.handle_line("sql SELECT a FROM wide WHERE b > 0")
+        output = shell.handle_line("layout-stats wide")
+        assert "co-scan a+b: 3 joint scans" in output
+
+
+class TestCoAccessStats:
+    def test_scan_groups_records_the_set_once(self):
+        store = make_store(n_rows=20)
+        list(store.scan_groups(["c1", "c3"]))
+        list(store.scan_groups(["c3", "c1"]))  # order-insensitive key
+        stats = store.access_stats
+        assert stats.group_scans == {("c1", "c3"): 2}
+        assert stats.columns["c1"].scans == 2
+        assert stats.columns["c3"].scans == 2
+
+    def test_scan_column_records_singleton_set(self):
+        store = make_store(n_rows=10)
+        list(store.scan_column("c0"))
+        assert store.access_stats.group_scans == {("c0",): 1}
+
+    def test_scan_groups_values_are_rid_aligned(self):
+        store = make_store(n_cols=4, n_rows=30, layout=LayoutPolicy.COLUMN)
+        rows = dict(store.scan_groups(["c3", "c0"]))
+        for rid in store.rids():
+            full = store.read_row(rid)
+            assert rows[rid] == (full[3], full[0])
+
+    def test_scan_groups_touches_only_covering_chains(self):
+        pool = BufferPool(capacity=2, page_capacity=8)
+        schema = TableSchema.from_pairs(
+            [(f"c{i}", DBType.INTEGER) for i in range(4)]
+        )
+        store = GroupedTupleStore(
+            schema, pool=pool, layout=LayoutPolicy.COLUMN, page_capacity=8
+        )
+        for i in range(64):
+            store.insert((i, i, i, i))
+        store.checkpoint()
+        pool.drop_cache()
+        before = pool.stats.snapshot()
+        idle_before = [store.group_io_stats(g).reads for g in range(4)]
+        list(store.scan_groups(["c0", "c2"]))
+        delta = pool.stats.delta(before)
+        assert delta.reads == store.pages_in_group(0) + store.pages_in_group(2)
+        # The untouched chains were not read after the cache drop.
+        assert store.group_io_stats(1).reads == idle_before[1]
+        assert store.group_io_stats(3).reads == idle_before[3]
+
+    def test_full_width_scan_charges_full_scan(self):
+        # SELECT * is a table scan, not a co-access signal: the advisor's
+        # hot-column ranking must not be skewed by full-width scans.
+        store = make_store(n_rows=10)
+        list(store.scan_groups([f"c{i}" for i in range(4)]))
+        stats = store.access_stats
+        assert stats.full_scans == 1
+        assert stats.group_scans == {}
+        assert all(column.scans == 0 for column in stats.columns.values())
+
+    def test_scan_groups_streams_lazily(self):
+        # An early-exiting consumer (LIMIT) must only read the page
+        # prefix it consumed, not materialise the whole chain.
+        pool = BufferPool(page_capacity=8)
+        schema = TableSchema.from_pairs(
+            [(f"c{i}", DBType.INTEGER) for i in range(4)]
+        )
+        store = GroupedTupleStore(
+            schema, pool=pool, layout=LayoutPolicy.COLUMN, page_capacity=8
+        )
+        for i in range(64):
+            store.insert((i, i, i, i))
+        store.checkpoint()
+        pool.drop_cache()
+        before = pool.stats.snapshot()
+        iterator = store.scan_groups(["c0", "c2"])
+        next(iterator)
+        next(iterator)
+        # Two rows touched the first page of each covering chain only.
+        assert pool.stats.delta(before).reads == 2
+
+    def test_decay_prunes_dead_sets(self):
+        stats = AccessStats()
+        stats.record_scan(["a", "b"])
+        stats.decay(0.5)
+        assert stats.group_scans == {}
+
+    def test_rename_and_drop_rewrite_set_keys(self):
+        store = make_store(n_cols=3, n_rows=10)
+        list(store.scan_groups(["c0", "c1"]))
+        store.rename_column("c0", "z")
+        assert store.access_stats.group_scans == {("c1", "z"): 1}
+        store.drop_column("z")
+        assert store.access_stats.group_scans == {("c1",): 1}
+
+    def test_serialization_roundtrip(self):
+        stats = AccessStats()
+        stats.record_scan(["a", "b"])
+        stats.record_scan(["a", "b"])
+        stats.record_scan(["c"])
+        clone = AccessStats.from_dict(stats.to_dict())
+        assert clone.group_scans == stats.group_scans
+        assert clone.columns["a"].scans == 2
+
+    def test_co_access_pairs_ranked(self):
+        stats = AccessStats()
+        for _ in range(3):
+            stats.record_scan(["a", "b"])
+        stats.record_scan(["a", "b", "c"])
+        pairs = stats.co_access_pairs()
+        assert pairs[0] == (("a", "b"), 4)
+        assert (("a", "c"), 1) in pairs and (("b", "c"), 1) in pairs
+
+
+class TestCoAccessCostModel:
+    def test_joint_scan_charges_each_covering_chain_once(self):
+        stats = AccessStats()
+        for _ in range(10):
+            stats.record_scan(["a", "b"])
+        together = [["a", "b"], ["c", "d"]]
+        apart = [["a"], ["b"], ["c", "d"]]
+        joint = estimate_workload_blocks(together, stats, 100, 16)
+        split = estimate_workload_blocks(apart, stats, 100, 16)
+        # One 2-wide chain vs two 1-wide chains: the same pages for the
+        # scans themselves (13 vs 2*7 with ceil) — co-location must not
+        # multiply the scan bill.
+        assert joint == 10 * pages_for_group(100, 2, 16)
+        assert split == 10 * 2 * pages_for_group(100, 1, 16)
+
+    def test_residual_scans_still_charged(self):
+        # Directly-written counters (no co-access sets) keep the old
+        # per-column pricing.
+        stats = AccessStats()
+        stats.column("a").scans = 10
+        grouping = [["a"], ["b"]]
+        assert estimate_workload_blocks(grouping, stats, 100, 16) == (
+            10 * pages_for_group(100, 1, 16)
+        )
+
+    def test_no_double_charge_when_sets_cover_counters(self):
+        recorded = AccessStats()
+        for _ in range(5):
+            recorded.record_scan(["a", "b"])
+        grouping = [["a", "b"], ["c"]]
+        cost = estimate_workload_blocks(grouping, recorded, 100, 16)
+        assert cost == 5 * pages_for_group(100, 2, 16)
+
+
+class TestCoAccessAdvisor:
+    def drive(self, store, requests=40, point_reads=300):
+        store.access_stats.reset()
+        for _ in range(requests):
+            list(store.scan_groups(["c0", "c1"]))
+            list(store.scan_groups(["c0", "c1", "c2"]))
+        for rid in store.rids()[:point_reads]:
+            store.get(rid)
+
+    def test_clusters_beat_singletons_on_mixed_workload(self):
+        store = make_store(n_cols=12, n_rows=400, page_capacity=32)
+        self.drive(store)
+        singleton = LayoutAdvisor(min_ops=8, co_access=False).advise(store)
+        clustered = LayoutAdvisor(min_ops=8, co_access=True).advise(store)
+        assert singleton is not None and clustered is not None
+        assert clustered.target_cost < singleton.target_cost
+        # The winning grouping co-locates the jointly scanned columns.
+        assert any(
+            {"c0", "c1"} <= {name.lower() for name in group}
+            for group in clustered.target_groups
+        )
+
+    def test_candidates_include_cluster_groupings(self):
+        store = make_store(n_cols=6, n_rows=50)
+        self.drive(store, requests=10, point_reads=20)
+        advisor = LayoutAdvisor(co_access=True)
+        signatures = [
+            {frozenset(n.lower() for n in g) for g in grouping}
+            for grouping in advisor.candidates(store)
+        ]
+        assert any(frozenset({"c0", "c1"}) in sig for sig in signatures)
+
+    def test_co_access_off_matches_old_family(self):
+        store = make_store(n_cols=4, n_rows=50)
+        self.drive(store, requests=5, point_reads=10)
+        advisor = LayoutAdvisor(co_access=False)
+        for grouping in advisor.candidates(store):
+            singletons = [group for group in grouping if len(group) == 1]
+            assert len(grouping) - len(singletons) <= 1  # k hot + one cold
+
+
+class TestBudgetedTick:
+    #: A split-then-merge re-partition: four bounded restructure steps
+    #: (two splits, two merges), so a budget has something to spread.
+    START = [["c0", "c1"], ["c2", "c3"], ["c4", "c5"]]
+    TARGET = [["c0", "c2"], ["c1", "c3"], ["c4", "c5"]]
+
+    def make_table(self, n_cols=6, n_rows=200):
+        schema = TableSchema.from_pairs(
+            [(f"c{i}", DBType.INTEGER) for i in range(n_cols)]
+        )
+        table = Table("t", schema, layout=LayoutPolicy.HYBRID, page_capacity=16)
+        table.store.restructure(self.START)
+        for i in range(n_rows):
+            table.insert(tuple(range(i, i + n_cols)), emit=False)
+        return table
+
+    def test_budget_spreads_migration_over_beats(self):
+        unbudgeted = self.make_table()
+        unbudgeted.migrate_layout(self.TARGET, online=True)
+        free_report = unbudgeted.layout_tick(steps=100)
+        assert free_report["action"] == "migrated"
+        assert free_report["steps_taken"] > 1
+
+        budgeted = self.make_table()
+        budgeted.migrate_layout(self.TARGET, online=True)
+        report = budgeted.layout_tick(steps=100, max_blocks=1)
+        # The budget held the beat to a single restructure step even
+        # though 100 were allowed.
+        assert report["action"] == "migrating"
+        assert report["steps_taken"] == 1
+        beats = 1
+        while budgeted.migration_active:
+            budgeted.layout_tick(steps=100, max_blocks=1)
+            beats += 1
+            assert beats < 100, "budgeted migration did not converge"
+        assert beats > 1
+        assert budgeted.schema.groups == unbudgeted.schema.groups
+        budgeted.validate()
+
+    def test_budget_never_stalls_a_migration(self):
+        table = self.make_table()
+        table.migrate_layout(self.TARGET, online=True)
+        # A budget smaller than any single step still makes progress
+        # (first step per beat always runs).
+        for _ in range(50):
+            if not table.migration_active:
+                break
+            report = table.layout_tick(steps=4, max_blocks=0)
+            assert report["blocks_this_tick"] >= 0
+        assert not table.migration_active
+
+    def test_default_budget_preserves_behaviour(self):
+        capped = self.make_table()
+        capped.migrate_layout(self.TARGET, online=True)
+        report = capped.layout_tick(steps=100)
+        assert report["action"] == "migrated"
+        assert "blocks_this_tick" in report
+
+    def test_database_tick_forwards_budget(self):
+        db = Database(page_capacity=16, auto_layout_interval=0)
+        db.execute("CREATE TABLE t (a INT, b INT, c INT, d INT)")
+        table = db.table("t")
+        table.store.restructure([["a", "b"], ["c", "d"]])
+        for i in range(150):
+            db.execute(f"INSERT INTO t VALUES ({i}, {i}, {i}, {i})")
+        table.migrate_layout([["a", "c"], ["b", "d"]], online=True)
+        reports = db.maintenance_tick(steps=100, max_blocks=1)
+        assert reports and reports[0]["action"] == "migrating"
+        assert reports[0]["steps_taken"] == 1
+
 
 class TestPerGroupIo:
     def test_group_io_attribution(self):

@@ -107,6 +107,25 @@ class TestSnapshotCarriesLayout:
         recovered.validate()
         reopened.close()
 
+    def test_group_io_counters_survive_snapshot(self, tmp_path):
+        """ROADMAP item: the per-group I/O surface (`pager.tag_stats`)
+        used to reset to zero on every recovery."""
+        service = make_service(tmp_path)
+        session = service.connect("alice")
+        table = build_wide_table(service, session)
+        service.workbook.database.checkpoint()
+        for _ in range(10):
+            list(table.store.scan_column("a"))
+        io_before = table.store.group_io_snapshot()
+        assert any(entry["writes"] or entry["allocations"] for entry in io_before)
+        service.compact()
+        service.close()
+
+        reopened = make_service(tmp_path)
+        recovered = reopened.workbook.database.table("t")
+        assert recovered.store.group_io_snapshot() == io_before
+        reopened.close()
+
     def test_snapshot_mid_migration_resumes_and_completes(self, tmp_path):
         """Acceptance: a server killed mid-migration resumes from the
         persisted target and completes after restart."""

@@ -181,6 +181,27 @@ class TestLayoutState:
         assert clone.migration_active
         assert clone.layout_migration_target == [["a", "c"], ["b", "d"]]
 
+    def test_group_io_counters_roundtrip(self):
+        source = self.build()
+        table = source.database.table("t")
+        table.migrate_layout([["a"], ["b", "c", "d"]], online=False)
+        table.checkpoint()
+        for _ in range(5):
+            list(table.store.scan_column("a"))
+        before = table.store.group_io_snapshot()
+        assert any(entry["writes"] or entry["allocations"] for entry in before)
+        wb = workbook_from_dict(workbook_to_dict(source))
+        # The per-group I/O surface continues from the pre-save counters
+        # instead of restarting from the load's own write burst.
+        assert wb.database.table("t").store.group_io_snapshot() == before
+
+    def test_missing_group_io_loads_with_live_counters(self):
+        payload = workbook_to_dict(self.build())
+        for spec in payload["tables"]:
+            del spec["group_io"]
+        wb = workbook_from_dict(payload)  # must not raise
+        assert wb.database.table("t").n_rows == 40
+
     def test_v1_payload_loads_with_layout_defaults(self):
         source = self.build()
         source.execute("ALTER TABLE t SET LAYOUT AUTO")

@@ -3,6 +3,9 @@
 import pytest
 
 from repro import Database
+from repro.engine.executor import ProjectedScan
+from repro.engine.planner import Planner
+from repro.engine.sql_parser import parse_statement
 from repro.errors import PlanError, SqlError
 
 
@@ -279,6 +282,76 @@ class TestSubqueries:
             "WHERE n > 1 ORDER BY g"
         ).rows
         assert rows == [("a", 2), ("b", 2)]
+
+
+def _scans(db, sql):
+    """Plan a statement and return its ProjectedScan leaves (post-run)."""
+    planner = Planner(db.catalog)
+    planned = planner.plan_select(parse_statement(sql))
+    rows = planned.execute()
+
+    def walk(node):
+        found = [node] if isinstance(node, ProjectedScan) else []
+        for child in node.children():
+            found.extend(walk(child))
+        return found
+
+    return rows, walk(planned.plan)
+
+
+class TestColumnSetWork:
+    """``cols_read`` accounting: the logical width each query actually
+    pulled off the page chains."""
+
+    def test_narrow_select_reads_two_columns(self, sample):
+        rows, scans = _scans(sample, "SELECT grp FROM t WHERE val > 15")
+        assert sorted(r[0] for r in rows) == ["a", "b", "c"]
+        assert [s.cols_read for s in scans] == [2]
+        assert scans[0].column_names == ["grp", "val"]
+
+    def test_star_reads_full_width(self, sample):
+        _, scans = _scans(sample, "SELECT * FROM t")
+        assert [s.cols_read for s in scans] == [3]
+
+    def test_count_star_reads_zero_columns(self, sample):
+        rows, scans = _scans(sample, "SELECT count(*) FROM t")
+        assert rows == [(5,)]
+        assert [s.cols_read for s in scans] == [0]
+
+    def test_join_reads_keys_plus_outputs(self, sample):
+        rows, scans = _scans(
+            sample,
+            "SELECT a.grp FROM t a JOIN t b ON a.id = b.id WHERE b.val > 40",
+        )
+        assert rows == [("c",)]
+        widths = {s.binding: s.cols_read for s in scans}
+        assert widths == {"a": 2, "b": 2}  # a: grp+id, b: id+val
+
+    def test_narrow_results_match_full_scan(self, sample):
+        narrow = sample.execute("SELECT val FROM t WHERE grp = 'b' ORDER BY id")
+        sample.projection_pushdown = False
+        full = sample.execute("SELECT val FROM t WHERE grp = 'b' ORDER BY id")
+        assert narrow.rows == full.rows == [(30.0,), (None,)]
+
+    def test_narrow_scan_correct_over_column_layout(self, db):
+        db.execute("CREATE TABLE w (a INT, b INT, c INT, d INT)")
+        for i in range(30):
+            db.execute(f"INSERT INTO w VALUES ({i}, {i * 2}, {i * 3}, {i * 4})")
+        db.execute("ALTER TABLE w SET LAYOUT COLUMN")
+        rows = db.execute("SELECT b, d FROM w WHERE c >= 60 ORDER BY a").rows
+        assert rows == [(2 * i, 4 * i) for i in range(20, 30)]
+
+    def test_sql_scans_charge_co_access_stats(self, db):
+        db = Database(auto_layout_interval=0)
+        db.execute("CREATE TABLE s (a INT, b INT, c INT)")
+        db.execute("INSERT INTO s VALUES (1, 2, 3)")
+        db.execute("SELECT a FROM s WHERE b > 0")
+        stats = db.table("s").store.access_stats
+        # The real query path charged the column set it scanned together.
+        assert stats.group_scans.get(("a", "b")) == 1
+        assert stats.columns["a"].scans == 1
+        assert stats.columns["b"].scans == 1
+        assert "c" not in stats.columns
 
 
 class TestScalarFunctions:
