@@ -44,6 +44,8 @@ from repro.engine.table import Table
 from repro.engine.types import DBType
 from repro.workloads.traces import alternating_layout_trace
 
+from .conftest import write_bench_json
+
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 
 N_COLS = 8
@@ -164,6 +166,15 @@ def test_adaptive_beats_static_layouts():
         f"adaptive={wall['adaptive']:.2f}s)"
     )
     print(f"adaptive layouts per phase: {layouts_seen}")
+    write_bench_json(
+        "layout_adaptivity",
+        {
+            "ops": N_PHASES * PHASE_LENGTH,
+            "blocks": dict(totals),
+            "migrations": migrations,
+            "wall_s": {name: round(seconds, 3) for name, seconds in wall.items()},
+        },
+    )
     # The headline claim: adaptivity strictly beats *both* static extremes
     # on total page I/O for the mixed trace — migration traffic included.
     assert totals["adaptive"] < totals["row"], (

@@ -1,0 +1,162 @@
+"""Observability overhead: metrics on vs off over the HTAP trace.
+
+The observability subsystem (:mod:`repro.obs`) claims to be cheap enough
+to leave on in production and *free* when disabled:
+
+* metrics ENABLED: counters/gauges/histograms live, every statement
+  timed into a log-bucket histogram, every server apply timed — the
+  whole HTAP trace must slow down by **< 5%** versus disabled,
+* metrics DISABLED: the only residual cost is one boolean test per
+  instrument call — a disabled ``Counter.inc`` / ``Histogram.observe``
+  must cost well under a microsecond (the "~0% off" claim, measured
+  directly rather than lost in run-to-run noise),
+* tracing costs nothing when no trace is active: the null-span fast
+  path returns a shared singleton, asserted below by identity.
+
+The on/off comparison interleaves the two configurations and takes the
+min of N repetitions, so one background scheduling blip cannot fake a
+regression.  Results land in ``BENCH_observability.json`` via
+:func:`benchmarks.conftest.write_bench_json`.
+
+Run ``BENCH_SMOKE=1`` (the CI smoke step) to shrink the trace while
+keeping every assertion live.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine.database import Database
+from repro.obs import MetricsRegistry
+from repro.obs.trace import _NULL_SPAN
+
+from .conftest import write_bench_json
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+N_ROWS = 120 if SMOKE else 400
+# Many short repetitions beat few long ones: min-of-N estimates the noise
+# floor, and the floor is found more reliably with more samples.
+N_ROUNDS = 20 if SMOKE else 30
+REPEATS = 4 if SMOKE else 12
+# The HTAP trace is statement-heavy on purpose: per-statement timing is
+# the instrumentation's hot path, so this is the worst case for overhead.
+OVERHEAD_CEILING = 1.05
+DISABLED_CALL_CEILING_US = 1.0
+
+
+def build_db(enabled: bool) -> Database:
+    registry = MetricsRegistry(enabled=enabled)
+    db = Database(page_capacity=32, buffer_frames=16, metrics=registry)
+    db.execute("CREATE TABLE t (a INT, b INT, c INT, d INT)")
+    table = db.table("t")
+    for i in range(N_ROWS):
+        table.insert((i, i * 2, i * 3, i * 5), emit=False)
+    return db
+
+
+def run_trace(db: Database) -> int:
+    """The HTAP mix: narrow scans, point-ish reads, updates, inserts."""
+    statements = 0
+    value = N_ROWS
+    for index in range(N_ROUNDS):
+        db.execute(f"SELECT a, b FROM t WHERE a > {(index * 13) % N_ROWS}")
+        db.execute(f"SELECT c FROM t WHERE d < {(index * 29) % (N_ROWS * 5)}")
+        db.execute(f"UPDATE t SET b = {index} WHERE a = {(index * 7) % N_ROWS}")
+        db.execute(f"INSERT INTO t VALUES ({value}, {value * 2}, {value * 3}, {value * 5})")
+        value += 1
+        statements += 4
+    return statements
+
+
+def timed_trace(enabled: bool) -> float:
+    db = build_db(enabled)
+    started = time.perf_counter()
+    run_trace(db)
+    return time.perf_counter() - started
+
+
+def measure_overhead() -> dict:
+    # Interleave on/off runs (robust against drift) and estimate each
+    # config's floor as the mean of its 3 fastest repetitions — steadier
+    # than the raw min, which inherits the jitter of a single lucky run.
+    times = {"on": [], "off": []}
+    timed_trace(enabled=False)  # warm-up: imports, code caches
+    for _ in range(REPEATS):
+        times["off"].append(timed_trace(enabled=False))
+        times["on"].append(timed_trace(enabled=True))
+    k = max(1, min(3, REPEATS))
+    return {
+        mode: sum(sorted(samples)[:k]) / k for mode, samples in times.items()
+    }
+
+
+def disabled_call_cost_us() -> float:
+    """Average cost of one disabled instrument call, in microseconds."""
+    registry = MetricsRegistry(enabled=False)
+    counter = registry.counter("bench_disabled_total")
+    histogram = registry.histogram("bench_disabled_seconds")
+    n = 20_000 if SMOKE else 100_000
+    started = time.perf_counter()
+    for _ in range(n):
+        counter.inc()
+        histogram.observe(0.001)
+    elapsed = time.perf_counter() - started
+    return elapsed / (2 * n) * 1e6
+
+
+def test_metrics_overhead_bounded():
+    best = measure_overhead()
+    ratio = best["on"] / best["off"]
+    per_call_us = disabled_call_cost_us()
+
+    # Tracing off the hot path: with no trace active the tracer hands out
+    # the shared null span — no allocation, no timing.
+    db = build_db(enabled=True)
+    assert db.tracer.span("anything") is _NULL_SPAN
+    assert db.tracer.current is _NULL_SPAN
+
+    statements = N_ROUNDS * 4
+    print(
+        f"\nHTAP trace ({statements} statements, best-3 mean of {REPEATS}): "
+        f"metrics off={best['off'] * 1e3:.1f}ms on={best['on'] * 1e3:.1f}ms "
+        f"ratio={ratio:.3f}; disabled instrument call={per_call_us:.3f}us"
+    )
+    write_bench_json(
+        "observability",
+        {
+            "statements": statements,
+            "repeats": REPEATS,
+            "metrics_off_ms": round(best["off"] * 1e3, 3),
+            "metrics_on_ms": round(best["on"] * 1e3, 3),
+            "overhead_ratio": round(ratio, 4),
+            "disabled_call_us": round(per_call_us, 4),
+        },
+    )
+    # Acceptance: <5% slowdown with metrics on, and a disabled instrument
+    # call is sub-microsecond.
+    assert ratio < OVERHEAD_CEILING, (
+        f"metrics-on trace is {ratio:.3f}x metrics-off (ceiling {OVERHEAD_CEILING})"
+    )
+    assert per_call_us < DISABLED_CALL_CEILING_US, (
+        f"disabled instrument call costs {per_call_us:.3f}us"
+    )
+
+
+def test_registry_counts_the_trace():
+    """Sanity: with metrics on, the registry actually saw the workload."""
+    db = build_db(enabled=True)
+    statements = run_trace(db)
+    snap = db.metrics()
+    # +1 for the CREATE TABLE in build_db.
+    assert snap["db_statements_total"] == statements + 1
+    latency = snap["db_statement_seconds"]
+    assert latency["count"] == statements + 1
+    assert latency["p50"] <= latency["p95"] <= latency["p99"]
+    assert snap["pager_reads"] >= 0 and snap["buffer_hits"] > 0
+
+
+if __name__ == "__main__":
+    test_metrics_overhead_bounded()
+    test_registry_counts_the_trace()

@@ -28,7 +28,7 @@ from repro.core.persist import save_workbook
 from repro.server.service import WorkbookService, recover_state
 from repro.server.wal import WriteAheadLog
 
-from .conftest import build_sequence_table
+from .conftest import build_sequence_table, write_bench_json
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 N_TABLE_ROWS = 10_000
@@ -179,6 +179,15 @@ def test_recovery_preserves_tuned_layout(tmp_path):
     print(
         f"\nscan-trace blocks: recovered(tuned)={tuned_blocks} "
         f"default={default_blocks} groups={tuned_groups}"
+    )
+    write_bench_json(
+        "wal_recovery",
+        {
+            "table_rows": n_rows,
+            "tuned_blocks": tuned_blocks,
+            "default_blocks": default_blocks,
+            "tuned_groups": tuned_groups,
+        },
     )
     assert tuned_blocks < default_blocks, (
         f"recovered layout costs {tuned_blocks} blocks on the scan trace, "

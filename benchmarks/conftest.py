@@ -8,6 +8,9 @@ paper-shape claims are visible in the report independent of machine speed.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro import Database, Workbook
@@ -17,6 +20,28 @@ from repro.workloads.datasets import (
     load_grades_database,
     load_movie_database,
 )
+
+
+def write_bench_json(name: str, payload: dict) -> str:
+    """Persist one benchmark's headline numbers as ``BENCH_<name>.json``.
+
+    Written to the repo root (override with ``BENCH_RESULTS_DIR``) so
+    successive runs leave a machine-readable perf trajectory alongside
+    the human-readable pytest report.  ``smoke`` records whether the
+    numbers came from the shrunken CI configuration."""
+    directory = os.environ.get("BENCH_RESULTS_DIR") or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    )
+    record = {
+        "bench": name,
+        "smoke": os.environ.get("BENCH_SMOKE") == "1",
+        **payload,
+    }
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def build_movie_workbook(n_movies: int, n_actors: int | None = None) -> Workbook:

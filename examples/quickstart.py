@@ -76,6 +76,25 @@ def main() -> None:
     print("created table:", table.name, table.column_names)
     print("query it:", wb.execute("SELECT count(*) FROM regions").scalar(), "rows")
 
+    # ------------------------------------------------------------------
+    # 7. Observability: metrics, a per-query trace, the event log.
+    # ------------------------------------------------------------------
+    snap = wb.database.metrics()
+    print(
+        "metrics:",
+        snap["db_statements_total"], "statements,",
+        f"p95 latency {snap['db_statement_seconds']['p95'] * 1e3:.2f}ms,",
+        snap["pager_reads"], "page reads,",
+        f"{snap['buffer_hit_ratio']:.0%} buffer hits",
+    )
+    # EXPLAIN TRACE runs the query and returns the span tree as rows.
+    trace = wb.execute("EXPLAIN TRACE SELECT name FROM cities WHERE pop > 26000")
+    print("query trace:")
+    for (line,) in trace:
+        print("   ", line)
+    for event in wb.database.events.tail(3):
+        print("event:", event.render())
+
 
 if __name__ == "__main__":
     main()

@@ -7,6 +7,8 @@ and SQL — the "holistic unification" at the prompt.
 Run:  python -m repro.cli                 (in-memory workbook)
       python -m repro.cli serve <dir>     (durable, WAL-backed workbook)
       python -m repro.cli replay <path>   (recover a WAL/service dir, print state)
+      python -m repro.cli metrics <dir>   (recover a service dir, print metrics)
+      python -m repro.cli events <dir>    (recover a service dir, tail event log)
 
 Commands
 --------
@@ -19,6 +21,8 @@ Commands
 ``tables``                  list tables
 ``regions``                 list display regions
 ``stats``                   workbook statistics
+``metrics [prom]``          metrics snapshot (human table, or Prometheus text)
+``events [n]``              tail the maintenance event log (last n, default all)
 ``layout-stats [table]``    physical layout: groups, pages, per-group I/O
 ``layout-advise [table]``   ask the layout advisor what it would do
 ``save <path>``             persist the whole workbook to JSON
@@ -42,7 +46,7 @@ from repro.core.address import CellAddress
 from repro.core.render import render_range, render_window
 from repro.errors import DataSpreadError, ServerError, StaleWriteError
 
-__all__ = ["DataSpreadShell", "replay_report", "main"]
+__all__ = ["DataSpreadShell", "replay_report", "observability_report", "main"]
 
 _PROMPT = "dataspread> "
 
@@ -109,6 +113,31 @@ def replay_report(path: str) -> str:
     first_sheet = workbook.sheet_names()[0]
     lines.append(render_window(workbook, first_sheet, top=0, left=0, n_rows=12, n_cols=6))
     return "\n".join(lines)
+
+
+def observability_report(kind: str, directory: str, argument: str = "") -> str:
+    """Recover a service directory and print its metrics or event log.
+
+    ``kind`` is ``"metrics"`` (``argument`` may be ``"prom"`` for the
+    Prometheus text exposition) or ``"events"`` (``argument`` may be a
+    tail length).  Recovery itself populates the registry and event log,
+    so this shows what a server opening the directory would see —
+    including any WAL repair and resumed migrations."""
+    from repro.server.service import recover_state
+
+    if not os.path.isdir(directory):
+        raise ServerError(f"no such service directory: {directory!r}")
+    recovery = recover_state(directory)
+    database = recovery.workbook.database
+    if kind == "metrics":
+        if argument in ("prom", "prometheus"):
+            return database.metrics_registry.render_prometheus().rstrip("\n")
+        return database.metrics_registry.render_table()
+    limit = int(argument) if argument else None
+    events = database.events.tail(limit)
+    if not events:
+        return "(no events)"
+    return "\n".join(event.render() for event in events)
 
 
 class DataSpreadShell:
@@ -207,6 +236,10 @@ class DataSpreadShell:
                     f"<- {context.description}"
                 )
             return "\n".join(lines) or "(no regions)"
+        if lowered == "metrics" or lowered.startswith("metrics "):
+            return self._metrics(line[len("metrics") :].strip())
+        if lowered == "events" or lowered.startswith("events "):
+            return self._events(line[len("events") :].strip())
         if lowered.startswith("layout-stats"):
             return self._layout_stats(line[len("layout-stats") :].strip())
         if lowered.startswith("layout-advise"):
@@ -259,13 +292,21 @@ class DataSpreadShell:
         return f"{target} = {value!r}"
 
     def _run_sql(self, sql: str) -> str:
-        if self.service is not None:
+        from repro.engine.database import is_explain_trace
+
+        if self.service is not None and not is_explain_trace(sql):
             result = self.service.execute(self.session.session_id, sql).result
         else:
+            # EXPLAIN TRACE is read-only diagnostics: run it directly on
+            # the engine rather than through the durable apply pipeline
+            # (it is not an operation worth logging to the WAL).
             result = self.workbook.execute(sql)
         if result is None or not result.columns:
             rowcount = getattr(result, "rowcount", 0)
             return f"ok ({rowcount} rows affected)"
+        if result.columns == ["trace"]:
+            # EXPLAIN TRACE: the rows are pre-rendered tree lines.
+            return "\n".join(str(row[0]) for row in result.rows)
         widths = [
             max(len(str(column)), *(len(str(row[i])) for row in result.rows))
             if result.rows
@@ -283,6 +324,28 @@ class DataSpreadShell:
         if len(result.rows) > 50:
             lines.append(f"... ({len(result.rows)} rows total)")
         return "\n".join(lines)
+
+    # -- observability commands ---------------------------------------------
+
+    def _metrics(self, argument: str) -> str:
+        registry = self.workbook.database.metrics_registry
+        if argument in ("prom", "prometheus"):
+            return registry.render_prometheus().rstrip("\n")
+        if argument:
+            return "usage: metrics [prom]"
+        return registry.render_table()
+
+    def _events(self, argument: str) -> str:
+        limit = None
+        if argument:
+            try:
+                limit = int(argument)
+            except ValueError:
+                return "usage: events [n]"
+        events = self.workbook.database.events.tail(limit)
+        if not events:
+            return "(no events)"
+        return "\n".join(event.render() for event in events)
 
     # -- adaptive-layout commands -------------------------------------------
 
@@ -451,6 +514,18 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {error}")
             return 1
         return 0
+    if arguments and arguments[0] in ("metrics", "events"):
+        if len(arguments) not in (2, 3):
+            print(f"usage: python -m repro.cli {arguments[0]} <directory> "
+                  f"[{'prom' if arguments[0] == 'metrics' else 'n'}]")
+            return 2
+        extra = arguments[2] if len(arguments) == 3 else ""
+        try:
+            print(observability_report(arguments[0], arguments[1], extra))
+        except (DataSpreadError, ValueError) as error:
+            print(f"error: {error}")
+            return 1
+        return 0
     shell = DataSpreadShell()
     if arguments and arguments[0] == "serve":
         if len(arguments) != 2:
@@ -458,7 +533,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 2
         print(shell.handle_line(f"serve {arguments[1]}"))
     elif arguments:
-        print(f"unknown subcommand {arguments[0]!r} (try 'serve' or 'replay')")
+        print(
+            f"unknown subcommand {arguments[0]!r} "
+            "(try 'serve', 'replay', 'metrics' or 'events')"
+        )
         return 2
     _repl(shell)
     return 0

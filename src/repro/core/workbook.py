@@ -83,8 +83,31 @@ class Workbook(ComputeHost):
         self.cell_listeners: List[Any] = []
         #: ``listener(region)`` after a display region re-renders.
         self.region_refresh_listeners: List[Any] = []
+        # Report the spreadsheet layer (sheets, compute, sync) through the
+        # database's metrics registry so every layer scrapes as one surface.
+        self.database.metrics_registry.register_collector(
+            self._collect_workbook_metrics
+        )
         if default_sheet:
             self.add_sheet(default_sheet)
+
+    def _collect_workbook_metrics(self) -> Dict[str, Any]:
+        """Pull-collector over the existing compute/sync counter structs."""
+        compute = self.compute.stats
+        sync = self.sync.stats
+        return {
+            "wb_sheets": len(self.sheets),
+            "wb_regions": len(self.regions),
+            "wb_formulas": self.compute.n_formulas,
+            "compute_evaluations": compute.evaluations,
+            "compute_demand_evaluations": compute.demand_evaluations,
+            "compute_scheduled_evaluations": compute.scheduled_evaluations,
+            "compute_errors": compute.errors,
+            "compute_cycles": compute.cycles,
+            "compute_reparses": compute.reparses,
+            "sync_events_received": sync.events_received,
+            "sync_regions_refreshed": sync.regions_refreshed,
+        }
 
     # ------------------------------------------------------------- observers
 

@@ -16,6 +16,8 @@ interface layer (:mod:`repro.core`) talks to exactly this class:
 
 from __future__ import annotations
 
+import re
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -33,8 +35,27 @@ from repro.engine.transaction import TransactionManager
 from repro.engine.types import DBType, infer_type, unify_types
 from repro.errors import ExecutionError, PlanError, SqlError
 from repro.index.positional import PositionalIndex
+from repro.obs import EventLog, MetricsRegistry, Span, Tracer
 
-__all__ = ["Database", "ResultSet"]
+__all__ = ["Database", "ResultSet", "is_explain_trace"]
+
+#: ``EXPLAIN TRACE <statement>`` — a per-statement trace capture prefix
+#: handled before the grammar (so the parser stays untouched).
+_EXPLAIN_TRACE = re.compile(r"^\s*explain\s+trace\s+", re.IGNORECASE)
+
+
+def is_explain_trace(sql: str) -> bool:
+    """True when ``sql`` is an ``EXPLAIN TRACE`` capture request (the
+    CLI uses this to route such statements straight to the engine)."""
+    return bool(_EXPLAIN_TRACE.match(sql))
+
+
+def _annotate_plan(parent: Span, node: Any) -> None:
+    """Mirror a finished operator tree into zero-duration trace children
+    carrying each node's work counters (rows_out, rows_scanned, ...)."""
+    child = parent.annotate_child(node.label(), **node.counters())
+    for sub in node.children():
+        _annotate_plan(child, sub)
 
 
 @dataclass
@@ -88,6 +109,7 @@ class Database:
         buffer_frames: Optional[int] = None,
         auto_layout_interval: int = 64,
         projection_pushdown: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         self.catalog = Catalog(
             page_capacity=page_capacity, buffer_frames=buffer_frames
@@ -108,6 +130,35 @@ class Database:
         # forever; callers wanting everything consume maintenance_tick()'s
         # return value instead).
         self.maintenance_reports: Deque[Dict[str, Any]] = deque(maxlen=256)
+        # Observability: a per-database registry by default so tests and
+        # benchmarks stay isolated; pass repro.obs.global_registry() to
+        # aggregate several databases into one scrape surface.
+        self.metrics_registry = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = Tracer()
+        self.events = EventLog()
+        self.last_trace: Optional[Span] = None
+        self._stmt_counter = self.metrics_registry.counter(
+            "db_statements_total", "SQL statements executed"
+        )
+        self._stmt_seconds = self.metrics_registry.histogram(
+            "db_statement_seconds", "SQL statement latency (seconds)"
+        )
+        self.metrics_registry.register_collector(self._collect_engine_metrics)
+
+    # -- observability -------------------------------------------------------
+
+    def _collect_engine_metrics(self) -> Dict[str, Any]:
+        """Pull-collector over the engine's existing counters — reading
+        them at scrape time keeps the hot paths un-instrumented."""
+        snap = self.catalog.pool.stats_snapshot()
+        snap["db_tables"] = len(self.catalog.table_names())
+        snap["db_events_logged"] = len(self.events)
+        return snap
+
+    def metrics(self) -> Dict[str, Any]:
+        """One flat snapshot of every engine metric (see
+        :meth:`repro.obs.MetricsRegistry.snapshot`)."""
+        return self.metrics_registry.snapshot()
 
     # -- events -------------------------------------------------------------
 
@@ -125,6 +176,7 @@ class Database:
 
     def _attach(self, table: Table) -> Table:
         table.listeners.append(self._dispatch)
+        table.events = self.events
         return table
 
     # -- schema API ----------------------------------------------------------------
@@ -234,7 +286,17 @@ class Database:
         params: Sequence[Any] = (),
         resolver: Optional[RangeResolver] = None,
     ) -> ResultSet:
-        """Parse and execute one statement (or a BEGIN/COMMIT/ROLLBACK)."""
+        """Parse and execute one statement (or a BEGIN/COMMIT/ROLLBACK).
+
+        ``EXPLAIN TRACE <statement>`` runs the statement with the span
+        tracer active and returns the rendered trace tree (one line per
+        row); the :class:`~repro.obs.Span` itself is kept on
+        :attr:`last_trace` for programmatic inspection."""
+        match = _EXPLAIN_TRACE.match(sql)
+        if match:
+            _, span = self.trace_statement(sql[match.end():], params, resolver)
+            lines = span.render().splitlines() if span is not None else []
+            return ResultSet(["trace"], [(line,) for line in lines], len(lines))
         command = _TXN_COMMANDS.get(sql.strip().rstrip(";").strip().lower())
         if command == "begin":
             self.begin()
@@ -274,6 +336,30 @@ class Database:
         result = self.execute(sql, params, resolver)
         return result
 
+    def trace_statement(
+        self,
+        sql: str,
+        params: Sequence[Any] = (),
+        resolver: Optional[RangeResolver] = None,
+    ) -> Tuple[ResultSet, Optional[Span]]:
+        """Execute one statement with the tracer active; returns
+        ``(result, span_tree)``.  The tree covers parse → plan → execute
+        with the plan-operator and pager accounting children attached."""
+        root = self.tracer.begin("statement")
+        root.add("sql", " ".join(sql.split()))
+        try:
+            with root:
+                with self.tracer.span("parse"):
+                    statements = parse_sql(sql)
+                if len(statements) != 1:
+                    raise SqlError(
+                        f"EXPLAIN TRACE takes one statement, got {len(statements)}"
+                    )
+                result = self._execute_statement(statements[0], params, resolver)
+        finally:
+            self.last_trace = self.tracer.finish()
+        return result, self.last_trace
+
     # -- statement dispatch -------------------------------------------------------
 
     def _execute_statement(
@@ -284,12 +370,48 @@ class Database:
     ) -> ResultSet:
         self.statements_executed += 1
         self._maybe_auto_tick()
+        # Gate the perf_counter pair on the enabled flag so "metrics off"
+        # costs one boolean test per statement.
+        timed = self.metrics_registry.enabled
+        started = time.perf_counter() if timed else 0.0
+        try:
+            return self._dispatch_statement(statement, params, resolver)
+        finally:
+            if timed:
+                self._stmt_counter.value += 1
+                self._stmt_seconds.observe(time.perf_counter() - started)
+
+    def _dispatch_statement(
+        self,
+        statement: ast.Statement,
+        params: Sequence[Any],
+        resolver: Optional[RangeResolver],
+    ) -> ResultSet:
         planner = Planner(
             self.catalog, resolver, projection_pushdown=self.projection_pushdown
         )
         if isinstance(statement, (ast.SelectStmt, ast.CompoundSelect)):
-            planned = planner.plan_select(statement)
-            rows = planned.execute(params)
+            tracer = self.tracer
+            with tracer.span("plan"):
+                planned = planner.plan_select(statement)
+            with tracer.span("execute") as execute_span:
+                tracing = tracer.active
+                if tracing:
+                    pool = self.catalog.pool
+                    io_before = pool.stats.snapshot()
+                    hits_before, misses_before = pool.hits, pool.misses
+                rows = planned.execute(params)
+                if tracing:
+                    execute_span.add("rows_out", len(rows))
+                    delta = pool.stats.delta(io_before)
+                    execute_span.annotate_child(
+                        "pager",
+                        pages_read=delta.reads,
+                        pages_written=delta.writes,
+                        cache_hits=pool.hits - hits_before,
+                        cache_misses=pool.misses - misses_before,
+                    )
+                    _annotate_plan(execute_span, planned.plan)
             return ResultSet(planned.column_names, rows, len(rows))
         if isinstance(statement, ast.InsertStmt):
             return self._execute_insert(statement, params, planner)

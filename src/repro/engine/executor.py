@@ -80,6 +80,10 @@ class PlanNode:
             lines.append(child.explain(depth + 1))
         return "\n".join(lines)
 
+    def counters(self) -> Dict[str, Any]:
+        """Per-node work counters for the trace annotation tree."""
+        return {"rows_out": self.rows_out}
+
     def total_rows_processed(self) -> int:
         return self.rows_out + sum(c.total_rows_processed() for c in self.children())
 
@@ -114,10 +118,32 @@ class ProjectedScan(PlanNode):
         self.column_names = names
         self.predicates: List[Tuple[RowFn, str]] = []
         self.rows_scanned = 0
+        # Covering-group I/O snapshot taken when the scan starts; the
+        # delta at trace-collection time is the block I/O this node's
+        # page chains were charged during the statement.
+        self._io_before = None
 
     @property
     def cols_read(self) -> int:
         return len(self.column_names)
+
+    def io_delta(self):
+        """Block I/O charged to the covering groups since :meth:`run`
+        started (zeros if the node never ran)."""
+        after = self.table.store.covering_io_snapshot(self.column_names)
+        if self._io_before is None:
+            return after.delta(after)
+        return after.delta(self._io_before)
+
+    def counters(self) -> Dict[str, Any]:
+        base = super().counters()
+        base["rows_scanned"] = self.rows_scanned
+        base["cols_read"] = self.cols_read
+        if self._io_before is not None:
+            delta = self.io_delta()
+            base["pages_read"] = delta.reads
+            base["pages_written"] = delta.writes
+        return base
 
     def add_predicate(self, predicate: RowFn, description: str = "") -> None:
         """Attach a pushed predicate, evaluated on the narrow fragment."""
@@ -131,6 +157,8 @@ class ProjectedScan(PlanNode):
         )
 
     def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        self._io_before = self.table.store.covering_io_snapshot(self.column_names)
+
         def rows() -> Iterator[Tuple[Any, ...]]:
             for _, _, values in self.table.scan_columns(self.column_names):
                 self.rows_scanned += 1

@@ -23,7 +23,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import StorageError
 
-__all__ = ["IOStats", "Page", "DiskManager", "BufferPool", "DEFAULT_PAGE_CAPACITY"]
+__all__ = [
+    "IOStats",
+    "EMPTY_IO_STATS",
+    "Page",
+    "DiskManager",
+    "BufferPool",
+    "DEFAULT_PAGE_CAPACITY",
+]
 
 #: Records per page; ~8KB block / ~64B row in spirit.
 DEFAULT_PAGE_CAPACITY = 128
@@ -62,6 +69,32 @@ class IOStats:
             f"IOStats(reads={self.reads}, writes={self.writes}, "
             f"allocations={self.allocations}, frees={self.frees})"
         )
+
+
+class _FrozenIOStats(IOStats):
+    """An immutable all-zero :class:`IOStats` shared across callers.
+
+    ``tag_stats`` misses used to allocate a fresh ``IOStats()`` per call,
+    which both wasted allocations on read-heavy stat paths and invited the
+    bug of mutating a throwaway object; this one raises instead.  Use
+    :meth:`snapshot` to get a private mutable copy."""
+
+    _sealed = False
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        if _FrozenIOStats._sealed:
+            raise StorageError(
+                "the shared empty IOStats is immutable; use .snapshot() for a copy"
+            )
+        super().__setattr__(name, value)
+
+    def reset(self) -> None:
+        pass  # already all zeros, and must stay that way
+
+
+#: The shared all-zero stats returned for untouched tags.
+EMPTY_IO_STATS = _FrozenIOStats()
+_FrozenIOStats._sealed = True
 
 
 @dataclass
@@ -120,8 +153,32 @@ class DiskManager:
         return page_id
 
     def tag_stats(self, tag: Any) -> IOStats:
-        """Cumulative I/O charged to one tag (zeros if never touched)."""
-        return self._tag_stats.get(tag, IOStats())
+        """Cumulative I/O charged to one tag.
+
+        A never-touched tag gets the shared immutable
+        :data:`EMPTY_IO_STATS` — no allocation per miss, and accidental
+        mutation raises instead of silently updating a throwaway."""
+        return self._tag_stats.get(tag, EMPTY_IO_STATS)
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """One-pass aggregate over the global counters and every tag,
+        shaped for the metrics exporter."""
+        tagged = IOStats()
+        for stats in self._tag_stats.values():
+            tagged.reads += stats.reads
+            tagged.writes += stats.writes
+            tagged.allocations += stats.allocations
+            tagged.frees += stats.frees
+        return {
+            "pager_reads": self.stats.reads,
+            "pager_writes": self.stats.writes,
+            "pager_allocations": self.stats.allocations,
+            "pager_frees": self.stats.frees,
+            "pager_pages": self.n_pages,
+            "pager_tags": len(self._tag_stats),
+            "pager_tagged_reads": tagged.reads,
+            "pager_tagged_writes": tagged.writes,
+        }
 
     def drop_tag_stats(self, tag: Any) -> None:
         """Forget a tag's counters once its owner is gone — migrations
@@ -219,6 +276,16 @@ class BufferPool:
 
     def tag_stats(self, tag: Any) -> IOStats:
         return self.disk.tag_stats(tag)
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The disk's one-pass aggregate plus the pool's own hit/miss
+        counters (what the metrics exporter scrapes)."""
+        snap = self.disk.stats_snapshot()
+        snap["buffer_hits"] = self.hits
+        snap["buffer_misses"] = self.misses
+        snap["buffer_hit_ratio"] = round(self.hit_ratio, 4)
+        snap["buffer_frames"] = len(self._frames)
+        return snap
 
     def drop_tag_stats(self, tag: Any) -> None:
         self.disk.drop_tag_stats(tag)

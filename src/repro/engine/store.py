@@ -731,6 +731,22 @@ class GroupedTupleStore:
         self.restructure(target_groups)
         return self.n_pages
 
+    def covering_io_snapshot(self, column_names: Sequence[str]) -> IOStats:
+        """Aggregated cumulative I/O of the groups covering a column set.
+
+        The trace instrumentation snapshots this before and after a
+        projected scan: the delta is the block I/O the scan charged to
+        exactly the page chains it was allowed to touch."""
+        groups = sorted({self.schema.group_of(name) for name in column_names})
+        total = IOStats()
+        for group_index in groups:
+            stats = self.group_io_stats(group_index)
+            total.reads += stats.reads
+            total.writes += stats.writes
+            total.allocations += stats.allocations
+            total.frees += stats.frees
+        return total
+
     def group_io_snapshot(self) -> List[Dict[str, int]]:
         """Cumulative per-group I/O counters, in group order — what the
         persistence layer carries so the ``stats`` surface survives a

@@ -77,6 +77,9 @@ class Table:
         if schema.primary_key is not None:
             self._pk_index = BPlusTree(unique=True)
         self.listeners: List[Callable[[ChangeEvent], None]] = []
+        # Maintenance event sink (a repro.obs.EventLog); the owning
+        # Database wires its shared log in on attach.  None = no eventing.
+        self.events = None
 
     # -- basics -------------------------------------------------------------
 
@@ -91,6 +94,10 @@ class Table:
     def _emit(self, event: ChangeEvent) -> None:
         for listener in self.listeners:
             listener(event)
+
+    def _record_event(self, kind: str, **data: Any) -> None:
+        if self.events is not None:
+            self.events.record(kind, table=self.name, **data)
 
     # -- validation -----------------------------------------------------------
 
@@ -448,12 +455,19 @@ class Table:
                             break
                 before = self.schema.groups
                 done = migration.step()
-                if observer is not None and self.schema.groups != before:
-                    observer(self.name, "step", self.schema.groups)
+                if self.schema.groups != before:
+                    if observer is not None:
+                        observer(self.name, "step", self.schema.groups)
+                    self._record_event("migration_step", groups=self.schema.groups)
                 if done:
                     break
             if done:
                 self._layout_migration = None
+                self._record_event(
+                    "migration_finish",
+                    steps=migration.steps_taken,
+                    pages_written=migration.pages_written,
+                )
             report.update(
                 action="migrated" if done else "migrating",
                 steps_taken=migration.steps_taken,
@@ -464,6 +478,16 @@ class Table:
             return report
         if self.auto_layout:
             recommendation = self.layout_advisor.advise(self.store)
+            if recommendation is not None:
+                self._record_event(
+                    "layout_advice",
+                    current_cost=recommendation.current_cost,
+                    target_cost=recommendation.target_cost,
+                    migration_cost=recommendation.migration_cost,
+                    saving=recommendation.saving,
+                    worthwhile=recommendation.worthwhile,
+                    target_groups=[list(g) for g in recommendation.target_groups],
+                )
             if recommendation is not None and recommendation.worthwhile:
                 self._layout_migration = LayoutMigration(
                     self.store, recommendation.target_groups
@@ -474,6 +498,10 @@ class Table:
                         "start",
                         [list(g) for g in recommendation.target_groups],
                     )
+                self._record_event(
+                    "migration_start",
+                    groups=[list(g) for g in recommendation.target_groups],
+                )
                 report.update(
                     action="migration_started",
                     recommendation=recommendation.to_dict(),

@@ -1,0 +1,184 @@
+"""Per-statement span tracer for the query and server apply pipelines.
+
+A trace is a tree of :class:`Span` objects, each with a wall-clock
+duration and a small dict of counters (rows_scanned, cols_read,
+pages_read, cache hits/misses, ...).  The tracer is *off by default*:
+when no trace is active, :meth:`Tracer.span` hands back one shared
+no-op context manager, so the instrumentation points scattered through
+``Database.execute``/``WorkbookService.apply`` cost a single attribute
+check plus a falsy branch.
+
+Two kinds of children:
+
+* **timed phase spans** (``with tracer.span("parse"): ...``) measure a
+  pipeline stage with ``perf_counter``,
+* **annotation spans** (:meth:`Span.annotate_child`) are zero-duration
+  accounting nodes — used for the plan-operator tree and the pager
+  rollup, where the interesting payload is the counters, not the time.
+
+``EXPLAIN TRACE <query>`` in :mod:`repro.engine.database` activates the
+tracer for exactly one statement and renders the finished tree with
+:meth:`Span.render`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+__all__ = ["Span", "Tracer"]
+
+
+class Span:
+    """One node of a trace tree: name, duration, counters, children."""
+
+    __slots__ = ("name", "start", "duration", "counters", "children", "_tracer")
+
+    def __init__(self, name: str, tracer: Optional["Tracer"] = None):
+        self.name = name
+        self.start = 0.0
+        self.duration = 0.0
+        self.counters: Dict[str, Any] = {}
+        self.children: List["Span"] = []
+        self._tracer = tracer
+
+    # -- counters ----------------------------------------------------------
+
+    def add(self, name: str, amount: Any) -> None:
+        """Accumulate a counter on this span (numeric add, last-write
+        for non-numeric annotations)."""
+        if isinstance(amount, (int, float)) and not isinstance(amount, bool):
+            self.counters[name] = self.counters.get(name, 0) + amount
+        else:
+            self.counters[name] = amount
+
+    def annotate_child(self, name: str, **counters: Any) -> "Span":
+        """Attach a zero-duration accounting child (no timing)."""
+        child = Span(name)
+        child.counters.update(counters)
+        self.children.append(child)
+        return child
+
+    # -- context manager (timed phase) -------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.start = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer._stack.append(self)
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.duration = time.perf_counter() - self.start
+        if self._tracer is not None and self._tracer._stack and self._tracer._stack[-1] is self:
+            self._tracer._stack.pop()
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_ms": round(self.duration * 1000.0, 4),
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def render(self, indent: int = 0) -> str:
+        """Indented one-line-per-span tree, durations in ms."""
+        parts = [f"{'  ' * indent}{self.name}"]
+        if self.duration:
+            parts.append(f"{self.duration * 1000.0:.3f}ms")
+        if self.counters:
+            parts.append(
+                " ".join(f"{key}={value}" for key, value in sorted(self.counters.items()))
+            )
+        lines = [" ".join(parts)]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def find(self, name: str) -> Optional["Span"]:
+        """Depth-first search for the first span with ``name``."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out when no trace is active."""
+
+    __slots__ = ()
+
+    def add(self, name: str, amount: Any) -> None:
+        pass
+
+    def annotate_child(self, name: str, **counters: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Capture one span tree at a time (per-statement / per-apply).
+
+    Usage::
+
+        root = tracer.begin("statement")
+        with root:
+            with tracer.span("parse"):
+                ...
+        tree = tracer.finish()   # -> the root Span, tracer back to idle
+
+    While idle, :meth:`span` and :attr:`current` return shared no-op
+    objects, so instrumentation costs next to nothing.
+    """
+
+    __slots__ = ("_root", "_stack")
+
+    def __init__(self) -> None:
+        self._root: Optional[Span] = None
+        self._stack: List[Span] = []
+
+    @property
+    def active(self) -> bool:
+        return self._root is not None
+
+    def begin(self, name: str) -> Span:
+        """Start capturing; returns the root span (use as a context
+        manager around the traced work)."""
+        self._root = Span(name, tracer=self)
+        self._stack = []
+        return self._root
+
+    def finish(self) -> Optional[Span]:
+        """Stop capturing and return the completed tree."""
+        root, self._root, self._stack = self._root, None, []
+        return root
+
+    def span(self, name: str):
+        """A timed child of the innermost open span — or the shared
+        no-op when no trace is active."""
+        if self._root is None:
+            return _NULL_SPAN
+        parent = self._stack[-1] if self._stack else self._root
+        child = Span(name, tracer=self)
+        parent.children.append(child)
+        return child
+
+    @property
+    def current(self):
+        """The innermost open span (for attaching counters/annotations),
+        or the shared no-op when idle."""
+        if self._root is None:
+            return _NULL_SPAN
+        return self._stack[-1] if self._stack else self._root

@@ -30,6 +30,7 @@ and retries.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -299,8 +300,9 @@ def recover_state(directory: str, eager: bool = True) -> RecoveryResult:
         workbook = Workbook(eager=eager)
         start_offset = 0
         snapshot_lsn = 0
-    scan = read_wal(os.path.join(directory, WAL_FILENAME))
-    records, _, size = scan
+    wal_path = os.path.join(directory, WAL_FILENAME)
+    scan = read_wal(wal_path)
+    records, intact_end, size = scan
     if payload is not None:
         _check_snapshot_wal_alignment(
             records, size, start_offset, snapshot_lsn, directory
@@ -312,6 +314,28 @@ def recover_state(directory: str, eager: bool = True) -> RecoveryResult:
     # advisor must not run its own (stats-driven, unlogged) migrations
     # while the history replays.
     database = workbook.database
+    events = database.events
+    if intact_end < size:
+        events.record(
+            "wal_repair",
+            path=wal_path,
+            truncated_bytes=size - intact_end,
+            cause="torn_tail",
+        )
+    open_begin = None
+    for record in records:
+        kind = record.op.get("type")
+        if kind == "txn_begin":
+            open_begin = record
+        elif kind in ("txn_commit", "txn_rollback"):
+            open_begin = None
+    if open_begin is not None:
+        events.record(
+            "wal_repair",
+            path=wal_path,
+            truncated_bytes=intact_end - open_begin.offset,
+            cause="dangling_transaction",
+        )
     saved_interval = database.auto_layout_interval
     database.auto_layout_interval = 0
     try:
@@ -320,6 +344,22 @@ def recover_state(directory: str, eager: bool = True) -> RecoveryResult:
     finally:
         database.auto_layout_interval = saved_interval
     workbook.recalc_all()
+    for table_name in database.table_names():
+        table = database.table(table_name)
+        if table.migration_active:
+            events.record(
+                "migration_resume",
+                table=table_name,
+                groups=table.layout_migration_target,
+            )
+    events.record(
+        "recovery",
+        directory=directory,
+        snapshot_used=payload is not None,
+        snapshot_lsn=snapshot_lsn,
+        replayed_ops=len(ops),
+        tables=len(database.table_names()),
+    )
     return RecoveryResult(
         workbook=workbook,
         ops_replayed=len(ops),
@@ -444,6 +484,64 @@ class WorkbookService:
         # unbudgeted, the historical behaviour.  Operators serving large
         # tables set this so layout migrations never monopolise a beat.
         self.layout_tick_budget: Optional[int] = None
+        # Observability: the service reports through the workbook's
+        # database registry/tracer/event log — one surface for all layers.
+        database = self.workbook.database
+        self.metrics = database.metrics_registry
+        self.tracer = database.tracer
+        self.events = database.events
+        self._apply_counter = self.metrics.counter(
+            "server_applies_total", "operations run through the apply pipeline"
+        )
+        self._apply_seconds = self.metrics.histogram(
+            "server_apply_seconds", "apply pipeline latency (seconds)"
+        )
+        self._server_collector = self.metrics.register_collector(
+            self._collect_server_metrics
+        )
+
+    # -- observability -------------------------------------------------------
+
+    def _collect_server_metrics(self) -> Dict[str, Any]:
+        """Pull-collector over the service's existing counters (WAL,
+        broadcast, sessions) — read at scrape time, never double-counted
+        on the apply path."""
+        wal = self.wal.stats
+        return {
+            "server_version": self.version,
+            "server_ops_applied": self.ops_applied,
+            "server_recovered_ops": self.recovered_ops,
+            "server_sessions": len(self.sessions),
+            "server_snapshots_written": self.snapshots.snapshots_written,
+            "wal_lsn": self.wal.last_lsn,
+            "wal_appends": wal.appends,
+            "wal_syncs": wal.syncs,
+            "wal_truncations": wal.truncations,
+            "wal_bytes_written": wal.bytes_written,
+            "snapshot_lsn": self._snapshot_lsn,
+            "broadcast_published": self.broadcast.published,
+            "broadcast_delivered": self.broadcast.delivered,
+            "broadcast_suppressed": self.broadcast.suppressed,
+        }
+
+    def trace_apply(
+        self,
+        session_id: int,
+        op: Dict[str, Any],
+        base_version: Optional[int] = None,
+    ) -> Tuple["ApplyResult", Any]:
+        """Run one apply with the span tracer active; returns
+        ``(apply_result, span_tree)`` covering WAL append, apply, recalc
+        and broadcast phases."""
+        root = self.tracer.begin("apply")
+        root.add("op", str(op.get("type")))
+        try:
+            with root:
+                result = self.apply(session_id, op, base_version=base_version)
+        finally:
+            tree = self.tracer.finish()
+            self.workbook.database.last_trace = tree
+        return result, tree
 
     # -- sessions -------------------------------------------------------------
 
@@ -511,6 +609,23 @@ class WorkbookService:
         """Run one operation through the full pipeline on behalf of a
         session.  Raises :class:`StaleWriteError` when the optimistic
         version check fails (nothing is logged or applied in that case)."""
+        # Gate the perf_counter pair on the enabled flag: metrics off
+        # costs one boolean test per apply.
+        timed = self.metrics.enabled
+        started = time.perf_counter() if timed else 0.0
+        try:
+            return self._apply(session_id, op, base_version)
+        finally:
+            if timed:
+                self._apply_counter.value += 1
+                self._apply_seconds.observe(time.perf_counter() - started)
+
+    def _apply(
+        self,
+        session_id: int,
+        op: Dict[str, Any],
+        base_version: Optional[int] = None,
+    ) -> ApplyResult:
         session = self.sessions.get(session_id)
         base = session.last_seen_version if base_version is None else base_version
         validate_op(self.workbook, op)
@@ -536,18 +651,25 @@ class WorkbookService:
             and op["type"] not in ("txn_begin", "txn_commit", "txn_rollback")
             and not _is_readonly_sql(op)
         ):
-            lsn = self.wal.append(op).lsn
+            with self.tracer.span("wal_append") as wal_span:
+                unsynced_before = self.wal.stats.syncs
+                lsn = self.wal.append(op).lsn
+                wal_span.add("lsn", lsn)
+                wal_span.add("synced", self.wal.stats.syncs - unsynced_before)
         self._collector.start()
         try:
             try:
-                result = apply_op(self.workbook, op)
+                with self.tracer.span("apply_op"):
+                    result = apply_op(self.workbook, op)
             except Exception:
                 if lsn is not None:
                     self.wal.truncate_to(mark)
                 raise
             if op["type"] in _STRUCTURAL:
                 self._remap_cell_versions(op)
-            visible = self.workbook.compute.recalc_visible()
+            with self.tracer.span("recalc_visible") as recalc_span:
+                visible = self.workbook.compute.recalc_visible()
+                recalc_span.add("visible_recalcs", visible)
             self.version += 1
             self.ops_applied += 1
             deltas = self._drain_deltas(origin=session_id)
@@ -570,7 +692,9 @@ class WorkbookService:
                         count=signed,
                     ),
                 )
-            self.broadcast.publish(deltas, origin=session_id)
+            with self.tracer.span("broadcast") as broadcast_span:
+                self.broadcast.publish(deltas, origin=session_id)
+                broadcast_span.add("deltas", len(deltas))
             session.last_seen_version = self.version
             session.writes_applied += 1
         finally:
@@ -840,10 +964,18 @@ class WorkbookService:
                 raise ServerError("cannot snapshot inside an open transaction")
             return None
         self.wal.sync()
+        covered_before = self._snapshot_lsn
         path = self.snapshots.write(
             self.workbook, self.wal.last_lsn, self.wal.end_offset
         )
         self._snapshot_lsn = self.wal.last_lsn
+        self.events.record(
+            "snapshot_compaction",
+            directory=self.directory,
+            lsn=self.wal.last_lsn,
+            ops_covered=self.wal.last_lsn - covered_before,
+            wal_bytes=self.wal.end_offset,
+        )
         return path
 
     def maybe_compact(self) -> Optional[str]:
@@ -860,6 +992,7 @@ class WorkbookService:
     def close(self) -> None:
         self.wal.close()
         self.workbook.database.auto_layout_interval = self._maintenance_interval
+        self.metrics.remove_collector(self._server_collector)
         try:
             self.workbook.database.transactions.remove_hook(self._on_txn_event)
             self.workbook.cell_listeners.remove(self._collector.on_cell)
@@ -876,18 +1009,27 @@ class WorkbookService:
     # -- stats -------------------------------------------------------------------------
 
     def stats_summary(self) -> Dict[str, Any]:
+        """Registry-backed service summary.
+
+        The numbers come from one :meth:`MetricsRegistry.snapshot` (the
+        same scrape the CLI ``metrics`` command exports); the historical
+        keys are kept as aliases so existing tests and REPL output stay
+        stable, and the full flat snapshot rides along under
+        ``"metrics"``."""
+        snap = self.metrics.snapshot()
         return {
-            "version": self.version,
-            "ops_applied": self.ops_applied,
-            "recovered_ops": self.recovered_ops,
-            "sessions": len(self.sessions),
+            "version": snap["server_version"],
+            "ops_applied": snap["server_ops_applied"],
+            "recovered_ops": snap["server_recovered_ops"],
+            "sessions": snap["server_sessions"],
             "wal": self.wal.stats,
-            "wal_lsn": self.wal.last_lsn,
-            "snapshot_lsn": self._snapshot_lsn,
-            "snapshots_written": self.snapshots.snapshots_written,
+            "wal_lsn": snap["wal_lsn"],
+            "snapshot_lsn": snap["snapshot_lsn"],
+            "snapshots_written": snap["server_snapshots_written"],
             "broadcast": {
-                "published": self.broadcast.published,
-                "delivered": self.broadcast.delivered,
-                "suppressed": self.broadcast.suppressed,
+                "published": snap["broadcast_published"],
+                "delivered": snap["broadcast_delivered"],
+                "suppressed": snap["broadcast_suppressed"],
             },
+            "metrics": snap,
         }

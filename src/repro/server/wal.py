@@ -248,7 +248,12 @@ class WriteAheadLog:
         if open_begin is not None:
             records = [r for r in records if r.offset < open_begin.offset]
             truncate_at = open_begin.offset
+        #: Bytes physically discarded by open-time repair (torn tail and/or
+        #: dangling transaction bracket); 0 on a clean open.  Surfaced so
+        #: recovery can report *that* a repair happened and how big it was.
+        self.repaired_bytes = 0
         if truncate_at is not None:
+            self.repaired_bytes = size - truncate_at
             os.ftruncate(self._file.fileno(), truncate_at)
             intact_end = truncate_at
         self._records_on_open = len(records)
