@@ -132,9 +132,14 @@ def test_recovery_preserves_tuned_layout(tmp_path):
     service.execute(
         session.session_id, "CREATE TABLE t (a INT, b INT, c INT, d INT)"
     )
+    # Distinct 8-byte ints: incompressible, so the maintenance loop's
+    # encode-first pass cannot pre-empt the migration this scenario needs
+    # (encoding durability has its own coverage in test_vectorized.py).
+    wide = 2**33
     for start in range(0, n_rows, 10):
         values = ",".join(
-            f"({j},{j + 1},{j + 2},{j + 3})" for j in range(start, start + 10)
+            f"({j * wide},{j * wide + 1},{j * wide + 2},{j * wide + 3})"
+            for j in range(start, start + 10)
         )
         service.execute(session.session_id, f"INSERT INTO t VALUES {values}")
     service.execute(session.session_id, "ALTER TABLE t SET LAYOUT AUTO")

@@ -373,10 +373,14 @@ class DataSpreadShell:
             )
             for info in table.store.group_summary():
                 io = info["io"]
+                encoded = (
+                    f", encoded {info['ratio']:.1f}x" if info["encoded"] else ""
+                )
                 lines.append(
                     f"  group {info['group']} [{', '.join(info['columns'])}]: "
                     f"{info['pages']} pages, {io['reads']} block reads, "
-                    f"{io['writes']} block writes"
+                    f"{io['writes']} block writes, "
+                    f"{io['bytes_read']} bytes decoded{encoded}"
                 )
             stats = table.store.access_stats
             lines.append(

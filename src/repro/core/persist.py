@@ -108,6 +108,10 @@ def workbook_to_dict(workbook: Workbook) -> Dict[str, Any]:
                 # pager tags are process-local, so without this the
                 # layout-stats surface resets to zero on every restart.
                 "group_io": table.store.group_io_snapshot(),
+                # Per-group page-encoding flags (aligned with "groups"):
+                # rows are dumped decoded, so the restore re-encodes the
+                # flagged chains instead of persisting payload bytes.
+                "encodings": table.store.encoding_snapshot(),
                 # Presentation order, read WITHOUT charging workload
                 # statistics: a dump is maintenance, not workload, and the
                 # serialized access_stats above must match the live window.
@@ -196,6 +200,13 @@ def workbook_from_dict(payload: Dict[str, Any], eager: bool = True) -> Workbook:
             # Overwrite AFTER the row loads above: load-time inserts must
             # not be double-counted on top of the persisted window.
             table.store.access_stats = AccessStats.from_dict(stats_spec)
+        encodings = spec.get("encodings")
+        if encodings:
+            # Re-encode BEFORE restore_group_io below: encode_group reads
+            # and writes pages, and those maintenance charges must be
+            # overwritten by the pre-crash cumulative counters, not added
+            # on top of them.
+            table.store.restore_encodings(encodings)
         group_io = spec.get("group_io")
         if group_io:
             # Same overwrite-after-load contract: the restart's own page

@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.engine.expr import Scope
+from repro.engine.expr import Scope, compile_batch_predicate
 from repro.engine.functions import Aggregator, make_aggregate
+from repro.engine.store import DEFAULT_BATCH_SIZE
 from repro.engine.table import Table
 from repro.engine.types import compare_values
 from repro.errors import ExecutionError
@@ -108,6 +109,8 @@ class ProjectedScan(PlanNode):
         table: Table,
         binding: str,
         column_names: Optional[Sequence[str]] = None,
+        vectorized: bool = True,
+        batch_size: int = DEFAULT_BATCH_SIZE,
     ):
         names = (
             list(table.column_names) if column_names is None else list(column_names)
@@ -116,8 +119,13 @@ class ProjectedScan(PlanNode):
         self.table = table
         self.binding = binding
         self.column_names = names
-        self.predicates: List[Tuple[RowFn, str]] = []
+        # (row_fn, description, ast_or_None); the AST is kept so run() can
+        # recompile pushed conjuncts into whole-batch selection functions.
+        self.predicates: List[Tuple[RowFn, str, Optional[Any]]] = []
+        self.vectorized = vectorized
+        self.batch_size = batch_size
         self.rows_scanned = 0
+        self.batches = 0
         # Covering-group I/O snapshot taken when the scan starts; the
         # delta at trace-collection time is the block I/O this node's
         # page chains were charged during the statement.
@@ -139,15 +147,28 @@ class ProjectedScan(PlanNode):
         base = super().counters()
         base["rows_scanned"] = self.rows_scanned
         base["cols_read"] = self.cols_read
+        base["batches"] = self.batches
+        base["rows_per_batch"] = (
+            self.rows_scanned // self.batches if self.batches else 0
+        )
         if self._io_before is not None:
             delta = self.io_delta()
             base["pages_read"] = delta.reads
             base["pages_written"] = delta.writes
         return base
 
-    def add_predicate(self, predicate: RowFn, description: str = "") -> None:
-        """Attach a pushed predicate, evaluated on the narrow fragment."""
-        self.predicates.append((predicate, description))
+    def add_predicate(
+        self,
+        predicate: RowFn,
+        description: str = "",
+        expression: Optional[Any] = None,
+    ) -> None:
+        """Attach a pushed predicate, evaluated on the narrow fragment.
+
+        ``expression`` is the conjunct's AST when the planner has it; the
+        vectorized path batch-compiles it, and conjuncts without one (or
+        with non-vectorizable shapes) fall back to the row closure."""
+        self.predicates.append((predicate, description, expression))
 
     def label(self) -> str:
         suffix = f", {len(self.predicates)} pushed" if self.predicates else ""
@@ -158,12 +179,14 @@ class ProjectedScan(PlanNode):
 
     def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
         self._io_before = self.table.store.covering_io_snapshot(self.column_names)
+        if self.vectorized and self.column_names:
+            return self._count(self._run_batches(ctx))
 
         def rows() -> Iterator[Tuple[Any, ...]]:
             for _, _, values in self.table.scan_columns(self.column_names):
                 self.rows_scanned += 1
                 keep = True
-                for predicate, _ in self.predicates:
+                for predicate, _, _ in self.predicates:
                     if predicate(values, ctx.params) is not True:
                         keep = False
                         break
@@ -171,6 +194,57 @@ class ProjectedScan(PlanNode):
                     yield values
 
         return self._count(rows())
+
+    def _run_batches(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        """Batched execution: selection vectors over column fragments,
+        output tuples materialised only for surviving rids.
+
+        Pushed conjuncts with a batch-compilable AST evaluate over whole
+        column lists; the rest run row-at-a-time on the already-filtered
+        survivors (late materialisation *is* the ``to_rows`` adapter —
+        downstream operators still consume plain tuples)."""
+        batch_fns = []
+        row_fns = []
+        for predicate, _, expression in self.predicates:
+            batch_fn = (
+                compile_batch_predicate(expression, self.scope)
+                if expression is not None
+                else None
+            )
+            if batch_fn is not None:
+                batch_fns.append(batch_fn)
+            else:
+                row_fns.append(predicate)
+        params = ctx.params
+        for _, _, cols in self.table.scan_column_batches(
+            self.column_names, self.batch_size
+        ):
+            n = len(cols[0])
+            self.rows_scanned += n
+            self.batches += 1
+            if batch_fns:
+                keep = batch_fns[0](cols, params, n)
+                for batch_fn in batch_fns[1:]:
+                    other = batch_fn(cols, params, n)
+                    keep = [
+                        False
+                        if (a is not None and a is not True)
+                        or (b is not None and b is not True)
+                        else (None if a is None or b is None else True)
+                        for a, b in zip(keep, other)
+                    ]
+                survivors = [i for i, verdict in enumerate(keep) if verdict is True]
+            else:
+                survivors = range(n)
+            for i in survivors:
+                values = tuple(column[i] for column in cols)
+                keep_row = True
+                for predicate in row_fns:
+                    if predicate(values, params) is not True:
+                        keep_row = False
+                        break
+                if keep_row:
+                    yield values
 
 
 class SeqScan(ProjectedScan):

@@ -58,11 +58,20 @@ __all__ = [
 # against an observed workload with these functions.
 
 
-def pages_for_group(n_rows: int, width: int, page_capacity: int) -> int:
-    """Blocks in one group's chain: narrow fragments pack more records."""
+def pages_for_group(
+    n_rows: int, width: int, page_capacity: int, ratio: float = 1.0
+) -> int:
+    """Blocks in one group's chain: narrow fragments pack more records.
+
+    ``ratio`` is the group's compression ratio (plain bytes over encoded
+    bytes, >= 1 when page encodings are in effect): an encoded page holds
+    ``ratio`` times as many records, so the chain is proportionally
+    shorter.  The default 1.0 prices a plain chain.
+    """
     if n_rows <= 0:
         return 0
     capacity = max(1, page_capacity // max(1, width))
+    capacity = max(capacity, int(capacity * ratio))
     return math.ceil(n_rows / capacity)
 
 
@@ -71,6 +80,7 @@ def estimate_workload_blocks(
     stats: AccessStats,
     n_rows: int,
     page_capacity: int,
+    ratios: Optional[Dict[str, float]] = None,
 ) -> int:
     """Predicted blocks touched replaying ``stats`` under ``grouping``.
 
@@ -80,13 +90,28 @@ def estimate_workload_blocks(
     does not multiply the scan bill while it does shrink the per-tuple
     group count.  Scan counts not covered by any recorded set (older
     stats, or direct counter writes) fall back to the per-column charge.
+
+    ``ratios`` (lower-cased column name -> compression ratio, from
+    :meth:`GroupedTupleStore.column_encoding_ratios`) lets the advisor
+    see encoded chains as shorter: a candidate group's ratio is the mean
+    over its members, columns without an entry counting as 1.0.  Scan
+    costs shrink accordingly; per-tuple costs (insert/delete/point read)
+    still touch one block per group, encoded or not.
     """
     groups: List[List[str]] = [list(group) for group in grouping if group]
     n_groups = max(1, len(groups))
     group_of: Dict[str, int] = {
         name.lower(): index for index, group in enumerate(groups) for name in group
     }
-    pages = [pages_for_group(n_rows, len(group), page_capacity) for group in groups]
+    lookup = ratios or {}
+    group_ratios = [
+        sum(lookup.get(name.lower(), 1.0) for name in group) / len(group)
+        for group in groups
+    ]
+    pages = [
+        pages_for_group(n_rows, len(group), page_capacity, ratio)
+        for group, ratio in zip(groups, group_ratios)
+    ]
     cost = (
         stats.inserts + stats.deletes + stats.full_updates + stats.point_reads
     ) * n_groups

@@ -311,11 +311,19 @@ class LayoutAdvisor:
         n_rows = store.n_rows
         page_capacity = store.pool.page_capacity
         current = store.schema.groups
-        current_cost = estimate_workload_blocks(current, stats, n_rows, page_capacity)
+        # Encoded chains are shorter — price candidates with the observed
+        # compression ratios so the advisor does not migrate away from a
+        # grouping whose win comes from its encodings.
+        ratios = store.column_encoding_ratios()
+        current_cost = estimate_workload_blocks(
+            current, stats, n_rows, page_capacity, ratios
+        )
         best: Optional[Grouping] = None
         best_cost = current_cost
         for candidate in self.candidates(store):
-            cost = estimate_workload_blocks(candidate, stats, n_rows, page_capacity)
+            cost = estimate_workload_blocks(
+                candidate, stats, n_rows, page_capacity, ratios
+            )
             if cost < best_cost:
                 best, best_cost = candidate, cost
         if best is None or _signature(best) == _signature(current):

@@ -38,15 +38,27 @@ DEFAULT_PAGE_CAPACITY = 128
 
 @dataclass
 class IOStats:
-    """Counters for the simulated disk.  All counts are *block* granularity."""
+    """Counters for the simulated disk.  Block granularity, plus the
+    *simulated payload bytes* moved — the page-encoding layer charges
+    decoded bytes here so layout tooling can see that an encoded chain
+    moves less data per block than a plain one."""
 
     reads: int = 0
     writes: int = 0
     allocations: int = 0
     frees: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
 
     def snapshot(self) -> "IOStats":
-        return IOStats(self.reads, self.writes, self.allocations, self.frees)
+        return IOStats(
+            self.reads,
+            self.writes,
+            self.allocations,
+            self.frees,
+            self.bytes_read,
+            self.bytes_written,
+        )
 
     def delta(self, earlier: "IOStats") -> "IOStats":
         """Counts accumulated since ``earlier`` (an older snapshot)."""
@@ -55,10 +67,13 @@ class IOStats:
             self.writes - earlier.writes,
             self.allocations - earlier.allocations,
             self.frees - earlier.frees,
+            self.bytes_read - earlier.bytes_read,
+            self.bytes_written - earlier.bytes_written,
         )
 
     def reset(self) -> None:
         self.reads = self.writes = self.allocations = self.frees = 0
+        self.bytes_read = self.bytes_written = 0
 
     @property
     def total(self) -> int:
@@ -67,7 +82,8 @@ class IOStats:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"IOStats(reads={self.reads}, writes={self.writes}, "
-            f"allocations={self.allocations}, frees={self.frees})"
+            f"allocations={self.allocations}, frees={self.frees}, "
+            f"bytes_read={self.bytes_read}, bytes_written={self.bytes_written})"
         )
 
 
@@ -142,6 +158,22 @@ class DiskManager:
             stats = self._tag_stats[tag] = IOStats()
         setattr(stats, field_name, getattr(stats, field_name) + 1)
 
+    def add_bytes(self, tag: Any, bytes_read: int = 0, bytes_written: int = 0) -> None:
+        """Charge simulated payload bytes globally and to ``tag``.
+
+        Block counters move automatically with read/write; byte counters
+        are charged explicitly by the store, which alone knows whether a
+        page held encoded fragments (fewer bytes) or plain records."""
+        self.stats.bytes_read += bytes_read
+        self.stats.bytes_written += bytes_written
+        if tag is None:
+            return
+        stats = self._tag_stats.get(tag)
+        if stats is None:
+            stats = self._tag_stats[tag] = IOStats()
+        stats.bytes_read += bytes_read
+        stats.bytes_written += bytes_written
+
     def allocate(self, tag: Any = None) -> int:
         page_id = self._next_id
         self._next_id += 1
@@ -174,6 +206,8 @@ class DiskManager:
             "pager_writes": self.stats.writes,
             "pager_allocations": self.stats.allocations,
             "pager_frees": self.stats.frees,
+            "pager_bytes_read": self.stats.bytes_read,
+            "pager_bytes_written": self.stats.bytes_written,
             "pager_pages": self.n_pages,
             "pager_tags": len(self._tag_stats),
             "pager_tagged_reads": tagged.reads,
@@ -276,6 +310,9 @@ class BufferPool:
 
     def tag_stats(self, tag: Any) -> IOStats:
         return self.disk.tag_stats(tag)
+
+    def add_bytes(self, tag: Any, bytes_read: int = 0, bytes_written: int = 0) -> None:
+        self.disk.add_bytes(tag, bytes_read, bytes_written)
 
     def stats_snapshot(self) -> Dict[str, Any]:
         """The disk's one-pass aggregate plus the pool's own hit/miss

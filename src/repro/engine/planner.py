@@ -110,6 +110,7 @@ class Planner:
         catalog: Catalog,
         resolver: Optional[RangeResolver] = None,
         projection_pushdown: bool = True,
+        vectorized: bool = True,
     ):
         self.catalog = catalog
         self.resolver = resolver if resolver is not None else RangeResolver()
@@ -117,6 +118,9 @@ class Planner:
         # behaviour); benchmarks use this to measure what the
         # column-set-aware path saves.
         self.projection_pushdown = projection_pushdown
+        # Off = scans materialise one tuple per row (the pre-batching
+        # behaviour); the comparison baseline for the vectorized path.
+        self.vectorized = vectorized
 
     # -- public entry points ------------------------------------------------
 
@@ -267,7 +271,9 @@ class Planner:
                         for name in table.column_names
                         if name.lower() in wanted
                     ]
-            node: PlanNode = ProjectedScan(table, item.binding, names)
+            node: PlanNode = ProjectedScan(
+                table, item.binding, names, vectorized=self.vectorized
+            )
         elif isinstance(item, ast.RangeTable):
             columns, rows = self.resolver.resolve_range_table(item.reference)
             binding = item.binding
@@ -297,7 +303,7 @@ class Planner:
             if isinstance(node, ProjectedScan):
                 # Absorb into the scan: the predicate runs on the narrow
                 # fragment before any output tuple is materialised.
-                node.add_predicate(compiled, "pushed")
+                node.add_predicate(compiled, "pushed", conjunct)
             else:
                 node = FilterNode(node, compiled, "pushed")
         return node

@@ -30,6 +30,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.engine.encoding import (
+    PLAIN_VALUE_BYTES,
+    choose_encoding,
+    decode_column,
+    encode_column,
+    encoded_size,
+)
 from repro.engine.pager import BufferPool, DEFAULT_PAGE_CAPACITY, IOStats
 from repro.engine.schema import Column, TableSchema
 from repro.errors import SchemaError, StorageError
@@ -39,7 +46,11 @@ __all__ = [
     "GroupedTupleStore",
     "ColumnAccessStats",
     "AccessStats",
+    "DEFAULT_BATCH_SIZE",
 ]
+
+#: Rows per column-fragment batch yielded by :meth:`scan_group_batches`.
+DEFAULT_BATCH_SIZE = 1024
 
 #: Distinguishes anonymous stores in the shared pool's per-tag accounting.
 _store_counter = itertools.count()
@@ -213,6 +224,39 @@ class AccessStats:
         return stats
 
 
+class _BatchCursor:
+    """Buffers page-sized ``(rids, columns)`` chunks from a chain stream
+    and serves exact-size slices, so batch boundaries are independent of
+    page boundaries (encoded pages hold more rows than plain ones)."""
+
+    def __init__(self, source: Iterator[Tuple[List[int], List[List[Any]]]]):
+        self._source = source
+        self._rids: List[int] = []
+        self._cols: List[List[Any]] = []
+
+    def take(self, n: int) -> Tuple[List[int], List[List[Any]]]:
+        while len(self._rids) < n:
+            chunk = next(self._source, None)
+            if chunk is None:
+                break
+            rids, cols = chunk
+            if not self._rids:
+                self._rids = list(rids)
+                self._cols = [list(col) for col in cols]
+            else:
+                self._rids.extend(rids)
+                for have, more in zip(self._cols, cols):
+                    have.extend(more)
+        if len(self._rids) <= n:
+            rids, cols = self._rids, self._cols
+            self._rids, self._cols = [], []
+            return rids, cols
+        rids, self._rids = self._rids[:n], self._rids[n:]
+        cols = [col[:n] for col in self._cols]
+        self._cols = [col[n:] for col in self._cols]
+        return rids, cols
+
+
 class GroupedTupleStore:
     """rid-addressed tuple storage partitioned into attribute-group chains."""
 
@@ -246,6 +290,20 @@ class GroupedTupleStore:
         self._next_rid = 0
         self._n_rows = 0
         self.access_stats = AccessStats()
+        # Per-group page-encoding state.  A group is "encoded" when its
+        # chain prefix holds compressed column fragments (see encoding.py);
+        # freshly appended records always land on plain tail pages, so a
+        # chain is encoded-prefix + plain-tail.  ``ratio`` is the measured
+        # plain/encoded byte ratio from the last encode pass (1.0 = plain),
+        # which also scales how many records an encoded page holds.
+        self._group_encoded: List[bool] = [False] * schema.n_groups
+        self._group_ratio: List[float] = [1.0] * schema.n_groups
+        self._group_enc_failed: List[bool] = [False] * schema.n_groups
+        self._group_plain_pages: List[int] = [0] * schema.n_groups
+        # Store-level vectorized-execution counters (metrics exporter).
+        self.batch_scans = 0
+        self.batches_emitted = 0
+        self.bytes_decoded = 0
 
     # -- basic properties --------------------------------------------------
 
@@ -271,7 +329,7 @@ class GroupedTupleStore:
         result: List[int] = []
         for page_id in self._chains[0]:
             page = self.pool.get(page_id)
-            result.extend(rid for rid, _ in page.records)
+            result.extend(self._page_rids(page))
         return result
 
     # -- internal page helpers ---------------------------------------------
@@ -300,20 +358,82 @@ class GroupedTupleStore:
         page = None
         if chain:
             last = self.pool.get(chain[-1])
-            if last.n_records < self._group_capacity(group_index):
+            # Encoded pages are immutable; fresh records go on a plain tail.
+            if "enc" not in last.header and last.n_records < self._group_capacity(
+                group_index
+            ):
                 page = last
         if page is None:
             page = self.pool.new_page(tag=self._tag(group_index))
             chain.append(page.page_id)
+            self._group_plain_pages[group_index] += 1
         page.records.append((rid, fragment))
         page.mark_dirty()
         self._rid_page[group_index][rid] = page.page_id
+
+    # -- encoded-page helpers ----------------------------------------------
+
+    @staticmethod
+    def _page_rids(page: Any) -> List[int]:
+        enc = page.header.get("enc")
+        if enc is not None:
+            return enc["rids"]
+        return [rid for rid, _ in page.records]
+
+    def _charge_decode(self, group_index: int, n_bytes: int) -> None:
+        """Account simulated payload bytes decoded from one group's pages."""
+        if n_bytes <= 0:
+            return
+        self.bytes_decoded += n_bytes
+        self.pool.add_bytes(self._tag(group_index), bytes_read=n_bytes)
+
+    def _thaw_page(self, group_index: int, page: Any) -> None:
+        """Decode an encoded page back into plain records, in place.
+
+        Mutations (update/delete) land here; read paths never thaw, so a
+        snapshot taken after pure scans still sees the encoded chain."""
+        enc = page.header.pop("enc", None)
+        if enc is None:
+            return
+        columns = [decode_column(kind, payload) for kind, payload in enc["cols"]]
+        page.records = [
+            (rid, tuple(column[i] for column in columns))
+            for i, rid in enumerate(enc["rids"])
+        ]
+        page.mark_dirty()
+        self._group_plain_pages[group_index] += 1
+        self._charge_decode(group_index, enc["bytes"])
+
+    def _fragment_at(self, group_index: int, rid: int) -> Tuple[Any, ...]:
+        """Read one fragment without thawing its page (point-read path)."""
+        page_id = self._rid_page[group_index].get(rid)
+        if page_id is None:
+            raise StorageError(f"rid {rid} not found in group {group_index}")
+        page = self.pool.get(page_id)
+        enc = page.header.get("enc")
+        if enc is None:
+            for record_rid, fragment in page.records:
+                if record_rid == rid:
+                    return fragment
+            raise StorageError(
+                f"rid {rid} missing from page {page_id} (corrupt directory)"
+            )
+        try:
+            index = enc["rids"].index(rid)
+        except ValueError:
+            raise StorageError(
+                f"rid {rid} missing from page {page_id} (corrupt directory)"
+            ) from None
+        return tuple(
+            decode_column(kind, payload)[index] for kind, payload in enc["cols"]
+        )
 
     def _find_slot(self, group_index: int, rid: int) -> Tuple[Any, int]:
         page_id = self._rid_page[group_index].get(rid)
         if page_id is None:
             raise StorageError(f"rid {rid} not found in group {group_index}")
         page = self.pool.get(page_id)
+        self._thaw_page(group_index, page)
         for slot, (record_rid, _) in enumerate(page.records):
             if record_rid == rid:
                 return page, slot
@@ -349,8 +469,7 @@ class GroupedTupleStore:
         as per-row point reads."""
         fragments = []
         for group_index in range(self.n_groups):
-            page, slot = self._find_slot(group_index, rid)
-            fragments.append(page.records[slot][1])
+            fragments.append(self._fragment_at(group_index, rid))
         return self.schema.join_fragments(fragments)
 
     def get(self, rid: int) -> Tuple[Any, ...]:
@@ -411,8 +530,17 @@ class GroupedTupleStore:
         )
         for page_id in self._chains[group_index]:
             page = self.pool.get(page_id)
-            for rid, fragment in page.records:
-                yield rid, fragment[offset]
+            enc = page.header.get("enc")
+            if enc is None:
+                self._charge_decode(group_index, page.n_records * PLAIN_VALUE_BYTES)
+                for rid, fragment in page.records:
+                    yield rid, fragment[offset]
+            else:
+                kind, payload = enc["cols"][offset]
+                self._charge_decode(group_index, enc["col_bytes"][offset])
+                values = decode_column(kind, payload)
+                for rid, value in zip(enc["rids"], values):
+                    yield rid, value
 
     def scan_groups(
         self, column_names: Sequence[str]
@@ -462,20 +590,22 @@ class GroupedTupleStore:
         by_group: Dict[int, List[Tuple[int, int]]] = {}
         for group_index, frag_offset, out_offset in placements:
             by_group.setdefault(group_index, []).append((frag_offset, out_offset))
-
-        def chain_records(group_index: int) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
-            for page_id in self._chains[group_index]:
-                page = self.pool.get(page_id)
-                for record in page.records:
-                    yield record
+        chain_records = self._chain_records
 
         def rows() -> Iterator[Tuple[int, Tuple[Any, ...]]]:
             width = len(names)
             driver = covering[0]
             others = covering[1:]
-            cursors = {group_index: chain_records(group_index) for group_index in others}
+            needed = {
+                group_index: [frag for frag, _ in by_group[group_index]]
+                for group_index in covering
+            }
+            cursors = {
+                group_index: chain_records(group_index, needed[group_index])
+                for group_index in others
+            }
             fallback: set = set()
-            for rid, fragment in chain_records(driver):
+            for rid, fragment in chain_records(driver, needed[driver]):
                 slot: List[Any] = [None] * width
                 for frag_offset, out_offset in by_group[driver]:
                     slot[out_offset] = fragment[frag_offset]
@@ -490,13 +620,156 @@ class GroupedTupleStore:
                             fallback.add(group_index)
                             record = None
                     if record is None:
-                        page, page_slot = self._find_slot(group_index, rid)
-                        record = page.records[page_slot]
+                        record = (rid, self._fragment_at(group_index, rid))
                     for frag_offset, out_offset in by_group[group_index]:
                         slot[out_offset] = record[1][frag_offset]
                 yield rid, tuple(slot)
 
         return rows()
+
+    def _chain_records(
+        self, group_index: int, needed_offsets: Sequence[int]
+    ) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
+        """Stream one chain's ``(rid, fragment)`` records in page order,
+        decoding encoded pages lazily.  Only ``needed_offsets`` of each
+        fragment are guaranteed populated (others are ``None`` on encoded
+        pages); decoded bytes are charged for exactly those columns."""
+        width = max(1, len(self.schema.groups[group_index]))
+        needed = sorted(set(needed_offsets))
+        for page_id in self._chains[group_index]:
+            page = self.pool.get(page_id)
+            enc = page.header.get("enc")
+            if enc is None:
+                self._charge_decode(
+                    group_index, page.n_records * len(needed) * PLAIN_VALUE_BYTES
+                )
+                for record in page.records:
+                    yield record
+                continue
+            self._charge_decode(
+                group_index, sum(enc["col_bytes"][offset] for offset in needed)
+            )
+            columns: List[Optional[List[Any]]] = [None] * width
+            for offset in needed:
+                kind, payload = enc["cols"][offset]
+                columns[offset] = decode_column(kind, payload)
+            for i, rid in enumerate(enc["rids"]):
+                yield rid, tuple(
+                    column[i] if column is not None else None for column in columns
+                )
+
+    def _chain_batches(
+        self, group_index: int, needed_offsets: Sequence[int]
+    ) -> Iterator[Tuple[List[int], List[List[Any]]]]:
+        """Stream one chain page-at-a-time as ``(rids, columns)`` where
+        ``columns`` holds one value list per entry of ``needed_offsets``."""
+        needed = list(needed_offsets)
+        for page_id in self._chains[group_index]:
+            page = self.pool.get(page_id)
+            enc = page.header.get("enc")
+            if enc is None:
+                self._charge_decode(
+                    group_index, page.n_records * len(needed) * PLAIN_VALUE_BYTES
+                )
+                rids = [rid for rid, _ in page.records]
+                columns = [
+                    [fragment[offset] for _, fragment in page.records]
+                    for offset in needed
+                ]
+                yield rids, columns
+                continue
+            self._charge_decode(
+                group_index, sum(enc["col_bytes"][offset] for offset in needed)
+            )
+            yield (
+                enc["rids"],
+                [
+                    decode_column(*enc["cols"][offset])
+                    for offset in needed
+                ],
+            )
+
+    def scan_group_batches(
+        self,
+        column_names: Sequence[str],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> Iterator[Tuple[List[int], List[List[Any]]]]:
+        """Batched form of :meth:`scan_groups`: yields ``(rids, columns)``
+        with ``columns`` ordered like ``column_names`` and every list
+        rid-aligned, ``batch_size`` rows per batch (the last one short).
+
+        The covering chains stream page-at-a-time with encoded pages
+        decoded lazily into whole column fragments — no per-row tuples are
+        built here; late materialization is the *caller's* choice.  Charges
+        the same workload statistics as :meth:`scan_groups`.
+        """
+        names = list(column_names)
+        if not names or batch_size < 1:
+            return iter(())
+        placements: List[Tuple[int, int, int]] = []
+        for out_offset, column_name in enumerate(names):
+            group_index = self.schema.group_of(column_name)
+            members = self.schema.groups[group_index]
+            frag_offset = next(
+                i
+                for i, name in enumerate(members)
+                if name.lower() == column_name.lower()
+            )
+            placements.append((group_index, frag_offset, out_offset))
+        if {name.lower() for name in names} == {
+            name.lower() for name in self.schema.column_names
+        }:
+            self.access_stats.full_scans += 1
+        else:
+            self.access_stats.record_scan(names)
+        self.batch_scans += 1
+        covering = sorted({group_index for group_index, _, _ in placements})
+        by_group: Dict[int, List[Tuple[int, int]]] = {}
+        for group_index, frag_offset, out_offset in placements:
+            by_group.setdefault(group_index, []).append((frag_offset, out_offset))
+        needed = {
+            group_index: [frag for frag, _ in by_group[group_index]]
+            for group_index in covering
+        }
+
+        def batches() -> Iterator[Tuple[List[int], List[List[Any]]]]:
+            width = len(names)
+            driver = covering[0]
+            others = covering[1:]
+            streams = {
+                group_index: _BatchCursor(self._chain_batches(group_index, needed[group_index]))
+                for group_index in covering
+            }
+            fallback: set = set()
+            while True:
+                rids, driver_cols = streams[driver].take(batch_size)
+                if not rids:
+                    return
+                out: List[Optional[List[Any]]] = [None] * width
+                for position, (_, out_offset) in enumerate(by_group[driver]):
+                    out[out_offset] = driver_cols[position]
+                for group_index in others:
+                    other_cols = None
+                    if group_index not in fallback:
+                        other_rids, other_cols = streams[group_index].take(len(rids))
+                        if other_rids != rids:
+                            # Lockstep invariant violated (should not
+                            # happen); degrade this chain to per-rid
+                            # directory lookups — slower, still correct.
+                            fallback.add(group_index)
+                            other_cols = None
+                    if other_cols is None:
+                        frags = [self._fragment_at(group_index, rid) for rid in rids]
+                        other_cols = [
+                            [fragment[offset] for fragment in frags]
+                            for offset in needed[group_index]
+                        ]
+                    for position, (_, out_offset) in enumerate(by_group[group_index]):
+                        out[out_offset] = other_cols[position]
+                self.batches_emitted += 1
+                yield rids, out  # type: ignore[misc]
+
+        return batches()
 
     # -- schema evolution ----------------------------------------------------
 
@@ -530,6 +803,10 @@ class GroupedTupleStore:
             self._rid_page.append({})
             self._group_ids.append(self._next_gid)
             self._next_gid += 1
+            self._group_encoded.append(False)
+            self._group_ratio.append(1.0)
+            self._group_enc_failed.append(False)
+            self._group_plain_pages.append(0)
             for rid in self.rids():
                 self._append_record(placed, rid, (default,))
             return 0
@@ -541,12 +818,14 @@ class GroupedTupleStore:
         )
         for page_id in self._chains[placed]:
             page = self.pool.get(page_id)
+            self._thaw_page(placed, page)
             page.records = [
                 (rid, fragment[:offset] + (default,) + fragment[offset:])
                 for rid, fragment in page.records
             ]
             page.mark_dirty()
             rewritten += 1
+        self._reset_group_encoding(placed)
         return rewritten
 
     def drop_column(self, column_name: str) -> int:
@@ -568,6 +847,10 @@ class GroupedTupleStore:
             del self._chains[group_index]
             del self._rid_page[group_index]
             del self._group_ids[group_index]
+            del self._group_encoded[group_index]
+            del self._group_ratio[group_index]
+            del self._group_enc_failed[group_index]
+            del self._group_plain_pages[group_index]
             return 0
         offset = next(
             i for i, name in enumerate(members) if name.lower() == column_name.lower()
@@ -576,12 +859,14 @@ class GroupedTupleStore:
         rewritten = 0
         for page_id in self._chains[group_index]:
             page = self.pool.get(page_id)
+            self._thaw_page(group_index, page)
             page.records = [
                 (rid, fragment[:offset] + fragment[offset + 1 :])
                 for rid, fragment in page.records
             ]
             page.mark_dirty()
             rewritten += 1
+        self._reset_group_encoding(group_index)
         return rewritten
 
     def rename_column(self, old: str, new: str) -> None:
@@ -613,8 +898,14 @@ class GroupedTupleStore:
         values: Dict[int, Any] = {}
         for page_id in self._chains[group_index]:
             page = self.pool.get(page_id)
-            for rid, fragment in page.records:
-                values[rid] = fragment[offset]
+            enc = page.header.get("enc")
+            if enc is None:
+                for rid, fragment in page.records:
+                    values[rid] = fragment[offset]
+            else:
+                decoded = decode_column(*enc["cols"][offset])
+                for rid, value in zip(enc["rids"], decoded):
+                    values[rid] = value
         return values
 
     def _build_chain(
@@ -693,8 +984,14 @@ class GroupedTupleStore:
         old_chains = self._chains
         old_rid_page = self._rid_page
         old_gids = self._group_ids
+        old_encoded = self._group_encoded
+        old_ratio = self._group_ratio
+        old_failed = self._group_enc_failed
+        old_plain = self._group_plain_pages
         self.schema.set_groups(targets)
         self._chains, self._rid_page, self._group_ids = [], [], []
+        self._group_encoded, self._group_ratio = [], []
+        self._group_enc_failed, self._group_plain_pages = [], []
         kept = set()
         for index in range(len(targets)):
             old_index = reused[index]
@@ -703,11 +1000,19 @@ class GroupedTupleStore:
                 self._chains.append(old_chains[old_index])
                 self._rid_page.append(old_rid_page[old_index])
                 self._group_ids.append(old_gids[old_index])
+                self._group_encoded.append(old_encoded[old_index])
+                self._group_ratio.append(old_ratio[old_index])
+                self._group_enc_failed.append(old_failed[old_index])
+                self._group_plain_pages.append(old_plain[old_index])
             else:
                 chain, directory, gid = built[index]  # type: ignore[misc]
                 self._chains.append(chain)
                 self._rid_page.append(directory)
                 self._group_ids.append(gid)
+                self._group_encoded.append(False)
+                self._group_ratio.append(1.0)
+                self._group_enc_failed.append(False)
+                self._group_plain_pages.append(len(chain))
         # Free: the old layout's pages, now unreachable, and the dead
         # groups' I/O counters (migrations mint fresh group ids, so stale
         # tags would otherwise accumulate forever).
@@ -731,6 +1036,172 @@ class GroupedTupleStore:
         self.restructure(target_groups)
         return self.n_pages
 
+    # -- page encodings ------------------------------------------------------
+
+    def _reset_group_encoding(self, group_index: int) -> None:
+        """Forget one group's encoding state after a plain rewrite."""
+        self._group_encoded[group_index] = False
+        self._group_ratio[group_index] = 1.0
+        self._group_enc_failed[group_index] = False
+        self._group_plain_pages[group_index] = len(self._chains[group_index])
+
+    def group_encoded(self, group_index: int) -> bool:
+        return self._group_encoded[group_index]
+
+    def group_encoding_ratio(self, group_index: int) -> float:
+        return self._group_ratio[group_index]
+
+    @property
+    def encoded_group_count(self) -> int:
+        return sum(1 for encoded in self._group_encoded if encoded)
+
+    def encode_group(self, group_index: int) -> int:
+        """Rewrite one group's chain with per-column page encodings.
+
+        Picks the smallest of plain/packed/dict/rle per column over the
+        whole chain (:func:`repro.engine.encoding.choose_encoding`), then
+        rebuilds the chain with each page holding ``capacity × ratio``
+        records — the byte savings become *block* savings, which is what
+        the pager counts.  Build-then-swap like :meth:`restructure`.
+        Returns the new chain's page count, or 0 when the group does not
+        compress (remembered, so maintenance stops retrying)."""
+        members = self.schema.groups[group_index]
+        width = max(1, len(members))
+        rid_list: List[int] = []
+        columns: List[List[Any]] = [[] for _ in range(width)]
+        for page_id in self._chains[group_index]:
+            page = self.pool.get(page_id)
+            enc = page.header.get("enc")
+            if enc is None:
+                for rid, fragment in page.records:
+                    rid_list.append(rid)
+                    for offset in range(width):
+                        columns[offset].append(fragment[offset])
+            else:
+                rid_list.extend(enc["rids"])
+                for offset in range(width):
+                    columns[offset].extend(decode_column(*enc["cols"][offset]))
+        n = len(rid_list)
+        if n == 0:
+            self._group_enc_failed[group_index] = True
+            return 0
+        kinds: List[str] = []
+        encoded_bytes = 0
+        for offset in range(width):
+            kind, size = choose_encoding(columns[offset])
+            kinds.append(kind)
+            encoded_bytes += size
+        plain_bytes = n * width * PLAIN_VALUE_BYTES
+        ratio = plain_bytes / max(1, encoded_bytes)
+        if ratio <= 1.05:
+            self._group_enc_failed[group_index] = True
+            return 0
+        capacity = self._group_capacity(group_index)
+        per_page = max(capacity, int(capacity * ratio))
+        tag = self._tag(group_index)
+        chain: List[int] = []
+        directory: Dict[int, int] = {}
+        allocated: List[int] = []
+        try:
+            for start in range(0, n, per_page):
+                stop = min(n, start + per_page)
+                page = self.pool.new_page(tag=tag)
+                allocated.append(page.page_id)
+                chain.append(page.page_id)
+                page_rids = rid_list[start:stop]
+                cols: List[Tuple[str, Any]] = []
+                col_bytes: List[int] = []
+                total = 0
+                for offset in range(width):
+                    payload = encode_column(columns[offset][start:stop], kinds[offset])
+                    size = encoded_size(stop - start, kinds[offset], payload)
+                    cols.append((kinds[offset], payload))
+                    col_bytes.append(size)
+                    total += size
+                page.header["enc"] = {
+                    "rids": page_rids,
+                    "cols": cols,
+                    "col_bytes": col_bytes,
+                    "bytes": total,
+                    "plain_bytes": (stop - start) * width * PLAIN_VALUE_BYTES,
+                }
+                page.mark_dirty()
+                self.pool.add_bytes(tag, bytes_written=total)
+                for rid in page_rids:
+                    directory[rid] = page.page_id
+        except BaseException:
+            for page_id in allocated:
+                self.pool.free_page(page_id)
+            raise
+        for page_id in self._chains[group_index]:
+            self.pool.free_page(page_id)
+        self._chains[group_index] = chain
+        self._rid_page[group_index] = directory
+        self._group_encoded[group_index] = True
+        self._group_ratio[group_index] = ratio
+        self._group_enc_failed[group_index] = False
+        self._group_plain_pages[group_index] = 0
+        return len(chain)
+
+    def encoding_tick(
+        self, min_scans: int = 8, min_pages: int = 2
+    ) -> List[Tuple[int, float]]:
+        """Maintenance pass: encode the chains the workload scans.
+
+        A group qualifies when its members have accumulated ``min_scans``
+        scans and its chain has at least ``min_pages`` plain pages (an
+        encoded chain re-qualifies once its plain tail grows back).
+        Returns ``(group_index, ratio)`` for every group encoded."""
+        encoded: List[Tuple[int, float]] = []
+        for group_index, members in enumerate(self.schema.groups):
+            if self._group_enc_failed[group_index]:
+                continue
+            if self._group_plain_pages[group_index] < min_pages:
+                continue
+            scans = sum(
+                self.access_stats.column(name).scans for name in members
+            ) + self.access_stats.full_scans
+            if scans < min_scans:
+                continue
+            if self.encode_group(group_index):
+                encoded.append((group_index, self._group_ratio[group_index]))
+        return encoded
+
+    def column_encoding_ratios(self) -> Dict[str, float]:
+        """Lower-cased column name → measured compression ratio for every
+        column living in an encoded group (the cost model's discount)."""
+        ratios: Dict[str, float] = {}
+        for group_index, members in enumerate(self.schema.groups):
+            if not self._group_encoded[group_index]:
+                continue
+            for name in members:
+                ratios[name.lower()] = self._group_ratio[group_index]
+        return ratios
+
+    def encoding_snapshot(self) -> List[Dict[str, Any]]:
+        """Per-group encoding state, in group order, for persistence."""
+        return [
+            {
+                "encoded": self._group_encoded[index],
+                "ratio": self._group_ratio[index],
+                "failed": self._group_enc_failed[index],
+            }
+            for index in range(self.n_groups)
+        ]
+
+    def restore_encodings(self, payloads: Sequence[Dict[str, Any]]) -> None:
+        """Re-establish persisted encoding state after a load.
+
+        Snapshots persist *rows*, so the loader re-inserts plain pages;
+        re-encoding the flagged groups here restores the physical layout
+        (call before :meth:`restore_group_io` so the pre-crash counters
+        overwrite the re-encode burst)."""
+        for group_index, payload in enumerate(payloads[: self.n_groups]):
+            if payload.get("encoded"):
+                self.encode_group(group_index)
+            elif payload.get("failed"):
+                self._group_enc_failed[group_index] = True
+
     def covering_io_snapshot(self, column_names: Sequence[str]) -> IOStats:
         """Aggregated cumulative I/O of the groups covering a column set.
 
@@ -745,6 +1216,8 @@ class GroupedTupleStore:
             total.writes += stats.writes
             total.allocations += stats.allocations
             total.frees += stats.frees
+            total.bytes_read += stats.bytes_read
+            total.bytes_written += stats.bytes_written
         return total
 
     def group_io_snapshot(self) -> List[Dict[str, int]]:
@@ -757,6 +1230,8 @@ class GroupedTupleStore:
                 "writes": stats.writes,
                 "allocations": stats.allocations,
                 "frees": stats.frees,
+                "bytes_read": stats.bytes_read,
+                "bytes_written": stats.bytes_written,
             }
             for stats in (
                 self.group_io_stats(index) for index in range(self.n_groups)
@@ -780,6 +1255,8 @@ class GroupedTupleStore:
                     writes=int(payload.get("writes", 0)),
                     allocations=int(payload.get("allocations", 0)),
                     frees=int(payload.get("frees", 0)),
+                    bytes_read=int(payload.get("bytes_read", 0)),
+                    bytes_written=int(payload.get("bytes_written", 0)),
                 ),
             )
 
@@ -791,9 +1268,12 @@ class GroupedTupleStore:
                 "group_id": self._group_ids[index],
                 "columns": list(members),
                 "pages": self.pages_in_group(index),
+                "encoded": self._group_encoded[index],
+                "ratio": round(self._group_ratio[index], 2),
                 "io": {
                     "reads": self.group_io_stats(index).reads,
                     "writes": self.group_io_stats(index).writes,
+                    "bytes_read": self.group_io_stats(index).bytes_read,
                 },
             }
             for index, members in enumerate(self.schema.groups)
@@ -814,13 +1294,28 @@ class GroupedTupleStore:
             raise StorageError("group id directory does not match chains")
         counts = set()
         for group_index, chain in enumerate(self._chains):
+            width = len(self.schema.groups[group_index])
             seen = 0
             for page_id in chain:
                 page = self.pool.get(page_id)
+                enc = page.header.get("enc")
+                if enc is not None:
+                    if page.records:
+                        raise StorageError("encoded page still holds plain records")
+                    if len(enc["cols"]) != width:
+                        raise StorageError("encoded column count mismatch")
+                    for rid in enc["rids"]:
+                        if self._rid_page[group_index].get(rid) != page_id:
+                            raise StorageError(f"directory mismatch for rid {rid}")
+                        seen += 1
+                    for kind, payload in enc["cols"]:
+                        if len(decode_column(kind, payload)) != len(enc["rids"]):
+                            raise StorageError("encoded column length mismatch")
+                    continue
                 for rid, fragment in page.records:
                     if self._rid_page[group_index].get(rid) != page_id:
                         raise StorageError(f"directory mismatch for rid {rid}")
-                    if len(fragment) != len(self.schema.groups[group_index]):
+                    if len(fragment) != width:
                         raise StorageError("fragment width mismatch")
                     seen += 1
             counts.add(seen)

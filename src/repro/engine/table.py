@@ -25,7 +25,7 @@ from repro.engine.hybridstore import restructure_blocks
 from repro.engine.layout import LayoutAdvisor, LayoutMigration, LayoutRecommendation
 from repro.engine.pager import BufferPool
 from repro.engine.schema import Column, TableSchema
-from repro.engine.store import GroupedTupleStore, LayoutPolicy
+from repro.engine.store import DEFAULT_BATCH_SIZE, GroupedTupleStore, LayoutPolicy
 from repro.engine.types import coerce_value
 from repro.errors import ConstraintError, ExecutionError, SchemaError, StorageError
 from repro.index.btree import BPlusTree
@@ -70,6 +70,10 @@ class Table:
         # Adaptive layout: off by default; ALTER TABLE ... SET LAYOUT AUTO
         # (or set_auto_layout) turns the advisor loop on.
         self.auto_layout = False
+        # Page encodings ride the same maintenance loop; turn this off to
+        # keep an auto-layout table migrating on plain pages only (used
+        # by benchmarks that isolate the advisor's grouping decisions).
+        self.auto_encode = True
         self.layout_advisor = LayoutAdvisor()
         self.layout_stats_horizon = 2048
         self._layout_migration: Optional[LayoutMigration] = None
@@ -180,6 +184,56 @@ class Table:
                     ) from None
                 buffered[heap_rid] = values
             yield position, rid, buffered.pop(rid)
+
+    def scan_column_batches(
+        self, names: Sequence[str], batch_size: int = DEFAULT_BATCH_SIZE
+    ) -> Iterator[Tuple[int, List[int], List[List[Any]]]]:
+        """Batched companion to :meth:`scan_columns`: yields
+        ``(start_position, rids, columns)`` in presentation order, with
+        ``columns`` holding one rid-aligned value list per name.
+
+        While presentation order tracks heap order (no positional inserts
+        or moves — the common case) the store's batches are passed through
+        untouched; once they diverge, rows are buffered per rid and
+        re-emitted in presentation order.  Charges the same workload
+        statistics as :meth:`scan_columns`."""
+        names = list(names)
+        if not names:
+            return
+        expected = list(self.positions)
+        start = 0
+        pending: Dict[int, Tuple[Any, ...]] = {}
+        width = len(names)
+
+        def drain() -> Iterator[Tuple[int, List[int], List[List[Any]]]]:
+            nonlocal start
+            batch_rids: List[int] = []
+            batch_rows: List[Tuple[Any, ...]] = []
+            while start + len(batch_rids) < len(expected):
+                row = pending.pop(expected[start + len(batch_rids)], None)
+                if row is None:
+                    break
+                batch_rids.append(expected[start + len(batch_rids)])
+                batch_rows.append(row)
+            if batch_rids:
+                columns = [[row[j] for row in batch_rows] for j in range(width)]
+                yield start, batch_rids, columns
+                start += len(batch_rids)
+
+        for rids, cols in self.store.scan_group_batches(names, batch_size):
+            if not pending and rids == expected[start : start + len(rids)]:
+                yield start, rids, cols
+                start += len(rids)
+                continue
+            for i, rid in enumerate(rids):
+                pending[rid] = tuple(column[i] for column in cols)
+            yield from drain()
+        while start < len(expected):
+            if expected[start] not in pending:
+                raise StorageError(
+                    f"rid {expected[start]} missing from column scan of {self.name!r}"
+                )
+            yield from drain()
 
     def rows(self) -> List[Tuple[Any, ...]]:
         return [row for _, _, row in self.scan()]
@@ -477,6 +531,19 @@ class Table:
             )
             return report
         if self.auto_layout:
+            # No migration in flight: let the encoder compact chains the
+            # workload scans before consulting the advisor (whose cost
+            # model then sees the measured compression ratios).
+            encoded = self.store.encoding_tick() if self.auto_encode else []
+            for group_index, ratio in encoded:
+                self._record_event(
+                    "encode_group",
+                    group=group_index,
+                    ratio=round(ratio, 2),
+                    columns=list(self.schema.groups[group_index]),
+                )
+            if encoded:
+                report["encoded_groups"] = [group for group, _ in encoded]
             recommendation = self.layout_advisor.advise(self.store)
             if recommendation is not None:
                 self._record_event(

@@ -45,9 +45,14 @@ def build_wide_table(service, session, n_rows=800, name="t"):
     service.execute(
         session.session_id, f"CREATE TABLE {name} (a INT, b INT, c INT, d INT)"
     )
+    # Distinct 8-byte ints: incompressible, so the maintenance loop's
+    # encode-first pass stays out of these migration-focused scenarios
+    # (encoding durability has its own coverage in test_vectorized.py).
+    wide = 2**33
     for start in range(0, n_rows, 10):
         values = ",".join(
-            f"({j},{j + 1},{j + 2},{j + 3})" for j in range(start, start + 10)
+            f"({j * wide},{j * wide + 1},{j * wide + 2},{j * wide + 3})"
+            for j in range(start, start + 10)
         )
         service.execute(session.session_id, f"INSERT INTO {name} VALUES {values}")
     return service.workbook.database.table(name)

@@ -83,6 +83,10 @@ def test_trace_pager_span_matches_tag_stats():
     assert scan.counters["cols_read"] == 2
     assert scan.counters["pages_read"] == deltas[0].reads
     assert scan.counters["rows_out"] == 109
+    # Vectorized execution counters ride the same span: every scanned row
+    # arrived in some batch, so the batch arithmetic must close.
+    assert scan.counters["batches"] >= 1
+    assert scan.counters["rows_per_batch"] == 120 // scan.counters["batches"]
 
 
 def test_trace_span_tree_shape_and_timing():
@@ -128,9 +132,13 @@ def test_crash_recovery_event_order(tmp_path):
     service = WorkbookService(directory, fsync=False, compact_every=0)
     session = service.connect("test")
     service.execute(session.session_id, "CREATE TABLE t (a INT, b INT, c INT, d INT)")
+    # Distinct 8-byte ints: incompressible, so the maintenance loop's
+    # encode-first pass cannot pre-empt the migration this test drives.
+    wide = 2**33
     for start in range(0, 120, 10):
         values = ",".join(
-            f"({j},{j + 1},{j + 2},{j + 3})" for j in range(start, start + 10)
+            f"({j * wide},{j * wide + 1},{j * wide + 2},{j * wide + 3})"
+            for j in range(start, start + 10)
         )
         service.execute(session.session_id, f"INSERT INTO t VALUES {values}")
     service.execute(session.session_id, "ALTER TABLE t SET LAYOUT AUTO")
