@@ -44,11 +44,17 @@ REPEATS = 4 if SMOKE else 12
 # the instrumentation's hot path, so this is the worst case for overhead.
 OVERHEAD_CEILING = 1.05
 DISABLED_CALL_CEILING_US = 1.0
+# The runtime sanitizer (Database(sanitize=True)) asserts engine
+# invariants on the buffer-pool and batch-scan hot paths; its budget is
+# looser than the metrics one because each check inspects real data.
+SANITIZER_CEILING = 1.10
 
 
-def build_db(enabled: bool) -> Database:
+def build_db(enabled: bool, sanitize: bool = False) -> Database:
     registry = MetricsRegistry(enabled=enabled)
-    db = Database(page_capacity=32, buffer_frames=16, metrics=registry)
+    db = Database(
+        page_capacity=32, buffer_frames=16, metrics=registry, sanitize=sanitize
+    )
     db.execute("CREATE TABLE t (a INT, b INT, c INT, d INT)")
     table = db.table("t")
     for i in range(N_ROWS):
@@ -70,8 +76,8 @@ def run_trace(db: Database) -> int:
     return statements
 
 
-def timed_trace(enabled: bool) -> float:
-    db = build_db(enabled)
+def timed_trace(enabled: bool, sanitize: bool = False) -> float:
+    db = build_db(enabled, sanitize=sanitize)
     started = time.perf_counter()
     run_trace(db)
     return time.perf_counter() - started
@@ -144,6 +150,48 @@ def test_metrics_overhead_bounded():
     )
 
 
+def test_sanitizer_overhead_bounded():
+    """Runtime sanitizer on vs off over the same HTAP trace, <10%."""
+    times = {"on": [], "off": []}
+    timed_trace(enabled=False)  # warm-up: imports, code caches
+    # Alternate which configuration runs first: machine-speed drift over
+    # the measurement window otherwise lands entirely on one side.
+    for repeat in range(REPEATS):
+        first, second = ("off", "on") if repeat % 2 == 0 else ("on", "off")
+        for mode in (first, second):
+            times[mode].append(timed_trace(enabled=False, sanitize=mode == "on"))
+    k = max(1, min(3, REPEATS))
+    best = {mode: sum(sorted(samples)[:k]) / k for mode, samples in times.items()}
+    ratio = best["on"] / best["off"]
+
+    # The checks must actually have run — a silently disarmed sanitizer
+    # would make the ratio meaningless.
+    db = build_db(enabled=False, sanitize=True)
+    run_trace(db)
+    assert db.sanitizer.checks > 0
+    assert db.sanitizer.failures == 0
+
+    print(
+        f"\nHTAP trace (best-{k} mean of {REPEATS}): "
+        f"sanitizer off={best['off'] * 1e3:.1f}ms on={best['on'] * 1e3:.1f}ms "
+        f"ratio={ratio:.3f} ({db.sanitizer.checks} checks)"
+    )
+    write_bench_json(
+        "observability_sanitizer",
+        {
+            "repeats": REPEATS,
+            "sanitizer_off_ms": round(best["off"] * 1e3, 3),
+            "sanitizer_on_ms": round(best["on"] * 1e3, 3),
+            "sanitizer_overhead_ratio": round(ratio, 4),
+            "sanitizer_checks": db.sanitizer.checks,
+        },
+    )
+    assert ratio < SANITIZER_CEILING, (
+        f"sanitizer-on trace is {ratio:.3f}x sanitizer-off "
+        f"(ceiling {SANITIZER_CEILING})"
+    )
+
+
 def test_registry_counts_the_trace():
     """Sanity: with metrics on, the registry actually saw the workload."""
     db = build_db(enabled=True)
@@ -159,4 +207,5 @@ def test_registry_counts_the_trace():
 
 if __name__ == "__main__":
     test_metrics_overhead_bounded()
+    test_sanitizer_overhead_bounded()
     test_registry_counts_the_trace()

@@ -44,6 +44,38 @@ def write_bench_json(name: str, payload: dict) -> str:
     return path
 
 
+def pytest_sessionfinish(session, exitstatus):
+    """Emit the static analyzer's diagnostic counts as ``BENCH_analysis.json``.
+
+    Piggybacks on the bench run so the perf trajectory files also track
+    code-health drift: total findings, how many are grandfathered in
+    ``ANALYSIS_BASELINE.txt``, and how many are new (which CI fails on)."""
+    try:
+        from repro.analysis import analyze_paths, load_baseline, partition
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        diagnostics = analyze_paths([os.path.join(root, "src")], root=root)
+        baseline = load_baseline(os.path.join(root, "ANALYSIS_BASELINE.txt"))
+        new, grandfathered, stale = partition(diagnostics, baseline)
+        per_code: dict = {}
+        for diagnostic in diagnostics:
+            per_code[diagnostic.code] = per_code.get(diagnostic.code, 0) + 1
+        write_bench_json(
+            "analysis",
+            {
+                "total": len(diagnostics),
+                "new": len(new),
+                "baselined": len(grandfathered),
+                "stale_baseline": len(stale),
+                "per_code": per_code,
+            },
+        )
+    except Exception as error:  # bookkeeping must never fail the bench run
+        import sys
+
+        print(f"BENCH_analysis.json not written: {error!r}", file=sys.stderr)
+
+
 def build_movie_workbook(n_movies: int, n_actors: int | None = None) -> Workbook:
     data = generate_movie_data(
         n_movies=n_movies,

@@ -1,0 +1,125 @@
+"""Baseline file: grandfathered findings the analyzer tolerates.
+
+One tab-separated line per accepted finding::
+
+    CODE<TAB>path<TAB>symbol<TAB># one-line justification
+
+The key deliberately omits the line number (see
+:class:`repro.analysis.core.Diagnostic.key`) so unrelated edits that shift
+code around do not invalidate the baseline.  ``python -m repro.analysis
+--baseline`` regenerates the file from the current findings, preserving
+the justification of every entry that survives; brand-new entries get a
+``TODO: justify`` marker that a reviewer is expected to replace.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.core import Diagnostic
+
+__all__ = [
+    "DEFAULT_BASELINE_FILE",
+    "BaselineEntry",
+    "load_baseline",
+    "write_baseline",
+    "partition",
+]
+
+DEFAULT_BASELINE_FILE = "ANALYSIS_BASELINE.txt"
+
+_HEADER = """\
+# repro.analysis baseline — grandfathered findings, one per line:
+#   CODE<TAB>path<TAB>symbol<TAB># justification
+# Regenerate with: PYTHONPATH=src python -m repro.analysis --baseline src
+# Entries whose finding disappeared are dropped on regeneration.
+"""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    code: str
+    path: str
+    symbol: str
+    justification: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.code}\t{self.path}\t{self.symbol}"
+
+    def render(self) -> str:
+        note = self.justification or "TODO: justify"
+        return f"{self.code}\t{self.path}\t{self.symbol}\t# {note}"
+
+
+def load_baseline(path: str) -> Dict[str, BaselineEntry]:
+    """Key → entry; a missing file is an empty baseline, not an error."""
+    entries: Dict[str, BaselineEntry] = {}
+    if not os.path.isfile(path):
+        return entries
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.rstrip("\n")
+            if not line.strip() or line.lstrip().startswith("#"):
+                continue
+            fields = line.split("\t")
+            if len(fields) < 3:
+                continue
+            code, diag_path, symbol = fields[0], fields[1], fields[2]
+            justification = ""
+            if len(fields) > 3:
+                justification = fields[3].lstrip().lstrip("#").strip()
+            entry = BaselineEntry(code, diag_path, symbol, justification)
+            entries[entry.key] = entry
+    return entries
+
+
+def write_baseline(
+    path: str,
+    diagnostics: Sequence[Diagnostic],
+    existing: Dict[str, BaselineEntry],
+) -> List[BaselineEntry]:
+    """Regenerate the baseline from ``diagnostics``, keeping the
+    justification of every entry that is still a live finding."""
+    entries: List[BaselineEntry] = []
+    seen = set()
+    for diag in diagnostics:
+        if diag.key in seen:
+            continue
+        seen.add(diag.key)
+        kept = existing.get(diag.key)
+        entries.append(
+            BaselineEntry(
+                diag.code,
+                diag.path,
+                diag.symbol,
+                kept.justification if kept is not None else "",
+            )
+        )
+    entries.sort(key=lambda e: (e.path, e.code, e.symbol))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(_HEADER)
+        for entry in entries:
+            handle.write(entry.render() + "\n")
+    return entries
+
+
+def partition(
+    diagnostics: Sequence[Diagnostic],
+    baseline: Dict[str, BaselineEntry],
+) -> Tuple[List[Diagnostic], List[Diagnostic], List[BaselineEntry]]:
+    """``(new, grandfathered, stale)``: findings not in the baseline,
+    findings covered by it, and baseline entries no longer observed."""
+    new: List[Diagnostic] = []
+    grandfathered: List[Diagnostic] = []
+    observed = set()
+    for diag in diagnostics:
+        observed.add(diag.key)
+        if diag.key in baseline:
+            grandfathered.append(diag)
+        else:
+            new.append(diag)
+    stale = [entry for key, entry in baseline.items() if key not in observed]
+    return new, grandfathered, stale

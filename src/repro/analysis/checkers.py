@@ -1,0 +1,686 @@
+"""The RC0xx checkers — one engine invariant each.
+
+=======  ====================================================================
+code     invariant
+=======  ====================================================================
+RC001    WAL replay / recovery / snapshot-restore call paths must be
+         deterministic: no wall clock, no unseeded randomness, no iteration
+         over unordered sets (call-graph walk from the recovery entry
+         points).
+RC002    All page I/O flows through the buffer pool: no direct
+         ``DiskManager`` ``read``/``write``/``allocate``/``free`` calls
+         outside ``pager.py`` (direct calls bypass per-group tag
+         accounting, silently under-counting I/O stats).
+RC003    The WAL op vocabulary is one registry: every name in ``OP_TYPES``
+         has a ``validate_op`` arm and an ``apply_op`` arm, and the WAL
+         module's ``TXN_MARKERS`` stay inside the registry.  (Snapshot
+         coverage is structural: snapshots persist the whole workbook, so
+         apply coverage implies snapshot coverage.)
+RC004    Pull metrics collectors read only attributes that exist on the
+         counter structs they scrape (constructor-assignment type
+         propagation; unresolvable receivers are skipped, never guessed).
+RC005    No swallowed exceptions: an ``except Exception:`` / bare
+         ``except:`` handler must re-raise or record a structured EventLog
+         entry.
+RC006    Store methods of a thaw-capable class that mutate ``.records`` of
+         a pooled page must thaw first (``_thaw_page`` / ``_find_slot``)
+         or carry the explicit ``"enc"`` guard.
+=======  ====================================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.callgraph import reachable
+from repro.analysis.core import (
+    Diagnostic,
+    Module,
+    ProjectIndex,
+    own_nodes,
+    register,
+    walk_scoped,
+)
+
+__all__ = ["REPLAY_ENTRY_POINTS"]
+
+
+# ---------------------------------------------------------------------------
+# RC001 — replay determinism
+# ---------------------------------------------------------------------------
+
+#: Recovery/replay roots: every definition carrying one of these names
+#: seeds the call-graph walk.
+REPLAY_ENTRY_POINTS = (
+    "recover_state",      # service: snapshot + committed WAL suffix
+    "apply_op",           # service: the replay interpreter
+    "read_wal",           # wal: record scan
+    "committed_ops",      # wal: the replay rule
+    "load_workbook",      # persist + SnapshotStore.load_workbook
+    "workbook_from_dict", # persist: snapshot restore
+    "restore_encodings",  # store: snapshot restore of page encodings
+    "restore_group_io",   # store: snapshot restore of per-group I/O
+)
+
+#: ``module.attr`` calls that read the environment nondeterministically.
+_NONDET_CALLS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("os", "urandom"),
+    ("os", "getpid"),
+    ("uuid", "uuid1"),
+    ("uuid", "uuid4"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+
+
+def _nondet_call(call: ast.Call) -> Optional[str]:
+    """The dotted name of a nondeterministic call, or None."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or not isinstance(func.value, ast.Name):
+        return None
+    base, attr = func.value.id, func.attr
+    if (base, attr) in _NONDET_CALLS:
+        return f"{base}.{attr}"
+    if base == "random":
+        if attr != "Random":
+            return f"random.{attr}"
+        if not call.args and not call.keywords:
+            return "random.Random()"  # unseeded; a seeded Random is deterministic
+    return None
+
+
+def _unordered_iteration(node: ast.For) -> bool:
+    """Iterating a set display / comprehension / bare ``set(...)`` call —
+    the textbook hash-order dependence (``sorted(...)`` wrappers pass)."""
+    source = node.iter
+    if isinstance(source, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(source, ast.Call)
+        and isinstance(source.func, ast.Name)
+        and source.func.id in ("set", "frozenset")
+    )
+
+
+@register("RC001", "replay determinism")
+def check_replay_determinism(index: ProjectIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for info in reachable(index, REPLAY_ENTRY_POINTS):
+        for node in own_nodes(info.node):
+            if isinstance(node, ast.Call):
+                name = _nondet_call(node)
+                if name is not None:
+                    out.append(
+                        Diagnostic(
+                            "RC001",
+                            info.module.path,
+                            node.lineno,
+                            f"{info.scope}:{name}",
+                            f"{name}() in {info.scope}, reachable from a "
+                            "replay entry point — recovery must be "
+                            "deterministic",
+                        )
+                    )
+            elif isinstance(node, ast.For) and _unordered_iteration(node):
+                out.append(
+                    Diagnostic(
+                        "RC001",
+                        info.module.path,
+                        node.lineno,
+                        f"{info.scope}:set-iteration",
+                        f"iteration over an unordered set in {info.scope}, "
+                        "reachable from a replay entry point — wrap in "
+                        "sorted() for a stable order",
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RC002 — pager discipline
+# ---------------------------------------------------------------------------
+
+_DISK_METHODS = ("read", "write", "allocate", "free")
+
+
+@register("RC002", "pager discipline")
+def check_pager_discipline(index: ProjectIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for module in index.modules:
+        if module.path.endswith("pager.py"):
+            continue  # the pool's own delegation lives here
+        for scope, node in walk_scoped(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute) or func.attr not in _DISK_METHODS:
+                continue
+            receiver = func.value
+            is_disk = (
+                isinstance(receiver, ast.Attribute) and receiver.attr == "disk"
+            ) or (isinstance(receiver, ast.Name) and receiver.id == "disk")
+            if is_disk:
+                out.append(
+                    Diagnostic(
+                        "RC002",
+                        module.path,
+                        node.lineno,
+                        f"{scope or '<module>'}:disk.{func.attr}",
+                        f"direct DiskManager.{func.attr}() call — page I/O "
+                        "must go through the BufferPool so per-group tag "
+                        "stats are charged",
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RC003 — WAL op-registry completeness
+# ---------------------------------------------------------------------------
+
+
+def _module_string_tuples(tree: ast.Module) -> Dict[str, Tuple[str, ...]]:
+    """Module-level ``NAME = ("a", "b", ...)`` assignments of strings."""
+    result: Dict[str, Tuple[str, ...]] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            continue
+        items = []
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                items.append(element.value)
+            else:
+                break
+        else:
+            result[target.id] = tuple(items)
+    return result
+
+
+def _handled_ops(
+    fn: ast.AST, registry: Sequence[str], tuples: Dict[str, Tuple[str, ...]]
+) -> Set[str]:
+    """Op names a validate/apply function references: string literals plus
+    any module-level string tuple it names (``_STRUCTURAL`` etc.)."""
+    known = set(registry)
+    handled: Set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if node.value in known:
+                handled.add(node.value)
+        elif isinstance(node, ast.Name) and node.id in tuples:
+            handled.update(name for name in tuples[node.id] if name in known)
+    return handled
+
+
+@register("RC003", "WAL op-registry completeness")
+def check_op_registry(index: ProjectIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    registries: List[Tuple[Module, Tuple[str, ...]]] = []
+    for module in index.modules:
+        tuples = _module_string_tuples(module.tree)
+        op_types = tuples.get("OP_TYPES")
+        if op_types is None:
+            continue
+        defs = {
+            node.name: node
+            for node in module.tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        if "validate_op" not in defs or "apply_op" not in defs:
+            continue
+        registries.append((module, op_types))
+        for fn_name in ("validate_op", "apply_op"):
+            fn = defs[fn_name]
+            missing = [
+                op for op in op_types
+                if op not in _handled_ops(fn, op_types, tuples)
+            ]
+            for op in missing:
+                out.append(
+                    Diagnostic(
+                        "RC003",
+                        module.path,
+                        fn.lineno,
+                        f"{fn_name}:{op}",
+                        f"op type {op!r} is registered in OP_TYPES but has "
+                        f"no arm in {fn_name} — replay would reject or "
+                        "misapply it",
+                    )
+                )
+    # Cross-module: transaction markers declared next to the WAL replay
+    # rule must be registered op types, or recovery and validation disagree.
+    for module, op_types in registries:
+        registry = set(op_types)
+        for other in index.modules:
+            markers = _module_string_tuples(other.tree).get("TXN_MARKERS")
+            if markers is None:
+                continue
+            for marker in markers:
+                if marker not in registry:
+                    out.append(
+                        Diagnostic(
+                            "RC003",
+                            other.path,
+                            1,
+                            f"TXN_MARKERS:{marker}",
+                            f"WAL marker {marker!r} is not in OP_TYPES — "
+                            "validate_op would refuse to log it",
+                        )
+                    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RC004 — metrics-collector drift
+# ---------------------------------------------------------------------------
+
+
+class _ClassInfo:
+    def __init__(self, module: Module, node: ast.ClassDef):
+        self.module = module
+        self.node = node
+        self.bases = [
+            base.id for base in node.bases if isinstance(base, ast.Name)
+        ]
+
+
+def _collect_classes(index: ProjectIndex) -> Dict[str, _ClassInfo]:
+    classes: Dict[str, _ClassInfo] = {}
+    for module in index.modules:
+        for _, node in walk_scoped(module.tree):
+            if isinstance(node, ast.ClassDef):
+                classes[node.name] = _ClassInfo(module, node)
+    return classes
+
+
+def _class_attrs(
+    classes: Dict[str, _ClassInfo], name: str, _seen: Optional[Set[str]] = None
+) -> Set[str]:
+    """Every attribute name a class observably has: methods, class-body
+    assignments, dataclass fields, ``__slots__``, and ``self.X = ...``
+    in any of its methods — plus everything from resolvable bases."""
+    seen = _seen if _seen is not None else set()
+    if name in seen or name not in classes:
+        return set()
+    seen.add(name)
+    info = classes[name]
+    attrs: Set[str] = set()
+    for item in info.node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            attrs.add(item.name)
+            for node in ast.walk(item):
+                if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    for target in targets:
+                        if (
+                            isinstance(target, ast.Attribute)
+                            and isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                        ):
+                            attrs.add(target.attr)
+        elif isinstance(item, ast.Assign):
+            for target in item.targets:
+                if isinstance(target, ast.Name):
+                    attrs.add(target.id)
+                    if target.id == "__slots__" and isinstance(
+                        item.value, (ast.Tuple, ast.List)
+                    ):
+                        for element in item.value.elts:
+                            if isinstance(element, ast.Constant) and isinstance(
+                                element.value, str
+                            ):
+                                attrs.add(element.value)
+        elif isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            attrs.add(item.target.id)  # dataclass field
+    for base in info.bases:
+        attrs |= _class_attrs(classes, base, seen)
+    return attrs
+
+
+def _ctor_types(
+    classes: Dict[str, _ClassInfo]
+) -> Dict[Tuple[str, str], str]:
+    """``(class, attr) -> class``: attributes assigned a bare constructor
+    call (``self.stats = WalStats()``) anywhere in the class's methods."""
+    result: Dict[Tuple[str, str], str] = {}
+    for name, info in classes.items():
+        for item in info.node.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for node in ast.walk(item):
+                if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                    continue
+                target = node.targets[0]
+                if not (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    continue
+                value = node.value
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in classes
+                ):
+                    result[(name, target.attr)] = value.func.id
+    return result
+
+
+def _resolve_attr_type(
+    node: ast.expr,
+    owner: str,
+    classes: Dict[str, _ClassInfo],
+    ctor: Dict[Tuple[str, str], str],
+    env: Dict[str, str],
+) -> Optional[str]:
+    """Best-effort static type of an expression inside a method of
+    ``owner``; None whenever any step is not a tracked constructor
+    assignment (the skip-don't-guess rule)."""
+    if isinstance(node, ast.Name):
+        if node.id == "self":
+            return owner
+        return env.get(node.id)
+    if isinstance(node, ast.Attribute):
+        base = _resolve_attr_type(node.value, owner, classes, ctor, env)
+        if base is None:
+            return None
+        resolved = ctor.get((base, node.attr))
+        if resolved is not None:
+            return resolved
+        if base in classes:  # inherited constructor assignments
+            for base_name in classes[base].bases:
+                resolved = ctor.get((base_name, node.attr))
+                if resolved is not None:
+                    return resolved
+        return None
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in classes
+    ):
+        return node.func.id
+    return None
+
+
+def _collector_methods(
+    index: ProjectIndex, classes: Dict[str, _ClassInfo]
+) -> List[Tuple[Module, str, ast.FunctionDef]]:
+    """(module, owning class, method) for every pull collector: methods
+    registered via ``register_collector(self._x)`` plus the ``_collect*``
+    naming convention."""
+    registered_names: Set[str] = set()
+    for module in index.modules:
+        for _, node in walk_scoped(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "register_collector"
+            ):
+                for arg in node.args:
+                    if isinstance(arg, ast.Attribute):
+                        registered_names.add(arg.attr)
+                    elif isinstance(arg, ast.Name):
+                        registered_names.add(arg.id)
+    out: List[Tuple[Module, str, ast.FunctionDef]] = []
+    for name, info in sorted(classes.items()):
+        for item in info.node.body:
+            if isinstance(item, ast.FunctionDef) and (
+                item.name in registered_names or item.name.startswith("_collect")
+            ):
+                out.append((info.module, name, item))
+    return out
+
+
+@register("RC004", "metrics-collector drift")
+def check_collector_drift(index: ProjectIndex) -> List[Diagnostic]:
+    classes = _collect_classes(index)
+    ctor = _ctor_types(classes)
+    attr_cache: Dict[str, Set[str]] = {}
+
+    def attrs_of(name: str) -> Set[str]:
+        if name not in attr_cache:
+            attr_cache[name] = _class_attrs(classes, name)
+        return attr_cache[name]
+
+    out: List[Diagnostic] = []
+    for module, owner, method in _collector_methods(index, classes):
+        env: Dict[str, str] = {}
+        # one linear pass: record local constructor-typed assignments, then
+        # check every attribute read against the receiver's attribute set
+        for node in own_nodes(method):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    resolved = _resolve_attr_type(
+                        node.value, owner, classes, ctor, env
+                    )
+                    if resolved is not None:
+                        env[target.id] = resolved
+        for node in own_nodes(method):
+            if not isinstance(node, ast.Attribute):
+                continue
+            base = _resolve_attr_type(node.value, owner, classes, ctor, env)
+            if base is None or base not in classes:
+                continue
+            if node.attr not in attrs_of(base):
+                out.append(
+                    Diagnostic(
+                        "RC004",
+                        module.path,
+                        node.lineno,
+                        f"{owner}.{method.name}:{base}.{node.attr}",
+                        f"collector {owner}.{method.name} reads "
+                        f"{base}.{node.attr}, but {base} has no such "
+                        "attribute — the scrape would raise at runtime",
+                    )
+                )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RC005 — exception swallowing
+# ---------------------------------------------------------------------------
+
+
+def _is_broad(handler: ast.ExceptHandler) -> Optional[str]:
+    """The caught-too-much name ('', 'Exception', 'BaseException')."""
+    if handler.type is None:
+        return "bare except"
+    names = []
+    if isinstance(handler.type, ast.Name):
+        names = [handler.type.id]
+    elif isinstance(handler.type, ast.Tuple):
+        names = [e.id for e in handler.type.elts if isinstance(e, ast.Name)]
+    for name in names:
+        if name in ("Exception", "BaseException"):
+            return f"except {name}"
+    return None
+
+
+@register("RC005", "exception swallowing")
+def check_exception_swallowing(index: ProjectIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for module in index.modules:
+        counters: Dict[str, int] = {}
+        for scope, node in walk_scoped(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            caught = _is_broad(node)
+            if caught is None:
+                continue
+            reraises = records = False
+            for child in node.body:
+                for sub in [child, *own_nodes(child)]:
+                    if isinstance(sub, ast.Raise):
+                        reraises = True
+                    elif (
+                        isinstance(sub, ast.Call)
+                        and isinstance(sub.func, ast.Attribute)
+                        and sub.func.attr == "record"
+                    ):
+                        records = True
+            if reraises or records:
+                continue
+            where = scope or "<module>"
+            index_in_scope = counters.get(where, 0)
+            counters[where] = index_in_scope + 1
+            out.append(
+                Diagnostic(
+                    "RC005",
+                    module.path,
+                    node.lineno,
+                    f"{where}:handler{index_in_scope}",
+                    f"{caught} in {where} neither re-raises nor records an "
+                    "EventLog entry — the failure vanishes",
+                )
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RC006 — frozen-group mutation
+# ---------------------------------------------------------------------------
+
+_MUTATORS = ("append", "extend", "insert", "remove", "pop", "clear", "sort")
+_THAW_HELPERS = ("_thaw_page", "_find_slot")
+
+
+def _records_of(node: ast.expr, pooled: Set[str]) -> bool:
+    """``<var>.records`` where var came from a pool ``get``."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "records"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in pooled
+    )
+
+
+def _pooled_vars(method: ast.AST) -> Set[str]:
+    """Names assigned from a ``....pool.get(...)`` call, plus aliases."""
+    pooled: Set[str] = set()
+    assigns: List[Tuple[str, ast.expr]] = []
+    for node in ast.walk(method):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                assigns.append((target.id, node.value))
+    for name, value in assigns:
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "get"
+        ):
+            receiver = value.func.value
+            mentions_pool = any(
+                (isinstance(part, ast.Name) and part.id == "pool")
+                or (isinstance(part, ast.Attribute) and part.attr == "pool")
+                for part in ast.walk(receiver)
+            )
+            if mentions_pool:
+                pooled.add(name)
+    # one alias pass (page = last); flow-insensitive on purpose
+    for name, value in assigns:
+        if isinstance(value, ast.Name) and value.id in pooled:
+            pooled.add(name)
+    return pooled
+
+
+@register("RC006", "frozen-group mutation")
+def check_frozen_mutation(index: ProjectIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for module in index.modules:
+        for _, node in walk_scoped(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            method_names = {
+                item.name
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "_thaw_page" not in method_names:
+                continue
+            for method in node.body:
+                if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                pooled = _pooled_vars(method)
+                if not pooled:
+                    continue
+                first_mutation: Optional[ast.AST] = None
+                for sub in ast.walk(method):
+                    mutated = False
+                    if isinstance(sub, ast.Call) and isinstance(
+                        sub.func, ast.Attribute
+                    ):
+                        mutated = sub.func.attr in _MUTATORS and _records_of(
+                            sub.func.value, pooled
+                        )
+                    elif isinstance(sub, (ast.Assign, ast.AugAssign)):
+                        targets = (
+                            sub.targets
+                            if isinstance(sub, ast.Assign)
+                            else [sub.target]
+                        )
+                        for target in targets:
+                            if _records_of(target, pooled) or (
+                                isinstance(target, ast.Subscript)
+                                and _records_of(target.value, pooled)
+                            ):
+                                mutated = True
+                    elif isinstance(sub, ast.Delete):
+                        for target in sub.targets:
+                            if isinstance(target, ast.Subscript) and _records_of(
+                                target.value, pooled
+                            ):
+                                mutated = True
+                    if mutated and first_mutation is None:
+                        first_mutation = sub
+                if first_mutation is None:
+                    continue
+                thaws = any(
+                    isinstance(sub, ast.Call)
+                    and (
+                        (
+                            isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr in _THAW_HELPERS
+                        )
+                        or (
+                            isinstance(sub.func, ast.Name)
+                            and sub.func.id in _THAW_HELPERS
+                        )
+                    )
+                    for sub in ast.walk(method)
+                )
+                guards = any(
+                    isinstance(sub, ast.Constant) and sub.value == "enc"
+                    for sub in ast.walk(method)
+                )
+                if not thaws and not guards:
+                    out.append(
+                        Diagnostic(
+                            "RC006",
+                            module.path,
+                            first_mutation.lineno,
+                            f"{node.name}.{method.name}:records-mutation",
+                            f"{node.name}.{method.name} mutates .records of "
+                            "a pooled page without _thaw_page/_find_slot or "
+                            'an "enc" guard — an encoded page would be '
+                            "corrupted in place",
+                        )
+                    )
+    return out

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.analysis.sanitizer import NULL_SANITIZER
 from repro.engine.pager import BufferPool
 from repro.engine.schema import TableSchema
 from repro.engine.store import LayoutPolicy
@@ -35,6 +36,14 @@ class Catalog:
             else BufferPool(capacity=buffer_frames, page_capacity=page_capacity)
         )
         self._tables: Dict[str, Table] = {}
+        # Runtime invariant checks, propagated to every table (and its
+        # store) this catalog creates or registers.
+        self.sanitizer = NULL_SANITIZER
+
+    def _arm(self, table: Table) -> Table:
+        table.sanitizer = self.sanitizer
+        table.store.sanitizer = self.sanitizer
+        return table
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -55,14 +64,14 @@ class Catalog:
                 return self._tables[key]
             raise CatalogError(f"table {name!r} already exists")
         table = Table(name, schema, layout, self.pool, self.pool.page_capacity)
-        self._tables[key] = table
+        self._tables[key] = self._arm(table)
         return table
 
     def register(self, table: Table) -> None:
         key = table.name.lower()
         if key in self._tables:
             raise CatalogError(f"table {table.name!r} already exists")
-        self._tables[key] = table
+        self._tables[key] = self._arm(table)
 
     def get(self, name: str) -> Table:
         table = self._tables.get(name.lower())

@@ -16,12 +16,14 @@ interface layer (:mod:`repro.core`) talks to exactly this class:
 
 from __future__ import annotations
 
+import os
 import re
 import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.analysis.sanitizer import NULL_SANITIZER, Sanitizer
 from repro.engine import sql_ast as ast
 from repro.engine.catalog import Catalog
 from repro.engine.expr import Scope, compile_batch_predicate, compile_expression
@@ -111,10 +113,19 @@ class Database:
         projection_pushdown: bool = True,
         vectorized: bool = True,
         metrics: Optional[MetricsRegistry] = None,
+        sanitize: Optional[bool] = None,
     ):
         self.catalog = Catalog(
             page_capacity=page_capacity, buffer_frames=buffer_frames
         )
+        # Runtime invariant sanitizer (repro.analysis.sanitizer): armed by
+        # sanitize=True or REPRO_SANITIZE=1, a null object otherwise.  The
+        # catalog propagates it to every table/store; the pool checks pages.
+        if sanitize is None:
+            sanitize = os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+        self.sanitizer = Sanitizer() if sanitize else NULL_SANITIZER
+        self.catalog.sanitizer = self.sanitizer
+        self.catalog.pool.sanitizer = self.sanitizer
         self.default_layout = default_layout
         # Column-set-aware scans (ProjectedScan); off = full-width scans,
         # the pre-pipeline behaviour benchmarks compare against.

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.analysis.sanitizer import NULL_SANITIZER
 from repro.errors import StorageError
 
 __all__ = [
@@ -286,6 +287,9 @@ class BufferPool:
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # Runtime invariant checks (repro.analysis.sanitizer); the null
+        # object keeps the off cost to one attribute load + boolean test.
+        self.sanitizer = NULL_SANITIZER
 
     # -- page access ------------------------------------------------------
 
@@ -295,9 +299,15 @@ class BufferPool:
         if frame is not None:
             self._frames.move_to_end(page_id)
             self.hits += 1
+            # Only encoded pages carry the freshness invariant; the header
+            # test keeps the armed cost off the plain-page fast path.
+            if self.sanitizer.enabled and "enc" in frame.header:
+                self.sanitizer.check_page(frame)
             return frame
         self.misses += 1
         page = self.disk.read(page_id)
+        if self.sanitizer.enabled and "enc" in page.header:
+            self.sanitizer.check_page(page)
         self._admit(page)
         return page
 
@@ -341,6 +351,8 @@ class BufferPool:
             while len(self._frames) > self.capacity:
                 victim_id, victim = next(iter(self._frames.items()))
                 if victim.dirty:
+                    if self.sanitizer.enabled:
+                        self.sanitizer.check_page(victim)
                     self.disk.write(victim)
                     victim.dirty = False
                 del self._frames[victim_id]
@@ -350,6 +362,8 @@ class BufferPool:
     def flush(self, page_id: int) -> None:
         frame = self._frames.get(page_id)
         if frame is not None and frame.dirty:
+            if self.sanitizer.enabled:
+                self.sanitizer.check_page(frame)
             self.disk.write(frame)
             frame.dirty = False
 
@@ -358,6 +372,8 @@ class BufferPool:
         written = 0
         for frame in self._frames.values():
             if frame.dirty:
+                if self.sanitizer.enabled:
+                    self.sanitizer.check_page(frame)
                 self.disk.write(frame)
                 frame.dirty = False
                 written += 1

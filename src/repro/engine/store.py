@@ -37,6 +37,7 @@ from repro.engine.encoding import (
     encode_column,
     encoded_size,
 )
+from repro.analysis.sanitizer import NULL_SANITIZER
 from repro.engine.pager import BufferPool, DEFAULT_PAGE_CAPACITY, IOStats
 from repro.engine.schema import Column, TableSchema
 from repro.errors import SchemaError, StorageError
@@ -304,6 +305,9 @@ class GroupedTupleStore:
         self.batch_scans = 0
         self.batches_emitted = 0
         self.bytes_decoded = 0
+        # Runtime invariant checks; the owning Database swaps in a real
+        # Sanitizer (via the catalog) when sanitize mode is on.
+        self.sanitizer = NULL_SANITIZER
 
     # -- basic properties --------------------------------------------------
 
@@ -754,8 +758,14 @@ class GroupedTupleStore:
                         other_rids, other_cols = streams[group_index].take(len(rids))
                         if other_rids != rids:
                             # Lockstep invariant violated (should not
-                            # happen); degrade this chain to per-rid
-                            # directory lookups — slower, still correct.
+                            # happen); under the sanitizer this is a hard
+                            # error, otherwise degrade this chain to
+                            # per-rid directory lookups — slower, still
+                            # correct.
+                            if self.sanitizer.enabled:
+                                self.sanitizer.lockstep_mismatch(
+                                    group_index, rids, other_rids
+                                )
                             fallback.add(group_index)
                             other_cols = None
                     if other_cols is None:
@@ -767,6 +777,8 @@ class GroupedTupleStore:
                     for position, (_, out_offset) in enumerate(by_group[group_index]):
                         out[out_offset] = other_cols[position]
                 self.batches_emitted += 1
+                if self.sanitizer.enabled:
+                    self.sanitizer.check_batch(rids, out)
                 yield rids, out  # type: ignore[misc]
 
         return batches()

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.analysis.sanitizer import NULL_SANITIZER
 from repro.engine.hybridstore import restructure_blocks
 from repro.engine.layout import LayoutAdvisor, LayoutMigration, LayoutRecommendation
 from repro.engine.pager import BufferPool
@@ -84,6 +85,9 @@ class Table:
         # Maintenance event sink (a repro.obs.EventLog); the owning
         # Database wires its shared log in on attach.  None = no eventing.
         self.events = None
+        # Runtime invariant checks; the catalog swaps in the database's
+        # Sanitizer when sanitize mode is on.
+        self.sanitizer = NULL_SANITIZER
 
     # -- basics -------------------------------------------------------------
 
@@ -529,6 +533,11 @@ class Table:
                 blocks_this_tick=migration.pages_written - written_before,
                 groups=self.schema.groups,
             )
+            if self.sanitizer.enabled:
+                # Post-migration consistency: the grouping must still
+                # partition the columns and the positional index must agree
+                # with the store — checked after every tick that moved data.
+                self.sanitizer.check_table(self)
             return report
         if self.auto_layout:
             # No migration in flight: let the encoder compact chains the

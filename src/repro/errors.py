@@ -167,3 +167,16 @@ class StaleWriteError(ServerError):
     def __init__(self, message: str, current_version: int):
         super().__init__(message)
         self.current_version = current_version
+
+
+# ---------------------------------------------------------------------------
+# Runtime sanitizer
+# ---------------------------------------------------------------------------
+
+class SanitizerError(DataSpreadError):
+    """A runtime invariant assertion failed under ``Database(sanitize=True)``
+    (see :mod:`repro.analysis.sanitizer`): encoded page mutated without a
+    thaw, batch fragments out of rid lockstep, WAL append-offset drift, or
+    post-migration grouping/index inconsistency.  Raised at the *first*
+    observation point after the corruption, not where the bug happened —
+    the message says which invariant broke and on what object."""

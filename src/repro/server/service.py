@@ -40,7 +40,7 @@ from repro.core.workbook import Workbook
 from repro.engine import sql_ast
 from repro.engine.database import ResultSet, _TXN_COMMANDS
 from repro.engine.sql_parser import parse_sql
-from repro.errors import ServerError, SqlError, StaleWriteError
+from repro.errors import DataSpreadError, ServerError, SqlError, StaleWriteError
 from repro.formula.parser import parse_formula
 from repro.server.broadcast import Broadcaster, Delta
 from repro.server.session import Session, SessionManager
@@ -336,6 +336,10 @@ def recover_state(directory: str, eager: bool = True) -> RecoveryResult:
             truncated_bytes=intact_end - open_begin.offset,
             cause="dangling_transaction",
         )
+    if database.sanitizer.enabled:
+        # The committed history must be dense — read_wal enforces this at
+        # parse time, the sanitizer re-asserts it at the replay boundary.
+        database.sanitizer.check_replay_lsns([record.lsn for record in records])
     saved_interval = database.auto_layout_interval
     database.auto_layout_interval = 0
     try:
@@ -455,6 +459,8 @@ class WorkbookService:
             fsync=fsync,
             preread=wal_scan,
         )
+        # One sanitizer per service: the WAL joins the database's.
+        self.wal.sanitizer = workbook.database.sanitizer
         #: monotonic service version (starts where the log ends; never
         #: decreases — a rollback is itself a new version).
         self.version = max(self.wal.last_lsn, self._snapshot_lsn)
@@ -661,7 +667,23 @@ class WorkbookService:
             try:
                 with self.tracer.span("apply_op"):
                     result = apply_op(self.workbook, op)
-            except Exception:
+            except DataSpreadError as error:
+                # Expected engine/server failure: compensate the WAL (the
+                # log must equal the applied history), leave a structured
+                # trace of what was rejected, and re-raise for the caller.
+                if lsn is not None:
+                    self.wal.truncate_to(mark)
+                self.events.record(
+                    "apply_error",
+                    op=str(op.get("type")),
+                    error=type(error).__name__,
+                    message=str(error),
+                    lsn=lsn,
+                )
+                raise
+            except BaseException:
+                # Unexpected failure (engine bug, KeyboardInterrupt): still
+                # compensate so log ≡ applied holds even then.
                 if lsn is not None:
                     self.wal.truncate_to(mark)
                 raise

@@ -45,6 +45,7 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None  # type: ignore[assignment]
 
+from repro.analysis.sanitizer import NULL_SANITIZER
 from repro.core.persist import _decode_value, _encode_value
 from repro.errors import WALError
 
@@ -205,6 +206,10 @@ class WriteAheadLog:
     ``fsync=False`` turns the physical fsync off (fast mode for tests and
     benchmarks) while keeping the flush-to-OS write ordering."""
 
+    #: Runtime invariant checks; the owning service swaps in the
+    #: database's Sanitizer when sanitize mode is on.
+    sanitizer = NULL_SANITIZER
+
     def __init__(
         self,
         path: str,
@@ -268,6 +273,12 @@ class WriteAheadLog:
         if self._file.closed:
             raise WALError("write-ahead log is closed")
         lsn = self._last_lsn + 1
+        if self.sanitizer.enabled:
+            # Offset drift means the tracked end position and the physical
+            # file disagree — the record about to be written would tear.
+            self.sanitizer.check_wal_append(
+                lsn, self._offset, os.fstat(self._file.fileno()).st_size
+            )
         rec = {"lsn": lsn, "op": _encode_tree(op)}
         line = (
             json.dumps({"crc": zlib.crc32(_canonical(rec)), "rec": rec},
