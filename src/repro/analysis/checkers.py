@@ -25,6 +25,13 @@ RC005    No swallowed exceptions: an ``except Exception:`` / bare
 RC006    Store methods of a thaw-capable class that mutate ``.records`` of
          a pooled page must thaw first (``_thaw_page`` / ``_find_slot``)
          or carry the explicit ``"enc"`` guard.
+RC007    Lock discipline: in a class that owns a mutation lock, methods
+         mutating the guarded shared structures (``_chains``,
+         ``_rid_page``, ``_frames``, ``_pins``) must take the lock
+         (``with self._mutation_lock`` / ``with self._lock`` /
+         ``with ....mutation_lock``) or declare the caller-holds-lock
+         contract in their docstring (``__init__`` is exempt — the
+         object is not yet shared).
 =======  ====================================================================
 """
 
@@ -683,4 +690,145 @@ def check_frozen_mutation(index: ProjectIndex) -> List[Diagnostic]:
                             "corrupted in place",
                         )
                     )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# RC007 — lock discipline
+# ---------------------------------------------------------------------------
+
+#: Shared structures the HTAP refactor guards with a mutation lock:
+#: store chain maps and rid directories, buffer-pool frames and pins.
+_GUARDED_ATTRS = ("_chains", "_rid_page", "_frames", "_pins")
+
+#: Lock attribute names a class may own.
+_LOCK_NAMES = ("_mutation_lock", "_lock")
+
+#: Docstring phrases that declare the caller-holds-the-lock contract.
+_LOCK_CONTRACTS = ("mutation lock", "lock held", "caller holds")
+
+
+def _guarded_self_attr(node: ast.expr) -> Optional[str]:
+    """``self.<guarded>`` (directly or as subscript base), else None."""
+    if isinstance(node, ast.Subscript):
+        return _guarded_self_attr(node.value)
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in _GUARDED_ATTRS
+    ):
+        return node.attr
+    return None
+
+
+def _mutates_guarded(node: ast.AST) -> Optional[str]:
+    """The guarded attribute this statement/expression mutates, or None.
+
+    Covers rebinds and item assignment (``self._chains[i] = ...``),
+    augmented assignment, ``del self._frames[...]``, and mutator method
+    calls (``self._chains.append(...)``, ``self._pins.pop(...)``)."""
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            attr = _guarded_self_attr(target)
+            if attr is not None:
+                return attr
+    elif isinstance(node, ast.Delete):
+        for target in node.targets:
+            attr = _guarded_self_attr(target)
+            if attr is not None:
+                return attr
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in (*_MUTATORS, "popitem", "setdefault", "update"):
+            attr = _guarded_self_attr(node.func.value)
+            if attr is not None:
+                return attr
+            # one-level indirection: self._chains[i].append(...) and
+            # self._rid_page[g][rid] = ... mutate the guarded container's
+            # *contents*, which the lock protects just the same
+            receiver = node.func.value
+            if isinstance(receiver, ast.Subscript):
+                attr = _guarded_self_attr(receiver.value)
+                if attr is not None:
+                    return attr
+    return None
+
+
+def _takes_lock(method: ast.AST) -> bool:
+    """True when the method body contains ``with <lock>`` over one of the
+    owned lock names or any ``...mutation_lock`` attribute (e.g. the
+    table layer's ``with self.store.mutation_lock``)."""
+    for node in ast.walk(method):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Attribute) and (
+                expr.attr in _LOCK_NAMES or expr.attr.endswith("mutation_lock")
+            ):
+                return True
+    return False
+
+
+def _declares_lock_contract(method: ast.AST) -> bool:
+    doc = ast.get_docstring(method) or ""
+    lowered = doc.lower()
+    return any(phrase in lowered for phrase in _LOCK_CONTRACTS)
+
+
+@register("RC007", "lock discipline")
+def check_lock_discipline(index: ProjectIndex) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for module in index.modules:
+        for _, node in walk_scoped(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = [
+                item
+                for item in node.body
+                if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+            ]
+            owns_lock = any(
+                isinstance(sub, ast.Assign)
+                and any(
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and target.attr in _LOCK_NAMES
+                    for target in sub.targets
+                )
+                for method in methods
+                for sub in ast.walk(method)
+            )
+            if not owns_lock:
+                continue
+            for method in methods:
+                if method.name == "__init__":
+                    continue  # not shared yet; also where the lock is born
+                mutated: Optional[str] = None
+                lineno = method.lineno
+                for sub in ast.walk(method):
+                    attr = _mutates_guarded(sub)
+                    if attr is not None:
+                        mutated = attr
+                        lineno = getattr(sub, "lineno", method.lineno)
+                        break
+                if mutated is None:
+                    continue
+                if _takes_lock(method) or _declares_lock_contract(method):
+                    continue
+                out.append(
+                    Diagnostic(
+                        "RC007",
+                        module.path,
+                        lineno,
+                        f"{node.name}.{method.name}:{mutated}",
+                        f"{node.name}.{method.name} mutates self.{mutated} "
+                        "without taking the mutation lock or declaring the "
+                        "caller-holds-lock contract in its docstring — a "
+                        "concurrent snapshot scan or maintenance beat could "
+                        "observe the structure mid-update",
+                    )
+                )
     return out

@@ -27,6 +27,8 @@ from repro.analysis.sanitizer import NULL_SANITIZER, Sanitizer
 from repro.engine import sql_ast as ast
 from repro.engine.catalog import Catalog
 from repro.engine.expr import Scope, compile_batch_predicate, compile_expression
+from repro.engine.hybridstore import suggested_tick_budget
+from repro.engine.maintenance import MaintenanceWorker
 from repro.engine.pager import IOStats
 from repro.engine.planner import Planner, RangeResolver
 from repro.engine.schema import Column, TableSchema
@@ -114,6 +116,7 @@ class Database:
         vectorized: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         sanitize: Optional[bool] = None,
+        background_maintenance: Optional[bool] = None,
     ):
         self.catalog = Catalog(
             page_capacity=page_capacity, buffer_frames=buffer_frames
@@ -142,6 +145,16 @@ class Database:
         # tick — advisor consult or a few online migration steps.
         self.auto_layout_interval = auto_layout_interval
         self._statements_since_tick = 0
+        # HTAP isolation: with background maintenance on, the statement
+        # cadence only *wakes* a MaintenanceWorker thread instead of
+        # running the tick inline on the apply path.  Defaults from
+        # REPRO_BG_MAINT so the whole test suite can run in either mode.
+        if background_maintenance is None:
+            background_maintenance = os.environ.get(
+                "REPRO_BG_MAINT", ""
+            ) not in ("", "0")
+        self.background_maintenance = background_maintenance
+        self._maintenance_worker: Optional[MaintenanceWorker] = None
         # Recent non-idle tick reports (bounded: long-lived sessions tick
         # forever; callers wanting everything consume maintenance_tick()'s
         # return value instead).
@@ -159,6 +172,15 @@ class Database:
         self._stmt_seconds = self.metrics_registry.histogram(
             "db_statement_seconds", "SQL statement latency (seconds)"
         )
+        self._maint_ticks = self.metrics_registry.counter(
+            "db_maint_ticks", "maintenance beats run (inline or background)"
+        )
+        self._maint_blocks = self.metrics_registry.counter(
+            "db_maint_blocks", "pages written by maintenance restructures"
+        )
+        self._maint_seconds = self.metrics_registry.histogram(
+            "db_maint_tick_seconds", "maintenance beat latency (seconds)"
+        )
         self.metrics_registry.register_collector(self._collect_engine_metrics)
 
     # -- observability -------------------------------------------------------
@@ -170,15 +192,26 @@ class Database:
         snap["db_tables"] = len(self.catalog.table_names())
         snap["db_events_logged"] = len(self.events)
         batch_scans = batches = bytes_decoded = encoded_groups = 0
+        open_snapshots = retired_pages = 0
         for table in self.catalog.tables():
             batch_scans += table.store.batch_scans
             batches += table.store.batches_emitted
             bytes_decoded += table.store.bytes_decoded
             encoded_groups += table.store.encoded_group_count
+            snapshot_stats = table.store.snapshot_stats()
+            open_snapshots += snapshot_stats["active_snapshots"]
+            retired_pages += snapshot_stats["retired_pages"]
         snap["db_batch_scans"] = batch_scans
         snap["db_batches"] = batches
         snap["db_bytes_decoded"] = bytes_decoded
         snap["db_encoded_groups"] = encoded_groups
+        snap["db_open_snapshots"] = open_snapshots
+        snap["db_retired_pages"] = retired_pages
+        worker = self._maintenance_worker
+        snap["db_maint_worker_running"] = int(
+            worker is not None and worker.running
+        )
+        snap["db_maint_worker_errors"] = worker.errors if worker is not None else 0
         return snap
 
     def metrics(self) -> Dict[str, Any]:
@@ -288,6 +321,10 @@ class Database:
                 if report.get("action") != "idle":
                     reports.append(report)
         self.maintenance_reports.extend(reports)
+        self._maint_ticks.inc()
+        blocks = sum(report.get("blocks_this_tick", 0) for report in reports)
+        if blocks:
+            self._maint_blocks.inc(blocks)
         return reports
 
     def _maybe_auto_tick(self) -> None:
@@ -302,7 +339,66 @@ class Database:
         if self.in_transaction:
             return
         self._statements_since_tick = 0
+        if self.background_maintenance:
+            # HTAP isolation: the apply path only nudges the worker; the
+            # budgeted tick itself runs on the maintenance thread.  The
+            # worker is started lazily, on the first cadence trigger with
+            # actual maintenance candidates — explicit maintenance_tick()
+            # calls stay synchronous in every mode.
+            if any(
+                table.auto_layout or table.migration_active
+                for table in self.catalog.tables()
+            ):
+                self.ensure_maintenance_worker().wake()
+            return
         self.maintenance_tick()
+
+    def _background_beat(self) -> bool:
+        """One bounded maintenance beat, run on the worker thread.
+
+        Budgets each table's restructure work with
+        :func:`~repro.engine.hybridstore.suggested_tick_budget` so a beat
+        holds the store mutation lock for a fraction of a full chain
+        rewrite, and reports whether any table did non-idle work (the
+        worker keeps beating until quiescence)."""
+        if self.in_transaction:
+            return False
+        candidates = [
+            table
+            for table in self.catalog.tables()
+            if table.auto_layout or table.migration_active
+        ]
+        if not candidates:
+            return False
+        budget = max(
+            suggested_tick_budget(
+                table.n_rows, self.catalog.pool.page_capacity
+            )
+            for table in candidates
+        )
+        return bool(self.maintenance_tick(max_blocks=budget))
+
+    def ensure_maintenance_worker(self) -> MaintenanceWorker:
+        """The lazily created background worker (started on return)."""
+        worker = self._maintenance_worker
+        if worker is None:
+            worker = self._maintenance_worker = MaintenanceWorker(
+                self._background_beat,
+                events=self.events,
+                histogram=self._maint_seconds,
+            )
+        return worker.start()
+
+    @property
+    def maintenance_worker(self) -> Optional[MaintenanceWorker]:
+        return self._maintenance_worker
+
+    def close(self) -> None:
+        """Stop background maintenance (draining pending work first).
+        Safe to call on a database that never started a worker."""
+        worker = self._maintenance_worker
+        if worker is not None:
+            worker.stop(drain=True)
 
     # -- SQL entry point ------------------------------------------------------------------
 

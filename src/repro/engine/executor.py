@@ -178,12 +178,17 @@ class ProjectedScan(PlanNode):
         )
 
     def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        # The table scan is opened *here*, not at first next(): the store
+        # snapshot is acquired at operator open, so everything this node
+        # yields is isolated from concurrent DML and background
+        # maintenance that lands after run() returns its iterator.
         self._io_before = self.table.store.covering_io_snapshot(self.column_names)
         if self.vectorized and self.column_names:
             return self._count(self._run_batches(ctx))
+        source = self.table.scan_columns(self.column_names)
 
         def rows() -> Iterator[Tuple[Any, ...]]:
-            for _, _, values in self.table.scan_columns(self.column_names):
+            for _, _, values in source:
                 self.rows_scanned += 1
                 keep = True
                 for predicate, _, _ in self.predicates:
@@ -216,35 +221,42 @@ class ProjectedScan(PlanNode):
             else:
                 row_fns.append(predicate)
         params = ctx.params
-        for _, _, cols in self.table.scan_column_batches(
-            self.column_names, self.batch_size
-        ):
-            n = len(cols[0])
-            self.rows_scanned += n
-            self.batches += 1
-            if batch_fns:
-                keep = batch_fns[0](cols, params, n)
-                for batch_fn in batch_fns[1:]:
-                    other = batch_fn(cols, params, n)
-                    keep = [
-                        False
-                        if (a is not None and a is not True)
-                        or (b is not None and b is not True)
-                        else (None if a is None or b is None else True)
-                        for a, b in zip(keep, other)
+        # Open the batched scan now so the snapshot is pinned at operator
+        # open (this method is called eagerly from run(), not lazily).
+        source = self.table.scan_column_batches(self.column_names, self.batch_size)
+
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            for _, _, cols in source:
+                n = len(cols[0])
+                self.rows_scanned += n
+                self.batches += 1
+                if batch_fns:
+                    keep = batch_fns[0](cols, params, n)
+                    for batch_fn in batch_fns[1:]:
+                        other = batch_fn(cols, params, n)
+                        keep = [
+                            False
+                            if (a is not None and a is not True)
+                            or (b is not None and b is not True)
+                            else (None if a is None or b is None else True)
+                            for a, b in zip(keep, other)
+                        ]
+                    survivors = [
+                        i for i, verdict in enumerate(keep) if verdict is True
                     ]
-                survivors = [i for i, verdict in enumerate(keep) if verdict is True]
-            else:
-                survivors = range(n)
-            for i in survivors:
-                values = tuple(column[i] for column in cols)
-                keep_row = True
-                for predicate in row_fns:
-                    if predicate(values, params) is not True:
-                        keep_row = False
-                        break
-                if keep_row:
-                    yield values
+                else:
+                    survivors = range(n)
+                for i in survivors:
+                    values = tuple(column[i] for column in cols)
+                    keep_row = True
+                    for predicate in row_fns:
+                        if predicate(values, params) is not True:
+                            keep_row = False
+                            break
+                    if keep_row:
+                        yield values
+
+        return rows()
 
 
 class SeqScan(ProjectedScan):

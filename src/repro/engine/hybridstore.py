@@ -38,6 +38,7 @@ __all__ = [
     "pages_for_group",
     "estimate_workload_blocks",
     "restructure_blocks",
+    "suggested_tick_budget",
 ]
 
 
@@ -73,6 +74,21 @@ def pages_for_group(
     capacity = max(1, page_capacity // max(1, width))
     capacity = max(capacity, int(capacity * ratio))
     return math.ceil(n_rows / capacity)
+
+
+def suggested_tick_budget(
+    n_rows: int, page_capacity: int, fraction: float = 0.25
+) -> int:
+    """``max_blocks`` for one background maintenance beat.
+
+    Prices a beat at ``fraction`` of a full single-column chain rewrite
+    (the cheapest restructure unit at the table's current size), floored
+    at 8 blocks so tiny tables still finish a migration step per beat.
+    The background :class:`repro.engine.maintenance.MaintenanceWorker`
+    uses this so one beat never monopolises the mutation lock for a
+    whole multi-group restructure."""
+    full_chain = pages_for_group(n_rows, 1, page_capacity)
+    return max(8, int(full_chain * fraction))
 
 
 def estimate_workload_blocks(

@@ -393,13 +393,19 @@ class LayoutMigration:
 
     def step(self) -> bool:
         """Run one migration step; returns True when the layout has
-        reached the (reconciled) target."""
-        next_groups = self.peek()
-        if next_groups is None:
-            return True
-        self.pages_written += self.store.restructure(next_groups)
-        self.steps_taken += 1
-        return self.done
+        reached the (reconciled) target.
+
+        Peek and restructure happen under the store's mutation lock so a
+        concurrent DDL cannot change the grouping between planning the
+        step and applying it; open snapshots keep streaming the pre-step
+        chains (the store retires, not frees, the superseded pages)."""
+        with self.store.mutation_lock:
+            next_groups = self.peek()
+            if next_groups is None:
+                return True
+            self.pages_written += self.store.restructure(next_groups)
+            self.steps_taken += 1
+            return self.done
 
     def run_to_completion(self, max_steps: int = 10_000) -> int:
         """Drive the migration to the end; returns steps taken."""

@@ -17,6 +17,7 @@ for the byte budget of a real 8 KB block.
 from __future__ import annotations
 
 import copy
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -149,8 +150,16 @@ class DiskManager:
         # counters stay cumulative.
         self._tags: Dict[int, Any] = {}
         self._tag_stats: Dict[Any, IOStats] = {}
+        # The maintenance worker charges I/O from its own thread; every
+        # counter bump is read-modify-write, so all accounting and page-map
+        # mutation happens under this lock.
+        self._lock = threading.Lock()
 
     def _bump(self, page_id: int, field_name: str) -> None:
+        """Charge one block operation to ``page_id``'s tag.
+
+        Caller holds ``_lock`` — every public entry point that reaches
+        here takes it first."""
         tag = self._tags.get(page_id)
         if tag is None:
             return
@@ -165,25 +174,27 @@ class DiskManager:
         Block counters move automatically with read/write; byte counters
         are charged explicitly by the store, which alone knows whether a
         page held encoded fragments (fewer bytes) or plain records."""
-        self.stats.bytes_read += bytes_read
-        self.stats.bytes_written += bytes_written
-        if tag is None:
-            return
-        stats = self._tag_stats.get(tag)
-        if stats is None:
-            stats = self._tag_stats[tag] = IOStats()
-        stats.bytes_read += bytes_read
-        stats.bytes_written += bytes_written
+        with self._lock:
+            self.stats.bytes_read += bytes_read
+            self.stats.bytes_written += bytes_written
+            if tag is None:
+                return
+            stats = self._tag_stats.get(tag)
+            if stats is None:
+                stats = self._tag_stats[tag] = IOStats()
+            stats.bytes_read += bytes_read
+            stats.bytes_written += bytes_written
 
     def allocate(self, tag: Any = None) -> int:
-        page_id = self._next_id
-        self._next_id += 1
-        self._pages[page_id] = ([], {})
-        self.stats.allocations += 1
-        if tag is not None:
-            self._tags[page_id] = tag
-            self._bump(page_id, "allocations")
-        return page_id
+        with self._lock:
+            page_id = self._next_id
+            self._next_id += 1
+            self._pages[page_id] = ([], {})
+            self.stats.allocations += 1
+            if tag is not None:
+                self._tags[page_id] = tag
+                self._bump(page_id, "allocations")
+            return page_id
 
     def tag_stats(self, tag: Any) -> IOStats:
         """Cumulative I/O charged to one tag.
@@ -191,17 +202,19 @@ class DiskManager:
         A never-touched tag gets the shared immutable
         :data:`EMPTY_IO_STATS` — no allocation per miss, and accidental
         mutation raises instead of silently updating a throwaway."""
-        return self._tag_stats.get(tag, EMPTY_IO_STATS)
+        with self._lock:
+            return self._tag_stats.get(tag, EMPTY_IO_STATS)
 
     def stats_snapshot(self) -> Dict[str, Any]:
         """One-pass aggregate over the global counters and every tag,
         shaped for the metrics exporter."""
         tagged = IOStats()
-        for stats in self._tag_stats.values():
-            tagged.reads += stats.reads
-            tagged.writes += stats.writes
-            tagged.allocations += stats.allocations
-            tagged.frees += stats.frees
+        with self._lock:
+            for stats in self._tag_stats.values():
+                tagged.reads += stats.reads
+                tagged.writes += stats.writes
+                tagged.allocations += stats.allocations
+                tagged.frees += stats.frees
         return {
             "pager_reads": self.stats.reads,
             "pager_writes": self.stats.writes,
@@ -218,39 +231,45 @@ class DiskManager:
     def drop_tag_stats(self, tag: Any) -> None:
         """Forget a tag's counters once its owner is gone — migrations
         mint fresh group tags, so dead ones would pile up forever."""
-        self._tag_stats.pop(tag, None)
+        with self._lock:
+            self._tag_stats.pop(tag, None)
 
     def set_tag_stats(self, tag: Any, stats: IOStats) -> None:
         """Overwrite a tag's cumulative counters (recovery: restores the
         pre-crash per-group I/O that page tags, being process-local,
         cannot carry across a restart themselves)."""
-        self._tag_stats[tag] = stats.snapshot()
+        with self._lock:
+            self._tag_stats[tag] = stats.snapshot()
 
     def read(self, page_id: int) -> Page:
-        if page_id not in self._pages:
-            raise StorageError(f"read of unallocated page {page_id}")
-        records, header = self._pages[page_id]
-        self.stats.reads += 1
-        self._bump(page_id, "reads")
+        with self._lock:
+            if page_id not in self._pages:
+                raise StorageError(f"read of unallocated page {page_id}")
+            records, header = self._pages[page_id]
+            self.stats.reads += 1
+            self._bump(page_id, "reads")
+        # Stored snapshots are never mutated in place (writes replace the
+        # tuple wholesale), so the copy can happen outside the lock.
         return Page(page_id, copy.deepcopy(records), copy.deepcopy(header))
 
     def write(self, page: Page) -> None:
-        if page.page_id not in self._pages:
-            raise StorageError(f"write to unallocated page {page.page_id}")
-        self._pages[page.page_id] = (
-            copy.deepcopy(page.records),
-            copy.deepcopy(page.header),
-        )
-        self.stats.writes += 1
-        self._bump(page.page_id, "writes")
+        records = copy.deepcopy(page.records)
+        header = copy.deepcopy(page.header)
+        with self._lock:
+            if page.page_id not in self._pages:
+                raise StorageError(f"write to unallocated page {page.page_id}")
+            self._pages[page.page_id] = (records, header)
+            self.stats.writes += 1
+            self._bump(page.page_id, "writes")
 
     def free(self, page_id: int) -> None:
-        if page_id not in self._pages:
-            raise StorageError(f"free of unallocated page {page_id}")
-        del self._pages[page_id]
-        self.stats.frees += 1
-        self._bump(page_id, "frees")
-        self._tags.pop(page_id, None)
+        with self._lock:
+            if page_id not in self._pages:
+                raise StorageError(f"free of unallocated page {page_id}")
+            del self._pages[page_id]
+            self.stats.frees += 1
+            self._bump(page_id, "frees")
+            self._tags.pop(page_id, None)
 
     @property
     def n_pages(self) -> int:
@@ -285,6 +304,12 @@ class BufferPool:
         self.capacity = capacity
         self.page_capacity = page_capacity
         self._frames: "OrderedDict[int, Page]" = OrderedDict()
+        # Per-frame pin counts: store snapshots pin chain heads so that a
+        # concurrent writer's evictions/frees cannot push a page an open
+        # reader still walks out from under it.  Guarded by ``_mutation_lock``
+        # (an RLock: ``get`` is re-entered from ``_admit`` paths).
+        self._pins: Dict[int, int] = {}
+        self._mutation_lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         # Runtime invariant checks (repro.analysis.sanitizer); the null
@@ -295,28 +320,54 @@ class BufferPool:
 
     def get(self, page_id: int) -> Page:
         """Fetch a page, reading from disk on a miss."""
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            self._frames.move_to_end(page_id)
-            self.hits += 1
-            # Only encoded pages carry the freshness invariant; the header
-            # test keeps the armed cost off the plain-page fast path.
-            if self.sanitizer.enabled and "enc" in frame.header:
-                self.sanitizer.check_page(frame)
-            return frame
-        self.misses += 1
-        page = self.disk.read(page_id)
-        if self.sanitizer.enabled and "enc" in page.header:
-            self.sanitizer.check_page(page)
-        self._admit(page)
-        return page
+        with self._mutation_lock:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                self._frames.move_to_end(page_id)
+                self.hits += 1
+                # Only encoded pages carry the freshness invariant; the header
+                # test keeps the armed cost off the plain-page fast path.
+                if self.sanitizer.enabled and "enc" in frame.header:
+                    self.sanitizer.check_page(frame)
+                return frame
+            self.misses += 1
+            page = self.disk.read(page_id)
+            if self.sanitizer.enabled and "enc" in page.header:
+                self.sanitizer.check_page(page)
+            self._admit(page)
+            return page
 
     def new_page(self, tag: Any = None) -> Page:
         """Allocate a fresh page (optionally tagged) and admit it dirty."""
-        page_id = self.disk.allocate(tag)
-        page = Page(page_id, dirty=True)
-        self._admit(page)
-        return page
+        with self._mutation_lock:
+            page_id = self.disk.allocate(tag)
+            page = Page(page_id, dirty=True)
+            self._admit(page)
+            return page
+
+    # -- snapshot pinning --------------------------------------------------
+
+    def pin(self, page_id: int) -> None:
+        """Hold ``page_id`` in the pool: eviction skips pinned frames.
+
+        Pins are counted, so overlapping snapshots stack; the pin applies
+        even while the page is not currently framed (the id stays
+        pin-protected for its next admission)."""
+        with self._mutation_lock:
+            self._pins[page_id] = self._pins.get(page_id, 0) + 1
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin; the frame becomes evictable at zero."""
+        with self._mutation_lock:
+            count = self._pins.get(page_id, 0) - 1
+            if count <= 0:
+                self._pins.pop(page_id, None)
+            else:
+                self._pins[page_id] = count
+
+    def pin_count(self, page_id: int) -> int:
+        with self._mutation_lock:
+            return self._pins.get(page_id, 0)
 
     def tag_stats(self, tag: Any) -> IOStats:
         return self.disk.tag_stats(tag)
@@ -332,6 +383,7 @@ class BufferPool:
         snap["buffer_misses"] = self.misses
         snap["buffer_hit_ratio"] = round(self.hit_ratio, 4)
         snap["buffer_frames"] = len(self._frames)
+        snap["buffer_pinned"] = len(self._pins)
         return snap
 
     def drop_tag_stats(self, tag: Any) -> None:
@@ -341,15 +393,33 @@ class BufferPool:
         self.disk.set_tag_stats(tag, stats)
 
     def free_page(self, page_id: int) -> None:
-        self._frames.pop(page_id, None)
-        self.disk.free(page_id)
+        with self._mutation_lock:
+            self._frames.pop(page_id, None)
+            self._pins.pop(page_id, None)
+            self.disk.free(page_id)
 
     def _admit(self, page: Page) -> None:
+        """Frame a page, evicting LRU victims past capacity.
+
+        Caller holds ``_mutation_lock``.  Pinned frames are skipped when
+        hunting for a victim; if every candidate is pinned the pool runs
+        over capacity until a snapshot releases its pins — correctness
+        over the frame budget."""
         self._frames[page.page_id] = page
         self._frames.move_to_end(page.page_id)
         if self.capacity is not None:
             while len(self._frames) > self.capacity:
-                victim_id, victim = next(iter(self._frames.items()))
+                victim_id = next(
+                    (
+                        pid
+                        for pid in self._frames
+                        if pid not in self._pins and pid != page.page_id
+                    ),
+                    None,
+                )
+                if victim_id is None:
+                    break
+                victim = self._frames[victim_id]
                 if victim.dirty:
                     if self.sanitizer.enabled:
                         self.sanitizer.check_page(victim)
@@ -360,29 +430,32 @@ class BufferPool:
     # -- durability ------------------------------------------------------
 
     def flush(self, page_id: int) -> None:
-        frame = self._frames.get(page_id)
-        if frame is not None and frame.dirty:
-            if self.sanitizer.enabled:
-                self.sanitizer.check_page(frame)
-            self.disk.write(frame)
-            frame.dirty = False
-
-    def flush_all(self) -> int:
-        """Write back every dirty frame; returns the number written."""
-        written = 0
-        for frame in self._frames.values():
-            if frame.dirty:
+        with self._mutation_lock:
+            frame = self._frames.get(page_id)
+            if frame is not None and frame.dirty:
                 if self.sanitizer.enabled:
                     self.sanitizer.check_page(frame)
                 self.disk.write(frame)
                 frame.dirty = False
-                written += 1
+
+    def flush_all(self) -> int:
+        """Write back every dirty frame; returns the number written."""
+        written = 0
+        with self._mutation_lock:
+            for frame in self._frames.values():
+                if frame.dirty:
+                    if self.sanitizer.enabled:
+                        self.sanitizer.check_page(frame)
+                    self.disk.write(frame)
+                    frame.dirty = False
+                    written += 1
         return written
 
     def drop_cache(self) -> None:
         """Write back and forget all frames (cold-cache benchmarking)."""
-        self.flush_all()
-        self._frames.clear()
+        with self._mutation_lock:
+            self.flush_all()
+            self._frames.clear()
 
     # -- stats -----------------------------------------------------------
 

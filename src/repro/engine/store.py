@@ -21,11 +21,22 @@ grouping policies:
 Records are addressed by a store-assigned **rid** that never changes; the
 positional order of a table lives in the positional index
 (:mod:`repro.index.positional`), not in the store.
+
+**Concurrency model** (HTAP isolation): one writer at a time mutates the
+store under ``_mutation_lock``; readers never take it for iteration.
+Instead, scans open a :class:`StoreSnapshot` — an epoch-stamped, immutable
+capture of the grouping and every page-id chain.  Writers copy-on-write any
+page an open snapshot can still see and *retire* (instead of free) pages
+they unlink; retired pages are reclaimed when the last snapshot whose epoch
+can observe them is released.  This is what lets a background
+:class:`~repro.engine.maintenance.MaintenanceWorker` restructure chains
+while analytical scans stream the pre-migration version.
 """
 
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
@@ -45,6 +56,7 @@ from repro.errors import SchemaError, StorageError
 __all__ = [
     "LayoutPolicy",
     "GroupedTupleStore",
+    "StoreSnapshot",
     "ColumnAccessStats",
     "AccessStats",
     "DEFAULT_BATCH_SIZE",
@@ -258,6 +270,115 @@ class _BatchCursor:
         return rids, cols
 
 
+class StoreSnapshot:
+    """An immutable, epoch-stamped view of a :class:`GroupedTupleStore`.
+
+    Captured atomically under the store's mutation lock: the attribute
+    grouping, every group's page-id chain, the accounting tags, and the
+    snapshot epoch.  Pages referenced here are protected two ways: the
+    store's epoch-based reclamation keeps them *allocated* (a writer that
+    unlinks one retires it instead of freeing), and each chain head is
+    *pinned* in the buffer pool so eviction pressure cannot push the
+    reader's working set out mid-scan.
+
+    Readers iterate only this captured state — never the live chains — so
+    a scan opened before a write or an in-flight ``restructure()`` swap
+    returns exactly the pre-write rows.  Release promptly (scans do so in
+    a ``finally``); an unreleased snapshot keeps retired chains alive.
+    """
+
+    __slots__ = (
+        "epoch",
+        "groups",
+        "chains",
+        "tags",
+        "n_rows",
+        "_store",
+        "_rid_maps",
+        "released",
+    )
+
+    def __init__(
+        self,
+        store: "GroupedTupleStore",
+        epoch: int,
+        groups: List[List[str]],
+        chains: List[Tuple[int, ...]],
+        tags: List[Tuple[str, int]],
+        n_rows: int,
+    ):
+        self._store = store
+        self.epoch = epoch
+        self.groups = groups
+        self.chains = chains
+        self.tags = tags
+        self.n_rows = n_rows
+        # Lazily-built rid → page-id directories over the captured chains,
+        # only materialised by the lockstep-violation fallback path.
+        self._rid_maps: Dict[int, Dict[int, int]] = {}
+        self.released = False
+
+    def release(self) -> None:
+        """Drop this snapshot's epoch; idempotent.  The store reclaims any
+        retired pages no remaining snapshot can observe."""
+        self._store._release_snapshot(self)
+
+    def __enter__(self) -> "StoreSnapshot":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.release()
+
+    def group_of(self, column_name: str) -> int:
+        key = column_name.lower()
+        for index, members in enumerate(self.groups):
+            for name in members:
+                if name.lower() == key:
+                    return index
+        raise SchemaError(f"unknown column {column_name!r} in snapshot")
+
+    def placements(self, names: Sequence[str]) -> List[Tuple[int, int, int]]:
+        """``(group_index, fragment_offset, output_offset)`` per column,
+        resolved against the captured grouping (the live one may have
+        migrated since)."""
+        placements: List[Tuple[int, int, int]] = []
+        for out_offset, column_name in enumerate(names):
+            group_index = self.group_of(column_name)
+            members = self.groups[group_index]
+            frag_offset = next(
+                i
+                for i, name in enumerate(members)
+                if name.lower() == column_name.lower()
+            )
+            placements.append((group_index, frag_offset, out_offset))
+        return placements
+
+    def column_set(self) -> set:
+        return {name.lower() for members in self.groups for name in members}
+
+    def fragment_at(self, group_index: int, rid: int) -> Tuple[Any, ...]:
+        """Directory lookup against the *captured* chains — the snapshot
+        equivalent of the store's point-read fallback."""
+        rid_map = self._rid_maps.get(group_index)
+        if rid_map is None:
+            rid_map = self._rid_maps[group_index] = self._build_rid_map(group_index)
+        page_id = rid_map.get(rid)
+        if page_id is None:
+            raise StorageError(
+                f"rid {rid} not found in snapshot group {group_index}"
+            )
+        page = self._store.pool.get(page_id)
+        return GroupedTupleStore._page_fragment(page, rid)
+
+    def _build_rid_map(self, group_index: int) -> Dict[int, int]:
+        directory: Dict[int, int] = {}
+        for page_id in self.chains[group_index]:
+            page = self._store.pool.get(page_id)
+            for rid in GroupedTupleStore._page_rids(page):
+                directory[rid] = page_id
+        return directory
+
+
 class GroupedTupleStore:
     """rid-addressed tuple storage partitioned into attribute-group chains."""
 
@@ -308,6 +429,163 @@ class GroupedTupleStore:
         # Runtime invariant checks; the owning Database swaps in a real
         # Sanitizer (via the catalog) when sanitize mode is on.
         self.sanitizer = NULL_SANITIZER
+        # -- snapshot isolation state (see the module docstring) ---------
+        # All structural mutation happens under this lock; readers never
+        # take it for iteration, only for the instant of snapshot capture.
+        self._mutation_lock = threading.RLock()
+        # The epoch counter advances on every snapshot acquisition.  A
+        # page's "allocation mark" is the counter value when it was
+        # allocated: snapshots with epoch >= mark were captured after the
+        # page existed and may reference it.
+        self._epoch = 0
+        self._active_snapshots: Dict[int, int] = {}  # epoch -> refcount
+        self._page_epoch: Dict[int, int] = {}  # page_id -> allocation mark
+        # Pages/tags unlinked while a snapshot could still see them:
+        # (retire_epoch, page_id | tag), freed once no active snapshot has
+        # epoch < retire_epoch.
+        self._retired_pages: List[Tuple[int, int]] = []
+        self._retired_tags: List[Tuple[int, Tuple[str, int]]] = []
+
+    # -- snapshot isolation ------------------------------------------------
+
+    @property
+    def mutation_lock(self) -> threading.RLock:
+        """The store's writer lock — public so the table layer can capture
+        its positional order and a store snapshot atomically."""
+        return self._mutation_lock
+
+    def snapshot(self) -> StoreSnapshot:
+        """Capture an immutable view of the current grouping and chains.
+
+        The caller must :meth:`StoreSnapshot.release` it (scans do this
+        automatically when their iterator is exhausted or closed)."""
+        with self._mutation_lock:
+            epoch = self._epoch
+            self._epoch += 1
+            self._active_snapshots[epoch] = self._active_snapshots.get(epoch, 0) + 1
+            snap = StoreSnapshot(
+                self,
+                epoch,
+                [list(members) for members in self.schema.groups],
+                [tuple(chain) for chain in self._chains],
+                [self._tag(index) for index in range(len(self._chains))],
+                self._n_rows,
+            )
+            for chain in snap.chains:
+                if chain:
+                    self.pool.pin(chain[0])
+            return snap
+
+    def _release_snapshot(self, snap: StoreSnapshot) -> None:
+        with self._mutation_lock:
+            if snap.released:
+                return
+            snap.released = True
+            count = self._active_snapshots.get(snap.epoch, 0) - 1
+            if count <= 0:
+                self._active_snapshots.pop(snap.epoch, None)
+            else:
+                self._active_snapshots[snap.epoch] = count
+            for chain in snap.chains:
+                if chain:
+                    self.pool.unpin(chain[0])
+            self._reclaim()
+
+    def _newest_active_epoch(self) -> int:
+        """Largest active snapshot epoch, or -1 when none are open.
+        Caller holds the mutation lock."""
+        return max(self._active_snapshots) if self._active_snapshots else -1
+
+    def _reclaim(self) -> None:
+        """Free retired pages/tags no open snapshot can observe.
+
+        A snapshot with epoch E sees a page retired at R iff E < R, so a
+        retirement is reclaimable once ``min(active epochs) >= R`` (or no
+        snapshot is open at all).  Caller holds the mutation lock."""
+        if not self._retired_pages and not self._retired_tags:
+            return
+        floor = (
+            min(self._active_snapshots) if self._active_snapshots else None
+        )
+        keep_pages: List[Tuple[int, int]] = []
+        for retire_epoch, page_id in self._retired_pages:
+            if floor is not None and retire_epoch > floor:
+                keep_pages.append((retire_epoch, page_id))
+            else:
+                self._page_epoch.pop(page_id, None)
+                self.pool.free_page(page_id)
+        self._retired_pages = keep_pages
+        keep_tags: List[Tuple[int, Tuple[str, int]]] = []
+        for retire_epoch, tag in self._retired_tags:
+            if floor is not None and retire_epoch > floor:
+                keep_tags.append((retire_epoch, tag))
+            else:
+                self.pool.drop_tag_stats(tag)
+        self._retired_tags = keep_tags
+
+    def _new_page(self, tag: Tuple[str, int]):
+        """Allocate a pool page stamped with the current epoch mark.
+        Caller holds the mutation lock."""
+        page = self.pool.new_page(tag=tag)
+        self._page_epoch[page.page_id] = self._epoch
+        return page
+
+    def _release_page(self, page_id: int) -> None:
+        """Unlink a page: free it now if private, else retire it until the
+        last snapshot that can see it is released.  Caller holds the
+        mutation lock."""
+        mark = self._page_epoch.get(page_id, 0)
+        if self._active_snapshots and mark <= self._newest_active_epoch():
+            self._retired_pages.append((self._epoch, page_id))
+        else:
+            self._page_epoch.pop(page_id, None)
+            self.pool.free_page(page_id)
+
+    def _release_tag(self, tag: Tuple[str, int]) -> None:
+        """Drop a dead group's I/O counters once the snapshots still
+        charging reads to it are gone.  Caller holds the mutation lock."""
+        if self._active_snapshots:
+            self._retired_tags.append((self._epoch, tag))
+        else:
+            self.pool.drop_tag_stats(tag)
+
+    def _writable_page(self, group_index: int, page: Any) -> Any:
+        """Copy-on-write gate for in-place page mutation.
+
+        With no open snapshot able to see ``page`` it is returned as-is —
+        the historical zero-overhead path.  Otherwise the page is cloned
+        onto a fresh page id, the clone replaces the original in the live
+        chain and rid directory, and the original is retired for the open
+        snapshots to finish with.  Caller holds the mutation lock."""
+        newest = self._newest_active_epoch()
+        if newest < 0 or self._page_epoch.get(page.page_id, 0) > newest:
+            return page
+        clone = self._new_page(self._tag(group_index))
+        clone.records = list(page.records)
+        # Shallow header copy: the "enc" payload is never mutated in
+        # place (thaw *pops* the key), so sharing it is safe.
+        clone.header = dict(page.header)
+        clone.mark_dirty()
+        chain = self._chains[group_index]
+        for i in range(len(chain) - 1, -1, -1):
+            if chain[i] == page.page_id:
+                chain[i] = clone.page_id
+                break
+        directory = self._rid_page[group_index]
+        for rid in self._page_rids(clone):
+            directory[rid] = clone.page_id
+        self._release_page(page.page_id)
+        return clone
+
+    def snapshot_stats(self) -> Dict[str, int]:
+        """Observability: open snapshots and deferred reclamation debt."""
+        with self._mutation_lock:
+            return {
+                "epoch": self._epoch,
+                "active_snapshots": sum(self._active_snapshots.values()),
+                "retired_pages": len(self._retired_pages),
+                "retired_tags": len(self._retired_tags),
+            }
 
     # -- basic properties --------------------------------------------------
 
@@ -328,13 +606,14 @@ class GroupedTupleStore:
 
     def rids(self) -> List[int]:
         """All live rids, in insertion order of their first group."""
-        if not self._rid_page:
-            return []
-        result: List[int] = []
-        for page_id in self._chains[0]:
-            page = self.pool.get(page_id)
-            result.extend(self._page_rids(page))
-        return result
+        with self._mutation_lock:
+            if not self._rid_page:
+                return []
+            result: List[int] = []
+            for page_id in self._chains[0]:
+                page = self.pool.get(page_id)
+                result.extend(self._page_rids(page))
+            return result
 
     # -- internal page helpers ---------------------------------------------
 
@@ -358,6 +637,8 @@ class GroupedTupleStore:
         return max(1, self.pool.page_capacity // width)
 
     def _append_record(self, group_index: int, rid: int, fragment: Tuple[Any, ...]) -> None:
+        """Append one fragment to a group's tail page.  Caller holds the
+        mutation lock (every public mutator takes it)."""
         chain = self._chains[group_index]
         page = None
         if chain:
@@ -366,9 +647,9 @@ class GroupedTupleStore:
             if "enc" not in last.header and last.n_records < self._group_capacity(
                 group_index
             ):
-                page = last
+                page = self._writable_page(group_index, last)
         if page is None:
-            page = self.pool.new_page(tag=self._tag(group_index))
+            page = self._new_page(self._tag(group_index))
             chain.append(page.page_id)
             self._group_plain_pages[group_index] += 1
         page.records.append((rid, fragment))
@@ -386,10 +667,15 @@ class GroupedTupleStore:
 
     def _charge_decode(self, group_index: int, n_bytes: int) -> None:
         """Account simulated payload bytes decoded from one group's pages."""
+        self._charge_decode_tag(self._tag(group_index), n_bytes)
+
+    def _charge_decode_tag(self, tag: Tuple[str, int], n_bytes: int) -> None:
+        """Tag-addressed variant: snapshot scans charge the tag captured
+        at open, which stays correct even if the live group index moved."""
         if n_bytes <= 0:
             return
         self.bytes_decoded += n_bytes
-        self.pool.add_bytes(self._tag(group_index), bytes_read=n_bytes)
+        self.pool.add_bytes(tag, bytes_read=n_bytes)
 
     def _thaw_page(self, group_index: int, page: Any) -> None:
         """Decode an encoded page back into plain records, in place.
@@ -408,40 +694,48 @@ class GroupedTupleStore:
         self._group_plain_pages[group_index] += 1
         self._charge_decode(group_index, enc["bytes"])
 
-    def _fragment_at(self, group_index: int, rid: int) -> Tuple[Any, ...]:
-        """Read one fragment without thawing its page (point-read path)."""
-        page_id = self._rid_page[group_index].get(rid)
-        if page_id is None:
-            raise StorageError(f"rid {rid} not found in group {group_index}")
-        page = self.pool.get(page_id)
+    @staticmethod
+    def _page_fragment(page: Any, rid: int) -> Tuple[Any, ...]:
+        """Extract one rid's fragment from a (possibly encoded) page."""
         enc = page.header.get("enc")
         if enc is None:
             for record_rid, fragment in page.records:
                 if record_rid == rid:
                     return fragment
             raise StorageError(
-                f"rid {rid} missing from page {page_id} (corrupt directory)"
+                f"rid {rid} missing from page {page.page_id} (corrupt directory)"
             )
         try:
             index = enc["rids"].index(rid)
         except ValueError:
             raise StorageError(
-                f"rid {rid} missing from page {page_id} (corrupt directory)"
+                f"rid {rid} missing from page {page.page_id} (corrupt directory)"
             ) from None
         return tuple(
             decode_column(kind, payload)[index] for kind, payload in enc["cols"]
         )
 
+    def _fragment_at(self, group_index: int, rid: int) -> Tuple[Any, ...]:
+        """Read one fragment without thawing its page (point-read path)."""
+        with self._mutation_lock:
+            page_id = self._rid_page[group_index].get(rid)
+            if page_id is None:
+                raise StorageError(f"rid {rid} not found in group {group_index}")
+            page = self.pool.get(page_id)
+            return self._page_fragment(page, rid)
+
     def _find_slot(self, group_index: int, rid: int) -> Tuple[Any, int]:
+        """Locate (and thaw) a rid's page for in-place mutation, routing
+        through the copy-on-write gate.  Caller holds the mutation lock."""
         page_id = self._rid_page[group_index].get(rid)
         if page_id is None:
             raise StorageError(f"rid {rid} not found in group {group_index}")
-        page = self.pool.get(page_id)
+        page = self._writable_page(group_index, self.pool.get(page_id))
         self._thaw_page(group_index, page)
         for slot, (record_rid, _) in enumerate(page.records):
             if record_rid == rid:
                 return page, slot
-        raise StorageError(f"rid {rid} missing from page {page_id} (corrupt directory)")
+        raise StorageError(f"rid {rid} missing from page {page.page_id} (corrupt directory)")
 
     # -- tuple operations ---------------------------------------------------
 
@@ -451,30 +745,34 @@ class GroupedTupleStore:
         Passing ``rid`` restores a previously-deleted record id — used by
         transaction rollback so later undo entries that captured the old
         rid stay valid."""
-        fragments = self.schema.split_row(tuple(row))
-        if rid is not None:
-            if self.exists(rid):
-                raise StorageError(f"rid {rid} is already live")
-            self._next_rid = max(self._next_rid, rid + 1)
-        else:
-            rid = self._next_rid
-            self._next_rid += 1
-        for group_index, fragment in enumerate(fragments):
-            self._append_record(group_index, rid, fragment)
-        self._n_rows += 1
-        self.access_stats.inserts += 1
-        return rid
+        with self._mutation_lock:
+            fragments = self.schema.split_row(tuple(row))
+            if rid is not None:
+                if self.exists(rid):
+                    raise StorageError(f"rid {rid} is already live")
+                self._next_rid = max(self._next_rid, rid + 1)
+            else:
+                rid = self._next_rid
+                self._next_rid += 1
+            for group_index, fragment in enumerate(fragments):
+                self._append_record(group_index, rid, fragment)
+            self._n_rows += 1
+            self.access_stats.inserts += 1
+            return rid
 
     def read_row(self, rid: int) -> Tuple[Any, ...]:
         """Fetch a full row without charging workload statistics.
 
         Scans, migration and validation use this so that bulk access is
         accounted at its own (cheaper, chain-sequential) cost rather than
-        as per-row point reads."""
-        fragments = []
-        for group_index in range(self.n_groups):
-            fragments.append(self._fragment_at(group_index, rid))
-        return self.schema.join_fragments(fragments)
+        as per-row point reads.  Held under the mutation lock so the row
+        is assembled against one consistent grouping even while the
+        maintenance worker migrates chains."""
+        with self._mutation_lock:
+            fragments = []
+            for group_index in range(self.n_groups):
+                fragments.append(self._fragment_at(group_index, rid))
+            return self.schema.join_fragments(fragments)
 
     def get(self, rid: int) -> Tuple[Any, ...]:
         """Point read of one full row (one page per group)."""
@@ -482,41 +780,47 @@ class GroupedTupleStore:
         return self.read_row(rid)
 
     def exists(self, rid: int) -> bool:
-        return bool(self._rid_page) and rid in self._rid_page[0]
+        with self._mutation_lock:
+            return bool(self._rid_page) and rid in self._rid_page[0]
 
     def update(self, rid: int, row: Sequence[Any]) -> None:
-        fragments = self.schema.split_row(tuple(row))
-        for group_index, fragment in enumerate(fragments):
-            page, slot = self._find_slot(group_index, rid)
-            page.records[slot] = (rid, fragment)
-            page.mark_dirty()
-        self.access_stats.full_updates += 1
+        with self._mutation_lock:
+            fragments = self.schema.split_row(tuple(row))
+            for group_index, fragment in enumerate(fragments):
+                page, slot = self._find_slot(group_index, rid)
+                page.records[slot] = (rid, fragment)
+                page.mark_dirty()
+            self.access_stats.full_updates += 1
 
     def update_column(self, rid: int, column_name: str, value: Any) -> None:
         """Partial update touching only the column's own group — the
         tuple-update cost the paper wants schema changes to match."""
-        group_index = self.schema.group_of(column_name)
-        self.access_stats.column(column_name).updates += 1
-        members = self.schema.groups[group_index]
-        offset = next(
-            i for i, name in enumerate(members) if name.lower() == column_name.lower()
-        )
-        page, slot = self._find_slot(group_index, rid)
-        old_rid, fragment = page.records[slot]
-        new_fragment = tuple(
-            value if i == offset else item for i, item in enumerate(fragment)
-        )
-        page.records[slot] = (old_rid, new_fragment)
-        page.mark_dirty()
+        with self._mutation_lock:
+            group_index = self.schema.group_of(column_name)
+            self.access_stats.column(column_name).updates += 1
+            members = self.schema.groups[group_index]
+            offset = next(
+                i
+                for i, name in enumerate(members)
+                if name.lower() == column_name.lower()
+            )
+            page, slot = self._find_slot(group_index, rid)
+            old_rid, fragment = page.records[slot]
+            new_fragment = tuple(
+                value if i == offset else item for i, item in enumerate(fragment)
+            )
+            page.records[slot] = (old_rid, new_fragment)
+            page.mark_dirty()
 
     def delete(self, rid: int) -> None:
-        for group_index in range(self.n_groups):
-            page, slot = self._find_slot(group_index, rid)
-            del page.records[slot]
-            page.mark_dirty()
-            del self._rid_page[group_index][rid]
-        self._n_rows -= 1
-        self.access_stats.deletes += 1
+        with self._mutation_lock:
+            for group_index in range(self.n_groups):
+                page, slot = self._find_slot(group_index, rid)
+                del page.records[slot]
+                page.mark_dirty()
+                del self._rid_page[group_index][rid]
+            self._n_rows -= 1
+            self.access_stats.deletes += 1
 
     def scan(self) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
         """Yield ``(rid, row)`` in heap order of the first group's chain."""
@@ -525,71 +829,98 @@ class GroupedTupleStore:
             yield rid, self.read_row(rid)
 
     def scan_column(self, column_name: str) -> Iterator[Tuple[int, Any]]:
-        """Column scan touching only that column's group chain."""
-        group_index = self.schema.group_of(column_name)
-        self.access_stats.record_scan([column_name])
-        members = self.schema.groups[group_index]
-        offset = next(
-            i for i, name in enumerate(members) if name.lower() == column_name.lower()
-        )
-        for page_id in self._chains[group_index]:
-            page = self.pool.get(page_id)
-            enc = page.header.get("enc")
-            if enc is None:
-                self._charge_decode(group_index, page.n_records * PLAIN_VALUE_BYTES)
-                for rid, fragment in page.records:
-                    yield rid, fragment[offset]
-            else:
-                kind, payload = enc["cols"][offset]
-                self._charge_decode(group_index, enc["col_bytes"][offset])
-                values = decode_column(kind, payload)
-                for rid, value in zip(enc["rids"], values):
-                    yield rid, value
+        """Column scan touching only that column's group chain.
+
+        Snapshot-isolated: the chain is captured at call time, so the
+        iterator streams the pre-write version regardless of concurrent
+        DML or migrations."""
+        with self._mutation_lock:
+            snap = self.snapshot()
+            try:
+                group_index = snap.group_of(column_name)
+                self.access_stats.record_scan([column_name])
+                members = snap.groups[group_index]
+                offset = next(
+                    i
+                    for i, name in enumerate(members)
+                    if name.lower() == column_name.lower()
+                )
+            except BaseException:
+                snap.release()
+                raise
+
+        def values() -> Iterator[Tuple[int, Any]]:
+            try:
+                tag = snap.tags[group_index]
+                for page_id in snap.chains[group_index]:
+                    page = self.pool.get(page_id)
+                    enc = page.header.get("enc")
+                    if enc is None:
+                        self._charge_decode_tag(
+                            tag, page.n_records * PLAIN_VALUE_BYTES
+                        )
+                        for rid, fragment in page.records:
+                            yield rid, fragment[offset]
+                    else:
+                        kind, payload = enc["cols"][offset]
+                        self._charge_decode_tag(tag, enc["col_bytes"][offset])
+                        decoded = decode_column(kind, payload)
+                        for rid, value in zip(enc["rids"], decoded):
+                            yield rid, value
+            finally:
+                snap.release()
+
+        return values()
 
     def scan_groups(
-        self, column_names: Sequence[str]
+        self,
+        column_names: Sequence[str],
+        snapshot: Optional[StoreSnapshot] = None,
     ) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
         """Scan a *set* of columns together, touching only the page chains
         of the groups that cover them.
 
         Yields ``(rid, values)`` with ``values`` ordered like
         ``column_names``, rid-aligned across the covering groups.  The
-        chains are walked **in lockstep**: every mutation applies to all
-        chains identically (inserts append everywhere, deletes remove
-        everywhere, restructures rebuild in the shared rid order), so all
-        chains enumerate records in the same order and the scan streams
-        lazily — an early-exiting consumer (LIMIT) only reads the page
-        prefix it consumed, and a full pass reads each covering chain
-        sequentially exactly once.  Charges one co-access scan over the
-        set (or a plain full scan when the set covers every column) — the
-        workload signals the layout advisor prices.  Iteration order is
-        the heap order of the covering chains; callers wanting
-        presentation order go through
+        scan iterates a :class:`StoreSnapshot` captured at call time (or
+        the caller-provided one), so concurrent writes and in-flight
+        ``restructure()`` swaps are invisible to it.  The captured chains
+        are walked **in lockstep**: every mutation applies to all chains
+        identically (inserts append everywhere, deletes remove everywhere,
+        restructures rebuild in the shared rid order), so all chains
+        enumerate records in the same order and the scan streams lazily —
+        an early-exiting consumer (LIMIT) only reads the page prefix it
+        consumed, and a full pass reads each covering chain sequentially
+        exactly once.  Charges one co-access scan over the set (or a plain
+        full scan when the set covers every column) — the workload signals
+        the layout advisor prices.  Iteration order is the heap order of
+        the covering chains; callers wanting presentation order go through
         :meth:`repro.engine.table.Table.scan_columns`.
+
+        A snapshot passed in stays the caller's to release; one taken
+        here is released when the iterator is exhausted or closed.
         """
         names = list(column_names)
         if not names:
             return iter(())
-        # (group_index, fragment_offset, output_offset) for every column.
-        placements: List[Tuple[int, int, int]] = []
-        for out_offset, column_name in enumerate(names):
-            group_index = self.schema.group_of(column_name)
-            members = self.schema.groups[group_index]
-            frag_offset = next(
-                i
-                for i, name in enumerate(members)
-                if name.lower() == column_name.lower()
-            )
-            placements.append((group_index, frag_offset, out_offset))
-        if {name.lower() for name in names} == {
-            name.lower() for name in self.schema.column_names
-        }:
-            # A full-width request is a table scan, not a column-set
-            # signal: keep the historical full_scans accounting (and the
-            # advisor's hot-column ranking unskewed by SELECT *).
-            self.access_stats.full_scans += 1
-        else:
-            self.access_stats.record_scan(names)
+        owns = snapshot is None
+        with self._mutation_lock:
+            snap = snapshot if snapshot is not None else self.snapshot()
+            try:
+                # (group_index, fragment_offset, output_offset) per column,
+                # resolved against the captured grouping.
+                placements = snap.placements(names)
+                if {name.lower() for name in names} == snap.column_set():
+                    # A full-width request is a table scan, not a column-set
+                    # signal: keep the historical full_scans accounting (and
+                    # the advisor's hot-column ranking unskewed by SELECT *).
+                    self.access_stats.full_scans += 1
+                else:
+                    self.access_stats.record_scan(names)
+            except BaseException:
+                if owns:
+                    snap.release()
+                raise
         covering = sorted({group_index for group_index, _, _ in placements})
         by_group: Dict[int, List[Tuple[int, int]]] = {}
         for group_index, frag_offset, out_offset in placements:
@@ -597,61 +928,67 @@ class GroupedTupleStore:
         chain_records = self._chain_records
 
         def rows() -> Iterator[Tuple[int, Tuple[Any, ...]]]:
-            width = len(names)
-            driver = covering[0]
-            others = covering[1:]
-            needed = {
-                group_index: [frag for frag, _ in by_group[group_index]]
-                for group_index in covering
-            }
-            cursors = {
-                group_index: chain_records(group_index, needed[group_index])
-                for group_index in others
-            }
-            fallback: set = set()
-            for rid, fragment in chain_records(driver, needed[driver]):
-                slot: List[Any] = [None] * width
-                for frag_offset, out_offset in by_group[driver]:
-                    slot[out_offset] = fragment[frag_offset]
-                for group_index in others:
-                    record = None
-                    if group_index not in fallback:
-                        record = next(cursors[group_index], None)
-                        if record is None or record[0] != rid:
-                            # Lockstep invariant violated (should not
-                            # happen); degrade this chain to per-rid
-                            # directory lookups — slower, still correct.
-                            fallback.add(group_index)
-                            record = None
-                    if record is None:
-                        record = (rid, self._fragment_at(group_index, rid))
-                    for frag_offset, out_offset in by_group[group_index]:
-                        slot[out_offset] = record[1][frag_offset]
-                yield rid, tuple(slot)
+            try:
+                width = len(names)
+                driver = covering[0]
+                others = covering[1:]
+                needed = {
+                    group_index: [frag for frag, _ in by_group[group_index]]
+                    for group_index in covering
+                }
+                cursors = {
+                    group_index: chain_records(snap, group_index, needed[group_index])
+                    for group_index in others
+                }
+                fallback: set = set()
+                for rid, fragment in chain_records(snap, driver, needed[driver]):
+                    slot: List[Any] = [None] * width
+                    for frag_offset, out_offset in by_group[driver]:
+                        slot[out_offset] = fragment[frag_offset]
+                    for group_index in others:
+                        record = None
+                        if group_index not in fallback:
+                            record = next(cursors[group_index], None)
+                            if record is None or record[0] != rid:
+                                # Lockstep invariant violated (should not
+                                # happen); degrade this chain to per-rid
+                                # directory lookups — slower, still correct.
+                                fallback.add(group_index)
+                                record = None
+                        if record is None:
+                            record = (rid, snap.fragment_at(group_index, rid))
+                        for frag_offset, out_offset in by_group[group_index]:
+                            slot[out_offset] = record[1][frag_offset]
+                    yield rid, tuple(slot)
+            finally:
+                if owns:
+                    snap.release()
 
         return rows()
 
     def _chain_records(
-        self, group_index: int, needed_offsets: Sequence[int]
+        self, snap: StoreSnapshot, group_index: int, needed_offsets: Sequence[int]
     ) -> Iterator[Tuple[int, Tuple[Any, ...]]]:
-        """Stream one chain's ``(rid, fragment)`` records in page order,
-        decoding encoded pages lazily.  Only ``needed_offsets`` of each
-        fragment are guaranteed populated (others are ``None`` on encoded
-        pages); decoded bytes are charged for exactly those columns."""
-        width = max(1, len(self.schema.groups[group_index]))
+        """Stream one captured chain's ``(rid, fragment)`` records in page
+        order, decoding encoded pages lazily.  Only ``needed_offsets`` of
+        each fragment are guaranteed populated (others are ``None`` on
+        encoded pages); decoded bytes are charged for exactly those
+        columns, against the tag captured at snapshot time."""
+        width = max(1, len(snap.groups[group_index]))
         needed = sorted(set(needed_offsets))
-        for page_id in self._chains[group_index]:
+        tag = snap.tags[group_index]
+        for page_id in snap.chains[group_index]:
             page = self.pool.get(page_id)
             enc = page.header.get("enc")
             if enc is None:
-                self._charge_decode(
-                    group_index, page.n_records * len(needed) * PLAIN_VALUE_BYTES
+                self._charge_decode_tag(
+                    tag, page.n_records * len(needed) * PLAIN_VALUE_BYTES
                 )
                 for record in page.records:
                     yield record
                 continue
-            self._charge_decode(
-                group_index, sum(enc["col_bytes"][offset] for offset in needed)
+            self._charge_decode_tag(
+                tag, sum(enc["col_bytes"][offset] for offset in needed)
             )
             columns: List[Optional[List[Any]]] = [None] * width
             for offset in needed:
@@ -663,17 +1000,18 @@ class GroupedTupleStore:
                 )
 
     def _chain_batches(
-        self, group_index: int, needed_offsets: Sequence[int]
+        self, snap: StoreSnapshot, group_index: int, needed_offsets: Sequence[int]
     ) -> Iterator[Tuple[List[int], List[List[Any]]]]:
-        """Stream one chain page-at-a-time as ``(rids, columns)`` where
-        ``columns`` holds one value list per entry of ``needed_offsets``."""
+        """Stream one captured chain page-at-a-time as ``(rids, columns)``
+        where ``columns`` holds one value list per ``needed_offsets``."""
         needed = list(needed_offsets)
-        for page_id in self._chains[group_index]:
+        tag = snap.tags[group_index]
+        for page_id in snap.chains[group_index]:
             page = self.pool.get(page_id)
             enc = page.header.get("enc")
             if enc is None:
-                self._charge_decode(
-                    group_index, page.n_records * len(needed) * PLAIN_VALUE_BYTES
+                self._charge_decode_tag(
+                    tag, page.n_records * len(needed) * PLAIN_VALUE_BYTES
                 )
                 rids = [rid for rid, _ in page.records]
                 columns = [
@@ -682,8 +1020,8 @@ class GroupedTupleStore:
                 ]
                 yield rids, columns
                 continue
-            self._charge_decode(
-                group_index, sum(enc["col_bytes"][offset] for offset in needed)
+            self._charge_decode_tag(
+                tag, sum(enc["col_bytes"][offset] for offset in needed)
             )
             yield (
                 enc["rids"],
@@ -697,36 +1035,36 @@ class GroupedTupleStore:
         self,
         column_names: Sequence[str],
         batch_size: int = DEFAULT_BATCH_SIZE,
+        snapshot: Optional[StoreSnapshot] = None,
     ) -> Iterator[Tuple[List[int], List[List[Any]]]]:
         """Batched form of :meth:`scan_groups`: yields ``(rids, columns)``
         with ``columns`` ordered like ``column_names`` and every list
         rid-aligned, ``batch_size`` rows per batch (the last one short).
 
-        The covering chains stream page-at-a-time with encoded pages
-        decoded lazily into whole column fragments — no per-row tuples are
-        built here; late materialization is the *caller's* choice.  Charges
-        the same workload statistics as :meth:`scan_groups`.
+        The covering chains are captured in a :class:`StoreSnapshot` at
+        call time (or taken from the caller) and stream page-at-a-time
+        with encoded pages decoded lazily into whole column fragments — no
+        per-row tuples are built here; late materialization is the
+        *caller's* choice.  Charges the same workload statistics as
+        :meth:`scan_groups`.
         """
         names = list(column_names)
         if not names or batch_size < 1:
             return iter(())
-        placements: List[Tuple[int, int, int]] = []
-        for out_offset, column_name in enumerate(names):
-            group_index = self.schema.group_of(column_name)
-            members = self.schema.groups[group_index]
-            frag_offset = next(
-                i
-                for i, name in enumerate(members)
-                if name.lower() == column_name.lower()
-            )
-            placements.append((group_index, frag_offset, out_offset))
-        if {name.lower() for name in names} == {
-            name.lower() for name in self.schema.column_names
-        }:
-            self.access_stats.full_scans += 1
-        else:
-            self.access_stats.record_scan(names)
-        self.batch_scans += 1
+        owns = snapshot is None
+        with self._mutation_lock:
+            snap = snapshot if snapshot is not None else self.snapshot()
+            try:
+                placements = snap.placements(names)
+                if {name.lower() for name in names} == snap.column_set():
+                    self.access_stats.full_scans += 1
+                else:
+                    self.access_stats.record_scan(names)
+                self.batch_scans += 1
+            except BaseException:
+                if owns:
+                    snap.release()
+                raise
         covering = sorted({group_index for group_index, _, _ in placements})
         by_group: Dict[int, List[Tuple[int, int]]] = {}
         for group_index, frag_offset, out_offset in placements:
@@ -737,49 +1075,61 @@ class GroupedTupleStore:
         }
 
         def batches() -> Iterator[Tuple[List[int], List[List[Any]]]]:
-            width = len(names)
-            driver = covering[0]
-            others = covering[1:]
-            streams = {
-                group_index: _BatchCursor(self._chain_batches(group_index, needed[group_index]))
-                for group_index in covering
-            }
-            fallback: set = set()
-            while True:
-                rids, driver_cols = streams[driver].take(batch_size)
-                if not rids:
-                    return
-                out: List[Optional[List[Any]]] = [None] * width
-                for position, (_, out_offset) in enumerate(by_group[driver]):
-                    out[out_offset] = driver_cols[position]
-                for group_index in others:
-                    other_cols = None
-                    if group_index not in fallback:
-                        other_rids, other_cols = streams[group_index].take(len(rids))
-                        if other_rids != rids:
-                            # Lockstep invariant violated (should not
-                            # happen); under the sanitizer this is a hard
-                            # error, otherwise degrade this chain to
-                            # per-rid directory lookups — slower, still
-                            # correct.
-                            if self.sanitizer.enabled:
-                                self.sanitizer.lockstep_mismatch(
-                                    group_index, rids, other_rids
-                                )
-                            fallback.add(group_index)
-                            other_cols = None
-                    if other_cols is None:
-                        frags = [self._fragment_at(group_index, rid) for rid in rids]
-                        other_cols = [
-                            [fragment[offset] for fragment in frags]
-                            for offset in needed[group_index]
-                        ]
-                    for position, (_, out_offset) in enumerate(by_group[group_index]):
-                        out[out_offset] = other_cols[position]
-                self.batches_emitted += 1
-                if self.sanitizer.enabled:
-                    self.sanitizer.check_batch(rids, out)
-                yield rids, out  # type: ignore[misc]
+            try:
+                width = len(names)
+                driver = covering[0]
+                others = covering[1:]
+                streams = {
+                    group_index: _BatchCursor(
+                        self._chain_batches(snap, group_index, needed[group_index])
+                    )
+                    for group_index in covering
+                }
+                fallback: set = set()
+                while True:
+                    rids, driver_cols = streams[driver].take(batch_size)
+                    if not rids:
+                        return
+                    out: List[Optional[List[Any]]] = [None] * width
+                    for position, (_, out_offset) in enumerate(by_group[driver]):
+                        out[out_offset] = driver_cols[position]
+                    for group_index in others:
+                        other_cols = None
+                        if group_index not in fallback:
+                            other_rids, other_cols = streams[group_index].take(
+                                len(rids)
+                            )
+                            if other_rids != rids:
+                                # Lockstep invariant violated (should not
+                                # happen); under the sanitizer this is a
+                                # hard error, otherwise degrade this chain
+                                # to per-rid directory lookups — slower,
+                                # still correct.
+                                if self.sanitizer.enabled:
+                                    self.sanitizer.lockstep_mismatch(
+                                        group_index, rids, other_rids
+                                    )
+                                fallback.add(group_index)
+                                other_cols = None
+                        if other_cols is None:
+                            frags = [
+                                snap.fragment_at(group_index, rid) for rid in rids
+                            ]
+                            other_cols = [
+                                [fragment[offset] for fragment in frags]
+                                for offset in needed[group_index]
+                            ]
+                        for position, (_, out_offset) in enumerate(
+                            by_group[group_index]
+                        ):
+                            out[out_offset] = other_cols[position]
+                    self.batches_emitted += 1
+                    if self.sanitizer.enabled:
+                        self.sanitizer.check_batch(rids, out)
+                    yield rids, out  # type: ignore[misc]
+            finally:
+                if owns:
+                    snap.release()
 
         return batches()
 
@@ -797,111 +1147,125 @@ class GroupedTupleStore:
         experiment E6 charts.  New-chain allocations are not counted as
         rewrites (they are sequential writes of fresh blocks).
         """
-        if new_group is None:
-            new_group = self.layout is not LayoutPolicy.ROW
-        if self.layout is LayoutPolicy.ROW:
-            target_group: Optional[int] = 0 if self.schema.n_groups > 0 else None
-            placed = self.schema.add_column(column, group_index=target_group)
-        elif self.layout is LayoutPolicy.COLUMN:
-            placed = self.schema.add_column(column, new_group=True)
-        else:
-            placed = self.schema.add_column(column, group_index=group_index, new_group=new_group)
-        self.access_stats.schema_changes += 1
-        self.access_stats.column(column.name)
-        default = column.default
-        if placed >= len(self._chains):
-            # Fresh group: build its chain from scratch; zero rewrites.
-            self._chains.append([])
-            self._rid_page.append({})
-            self._group_ids.append(self._next_gid)
-            self._next_gid += 1
-            self._group_encoded.append(False)
-            self._group_ratio.append(1.0)
-            self._group_enc_failed.append(False)
-            self._group_plain_pages.append(0)
-            for rid in self.rids():
-                self._append_record(placed, rid, (default,))
-            return 0
-        # Existing group: rewrite every page of that chain in place.
-        rewritten = 0
-        members = self.schema.groups[placed]
-        offset = next(
-            i for i, name in enumerate(members) if name.lower() == column.name.lower()
-        )
-        for page_id in self._chains[placed]:
-            page = self.pool.get(page_id)
-            self._thaw_page(placed, page)
-            page.records = [
-                (rid, fragment[:offset] + (default,) + fragment[offset:])
-                for rid, fragment in page.records
-            ]
-            page.mark_dirty()
-            rewritten += 1
-        self._reset_group_encoding(placed)
-        return rewritten
+        with self._mutation_lock:
+            if new_group is None:
+                new_group = self.layout is not LayoutPolicy.ROW
+            if self.layout is LayoutPolicy.ROW:
+                target_group: Optional[int] = 0 if self.schema.n_groups > 0 else None
+                placed = self.schema.add_column(column, group_index=target_group)
+            elif self.layout is LayoutPolicy.COLUMN:
+                placed = self.schema.add_column(column, new_group=True)
+            else:
+                placed = self.schema.add_column(
+                    column, group_index=group_index, new_group=new_group
+                )
+            self.access_stats.schema_changes += 1
+            self.access_stats.column(column.name)
+            default = column.default
+            if placed >= len(self._chains):
+                # Fresh group: build its chain from scratch; zero rewrites.
+                self._chains.append([])
+                self._rid_page.append({})
+                self._group_ids.append(self._next_gid)
+                self._next_gid += 1
+                self._group_encoded.append(False)
+                self._group_ratio.append(1.0)
+                self._group_enc_failed.append(False)
+                self._group_plain_pages.append(0)
+                for rid in self.rids():
+                    self._append_record(placed, rid, (default,))
+                return 0
+            # Existing group: rewrite every page of that chain (each one
+            # routed through the copy-on-write gate so open snapshots keep
+            # the narrower pre-change fragments).
+            rewritten = 0
+            members = self.schema.groups[placed]
+            offset = next(
+                i
+                for i, name in enumerate(members)
+                if name.lower() == column.name.lower()
+            )
+            for page_id in list(self._chains[placed]):
+                page = self._writable_page(placed, self.pool.get(page_id))
+                self._thaw_page(placed, page)
+                page.records = [
+                    (rid, fragment[:offset] + (default,) + fragment[offset:])
+                    for rid, fragment in page.records
+                ]
+                page.mark_dirty()
+                rewritten += 1
+            self._reset_group_encoding(placed)
+            return rewritten
 
     def drop_column(self, column_name: str) -> int:
         """Drop a column; returns the number of existing pages rewritten."""
-        group_index = self.schema.group_of(column_name)
-        self.access_stats.schema_changes += 1
-        self.access_stats.columns.pop(column_name.lower(), None)
-        dropped_key = column_name.lower()
-        self.access_stats.remap_scan_sets(
-            lambda names: tuple(name for name in names if name != dropped_key)
-        )
-        members = self.schema.groups[group_index]
-        if len(members) == 1:
-            # Sole member: free the whole chain, rewrite nothing.
+        with self._mutation_lock:
+            group_index = self.schema.group_of(column_name)
+            self.access_stats.schema_changes += 1
+            self.access_stats.columns.pop(column_name.lower(), None)
+            dropped_key = column_name.lower()
+            self.access_stats.remap_scan_sets(
+                lambda names: tuple(name for name in names if name != dropped_key)
+            )
+            members = self.schema.groups[group_index]
+            if len(members) == 1:
+                # Sole member: unlink the whole chain, rewrite nothing.
+                # Retired (not freed) while snapshots still walk it.
+                tag = self._tag(group_index)
+                self.schema.drop_column(column_name)
+                for page_id in self._chains[group_index]:
+                    self._release_page(page_id)
+                self._release_tag(tag)
+                del self._chains[group_index]
+                del self._rid_page[group_index]
+                del self._group_ids[group_index]
+                del self._group_encoded[group_index]
+                del self._group_ratio[group_index]
+                del self._group_enc_failed[group_index]
+                del self._group_plain_pages[group_index]
+                return 0
+            offset = next(
+                i
+                for i, name in enumerate(members)
+                if name.lower() == column_name.lower()
+            )
             self.schema.drop_column(column_name)
-            for page_id in self._chains[group_index]:
-                self.pool.free_page(page_id)
-            self.pool.drop_tag_stats(self._tag(group_index))
-            del self._chains[group_index]
-            del self._rid_page[group_index]
-            del self._group_ids[group_index]
-            del self._group_encoded[group_index]
-            del self._group_ratio[group_index]
-            del self._group_enc_failed[group_index]
-            del self._group_plain_pages[group_index]
-            return 0
-        offset = next(
-            i for i, name in enumerate(members) if name.lower() == column_name.lower()
-        )
-        self.schema.drop_column(column_name)
-        rewritten = 0
-        for page_id in self._chains[group_index]:
-            page = self.pool.get(page_id)
-            self._thaw_page(group_index, page)
-            page.records = [
-                (rid, fragment[:offset] + fragment[offset + 1 :])
-                for rid, fragment in page.records
-            ]
-            page.mark_dirty()
-            rewritten += 1
-        self._reset_group_encoding(group_index)
-        return rewritten
+            rewritten = 0
+            for page_id in list(self._chains[group_index]):
+                page = self._writable_page(group_index, self.pool.get(page_id))
+                self._thaw_page(group_index, page)
+                page.records = [
+                    (rid, fragment[:offset] + fragment[offset + 1 :])
+                    for rid, fragment in page.records
+                ]
+                page.mark_dirty()
+                rewritten += 1
+            self._reset_group_encoding(group_index)
+            return rewritten
 
     def rename_column(self, old: str, new: str) -> None:
         """Metadata-only operation; no pages touched in any layout."""
-        self.schema.rename_column(old, new)
-        self.access_stats.schema_changes += 1
-        moved = self.access_stats.columns.pop(old.lower(), None)
-        if moved is not None:
-            self.access_stats.columns[new.lower()] = moved
-        old_key = old.lower()
-        self.access_stats.remap_scan_sets(
-            lambda names: tuple(
-                sorted(new.lower() if name == old_key else name for name in names)
+        with self._mutation_lock:
+            self.schema.rename_column(old, new)
+            self.access_stats.schema_changes += 1
+            moved = self.access_stats.columns.pop(old.lower(), None)
+            if moved is not None:
+                self.access_stats.columns[new.lower()] = moved
+            old_key = old.lower()
+            self.access_stats.remap_scan_sets(
+                lambda names: tuple(
+                    sorted(new.lower() if name == old_key else name for name in names)
+                )
+                if old_key in names
+                else names
             )
-            if old_key in names
-            else names
-        )
 
     # -- re-partitioning -------------------------------------------------------
 
     def _column_values(self, column_name: str) -> Dict[int, Any]:
         """rid → value for one column, read chain-sequentially without
-        charging workload statistics (migration-internal)."""
+        charging workload statistics (migration-internal; caller holds
+        the mutation lock via :meth:`restructure`)."""
         group_index = self.schema.group_of(column_name)
         members = self.schema.groups[group_index]
         offset = next(
@@ -930,7 +1294,8 @@ class GroupedTupleStore:
         """Materialise a fresh chain for one prospective group.
 
         Only allocates new pages (recorded in ``allocated`` so a failed
-        restructure can release them); never mutates existing chains."""
+        restructure can release them); never mutates existing chains.
+        Caller holds the mutation lock."""
         width = max(1, len(members))
         capacity = max(1, self.pool.page_capacity // width)
         sources = [self._column_values(name) for name in members]
@@ -941,7 +1306,7 @@ class GroupedTupleStore:
         for rid in rid_order:
             fragment = tuple(source[rid] for source in sources)
             if page is None or page.n_records >= capacity:
-                page = self.pool.new_page(tag=tag)
+                page = self._new_page(tag)
                 chain.append(page.page_id)
                 allocated.append(page.page_id)
             page.records.append((rid, fragment))
@@ -953,87 +1318,100 @@ class GroupedTupleStore:
         """Re-partition into ``target_groups``, rebuilding only the groups
         whose member list actually changes; returns new pages written.
 
-        **Build-then-swap-then-free**: every replacement chain is fully
-        materialised through the buffer pool *before* the schema and chain
-        directory are swapped, and old pages are freed only after the swap.
-        An exception at any point (bad grouping discovered late, allocation
+        **Build-then-swap-then-retire**, all under the mutation lock:
+        every replacement chain is fully materialised through the buffer
+        pool *before* the schema and chain directory are swapped.  An
+        exception at any point (bad grouping discovered late, allocation
         failure, crash injection) leaves the store exactly as it was —
         the crash hole the old free-then-rebuild ``compact_groups`` had.
+        Old pages are *retired* after the swap: freed immediately when no
+        snapshot is open, otherwise kept alive until the last snapshot
+        whose epoch can see them is released, so concurrent scans finish
+        against the pre-migration chains.
         """
-        targets = [list(group) for group in target_groups if group]
-        flat = [name.lower() for group in targets for name in group]
-        expected = sorted(name.lower() for name in self.schema.column_names)
-        if sorted(flat) != expected:
-            raise SchemaError("target groups must cover exactly the current columns")
-        old_keys = {
-            tuple(name.lower() for name in group): index
-            for index, group in enumerate(self.schema.groups)
-        }
-        rid_order = self.rids()
-        built: List[Optional[Tuple[List[int], Dict[int, int], int]]] = []
-        reused: List[Optional[int]] = []
-        allocated: List[int] = []
-        pages_written = 0
-        try:
-            for members in targets:
-                key = tuple(name.lower() for name in members)
-                old_index = old_keys.get(key)
+        with self._mutation_lock:
+            targets = [list(group) for group in target_groups if group]
+            flat = [name.lower() for group in targets for name in group]
+            expected = sorted(name.lower() for name in self.schema.column_names)
+            if sorted(flat) != expected:
+                raise SchemaError(
+                    "target groups must cover exactly the current columns"
+                )
+            old_keys = {
+                tuple(name.lower() for name in group): index
+                for index, group in enumerate(self.schema.groups)
+            }
+            rid_order = self.rids()
+            built: List[Optional[Tuple[List[int], Dict[int, int], int]]] = []
+            reused: List[Optional[int]] = []
+            allocated: List[int] = []
+            pages_written = 0
+            try:
+                for members in targets:
+                    key = tuple(name.lower() for name in members)
+                    old_index = old_keys.get(key)
+                    if old_index is not None:
+                        reused.append(old_index)
+                        built.append(None)
+                        continue
+                    reused.append(None)
+                    gid = self._next_gid
+                    self._next_gid += 1
+                    chain, directory = self._build_chain(
+                        members, rid_order, gid, allocated
+                    )
+                    built.append((chain, directory, gid))
+                    pages_written += len(chain)
+            except BaseException:
+                for page_id in allocated:
+                    # Freshly allocated under the lock: no snapshot can
+                    # reference them, so _release_page frees immediately.
+                    self._release_page(page_id)
+                raise
+            # Swap: from here on nothing can fail.
+            old_chains = self._chains
+            old_rid_page = self._rid_page
+            old_gids = self._group_ids
+            old_encoded = self._group_encoded
+            old_ratio = self._group_ratio
+            old_failed = self._group_enc_failed
+            old_plain = self._group_plain_pages
+            self.schema.set_groups(targets)
+            self._chains, self._rid_page, self._group_ids = [], [], []
+            self._group_encoded, self._group_ratio = [], []
+            self._group_enc_failed, self._group_plain_pages = [], []
+            kept = set()
+            for index in range(len(targets)):
+                old_index = reused[index]
                 if old_index is not None:
-                    reused.append(old_index)
-                    built.append(None)
-                    continue
-                reused.append(None)
-                gid = self._next_gid
-                self._next_gid += 1
-                chain, directory = self._build_chain(members, rid_order, gid, allocated)
-                built.append((chain, directory, gid))
-                pages_written += len(chain)
-        except BaseException:
-            for page_id in allocated:
-                self.pool.free_page(page_id)
-            raise
-        # Swap: from here on nothing can fail.
-        old_chains = self._chains
-        old_rid_page = self._rid_page
-        old_gids = self._group_ids
-        old_encoded = self._group_encoded
-        old_ratio = self._group_ratio
-        old_failed = self._group_enc_failed
-        old_plain = self._group_plain_pages
-        self.schema.set_groups(targets)
-        self._chains, self._rid_page, self._group_ids = [], [], []
-        self._group_encoded, self._group_ratio = [], []
-        self._group_enc_failed, self._group_plain_pages = [], []
-        kept = set()
-        for index in range(len(targets)):
-            old_index = reused[index]
-            if old_index is not None:
-                kept.add(old_index)
-                self._chains.append(old_chains[old_index])
-                self._rid_page.append(old_rid_page[old_index])
-                self._group_ids.append(old_gids[old_index])
-                self._group_encoded.append(old_encoded[old_index])
-                self._group_ratio.append(old_ratio[old_index])
-                self._group_enc_failed.append(old_failed[old_index])
-                self._group_plain_pages.append(old_plain[old_index])
-            else:
-                chain, directory, gid = built[index]  # type: ignore[misc]
-                self._chains.append(chain)
-                self._rid_page.append(directory)
-                self._group_ids.append(gid)
-                self._group_encoded.append(False)
-                self._group_ratio.append(1.0)
-                self._group_enc_failed.append(False)
-                self._group_plain_pages.append(len(chain))
-        # Free: the old layout's pages, now unreachable, and the dead
-        # groups' I/O counters (migrations mint fresh group ids, so stale
-        # tags would otherwise accumulate forever).
-        for old_index, chain in enumerate(old_chains):
-            if old_index not in kept:
-                for page_id in chain:
-                    self.pool.free_page(page_id)
-                self.pool.drop_tag_stats((self.owner, old_gids[old_index]))
-        return pages_written
+                    kept.add(old_index)
+                    self._chains.append(old_chains[old_index])
+                    self._rid_page.append(old_rid_page[old_index])
+                    self._group_ids.append(old_gids[old_index])
+                    self._group_encoded.append(old_encoded[old_index])
+                    self._group_ratio.append(old_ratio[old_index])
+                    self._group_enc_failed.append(old_failed[old_index])
+                    self._group_plain_pages.append(old_plain[old_index])
+                else:
+                    chain, directory, gid = built[index]  # type: ignore[misc]
+                    self._chains.append(chain)
+                    self._rid_page.append(directory)
+                    self._group_ids.append(gid)
+                    self._group_encoded.append(False)
+                    self._group_ratio.append(1.0)
+                    self._group_enc_failed.append(False)
+                    self._group_plain_pages.append(len(chain))
+            # Retire: the old layout's pages, now unreachable from the
+            # live directory, and the dead groups' I/O counters
+            # (migrations mint fresh group ids, so stale tags would
+            # otherwise accumulate forever).  Open snapshots keep both
+            # alive until released.
+            for old_index, chain in enumerate(old_chains):
+                if old_index not in kept:
+                    for page_id in chain:
+                        self._release_page(page_id)
+                    self._release_tag((self.owner, old_gids[old_index]))
+            return pages_written
 
     def compact_groups(self, target_groups: Sequence[Sequence[str]]) -> int:
         """Physically re-partition the table into ``target_groups``.
@@ -1077,83 +1455,88 @@ class GroupedTupleStore:
         the pager counts.  Build-then-swap like :meth:`restructure`.
         Returns the new chain's page count, or 0 when the group does not
         compress (remembered, so maintenance stops retrying)."""
-        members = self.schema.groups[group_index]
-        width = max(1, len(members))
-        rid_list: List[int] = []
-        columns: List[List[Any]] = [[] for _ in range(width)]
-        for page_id in self._chains[group_index]:
-            page = self.pool.get(page_id)
-            enc = page.header.get("enc")
-            if enc is None:
-                for rid, fragment in page.records:
-                    rid_list.append(rid)
+        with self._mutation_lock:
+            members = self.schema.groups[group_index]
+            width = max(1, len(members))
+            rid_list: List[int] = []
+            columns: List[List[Any]] = [[] for _ in range(width)]
+            for page_id in self._chains[group_index]:
+                page = self.pool.get(page_id)
+                enc = page.header.get("enc")
+                if enc is None:
+                    for rid, fragment in page.records:
+                        rid_list.append(rid)
+                        for offset in range(width):
+                            columns[offset].append(fragment[offset])
+                else:
+                    rid_list.extend(enc["rids"])
                     for offset in range(width):
-                        columns[offset].append(fragment[offset])
-            else:
-                rid_list.extend(enc["rids"])
-                for offset in range(width):
-                    columns[offset].extend(decode_column(*enc["cols"][offset]))
-        n = len(rid_list)
-        if n == 0:
-            self._group_enc_failed[group_index] = True
-            return 0
-        kinds: List[str] = []
-        encoded_bytes = 0
-        for offset in range(width):
-            kind, size = choose_encoding(columns[offset])
-            kinds.append(kind)
-            encoded_bytes += size
-        plain_bytes = n * width * PLAIN_VALUE_BYTES
-        ratio = plain_bytes / max(1, encoded_bytes)
-        if ratio <= 1.05:
-            self._group_enc_failed[group_index] = True
-            return 0
-        capacity = self._group_capacity(group_index)
-        per_page = max(capacity, int(capacity * ratio))
-        tag = self._tag(group_index)
-        chain: List[int] = []
-        directory: Dict[int, int] = {}
-        allocated: List[int] = []
-        try:
-            for start in range(0, n, per_page):
-                stop = min(n, start + per_page)
-                page = self.pool.new_page(tag=tag)
-                allocated.append(page.page_id)
-                chain.append(page.page_id)
-                page_rids = rid_list[start:stop]
-                cols: List[Tuple[str, Any]] = []
-                col_bytes: List[int] = []
-                total = 0
-                for offset in range(width):
-                    payload = encode_column(columns[offset][start:stop], kinds[offset])
-                    size = encoded_size(stop - start, kinds[offset], payload)
-                    cols.append((kinds[offset], payload))
-                    col_bytes.append(size)
-                    total += size
-                page.header["enc"] = {
-                    "rids": page_rids,
-                    "cols": cols,
-                    "col_bytes": col_bytes,
-                    "bytes": total,
-                    "plain_bytes": (stop - start) * width * PLAIN_VALUE_BYTES,
-                }
-                page.mark_dirty()
-                self.pool.add_bytes(tag, bytes_written=total)
-                for rid in page_rids:
-                    directory[rid] = page.page_id
-        except BaseException:
-            for page_id in allocated:
-                self.pool.free_page(page_id)
-            raise
-        for page_id in self._chains[group_index]:
-            self.pool.free_page(page_id)
-        self._chains[group_index] = chain
-        self._rid_page[group_index] = directory
-        self._group_encoded[group_index] = True
-        self._group_ratio[group_index] = ratio
-        self._group_enc_failed[group_index] = False
-        self._group_plain_pages[group_index] = 0
-        return len(chain)
+                        columns[offset].extend(decode_column(*enc["cols"][offset]))
+            n = len(rid_list)
+            if n == 0:
+                self._group_enc_failed[group_index] = True
+                return 0
+            kinds: List[str] = []
+            encoded_bytes = 0
+            for offset in range(width):
+                kind, size = choose_encoding(columns[offset])
+                kinds.append(kind)
+                encoded_bytes += size
+            plain_bytes = n * width * PLAIN_VALUE_BYTES
+            ratio = plain_bytes / max(1, encoded_bytes)
+            if ratio <= 1.05:
+                self._group_enc_failed[group_index] = True
+                return 0
+            capacity = self._group_capacity(group_index)
+            per_page = max(capacity, int(capacity * ratio))
+            tag = self._tag(group_index)
+            chain: List[int] = []
+            directory: Dict[int, int] = {}
+            allocated: List[int] = []
+            try:
+                for start in range(0, n, per_page):
+                    stop = min(n, start + per_page)
+                    page = self._new_page(tag)
+                    allocated.append(page.page_id)
+                    chain.append(page.page_id)
+                    page_rids = rid_list[start:stop]
+                    cols: List[Tuple[str, Any]] = []
+                    col_bytes: List[int] = []
+                    total = 0
+                    for offset in range(width):
+                        payload = encode_column(
+                            columns[offset][start:stop], kinds[offset]
+                        )
+                        size = encoded_size(stop - start, kinds[offset], payload)
+                        cols.append((kinds[offset], payload))
+                        col_bytes.append(size)
+                        total += size
+                    page.header["enc"] = {
+                        "rids": page_rids,
+                        "cols": cols,
+                        "col_bytes": col_bytes,
+                        "bytes": total,
+                        "plain_bytes": (stop - start) * width * PLAIN_VALUE_BYTES,
+                    }
+                    page.mark_dirty()
+                    self.pool.add_bytes(tag, bytes_written=total)
+                    for rid in page_rids:
+                        directory[rid] = page.page_id
+            except BaseException:
+                for page_id in allocated:
+                    self._release_page(page_id)
+                raise
+            # Swap in the encoded chain; the plain one is retired for any
+            # open snapshot still streaming it.
+            for page_id in self._chains[group_index]:
+                self._release_page(page_id)
+            self._chains[group_index] = chain
+            self._rid_page[group_index] = directory
+            self._group_encoded[group_index] = True
+            self._group_ratio[group_index] = ratio
+            self._group_enc_failed[group_index] = False
+            self._group_plain_pages[group_index] = 0
+            return len(chain)
 
     def encoding_tick(
         self, min_scans: int = 8, min_pages: int = 2
@@ -1165,18 +1548,19 @@ class GroupedTupleStore:
         encoded chain re-qualifies once its plain tail grows back).
         Returns ``(group_index, ratio)`` for every group encoded."""
         encoded: List[Tuple[int, float]] = []
-        for group_index, members in enumerate(self.schema.groups):
-            if self._group_enc_failed[group_index]:
-                continue
-            if self._group_plain_pages[group_index] < min_pages:
-                continue
-            scans = sum(
-                self.access_stats.column(name).scans for name in members
-            ) + self.access_stats.full_scans
-            if scans < min_scans:
-                continue
-            if self.encode_group(group_index):
-                encoded.append((group_index, self._group_ratio[group_index]))
+        with self._mutation_lock:
+            for group_index, members in enumerate(self.schema.groups):
+                if self._group_enc_failed[group_index]:
+                    continue
+                if self._group_plain_pages[group_index] < min_pages:
+                    continue
+                scans = sum(
+                    self.access_stats.column(name).scans for name in members
+                ) + self.access_stats.full_scans
+                if scans < min_scans:
+                    continue
+                if self.encode_group(group_index):
+                    encoded.append((group_index, self._group_ratio[group_index]))
         return encoded
 
     def column_encoding_ratios(self) -> Dict[str, float]:
@@ -1300,6 +1684,11 @@ class GroupedTupleStore:
 
     def validate(self) -> None:
         """Internal consistency check used by property-based tests."""
+        with self._mutation_lock:
+            self._validate_locked()
+
+    def _validate_locked(self) -> None:
+        """Body of :meth:`validate`; mutation lock held."""
         if len(self._chains) != self.schema.n_groups:
             raise StorageError("chain count does not match schema groups")
         if len(self._group_ids) != len(self._chains):

@@ -150,10 +150,12 @@ class Table:
         return [self.store.get(rid) for rid in self.positions.window(position, count)]
 
     def scan(self) -> Iterator[Tuple[int, int, Tuple[Any, ...]]]:
-        """Yield ``(position, rid, row)`` in presentation order."""
-        self.store.access_stats.full_scans += 1
-        for position, rid in enumerate(self.positions):
-            yield position, rid, self.store.read_row(rid)
+        """Yield ``(position, rid, row)`` in presentation order.
+
+        Rides :meth:`scan_columns` over the full column set, so a scan
+        opened before a concurrent write or layout migration streams
+        exactly the pre-write rows (snapshot isolation)."""
+        return self.scan_columns(self.column_names)
 
     def scan_columns(
         self, names: Sequence[str]
@@ -164,30 +166,57 @@ class Table:
         The narrow scan the query pipeline rides: the store walks each
         covering chain sequentially (charging per-column and co-access
         statistics), and the positional index restores presentation
-        order on top of the rid-aligned fragments.  The store stream is
-        consumed *on demand*: while presentation order tracks heap order
-        (no positional inserts or moves — the common case) each row is
-        handed through as it is read, so an early-exiting consumer
-        (LIMIT) touches only a page prefix; rows surfaced out of order
-        are buffered until their position comes up.  An empty ``names``
-        yields empty tuples without touching any page — what a bare
-        ``COUNT(*)`` costs."""
+        order on top of the rid-aligned fragments.  The snapshot is
+        acquired *at operator open* — the positional order and the store
+        chains are captured atomically under the store's mutation lock,
+        so the iterator is isolated from concurrent DML and background
+        restructure swaps.  The store stream is consumed *on demand*:
+        while presentation order tracks heap order (no positional
+        inserts or moves — the common case) each row is handed through
+        as it is read, so an early-exiting consumer (LIMIT) touches only
+        a page prefix; rows surfaced out of order are buffered until
+        their position comes up.  An empty ``names`` yields empty tuples
+        without touching any page — what a bare ``COUNT(*)`` costs."""
         if not names:
-            for position, rid in enumerate(self.positions):
-                yield position, rid, ()
-            return
-        source = self.store.scan_groups(names)
-        buffered: Dict[int, Tuple[Any, ...]] = {}
-        for position, rid in enumerate(self.positions):
-            while rid not in buffered:
-                try:
-                    heap_rid, values = next(source)
-                except StopIteration:
-                    raise StorageError(
-                        f"rid {rid} missing from column scan of {self.name!r}"
-                    ) from None
-                buffered[heap_rid] = values
-            yield position, rid, buffered.pop(rid)
+            with self.store.mutation_lock:
+                order = list(self.positions)
+
+            def empties() -> Iterator[Tuple[int, int, Tuple[Any, ...]]]:
+                for position, rid in enumerate(order):
+                    yield position, rid, ()
+
+            return empties()
+        with self.store.mutation_lock:
+            # One critical section pins both identities of the table: the
+            # presentation order and the physical chains must describe the
+            # same set of rows or the merge below would report a missing
+            # rid on a perfectly healthy table.
+            snap = self.store.snapshot()
+            try:
+                order = list(self.positions)
+                source = self.store.scan_groups(names, snapshot=snap)
+            except BaseException:
+                snap.release()
+                raise
+
+        def rows() -> Iterator[Tuple[int, int, Tuple[Any, ...]]]:
+            try:
+                buffered: Dict[int, Tuple[Any, ...]] = {}
+                for position, rid in enumerate(order):
+                    while rid not in buffered:
+                        try:
+                            heap_rid, values = next(source)
+                        except StopIteration:
+                            raise StorageError(
+                                f"rid {rid} missing from column scan of "
+                                f"{self.name!r}"
+                            ) from None
+                        buffered[heap_rid] = values
+                    yield position, rid, buffered.pop(rid)
+            finally:
+                snap.release()
+
+        return rows()
 
     def scan_column_batches(
         self, names: Sequence[str], batch_size: int = DEFAULT_BATCH_SIZE
@@ -199,45 +228,63 @@ class Table:
         While presentation order tracks heap order (no positional inserts
         or moves — the common case) the store's batches are passed through
         untouched; once they diverge, rows are buffered per rid and
-        re-emitted in presentation order.  Charges the same workload
-        statistics as :meth:`scan_columns`."""
+        re-emitted in presentation order.  The snapshot is acquired at
+        operator open, exactly like :meth:`scan_columns`, and charges the
+        same workload statistics."""
         names = list(names)
         if not names:
-            return
-        expected = list(self.positions)
-        start = 0
-        pending: Dict[int, Tuple[Any, ...]] = {}
+            return iter(())
+        with self.store.mutation_lock:
+            snap = self.store.snapshot()
+            try:
+                expected = list(self.positions)
+                source = self.store.scan_group_batches(
+                    names, batch_size, snapshot=snap
+                )
+            except BaseException:
+                snap.release()
+                raise
         width = len(names)
 
-        def drain() -> Iterator[Tuple[int, List[int], List[List[Any]]]]:
-            nonlocal start
-            batch_rids: List[int] = []
-            batch_rows: List[Tuple[Any, ...]] = []
-            while start + len(batch_rids) < len(expected):
-                row = pending.pop(expected[start + len(batch_rids)], None)
-                if row is None:
-                    break
-                batch_rids.append(expected[start + len(batch_rids)])
-                batch_rows.append(row)
-            if batch_rids:
-                columns = [[row[j] for row in batch_rows] for j in range(width)]
-                yield start, batch_rids, columns
-                start += len(batch_rids)
+        def batches() -> Iterator[Tuple[int, List[int], List[List[Any]]]]:
+            start = 0
+            pending: Dict[int, Tuple[Any, ...]] = {}
 
-        for rids, cols in self.store.scan_group_batches(names, batch_size):
-            if not pending and rids == expected[start : start + len(rids)]:
-                yield start, rids, cols
-                start += len(rids)
-                continue
-            for i, rid in enumerate(rids):
-                pending[rid] = tuple(column[i] for column in cols)
-            yield from drain()
-        while start < len(expected):
-            if expected[start] not in pending:
-                raise StorageError(
-                    f"rid {expected[start]} missing from column scan of {self.name!r}"
-                )
-            yield from drain()
+            def drain() -> Iterator[Tuple[int, List[int], List[List[Any]]]]:
+                nonlocal start
+                batch_rids: List[int] = []
+                batch_rows: List[Tuple[Any, ...]] = []
+                while start + len(batch_rids) < len(expected):
+                    row = pending.pop(expected[start + len(batch_rids)], None)
+                    if row is None:
+                        break
+                    batch_rids.append(expected[start + len(batch_rids)])
+                    batch_rows.append(row)
+                if batch_rids:
+                    columns = [[row[j] for row in batch_rows] for j in range(width)]
+                    yield start, batch_rids, columns
+                    start += len(batch_rids)
+
+            try:
+                for rids, cols in source:
+                    if not pending and rids == expected[start : start + len(rids)]:
+                        yield start, rids, cols
+                        start += len(rids)
+                        continue
+                    for i, rid in enumerate(rids):
+                        pending[rid] = tuple(column[i] for column in cols)
+                    yield from drain()
+                while start < len(expected):
+                    if expected[start] not in pending:
+                        raise StorageError(
+                            f"rid {expected[start]} missing from column scan "
+                            f"of {self.name!r}"
+                        )
+                    yield from drain()
+            finally:
+                snap.release()
+
+        return batches()
 
     def rows(self) -> List[Tuple[Any, ...]]:
         return [row for _, _, row in self.scan()]
@@ -485,7 +532,21 @@ class Table:
         and ``("step", new_groups)`` after each applied restructure step —
         the hook the durable server uses to WAL-log layout transitions so
         replay converges to the live physical layout.
+
+        The whole beat runs under the store's mutation lock: the stats
+        decay, the advisor's read of those stats, and any restructure
+        step form one atomic unit against concurrent DML and snapshot
+        acquisition (open snapshots keep streaming the pre-step chains).
         """
+        with self.store.mutation_lock:
+            return self._layout_tick_locked(steps, observer, max_blocks)
+
+    def _layout_tick_locked(
+        self,
+        steps: int,
+        observer: Optional[Callable[[str, str, List[List[str]]], None]],
+        max_blocks: Optional[int],
+    ) -> Dict[str, Any]:
         report: Dict[str, Any] = {"table": self.name, "action": "idle"}
         # Age the workload window first so it keeps tracking recent
         # behaviour on every tick — including the ticks spent stepping a

@@ -21,6 +21,10 @@ kind                      payload
 ``wal_repair``            path, truncated_bytes, cause
 ``recovery``              directory, snapshot_lsn, replayed_ops, tables
 ``snapshot_compaction``   directory, lsn, wal_bytes_dropped
+``maintenance_pause``     worker
+``maintenance_resume``    worker
+``maintenance_drain``     worker, beats
+``maintenance_error``     worker, error (a background beat raised)
 ========================  =====================================================
 
 The log is a ``deque(maxlen=...)`` — recording is O(1) and the memory
@@ -29,6 +33,7 @@ bound is fixed; ``tail(n)`` serves the CLI ``events`` command.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional
@@ -66,15 +71,19 @@ class EventLog:
         self.maxlen = maxlen
         self._events: Deque[Event] = deque(maxlen=maxlen)
         self._seq = 0
+        # Recorders now include the background maintenance thread; the
+        # lock keeps sequence numbers dense under concurrent record().
+        self._lock = threading.Lock()
         self.enabled = True
 
     def record(self, kind: str, **data: Any) -> Optional[Event]:
         """Append one event; returns it (None when disabled)."""
         if not self.enabled:
             return None
-        self._seq += 1
-        event = Event(self._seq, time.time(), kind, data)
-        self._events.append(event)
+        with self._lock:
+            self._seq += 1
+            event = Event(self._seq, time.time(), kind, data)
+            self._events.append(event)
         return event
 
     def tail(self, n: Optional[int] = None) -> List[Event]:

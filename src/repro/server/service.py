@@ -30,15 +30,19 @@ and retries.
 from __future__ import annotations
 
 import os
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.core.address import CellAddress, RangeAddress
 from repro.core.persist import workbook_from_dict
 from repro.core.workbook import Workbook
 from repro.engine import sql_ast
 from repro.engine.database import ResultSet, _TXN_COMMANDS
+from repro.engine.hybridstore import suggested_tick_budget
+from repro.engine.maintenance import MaintenanceWorker
 from repro.engine.sql_parser import parse_sql
 from repro.errors import DataSpreadError, ServerError, SqlError, StaleWriteError
 from repro.formula.parser import parse_formula
@@ -436,6 +440,7 @@ class WorkbookService:
         fsync: bool = True,
         compact_every: int = 256,
         eager: bool = False,
+        background_maintenance: Optional[bool] = None,
     ):
         os.makedirs(directory, exist_ok=True)
         self.directory = directory
@@ -486,6 +491,26 @@ class WorkbookService:
         self._maintenance_interval = self.workbook.database.auto_layout_interval
         self.workbook.database.auto_layout_interval = 0
         self._ops_since_maintenance = 0
+        # HTAP isolation (control layer).  The apply pipeline and every
+        # background maintenance beat serialise on this lock: readers
+        # (snapshot scans) never take it, appliers hold it briefly, and a
+        # *budgeted* background beat holds it for a bounded restructure
+        # slice instead of a whole migration.
+        self._apply_lock = threading.RLock()
+        # Layout transitions observed during a maintenance tick are
+        # *queued* here and appended to the WAL at the next drain point on
+        # the apply path (apply start, explicit tick, step, compact,
+        # close) — the handoff that keeps the WAL single-threaded.  Each
+        # record carries its absolute target grouping, so draining them
+        # later than they occurred still replays to the same layout.
+        self._layout_op_queue: Deque[Dict[str, Any]] = deque()
+        if background_maintenance is None:
+            background_maintenance = self.workbook.database.background_maintenance
+        self.background_maintenance = background_maintenance
+        # The service owns the worker; the embedded database must not
+        # spin up its own (its inline interval is already zeroed above).
+        self.workbook.database.background_maintenance = False
+        self._maintenance_worker: Optional[MaintenanceWorker] = None
         # Restructure-work budget per maintenance beat (blocks); None =
         # unbudgeted, the historical behaviour.  Operators serving large
         # tables set this so layout migrations never monopolise a beat.
@@ -528,6 +553,12 @@ class WorkbookService:
             "broadcast_published": self.broadcast.published,
             "broadcast_delivered": self.broadcast.delivered,
             "broadcast_suppressed": self.broadcast.suppressed,
+            "server_layout_queue": len(self._layout_op_queue),
+            "server_maint_worker_beats": (
+                self._maintenance_worker.beats
+                if self._maintenance_worker is not None
+                else 0
+            ),
         }
 
     def trace_apply(
@@ -620,7 +651,8 @@ class WorkbookService:
         timed = self.metrics.enabled
         started = time.perf_counter() if timed else 0.0
         try:
-            return self._apply(session_id, op, base_version)
+            with self._apply_lock:
+                return self._apply(session_id, op, base_version)
         finally:
             if timed:
                 self._apply_counter.value += 1
@@ -650,6 +682,10 @@ class WorkbookService:
                 "transaction (only SQL participates in rollback)"
             )
         op = self._promote_layout_sql(op)
+        # Flush background layout records *before* taking the rollback
+        # mark: they are maintenance history, not part of this operation,
+        # and must never be truncated with it.
+        self._drain_layout_queue()
         mark = self.wal.mark()
         lsn: Optional[int] = None
         if (
@@ -892,15 +928,16 @@ class WorkbookService:
         the serve loop's adaptive-layout maintenance, so a recovered
         server keeps adapting (and resumes a restored half-done
         migration) even while no edits arrive."""
-        self._collector.start()
-        try:
-            computed = self.workbook.background_step(budget)
-            if computed:
-                self.version += 1
-                deltas = self._drain_deltas(origin=None)
-                self.broadcast.publish(deltas, origin=None)
-        finally:
-            self._collector.stop()
+        with self._apply_lock:
+            self._collector.start()
+            try:
+                computed = self.workbook.background_step(budget)
+                if computed:
+                    self.version += 1
+                    deltas = self._drain_deltas(origin=None)
+                    self.broadcast.publish(deltas, origin=None)
+            finally:
+                self._collector.stop()
         if self._maintenance_interval:
             # The implicit serve-loop beat honours interval=0 = maintenance
             # off and otherwise shares the apply cadence counter, except
@@ -916,8 +953,15 @@ class WorkbookService:
             self._ops_since_maintenance += 1
             if migrating or self._ops_since_maintenance >= self._maintenance_interval:
                 self._ops_since_maintenance = 0
-                self.maintenance_tick()
-                self.maybe_compact()
+                if self.background_maintenance:
+                    # Serve-loop beats only nudge the worker; queued
+                    # layout records still flush on this (apply) thread.
+                    with self._apply_lock:
+                        self._drain_layout_queue()
+                    self.ensure_maintenance_worker().wake()
+                else:
+                    self.maintenance_tick()
+                    self.maybe_compact()
         return computed
 
     # -- adaptive-layout maintenance ---------------------------------------------
@@ -940,31 +984,104 @@ class WorkbookService:
             return []
         if max_blocks is None:
             max_blocks = self.layout_tick_budget
-        return database.maintenance_tick(
-            steps, observer=self._on_layout_transition, max_blocks=max_blocks
-        )
+        with self._apply_lock:
+            reports = database.maintenance_tick(
+                steps, observer=self._on_layout_transition, max_blocks=max_blocks
+            )
+            # Synchronous ticks flush their own transitions immediately —
+            # the record order in the log is then identical to the
+            # historical append-inside-the-tick behaviour.
+            self._drain_layout_queue()
+        return reports
 
     def _maybe_maintain(self) -> None:
         """The apply-pipeline cadence: tick maintenance every
         ``auto_layout_interval`` applied operations (the interval the
-        database would have used for its inline statement ticks)."""
+        database would have used for its inline statement ticks).  With
+        background maintenance on, the cadence only wakes the worker —
+        the beat itself leaves the apply path."""
         if not self._maintenance_interval:
             return
         self._ops_since_maintenance += 1
         if self._ops_since_maintenance < self._maintenance_interval:
             return
         self._ops_since_maintenance = 0
+        if self.background_maintenance:
+            if any(
+                table.auto_layout or table.migration_active
+                for table in self.workbook.database.catalog.tables()
+            ):
+                self.ensure_maintenance_worker().wake()
+            return
         self.maintenance_tick()
+
+    def _background_beat(self) -> bool:
+        """One bounded service-level maintenance beat (worker thread).
+
+        Runs a budgeted layout/encoding tick, flushes the layout-record
+        queue, and compacts if due — all under the apply lock, so the
+        WAL and workbook state only ever change under one serialised
+        regime.  Returns True while more migration work remains."""
+        database = self.workbook.database
+        if database.in_transaction:
+            return False
+        with self._apply_lock:
+            if database.in_transaction:
+                return False
+            candidates = [
+                table
+                for table in database.catalog.tables()
+                if table.auto_layout or table.migration_active
+            ]
+            if not candidates:
+                self._drain_layout_queue()
+                return False
+            budget = self.layout_tick_budget
+            if budget is None:
+                budget = max(
+                    suggested_tick_budget(
+                        table.n_rows, database.catalog.pool.page_capacity
+                    )
+                    for table in candidates
+                )
+            reports = database.maintenance_tick(
+                steps=2, observer=self._on_layout_transition, max_blocks=budget
+            )
+            self._drain_layout_queue()
+            self.maybe_compact()
+            return bool(reports)
+
+    def ensure_maintenance_worker(self) -> MaintenanceWorker:
+        """The lazily created background worker (started on return)."""
+        worker = self._maintenance_worker
+        if worker is None:
+            worker = self._maintenance_worker = MaintenanceWorker(
+                self._background_beat,
+                name=f"repro-maintenance:{os.path.basename(self.directory)}",
+                events=self.events,
+                histogram=self.metrics.histogram(
+                    "db_maint_tick_seconds",
+                    "maintenance beat latency (seconds)",
+                ),
+            )
+        return worker.start()
+
+    @property
+    def maintenance_worker(self) -> Optional[MaintenanceWorker]:
+        return self._maintenance_worker
 
     def _on_layout_transition(
         self, table_name: str, event: str, groups: List[List[str]]
     ) -> None:
-        """WAL-log one layout transition observed during a maintenance
-        tick.  Steps are logged after they apply; a crash in the tiny
-        window between restructure and append loses at most the last
-        step's record, and recovery still converges because the logged
-        migration start (or the snapshot's ``migration_target``) re-arms
-        the migration, which the serve loop then completes."""
+        """Queue one layout transition observed during a maintenance
+        tick for WAL logging.  Transitions are *queued*, not appended,
+        because a tick may run on the maintenance thread while an apply
+        holds the log; the queue drains on the apply path (see
+        :meth:`_drain_layout_queue`).  Records carry absolute target
+        groupings, so a crash that loses queued records still recovers:
+        the logged migration start (or the snapshot's
+        ``migration_target``) re-arms the migration, which the serve
+        loop then completes."""
         payload = [list(group) for group in groups]
         if event == "start":
             op: Dict[str, Any] = {
@@ -975,7 +1092,25 @@ class WorkbookService:
             }
         else:
             op = {"type": "layout_step", "table": table_name, "groups": payload}
-        self.wal.append(op)
+        self._layout_op_queue.append(op)
+
+    def _drain_layout_queue(self) -> int:
+        """Append queued layout transitions to the WAL in observation
+        order; returns records written.  A no-op inside an open
+        transaction — maintenance records must not land inside a txn
+        bracket, where a rollback's truncate would discard them — the
+        queue simply holds them for the next drain point."""
+        if not self._layout_op_queue or self.workbook.database.in_transaction:
+            return 0
+        ops: List[Dict[str, Any]] = []
+        while True:
+            try:
+                ops.append(self._layout_op_queue.popleft())
+            except IndexError:
+                break
+        if ops:
+            self.wal.append_many(ops)
+        return len(ops)
 
     # -- compaction ----------------------------------------------------------------------
 
@@ -985,6 +1120,14 @@ class WorkbookService:
             if force:
                 raise ServerError("cannot snapshot inside an open transaction")
             return None
+        with self._apply_lock:
+            return self._compact_locked()
+
+    def _compact_locked(self) -> Optional[str]:
+        # Queued background layout records are part of the history the
+        # snapshot is about to cover — flush them first so the snapshot's
+        # WAL offset really does include every applied transition.
+        self._drain_layout_queue()
         self.wal.sync()
         covered_before = self._snapshot_lsn
         path = self.snapshots.write(
@@ -1011,8 +1154,20 @@ class WorkbookService:
 
     # -- lifecycle ----------------------------------------------------------------------
 
-    def close(self) -> None:
-        self.wal.close()
+    def close(self, drain: bool = True) -> None:
+        """Shut the service down.  ``drain=True`` (clean shutdown) runs
+        background maintenance to quiescence and flushes queued layout
+        records before the log closes; ``drain=False`` models a crash —
+        recovery re-arms any half-done migration from the last logged
+        target and the serve loop finishes it."""
+        worker = self._maintenance_worker
+        if worker is not None:
+            worker.stop(drain=drain)
+            self._maintenance_worker = None
+        with self._apply_lock:
+            if drain:
+                self._drain_layout_queue()
+            self.wal.close()
         self.workbook.database.auto_layout_interval = self._maintenance_interval
         self.metrics.remove_collector(self._server_collector)
         try:
@@ -1052,6 +1207,17 @@ class WorkbookService:
                 "published": snap["broadcast_published"],
                 "delivered": snap["broadcast_delivered"],
                 "suppressed": snap["broadcast_suppressed"],
+            },
+            "maintenance": {
+                "background": self.background_maintenance,
+                "worker_running": (
+                    self._maintenance_worker is not None
+                    and self._maintenance_worker.running
+                ),
+                "worker_beats": snap["server_maint_worker_beats"],
+                "ticks": snap.get("db_maint_ticks", 0),
+                "blocks": snap.get("db_maint_blocks", 0),
+                "queued_layout_ops": snap["server_layout_queue"],
             },
             "metrics": snap,
         }

@@ -296,6 +296,22 @@ class WriteAheadLog:
             self.sync()
         return WalRecord(lsn, op, offset, self._offset)
 
+    def append_many(
+        self, ops: List[Dict[str, Any]], sync: Optional[bool] = None
+    ) -> List[WalRecord]:
+        """Append a batch of operations in order; returns their records.
+
+        The handoff path for background maintenance: layout transitions
+        observed off the apply thread are queued and flushed here in one
+        call, so their relative order in the log — which replay re-applies
+        verbatim — matches the order the transitions were observed in.
+        ``sync`` applies once, after the last record (a mid-batch crash
+        loses a suffix, never a middle record)."""
+        records = [self.append(op, sync=False) for op in ops]
+        if sync or (sync is None and self._unsynced >= self.sync_every):
+            self.sync()
+        return records
+
     def sync(self) -> None:
         """Flush buffered records and (if enabled) fsync to disk."""
         self._file.flush()

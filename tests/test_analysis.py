@@ -304,13 +304,94 @@ class TestRC006FrozenGroupMutation:
         )
 
 
+class TestRC007LockDiscipline:
+    def test_unlocked_mutation_fires(self, tmp_path):
+        diags = check(
+            tmp_path,
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._mutation_lock = threading.RLock()
+                    self._chains = {}
+
+                def restructure(self, groups):
+                    self._chains["a"] = [1]
+            """,
+            "RC007",
+        )
+        assert diags and "lock" in diags[0].message.lower()
+        assert "Store.restructure:_chains" in diags[0].symbol
+
+    def test_locked_mutation_is_quiet(self, tmp_path):
+        assert not check(
+            tmp_path,
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._mutation_lock = threading.RLock()
+                    self._chains = {}
+
+                def restructure(self, groups):
+                    with self._mutation_lock:
+                        self._chains["a"] = [1]
+            """,
+            "RC007",
+        )
+
+    def test_docstring_contract_is_quiet(self, tmp_path):
+        assert not check(
+            tmp_path,
+            """
+            import threading
+
+            class Store:
+                def __init__(self):
+                    self._mutation_lock = threading.RLock()
+                    self._chains = {}
+
+                def _restructure_locked(self, groups):
+                    \"\"\"Caller holds the mutation lock.\"\"\"
+                    self._chains["a"] = [1]
+            """,
+            "RC007",
+        )
+
+    def test_lockless_class_is_exempt(self, tmp_path):
+        # A class that never declares a lock has no discipline to break
+        # (single-threaded helpers stay out of scope).
+        assert not check(
+            tmp_path,
+            """
+            class Builder:
+                def __init__(self):
+                    self._chains = {}
+
+                def add(self):
+                    self._chains["a"] = [1]
+            """,
+            "RC007",
+        )
+
+
 # -- framework ----------------------------------------------------------------
 
 
 class TestFramework:
-    def test_all_six_checkers_registered(self):
+    def test_all_checkers_registered(self):
         codes = set(registered_checkers())
-        assert codes == {"RC001", "RC002", "RC003", "RC004", "RC005", "RC006"}
+        assert codes == {
+            "RC001",
+            "RC002",
+            "RC003",
+            "RC004",
+            "RC005",
+            "RC006",
+            "RC007",
+        }
 
     def test_repo_tree_is_clean_modulo_baseline(self):
         diags = analyze_paths([str(REPO_ROOT / "src")], root=str(REPO_ROOT))

@@ -379,7 +379,13 @@ class TestSqlAndDatabase:
             db.execute("ALTER TABLE t SET LAYOUT sideways")
 
     def test_auto_maintenance_migrates_through_statements(self):
-        db = Database(page_capacity=16, auto_layout_interval=10)
+        # Inline mode pinned: this test asserts the *synchronous* cadence
+        # (tick runs inside execute), which REPRO_BG_MAINT=1 would defer
+        # to the worker thread.  Background timing has its own coverage
+        # in test_htap_isolation.py.
+        db = Database(
+            page_capacity=16, auto_layout_interval=10, background_maintenance=False
+        )
         db.execute("CREATE TABLE t (a INT, b INT, c INT, d INT)")
         table = db.table("t")
         for i in range(200):
