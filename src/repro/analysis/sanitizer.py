@@ -51,6 +51,14 @@ class NullSanitizer:
     ) -> None:
         """Covering chains disagreed on rid order."""
 
+    def check_zone_count(self, page_id: int, cached: int, actual: int) -> None:
+        """Cached zone-map record count vs the page's real count."""
+
+    def check_zone(
+        self, page_id: int, offset: int, zone: Any, values: Sequence[Any]
+    ) -> None:
+        """Cached (min, max, null_count) zone vs decoded page contents."""
+
     def check_wal_append(self, lsn: int, tracked_offset: int, file_size: int) -> None:
         """Append-time offset/LSN integrity."""
 
@@ -127,6 +135,50 @@ class Sanitizer(NullSanitizer):
             f"{list(other_rids[:4])}) — the chains no longer agree on row "
             "order"
         )
+
+    # -- zone maps -----------------------------------------------------------
+
+    def check_zone_count(self, page_id: int, cached: int, actual: int) -> None:
+        self.checks += 1
+        if cached != actual:
+            self._fail(
+                f"page {page_id} zone map caches {cached} records but the "
+                f"page holds {actual} — a mutation bypassed invalidation"
+            )
+
+    def check_zone(
+        self, page_id: int, offset: int, zone: Any, values: Sequence[Any]
+    ) -> None:
+        """A cached zone must *cover* the page: every non-null value within
+        [min, max] and the null count exact.  A zone that excludes a live
+        value could skip a matching row — the one corruption data skipping
+        cannot tolerate."""
+        self.checks += 1
+        lo, hi, nulls = zone
+        seen_nulls = 0
+        for value in values:
+            if value is None:
+                seen_nulls += 1
+                continue
+            try:
+                below = lo is None or value < lo
+                above = hi is None or value > hi
+            except TypeError:
+                self._fail(
+                    f"page {page_id} offset {offset} zone ({lo!r}, {hi!r}) "
+                    f"does not order against stored value {value!r}"
+                )
+            if below or above:
+                self._fail(
+                    f"page {page_id} offset {offset} zone ({lo!r}, {hi!r}) "
+                    f"excludes stored value {value!r} — a skipping scan "
+                    "would drop a live row"
+                )
+        if seen_nulls != nulls:
+            self._fail(
+                f"page {page_id} offset {offset} zone claims {nulls} nulls "
+                f"but the page holds {seen_nulls}"
+            )
 
     # -- WAL -----------------------------------------------------------------
 

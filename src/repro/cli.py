@@ -23,7 +23,7 @@ Commands
 ``stats``                   workbook statistics
 ``metrics [prom]``          metrics snapshot (human table, or Prometheus text)
 ``events [n]``              tail the maintenance event log (last n, default all)
-``layout-stats [table]``    physical layout: groups, pages, per-group I/O
+``layout-stats [table]``    physical layout: groups, pages, I/O, skip ratios
 ``layout-advise [table]``   ask the layout advisor what it would do
 ``save <path>``             persist the whole workbook to JSON
 ``load <path>``             load a saved workbook
@@ -382,6 +382,14 @@ class DataSpreadShell:
                     f"{io['writes']} block writes, "
                     f"{io['bytes_read']} bytes decoded{encoded}"
                 )
+                skip = info["skip"]
+                if skip["pages_skipped"] or skip["pages_scanned"]:
+                    lines.append(
+                        f"    skipping: {skip['pages_skipped']} pages skipped, "
+                        f"{skip['pages_scanned']} scanned "
+                        f"(ratio {skip['skip_ratio']:.1%}, "
+                        f"zone coverage {info['zones']:.0%})"
+                    )
             stats = table.store.access_stats
             lines.append(
                 f"  ops: {stats.inserts} inserts, {stats.deletes} deletes, "

@@ -19,6 +19,7 @@ Format (version 2; version-1 files load transparently)::
          "access_stats": {...},          # decayed workload window (v2)
          "migration_target": null,       # in-flight migration target (v2)
          "group_io": [{...}, ...],       # per-group I/O counters (v2)
+         "indexes": [{"name","column","unique"}],  # defs; trees rebuilt
          "rows": [[...], ...]}          # presentation order
       ],
       "sheets": [
@@ -112,6 +113,19 @@ def workbook_to_dict(workbook: Workbook) -> Dict[str, Any]:
                 # rows are dumped decoded, so the restore re-encodes the
                 # flagged chains instead of persisting payload bytes.
                 "encodings": table.store.encoding_snapshot(),
+                # Secondary indexes: definitions only — the trees are
+                # rebuilt from the restored rows on load (cheap relative
+                # to the row re-inserts, and immune to format drift).
+                "indexes": [
+                    {
+                        "name": index.name,
+                        "column": index.column,
+                        "unique": index.unique,
+                    }
+                    for index in sorted(
+                        table.indexes.values(), key=lambda index: index.name.lower()
+                    )
+                ],
                 # Presentation order, read WITHOUT charging workload
                 # statistics: a dump is maintenance, not workload, and the
                 # serialized access_stats above must match the live window.
@@ -194,6 +208,15 @@ def workbook_from_dict(payload: Dict[str, Any], eager: bool = True) -> Workbook:
         table = database.create_table(spec["name"], schema, layout=layout)
         for row in spec.get("rows", []):
             table.insert([_decode_value(value) for value in row], emit=False)
+        for index_spec in spec.get("indexes", []) or []:
+            # Rebuild each secondary index from the just-loaded rows;
+            # runs BEFORE the stats/group_io overwrites below so the
+            # build's own page reads don't pollute the restored window.
+            table.create_index(
+                index_spec["name"],
+                index_spec["column"],
+                unique=bool(index_spec.get("unique", False)),
+            )
         table.set_auto_layout(bool(spec.get("auto_layout", False)))
         stats_spec = spec.get("access_stats")
         if stats_spec is not None:

@@ -102,3 +102,44 @@ class Catalog:
 
     def tables(self) -> List[Table]:
         return [self._tables[key] for key in sorted(self._tables)]
+
+    # -- secondary indexes ------------------------------------------------
+
+    def table_of_index(self, index_name: str) -> Optional[Table]:
+        """The table owning ``index_name``, or None.  Indexes live on
+        their tables (no separate registry to fall out of sync); names
+        are globally unique so ``DROP INDEX`` needs no table clause."""
+        key = index_name.lower()
+        for table in self._tables.values():
+            if key in table.indexes:
+                return table
+        return None
+
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        column: str,
+        unique: bool = False,
+        if_not_exists: bool = False,
+    ) -> Optional[Table]:
+        """Create a secondary index; returns the owning table, or None
+        when ``if_not_exists`` swallowed a duplicate."""
+        if self.table_of_index(name) is not None:
+            if if_not_exists:
+                return None
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.get(table_name)
+        table.create_index(name, column, unique)
+        return table
+
+    def drop_index(self, name: str, if_exists: bool = False) -> Optional[Table]:
+        """Drop an index by name; returns the table it lived on (None
+        when ``if_exists`` swallowed a miss)."""
+        table = self.table_of_index(name)
+        if table is None:
+            if if_exists:
+                return None
+            raise CatalogError(f"no such index {name!r}")
+        table.drop_index(name)
+        return table

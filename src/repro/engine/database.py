@@ -26,7 +26,12 @@ from typing import Any, Callable, Deque, Dict, Iterator, List, Optional, Sequenc
 from repro.analysis.sanitizer import NULL_SANITIZER, Sanitizer
 from repro.engine import sql_ast as ast
 from repro.engine.catalog import Catalog
-from repro.engine.expr import Scope, compile_batch_predicate, compile_expression
+from repro.engine.expr import (
+    Scope,
+    compile_batch_predicate,
+    compile_expression,
+    extract_sargable_ranges,
+)
 from repro.engine.hybridstore import suggested_tick_budget
 from repro.engine.maintenance import MaintenanceWorker
 from repro.engine.pager import IOStats
@@ -114,6 +119,7 @@ class Database:
         auto_layout_interval: int = 64,
         projection_pushdown: bool = True,
         vectorized: bool = True,
+        data_skipping: bool = True,
         metrics: Optional[MetricsRegistry] = None,
         sanitize: Optional[bool] = None,
         background_maintenance: Optional[bool] = None,
@@ -137,6 +143,9 @@ class Database:
         # fragments, late materialisation); off = the row-at-a-time tuple
         # path, retained as the comparison baseline.
         self.vectorized = vectorized
+        # Zone-map data skipping + index access paths; off = every scan
+        # decodes every covering page (the pre-skipping baseline).
+        self.data_skipping = data_skipping
         self.transactions = TransactionManager()
         self._listeners: List[Callable[[ChangeEvent], None]] = []
         self.statements_executed = 0
@@ -193,11 +202,14 @@ class Database:
         snap["db_events_logged"] = len(self.events)
         batch_scans = batches = bytes_decoded = encoded_groups = 0
         open_snapshots = retired_pages = 0
+        pages_skipped = index_lookups = 0
         for table in self.catalog.tables():
             batch_scans += table.store.batch_scans
             batches += table.store.batches_emitted
             bytes_decoded += table.store.bytes_decoded
             encoded_groups += table.store.encoded_group_count
+            pages_skipped += table.store.pages_skipped
+            index_lookups += table.index_lookups
             snapshot_stats = table.store.snapshot_stats()
             open_snapshots += snapshot_stats["active_snapshots"]
             retired_pages += snapshot_stats["retired_pages"]
@@ -205,6 +217,8 @@ class Database:
         snap["db_batches"] = batches
         snap["db_bytes_decoded"] = bytes_decoded
         snap["db_encoded_groups"] = encoded_groups
+        snap["db_pages_skipped"] = pages_skipped
+        snap["db_index_lookups"] = index_lookups
         snap["db_open_snapshots"] = open_snapshots
         snap["db_retired_pages"] = retired_pages
         worker = self._maintenance_worker
@@ -514,6 +528,7 @@ class Database:
             resolver,
             projection_pushdown=self.projection_pushdown,
             vectorized=self.vectorized,
+            data_skipping=self.data_skipping,
         )
         if isinstance(statement, (ast.SelectStmt, ast.CompoundSelect)):
             tracer = self.tracer
@@ -550,6 +565,10 @@ class Database:
             return self._execute_alter(statement, params, planner)
         if isinstance(statement, ast.DropTableStmt):
             return self._execute_drop(statement)
+        if isinstance(statement, ast.CreateIndexStmt):
+            return self._execute_create_index(statement)
+        if isinstance(statement, ast.DropIndexStmt):
+            return self._execute_drop_index(statement)
         raise SqlError(f"unsupported statement {type(statement).__name__}")
 
     # -- DML ------------------------------------------------------------------------
@@ -621,6 +640,12 @@ class Database:
           hybrid layout grants writes too,
         * fallback (vectorized off, or a WHERE with no column refs) — the
           historical full-row scan with a per-row predicate.
+
+        With ``data_skipping`` on, the vectorized scan also hands the
+        WHERE clause's sargable interval sets to the store so zone maps
+        drop non-matching pages before decode, and a point constraint on
+        an indexed column short-circuits to an index probe — DML rides
+        the same selective-read machinery SELECT does.
         """
         if where is None:
             return [(position, rid, row) for position, rid, row in table.scan()]
@@ -638,25 +663,38 @@ class Database:
                 for position, rid, row in table.scan()
                 if predicate(row, params) is True
             ]
+        ranges = None
+        if self.data_skipping:
+            ranges = extract_sargable_ranges(where, params, table.name) or None
+        if ranges:
+            probe = self._dml_index_probe(table, where, params, planner, ranges)
+            if probe is not None:
+                return probe
         narrow_scope = Scope([(table.name, name) for name in names])
         batch_fn = compile_batch_predicate(where, narrow_scope)
         row_fn = None if batch_fn is not None else planner._compile(where, narrow_scope)
         matches: List[Tuple[int, int]] = []
         scanned = 0
         batches = 0
-        for start, rids, cols in table.scan_column_batches(names):
+        skipped_before = table.store.pages_skipped
+        for start, rids, cols in table.scan_column_batches(
+            names, predicate_ranges=ranges
+        ):
             n = len(rids)
             scanned += n
             batches += 1
+            positions = (
+                start if isinstance(start, list) else range(start, start + n)
+            )
             if batch_fn is not None:
                 for i, verdict in enumerate(batch_fn(cols, params, n)):
                     if verdict is True:
-                        matches.append((start + i, rids[i]))
+                        matches.append((positions[i], rids[i]))
             else:
                 for i in range(n):
                     values = tuple(column[i] for column in cols)
                     if row_fn(values, params) is True:
-                        matches.append((start + i, rids[i]))
+                        matches.append((positions[i], rids[i]))
         if self.tracer.active:
             self.tracer.current.annotate_child(
                 f"DmlScan({table.name}, cols=[{', '.join(names)}])",
@@ -665,11 +703,68 @@ class Database:
                 batches=batches,
                 rows_per_batch=scanned // batches if batches else 0,
                 rows_matched=len(matches),
+                pages_skipped=table.store.pages_skipped - skipped_before,
             )
+        matches.sort()
         store = table.store
         return [
             (position, rid, store.read_row(rid)) for position, rid in matches
         ]
+
+    def _dml_index_probe(
+        self,
+        table: Table,
+        where: ast.Expression,
+        params: Sequence[Any],
+        planner: Planner,
+        ranges: Dict[str, Any],
+    ) -> Optional[List[Tuple[int, int, Tuple[Any, ...]]]]:
+        """Index fast path for a DML WHERE with a point constraint on an
+        indexed column: probe the tree instead of scanning, re-check the
+        full predicate on each fetched row.  Returns None when no index
+        applies (the batched scan runs instead)."""
+        chosen = None
+        for name, interval_set in ranges.items():
+            index = table.index_for(name)
+            if index is None or interval_set.includes_null:
+                continue
+            points = interval_set.points()
+            if points is not None:
+                chosen = (index, points)
+                break
+        if chosen is None:
+            return None
+        index, points = chosen
+        predicate = planner._compile(
+            where, Scope([(table.name, name) for name in table.column_names])
+        )
+        table.index_lookups += 1
+        targets: List[Tuple[int, int, Tuple[Any, ...]]] = []
+        with table.store.mutation_lock:
+            position_of = {
+                rid: position for position, rid in enumerate(table.positions)
+            }
+            rids: List[int] = []
+            for key in points:
+                hit = index.tree.get(key)
+                if hit is None:
+                    continue
+                rids.extend(hit if isinstance(hit, list) else [hit])
+            for rid in rids:
+                position = position_of.get(rid)
+                if position is None:
+                    continue
+                row = table.store.read_row(rid)
+                if predicate(row, params) is True:
+                    targets.append((position, rid, row))
+        targets.sort()
+        if self.tracer.active:
+            self.tracer.current.annotate_child(
+                f"DmlIndexProbe({table.name}, index={index.name})",
+                index_probes=len(points),
+                rows_matched=len(targets),
+            )
+        return targets
 
     def _execute_update(
         self, statement: ast.UpdateStmt, params: Sequence[Any], planner: Planner
@@ -825,4 +920,34 @@ class Database:
             self.transactions.record_undo(
                 (lambda t: (lambda: self.catalog.register(t)))(table)
             )
+        return ResultSet()
+
+    def _execute_create_index(self, statement: ast.CreateIndexStmt) -> ResultSet:
+        table = self.catalog.create_index(
+            statement.name,
+            statement.table,
+            statement.column,
+            unique=statement.unique,
+            if_not_exists=statement.if_not_exists,
+        )
+        if table is not None:
+            self.transactions.record_undo(
+                (lambda t, n: (lambda: t.drop_index(n)))(table, statement.name)
+            )
+        return ResultSet()
+
+    def _execute_drop_index(self, statement: ast.DropIndexStmt) -> ResultSet:
+        table = self.catalog.table_of_index(statement.name)
+        if table is None:
+            # Raises unless IF EXISTS swallows the miss.
+            self.catalog.drop_index(statement.name, statement.if_exists)
+            return ResultSet()
+        dropped = table.drop_index(statement.name)
+        self.transactions.record_undo(
+            (
+                lambda t, idx: (
+                    lambda: t.indexes.__setitem__(idx.name.lower(), idx)
+                )
+            )(table, dropped)
+        )
         return ResultSet()

@@ -18,10 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.engine.expr import Scope, compile_batch_predicate
+from repro.engine import sql_ast as ast
+from repro.engine.expr import Scope, compile_batch_predicate, extract_sargable_ranges
 from repro.engine.functions import Aggregator, make_aggregate
 from repro.engine.store import DEFAULT_BATCH_SIZE
-from repro.engine.table import Table
+from repro.engine.table import Table, TableIndex
 from repro.engine.types import compare_values
 from repro.errors import ExecutionError
 
@@ -29,6 +30,7 @@ __all__ = [
     "ExecContext",
     "PlanNode",
     "ProjectedScan",
+    "IndexScan",
     "SeqScan",
     "ValuesScan",
     "FilterNode",
@@ -111,6 +113,7 @@ class ProjectedScan(PlanNode):
         column_names: Optional[Sequence[str]] = None,
         vectorized: bool = True,
         batch_size: int = DEFAULT_BATCH_SIZE,
+        data_skipping: bool = True,
     ):
         names = (
             list(table.column_names) if column_names is None else list(column_names)
@@ -124,12 +127,16 @@ class ProjectedScan(PlanNode):
         self.predicates: List[Tuple[RowFn, str, Optional[Any]]] = []
         self.vectorized = vectorized
         self.batch_size = batch_size
+        self.data_skipping = data_skipping
         self.rows_scanned = 0
         self.batches = 0
         # Covering-group I/O snapshot taken when the scan starts; the
         # delta at trace-collection time is the block I/O this node's
         # page chains were charged during the statement.
         self._io_before = None
+        # Store-wide pages_skipped counter at run() — the delta is the
+        # pages this scan's zone maps proved irrelevant.
+        self._skip_before: Optional[int] = None
 
     @property
     def cols_read(self) -> int:
@@ -155,7 +162,26 @@ class ProjectedScan(PlanNode):
             delta = self.io_delta()
             base["pages_read"] = delta.reads
             base["pages_written"] = delta.writes
+        if self._skip_before is not None:
+            base["pages_skipped"] = self.table.store.pages_skipped - self._skip_before
         return base
+
+    def sargable_ranges(
+        self, params: Optional[Sequence[Any]]
+    ) -> Optional[Dict[str, Any]]:
+        """Per-column interval sets from the pushed conjuncts, restricted
+        to the scanned columns.  ``params=None`` gives the plan-time shape
+        (parameter bounds unknown); real params give exact bounds."""
+        conjuncts = [expr for _, _, expr in self.predicates if expr is not None]
+        if not conjuncts:
+            return None
+        combined = conjuncts[0]
+        for conjunct in conjuncts[1:]:
+            combined = ast.BinaryOp("AND", combined, conjunct)
+        ranges = extract_sargable_ranges(combined, params, self.binding)
+        scanned = {name.lower() for name in self.column_names}
+        ranges = {name: rs for name, rs in ranges.items() if name in scanned}
+        return ranges or None
 
     def add_predicate(
         self,
@@ -172,6 +198,10 @@ class ProjectedScan(PlanNode):
 
     def label(self) -> str:
         suffix = f", {len(self.predicates)} pushed" if self.predicates else ""
+        if self.data_skipping and self.vectorized:
+            plan_ranges = self.sargable_ranges(None)
+            if plan_ranges:
+                suffix += f", skip=[{', '.join(sorted(plan_ranges))}]"
         return (
             f"ProjectedScan({self.table.name} as {self.binding}, "
             f"cols=[{', '.join(self.column_names)}]{suffix})"
@@ -221,9 +251,14 @@ class ProjectedScan(PlanNode):
             else:
                 row_fns.append(predicate)
         params = ctx.params
+        ranges = self.sargable_ranges(params) if self.data_skipping else None
+        if ranges:
+            self._skip_before = self.table.store.pages_skipped
         # Open the batched scan now so the snapshot is pinned at operator
         # open (this method is called eagerly from run(), not lazily).
-        source = self.table.scan_column_batches(self.column_names, self.batch_size)
+        source = self.table.scan_column_batches(
+            self.column_names, self.batch_size, predicate_ranges=ranges
+        )
 
         def rows() -> Iterator[Tuple[Any, ...]]:
             for _, _, cols in source:
@@ -267,6 +302,156 @@ class SeqScan(ProjectedScan):
 
     def label(self) -> str:
         return f"SeqScan({self.table.name} as {self.binding})"
+
+
+class IndexScan(PlanNode):
+    """Secondary-index probe with late-materialized row fetch.
+
+    The planner chooses this over :class:`ProjectedScan` when a pushed
+    conjunct constrains an indexed column and the cost model prices the
+    probe + per-row fetch below the (zone-map-discounted) batch scan.  At
+    run time the pushed conjuncts are re-extracted with the bound
+    parameters: point constraints become ``get`` probes, ranges become
+    ``range_scan`` walks.  All pushed predicates are re-applied to the
+    fetched rows (the index narrows candidates; it does not prove them),
+    so a probe that turns out unconstrained — or a cross-type key the
+    tree cannot bisect — degrades to a full-table candidate set and stays
+    correct.  Probes and fetches run under the store mutation lock, the
+    same point-in-time guarantee a scan gets from its snapshot."""
+
+    def __init__(
+        self,
+        table: Table,
+        binding: str,
+        column_names: Optional[Sequence[str]],
+        index: TableIndex,
+    ):
+        names = (
+            list(table.column_names) if column_names is None else list(column_names)
+        )
+        super().__init__([(binding, name) for name in names])
+        self.table = table
+        self.binding = binding
+        self.column_names = names
+        self.index = index
+        self.predicates: List[Tuple[RowFn, str, Optional[Any]]] = []
+        self.rows_scanned = 0
+        self.index_probes = 0
+
+    @property
+    def cols_read(self) -> int:
+        return len(self.column_names)
+
+    def add_predicate(
+        self,
+        predicate: RowFn,
+        description: str = "",
+        expression: Optional[Any] = None,
+    ) -> None:
+        self.predicates.append((predicate, description, expression))
+
+    def label(self) -> str:
+        return (
+            f"IndexScan({self.table.name} as {self.binding}, "
+            f"index={self.index.name} on {self.index.column}, "
+            f"cols=[{', '.join(self.column_names)}], "
+            f"{len(self.predicates)} pushed)"
+        )
+
+    def counters(self) -> Dict[str, Any]:
+        base = super().counters()
+        base["rows_scanned"] = self.rows_scanned
+        base["cols_read"] = self.cols_read
+        base["index_probes"] = self.index_probes
+        return base
+
+    def _candidate_rids(self, ranges: Optional[Dict[str, Any]]) -> List[int]:
+        """rids the index cannot rule out, probed under the mutation lock.
+
+        Caller holds the store mutation lock."""
+        interval_set = (
+            ranges.get(self.index.column.lower()) if ranges is not None else None
+        )
+        tree = self.index.tree
+        if interval_set is None or interval_set.includes_null:
+            # Unconstrained at run time (or the predicate admits NULLs,
+            # which the index does not hold): every live row is a
+            # candidate; the residual predicates do the filtering.
+            return list(self.table.positions)
+        rids: List[int] = []
+
+        def collect(value: Any) -> None:
+            if isinstance(value, list):
+                rids.extend(value)
+            else:
+                rids.append(value)
+
+        points = interval_set.points()
+        if points is not None:
+            for key in points:
+                self.index_probes += 1
+                hit = tree.get(key)
+                if hit is not None:
+                    collect(hit)
+            return rids
+        for low, low_incl, high, high_incl in interval_set.intervals:
+            self.index_probes += 1
+            try:
+                for _, value in tree.range_scan(low, high, low_incl, high_incl):
+                    collect(value)
+            except TypeError:
+                # Cross-type bound the tree cannot bisect against: walk
+                # everything and let the interval set over-approximate.
+                for key, value in tree.items():
+                    if interval_set.contains(key):
+                        collect(value)
+        return rids
+
+    def run(self, ctx: ExecContext) -> Iterator[Tuple[Any, ...]]:
+        ranges = None
+        conjuncts = [expr for _, _, expr in self.predicates if expr is not None]
+        if conjuncts:
+            combined = conjuncts[0]
+            for conjunct in conjuncts[1:]:
+                combined = ast.BinaryOp("AND", combined, conjunct)
+            ranges = extract_sargable_ranges(combined, ctx.params, self.binding)
+        store = self.table.store
+        self.table.index_lookups += 1
+        fetched: List[Tuple[int, Tuple[Any, ...]]] = []
+        with store.mutation_lock:
+            position_of = {
+                rid: position for position, rid in enumerate(self.table.positions)
+            }
+            column_indexes = [
+                self.table.schema.column_index(name) for name in self.column_names
+            ]
+            seen = set()
+            for rid in self._candidate_rids(ranges):
+                if rid in seen:
+                    continue
+                seen.add(rid)
+                position = position_of.get(rid)
+                if position is None:
+                    continue  # entry for a row deleted mid-probe
+                row = store.get(rid)
+                fetched.append(
+                    (position, tuple(row[i] for i in column_indexes))
+                )
+        fetched.sort()
+        params = ctx.params
+
+        def rows() -> Iterator[Tuple[Any, ...]]:
+            for _, values in fetched:
+                self.rows_scanned += 1
+                keep = True
+                for predicate, _, _ in self.predicates:
+                    if predicate(values, params) is not True:
+                        keep = False
+                        break
+                if keep:
+                    yield values
+
+        return self._count(rows())
 
 
 class ValuesScan(PlanNode):

@@ -32,6 +32,9 @@ __all__ = [
     "compile_batch_predicate",
     "collect_aggregates",
     "expression_is_constant",
+    "IntervalSet",
+    "extract_sargable_ranges",
+    "UNKNOWN_BOUND",
 ]
 
 RowFn = Callable[[Tuple[Any, ...], Sequence[Any]], Any]
@@ -668,3 +671,351 @@ def _truthy(value: Any) -> bool:
     if isinstance(value, str):
         return value != ""
     return value is not None
+
+
+# -- sargable predicate ranges (data skipping + index probes) -----------------
+
+
+class _Unknown:
+    """Placeholder bound for a ``?`` parameter at *plan* time: the shape of
+    the constraint is known (point / range), the value is not."""
+
+    def __repr__(self) -> str:
+        return "?"
+
+
+#: Singleton plan-time parameter bound (see :func:`extract_sargable_ranges`).
+UNKNOWN_BOUND = _Unknown()
+
+
+class _Incomparable(Exception):
+    """A bound comparison involved :data:`UNKNOWN_BOUND`."""
+
+
+def _cmp_bounds(left: Any, right: Any) -> int:
+    if left is UNKNOWN_BOUND or right is UNKNOWN_BOUND:
+        raise _Incomparable
+    ordering = compare_values(left, right)
+    if ordering is None:  # defensive: bounds are never SQL NULL here
+        raise _Incomparable
+    return ordering
+
+
+class IntervalSet:
+    """The set of column values for which a sargable predicate *could* be
+    TRUE: a union of ``(low, low_incl, high, high_incl)`` intervals (a
+    ``None`` bound is unbounded) plus whether SQL NULL could satisfy it.
+
+    Bound comparisons use :func:`repro.engine.types.compare_values` — the
+    same total cross-type order the compiled predicates evaluate with — so
+    a zone-map or index decision can never disagree with the predicate.
+    Consumers over-approximate on any uncertainty: an interval touching
+    :data:`UNKNOWN_BOUND` always "may match"."""
+
+    __slots__ = ("intervals", "includes_null")
+
+    def __init__(
+        self,
+        intervals: List[Tuple[Any, bool, Any, bool]],
+        includes_null: bool = False,
+    ):
+        self.intervals = intervals
+        self.includes_null = includes_null
+
+    def __repr__(self) -> str:
+        parts = []
+        for low, low_incl, high, high_incl in self.intervals:
+            parts.append(
+                ("[" if low_incl else "(")
+                + repr(low)
+                + ", "
+                + repr(high)
+                + ("]" if high_incl else ")")
+            )
+        if self.includes_null:
+            parts.append("NULL")
+        return "IntervalSet{" + ", ".join(parts) + "}"
+
+    @classmethod
+    def empty(cls) -> "IntervalSet":
+        return cls([], False)
+
+    @classmethod
+    def full(cls) -> "IntervalSet":
+        return cls([(None, False, None, False)], True)
+
+    def is_empty(self) -> bool:
+        return not self.intervals and not self.includes_null
+
+    def points(self) -> Optional[List[Any]]:
+        """All values when every interval is a closed single point (the
+        index point-probe form); ``None`` otherwise."""
+        out: List[Any] = []
+        for low, low_incl, high, high_incl in self.intervals:
+            if not low_incl or not high_incl or low is None or high is None:
+                return None
+            if low is high:
+                out.append(low)
+                continue
+            try:
+                if _cmp_bounds(low, high) != 0:
+                    return None
+            except _Incomparable:
+                return None
+            out.append(low)
+        return out
+
+    def intersect(self, other: "IntervalSet") -> "IntervalSet":
+        """AND combination.  Raises :class:`_Incomparable` (caught by the
+        extractor, which then drops the column's constraint — a safe
+        over-approximation) when bounds cannot be ordered."""
+        intervals: List[Tuple[Any, bool, Any, bool]] = []
+        for a in self.intervals:
+            for b in other.intervals:
+                merged = _intersect_one(a, b)
+                if merged is not None:
+                    intervals.append(merged)
+        return IntervalSet(intervals, self.includes_null and other.includes_null)
+
+    def union(self, other: "IntervalSet") -> "IntervalSet":
+        """OR combination (no normalisation; consumers test overlap)."""
+        return IntervalSet(
+            self.intervals + other.intervals,
+            self.includes_null or other.includes_null,
+        )
+
+    def may_match(self, lo: Any, hi: Any, nulls: int, count: int) -> bool:
+        """Could any value on a page with zone ``(lo, hi, nulls)`` over
+        ``count`` records satisfy this set?  True on any uncertainty."""
+        if nulls > 0 and self.includes_null:
+            return True
+        if count - nulls <= 0:
+            return False
+        if lo is None:
+            return True
+        for low, low_incl, high, high_incl in self.intervals:
+            try:
+                if low is not None:
+                    ordering = _cmp_bounds(low, hi)
+                    if ordering > 0 or (ordering == 0 and not low_incl):
+                        continue
+                if high is not None:
+                    ordering = _cmp_bounds(high, lo)
+                    if ordering < 0 or (ordering == 0 and not high_incl):
+                        continue
+            except _Incomparable:
+                return True
+            return True
+        return False
+
+    def contains(self, value: Any) -> bool:
+        """Membership with the same over-approximation rules (used by
+        index probes to post-filter candidate keys)."""
+        if value is None:
+            return self.includes_null
+        return self.may_match(value, value, 0, 1)
+
+
+def _intersect_one(
+    a: Tuple[Any, bool, Any, bool], b: Tuple[Any, bool, Any, bool]
+) -> Optional[Tuple[Any, bool, Any, bool]]:
+    low, low_incl = a[0], a[1]
+    if b[0] is not None:
+        if low is None:
+            low, low_incl = b[0], b[1]
+        else:
+            ordering = _cmp_bounds(b[0], low)
+            if ordering > 0:
+                low, low_incl = b[0], b[1]
+            elif ordering == 0:
+                low_incl = low_incl and b[1]
+    high, high_incl = a[2], a[3]
+    if b[2] is not None:
+        if high is None:
+            high, high_incl = b[2], b[3]
+        else:
+            ordering = _cmp_bounds(b[2], high)
+            if ordering < 0:
+                high, high_incl = b[2], b[3]
+            elif ordering == 0:
+                high_incl = high_incl and b[3]
+    if low is not None and high is not None:
+        ordering = _cmp_bounds(low, high)
+        if ordering > 0 or (ordering == 0 and not (low_incl and high_incl)):
+            return None
+    return (low, low_incl, high, high_incl)
+
+
+def extract_sargable_ranges(
+    expression: ast.Expression,
+    params: Optional[Sequence[Any]] = None,
+    binding: Optional[str] = None,
+) -> Dict[str, "IntervalSet"]:
+    """Compile a predicate into per-column sargable interval sets.
+
+    Returns ``{lower-cased column name: IntervalSet}`` such that a row can
+    make ``expression`` evaluate TRUE only if every named column's value
+    lies in its set.  Handles ``= <> < <= > >=``, ``BETWEEN`` (and ``NOT
+    BETWEEN``), non-negated ``IN`` over constants, ``IS [NOT] NULL``, and
+    Kleene-safe ``AND``/``OR`` combination; everything else contributes no
+    constraint (which only *under*-skips, never excludes a live match).
+    Kleene safety: WHERE keeps only rows where the predicate is TRUE, so a
+    comparison against NULL (always UNKNOWN) yields the *empty* set.
+
+    With ``params=None`` (plan time) a ``?`` bound becomes
+    :data:`UNKNOWN_BOUND` — usable for access-path shape decisions, never
+    for value tests.  Pass the real ``params`` at execution time.
+    ``binding`` ignores refs qualified with a different table alias.
+    """
+    extracted = _extract_ranges(expression, params, binding)
+    return extracted if extracted is not None else {}
+
+
+def _const_bound(
+    node: ast.Expression, params: Optional[Sequence[Any]]
+) -> Tuple[bool, Any]:
+    """``(is_constant, value)`` for a bound expression; parameters resolve
+    to their bound value or to :data:`UNKNOWN_BOUND` at plan time."""
+    if isinstance(node, ast.Literal):
+        return True, node.value
+    if isinstance(node, ast.Parameter):
+        if params is None:
+            return True, UNKNOWN_BOUND
+        if node.index < len(params):
+            return True, params[node.index]
+        return False, None
+    if isinstance(node, ast.UnaryOp) and node.op == "-":
+        known, value = _const_bound(node.operand, params)
+        if known and isinstance(value, (int, float)) and not isinstance(value, bool):
+            return True, -value
+        return False, None
+    return False, None
+
+
+def _ref_column(node: ast.Expression, binding: Optional[str]) -> Optional[str]:
+    if not isinstance(node, ast.ColumnRef):
+        return None
+    if (
+        binding is not None
+        and node.table is not None
+        and node.table.lower() != binding.lower()
+    ):
+        return None
+    return node.name.lower()
+
+
+def _comparison_set(op: str, value: Any) -> Optional[IntervalSet]:
+    if value is None:
+        # ``col <op> NULL`` is UNKNOWN for every row — never TRUE.
+        return IntervalSet.empty()
+    if op == "=":
+        return IntervalSet([(value, True, value, True)])
+    if op == "<":
+        return IntervalSet([(None, False, value, False)])
+    if op == "<=":
+        return IntervalSet([(None, False, value, True)])
+    if op == ">":
+        return IntervalSet([(value, False, None, False)])
+    if op == ">=":
+        return IntervalSet([(value, True, None, False)])
+    if op == "<>":
+        return IntervalSet(
+            [(None, False, value, False), (value, False, None, False)]
+        )
+    return None
+
+
+def _extract_ranges(
+    node: ast.Expression,
+    params: Optional[Sequence[Any]],
+    binding: Optional[str],
+) -> Optional[Dict[str, IntervalSet]]:
+    """Recursive body of :func:`extract_sargable_ranges`; ``None`` means
+    "no information" (distinct from ``{}`` only in OR combination)."""
+    if isinstance(node, ast.BinaryOp):
+        op = node.op
+        if op == "AND":
+            left = _extract_ranges(node.left, params, binding)
+            right = _extract_ranges(node.right, params, binding)
+            if left is None:
+                return right
+            if right is None:
+                return left
+            merged = dict(left)
+            for name, ranges in right.items():
+                have = merged.get(name)
+                if have is None:
+                    merged[name] = ranges
+                else:
+                    try:
+                        merged[name] = have.intersect(ranges)
+                    except _Incomparable:
+                        del merged[name]
+            return merged
+        if op == "OR":
+            left = _extract_ranges(node.left, params, binding)
+            right = _extract_ranges(node.right, params, binding)
+            if left is None or right is None:
+                return None
+            return {
+                name: left[name].union(right[name])
+                for name in left.keys() & right.keys()
+            }
+        if op in _COMPARISONS:
+            column = _ref_column(node.left, binding)
+            if column is not None:
+                known, value = _const_bound(node.right, params)
+                if known:
+                    ranges = _comparison_set(op, value)
+                    if ranges is not None:
+                        return {column: ranges}
+            column = _ref_column(node.right, binding)
+            if column is not None:
+                known, value = _const_bound(node.left, params)
+                if known:
+                    ranges = _comparison_set(_SWAPPED_COMPARISON[op], value)
+                    if ranges is not None:
+                        return {column: ranges}
+        return None
+    if isinstance(node, ast.IsNull):
+        column = _ref_column(node.operand, binding)
+        if column is None:
+            return None
+        if node.negated:
+            return {column: IntervalSet([(None, False, None, False)], False)}
+        return {column: IntervalSet([], True)}
+    if isinstance(node, ast.Between):
+        column = _ref_column(node.operand, binding)
+        if column is None:
+            return None
+        low_known, low = _const_bound(node.low, params)
+        high_known, high = _const_bound(node.high, params)
+        if not low_known or not high_known:
+            return None
+        if low is None or high is None:
+            # Either bound NULL makes the comparison UNKNOWN for every
+            # row — never TRUE, negated or not (see between_fn above).
+            return {column: IntervalSet.empty()}
+        if node.negated:
+            return {
+                column: IntervalSet(
+                    [(None, False, low, False), (high, False, None, False)]
+                )
+            }
+        return {column: IntervalSet([(low, True, high, True)])}
+    if isinstance(node, ast.InList):
+        if node.negated:
+            return None
+        column = _ref_column(node.operand, binding)
+        if column is None:
+            return None
+        points: List[Any] = []
+        for item in node.items:
+            known, value = _const_bound(item, params)
+            if not known:
+                return None
+            if value is None:
+                continue  # a NULL item can never make IN return TRUE
+            points.append(value)
+        return {column: IntervalSet([(v, True, v, True) for v in points])}
+    return None

@@ -40,6 +40,7 @@ from repro.engine.executor import (
     ExecContext,
     FilterNode,
     HashJoin,
+    IndexScan,
     LimitNode,
     NestedLoopJoin,
     PlanNode,
@@ -49,9 +50,17 @@ from repro.engine.executor import (
     ValuesScan,
 )
 from repro.engine.expr import Scope, collect_aggregates, compile_expression
+from repro.engine.hybridstore import pages_for_group
 from repro.errors import PlanError
 
 __all__ = ["RangeResolver", "PlannedQuery", "Planner"]
+
+#: Access-path cost constants, in page-read units.  Decoding and
+#: filtering one row off a fetched page is ~two orders of magnitude
+#: cheaper than a block read; an in-memory B+-tree descent costs a
+#: fraction of a read (no I/O, some comparisons).
+_ROW_DECODE_COST = 0.01
+_PROBE_COST = 0.1
 
 
 class RangeResolver:
@@ -111,6 +120,7 @@ class Planner:
         resolver: Optional[RangeResolver] = None,
         projection_pushdown: bool = True,
         vectorized: bool = True,
+        data_skipping: bool = True,
     ):
         self.catalog = catalog
         self.resolver = resolver if resolver is not None else RangeResolver()
@@ -121,6 +131,9 @@ class Planner:
         # Off = scans materialise one tuple per row (the pre-batching
         # behaviour); the comparison baseline for the vectorized path.
         self.vectorized = vectorized
+        # Off = scans decode every covering page and index access paths
+        # are never chosen — the PR-9 baseline for the skipping benchmark.
+        self.data_skipping = data_skipping
 
     # -- public entry points ------------------------------------------------
 
@@ -272,7 +285,11 @@ class Planner:
                         if name.lower() in wanted
                     ]
             node: PlanNode = ProjectedScan(
-                table, item.binding, names, vectorized=self.vectorized
+                table,
+                item.binding,
+                names,
+                vectorized=self.vectorized,
+                data_skipping=self.data_skipping,
             )
         elif isinstance(item, ast.RangeTable):
             columns, rows = self.resolver.resolve_range_table(item.reference)
@@ -293,7 +310,81 @@ class Planner:
             raise PlanError(f"unsupported FROM item {type(item).__name__}")
         if allow_push:
             node = self._push_filters(node, pending)
+            if isinstance(node, ProjectedScan) and node.predicates:
+                node = self._choose_access_path(node)
         return node
+
+    def _choose_access_path(self, scan: ProjectedScan) -> PlanNode:
+        """Cost-based index-vs-scan choice for one base-table scan.
+
+        Prices both paths with the E6 block model: the batch scan costs
+        the covering chains' pages, discounted by the zone-map skip
+        fraction the store can already prove from cached page zones; an
+        index path costs one probe descent plus a late-materialized row
+        fetch (one page touch per covering group) per estimated match.
+        Extraction runs with ``params=None`` so a ``?`` point probe still
+        shapes the decision; actual bounds are re-extracted at run time.
+        """
+        if not self.data_skipping:
+            return scan
+        ranges = scan.sargable_ranges(None)
+        if not ranges:
+            return scan
+        table = scan.table
+        store = table.store
+        n_rows = store.n_rows
+        page_capacity = store.pool.page_capacity
+        covering = {
+            table.schema.group_of(name) for name in scan.column_names
+        }
+        scan_pages = sum(
+            pages_for_group(
+                n_rows, len(table.schema.groups[group]), page_capacity
+            )
+            for group in covering
+        )
+        skip = 0.0
+        for name, interval_set in ranges.items():
+            skip = max(skip, store.skip_fraction(name, interval_set))
+        # Pages the scan must fetch (at least one per covering group),
+        # plus a CPU term: every row on a surviving page is decoded and
+        # filtered even when only a handful match.
+        surviving = 1.0 - skip
+        scan_cost = (
+            max(float(max(1, len(covering))), scan_pages * surviving)
+            + _ROW_DECODE_COST * n_rows * surviving
+        )
+        best: Optional[Tuple[float, Any]] = None
+        for name, interval_set in ranges.items():
+            index = table.index_for(name)
+            if index is None or interval_set.includes_null:
+                continue
+            points = interval_set.points()
+            if points is not None:
+                estimated = (
+                    len(points)
+                    if index.unique
+                    else min(n_rows, max(len(points), n_rows // 100))
+                )
+            else:
+                # Range probe with no zone statistics to sharpen it:
+                # assume a decile survives — selective enough to beat a
+                # scan only on wide tables or tight buffer pools.
+                estimated = max(1, n_rows // 10)
+            # The B+-tree is memory-resident, so the descent is CPU only
+            # (_PROBE_COST); the real price is the late-materialized row
+            # fetch — one page touch per covering group per match.
+            cost = _PROBE_COST + estimated * max(1, len(covering))
+            if best is None or cost < best[0]:
+                best = (cost, index)
+        if best is not None and best[0] < scan_cost:
+            node = IndexScan(table, scan.binding, scan.column_names, best[1])
+            for predicate, description, expression in scan.predicates:
+                # Same (binding, column) scope shape, so the compiled
+                # closures carry over unchanged.
+                node.add_predicate(predicate, description, expression)
+            return node
+        return scan
 
     def _push_filters(self, node: PlanNode, pending: List[ast.Expression]) -> PlanNode:
         taken = [c for c in pending if _resolvable(c, node.scope)]

@@ -53,6 +53,7 @@ __all__ = [
     "UpdateStmt",
     "DeleteStmt",
     "ColumnDef",
+    "CreateIndexStmt",
     "CreateTableStmt",
     "AlterAddColumn",
     "AlterDropColumn",
@@ -60,6 +61,7 @@ __all__ = [
     "AlterSetLayout",
     "AlterTableStmt",
     "DropTableStmt",
+    "DropIndexStmt",
     "Statement",
     "AGGREGATE_NAMES",
 ]
@@ -336,6 +338,21 @@ class DropTableStmt:
 
 
 @dataclass(frozen=True)
+class CreateIndexStmt:
+    name: str
+    table: str
+    column: str
+    unique: bool = False
+    if_not_exists: bool = False
+
+
+@dataclass(frozen=True)
+class DropIndexStmt:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass(frozen=True)
 class CompoundSelect:
     """``SELECT ... UNION [ALL] SELECT ...`` chains.
 
@@ -357,6 +374,8 @@ Statement = Union[
     CreateTableStmt,
     AlterTableStmt,
     DropTableStmt,
+    CreateIndexStmt,
+    DropIndexStmt,
 ]
 
 

@@ -132,6 +132,17 @@ class _Parser:
             return token.text
         raise self.error("expected identifier")
 
+    def peek_word(self, ahead: int, word: str) -> bool:
+        """Word match regardless of keyword status (``INDEX`` lexes as an
+        identifier — it is not reserved, columns may be named ``index``)."""
+        token = self.peek(ahead)
+        return token.kind in ("IDENT", "KEYWORD") and token.text.lower() == word
+
+    def expect_word(self, word: str) -> None:
+        if not self.peek_word(0, word):
+            raise self.error(f"expected {word.upper()}")
+        self.advance()
+
     # -- statements -----------------------------------------------------------
 
     def statement(self) -> ast.Statement:
@@ -145,10 +156,16 @@ class _Parser:
         if token.matches("KEYWORD", "delete"):
             return self.delete()
         if token.matches("KEYWORD", "create"):
+            if self.peek_word(1, "index") or (
+                self.peek(1).matches("KEYWORD", "unique") and self.peek_word(2, "index")
+            ):
+                return self.create_index()
             return self.create_table()
         if token.matches("KEYWORD", "alter"):
             return self.alter_table()
         if token.matches("KEYWORD", "drop"):
+            if self.peek_word(1, "index"):
+                return self.drop_index()
             return self.drop_table()
         raise self.error("expected a SQL statement")
 
@@ -473,6 +490,25 @@ class _Parser:
         self.expect_keyword("drop", "table")
         if_exists = bool(self.try_keyword("if", "exists"))
         return ast.DropTableStmt(self.expect_ident(), if_exists)
+
+    def create_index(self) -> ast.CreateIndexStmt:
+        self.expect_keyword("create")
+        unique = bool(self.try_keyword("unique"))
+        self.expect_word("index")
+        if_not_exists = bool(self.try_keyword("if", "not", "exists"))
+        name = self.expect_ident()
+        self.expect_keyword("on")
+        table = self.expect_ident()
+        self.expect_op("(")
+        column = self.ident_or_keyword()
+        self.expect_op(")")
+        return ast.CreateIndexStmt(name, table, column, unique, if_not_exists)
+
+    def drop_index(self) -> ast.DropIndexStmt:
+        self.expect_keyword("drop")
+        self.expect_word("index")
+        if_exists = bool(self.try_keyword("if", "exists"))
+        return ast.DropIndexStmt(self.expect_ident(), if_exists)
 
     # -- expressions --------------------------------------------------------------------
 

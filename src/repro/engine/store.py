@@ -237,6 +237,68 @@ class AccessStats:
         return stats
 
 
+def _zone_of(values: Sequence[Any]) -> Optional[Tuple[Any, Any, int]]:
+    """``(min, max, null_count)`` over one fragment's values, or ``None``
+    when the non-null values do not mutually order (mixed types) — such a
+    page can never be proven skippable."""
+    lo = hi = None
+    nulls = 0
+    for value in values:
+        if value is None:
+            nulls += 1
+        elif lo is None:
+            lo = hi = value
+        else:
+            try:
+                if value < lo:
+                    lo = value
+                elif value > hi:
+                    hi = value
+            except TypeError:
+                return None
+    return (lo, hi, nulls)
+
+
+def _merge_intervals(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Sort and merge half-open ``(start, stop)`` intervals."""
+    if not intervals:
+        return []
+    intervals = sorted(intervals)
+    merged = [intervals[0]]
+    for start, stop in intervals[1:]:
+        if start <= merged[-1][1]:
+            if stop > merged[-1][1]:
+                merged[-1] = (merged[-1][0], stop)
+        else:
+            merged.append((start, stop))
+    return merged
+
+
+def _alive_offsets(
+    dead: List[Tuple[int, int]], cursor: int, position: int, count: int
+) -> Optional[List[int]]:
+    """In-page record offsets *not* covered by the ``dead`` position
+    intervals (``dead[cursor:]`` is the still-relevant suffix); ``None``
+    when the whole page is alive, ``[]`` when it is entirely dead."""
+    stop = position + count
+    alive: List[int] = []
+    start = 0
+    covered = False
+    j = cursor
+    while j < len(dead) and dead[j][0] < stop:
+        lo = max(dead[j][0], position) - position
+        hi = min(dead[j][1], stop) - position
+        if hi > lo:
+            covered = True
+            alive.extend(range(start, lo))
+            start = hi
+        j += 1
+    if not covered:
+        return None
+    alive.extend(range(start, count))
+    return alive
+
+
 class _BatchCursor:
     """Buffers page-sized ``(rids, columns)`` chunks from a chain stream
     and serves exact-size slices, so batch boundaries are independent of
@@ -426,6 +488,21 @@ class GroupedTupleStore:
         self.batch_scans = 0
         self.batches_emitted = 0
         self.bytes_decoded = 0
+        # Pages whose decode was proven unnecessary by zone maps, total and
+        # per group id (gids are stable across group-index shifts).
+        self.pages_skipped = 0
+        self._group_pages_skipped: Dict[int, int] = {}
+        self._group_pages_scanned: Dict[int, int] = {}
+        # Per-page zone-map cache: page_id -> (record_count, {fragment
+        # offset -> (min, max, null_count) | None}).  ``None`` marks an
+        # offset whose values do not order (mixed types) — never skippable.
+        # Entries are dropped whenever a page is mutated in place and
+        # recomputed lazily on the next zone-consulting scan, so a stale
+        # entry cannot exist: a zone either describes the page's current
+        # contents exactly or is absent.  Page ids are never reused
+        # (DiskManager allocates monotonically), so a dropped entry cannot
+        # be resurrected for different data.
+        self._page_meta: Dict[int, Tuple[int, Dict[int, Optional[Tuple[Any, Any, int]]]]] = {}
         # Runtime invariant checks; the owning Database swaps in a real
         # Sanitizer (via the catalog) when sanitize mode is on.
         self.sanitizer = NULL_SANITIZER
@@ -513,6 +590,7 @@ class GroupedTupleStore:
                 keep_pages.append((retire_epoch, page_id))
             else:
                 self._page_epoch.pop(page_id, None)
+                self._page_meta.pop(page_id, None)
                 self.pool.free_page(page_id)
         self._retired_pages = keep_pages
         keep_tags: List[Tuple[int, Tuple[str, int]]] = []
@@ -539,6 +617,7 @@ class GroupedTupleStore:
             self._retired_pages.append((self._epoch, page_id))
         else:
             self._page_epoch.pop(page_id, None)
+            self._page_meta.pop(page_id, None)
             self.pool.free_page(page_id)
 
     def _release_tag(self, tag: Tuple[str, int]) -> None:
@@ -654,6 +733,7 @@ class GroupedTupleStore:
             self._group_plain_pages[group_index] += 1
         page.records.append((rid, fragment))
         page.mark_dirty()
+        self._page_meta.pop(page.page_id, None)
         self._rid_page[group_index][rid] = page.page_id
 
     # -- encoded-page helpers ----------------------------------------------
@@ -732,10 +812,145 @@ class GroupedTupleStore:
             raise StorageError(f"rid {rid} not found in group {group_index}")
         page = self._writable_page(group_index, self.pool.get(page_id))
         self._thaw_page(group_index, page)
+        self._page_meta.pop(page.page_id, None)
         for slot, (record_rid, _) in enumerate(page.records):
             if record_rid == rid:
                 return page, slot
         raise StorageError(f"rid {rid} missing from page {page.page_id} (corrupt directory)")
+
+    # -- zone maps (data skipping) -------------------------------------------
+
+    def _page_zone(
+        self, page: Any, frag_offset: int
+    ) -> Optional[Tuple[Any, Any, int]]:
+        """Zone-map entry for one fragment offset of a fetched page,
+        computed lazily and cached store-side so the *next* scan can skip
+        the page without fetching it.  Safe without the mutation lock:
+        pages reachable from a snapshot chain are immutable (in-place
+        mutators route through the copy-on-write gate), and concurrent
+        recomputation writes identical values."""
+        meta = self._page_meta.get(page.page_id)
+        if meta is None:
+            enc = page.header.get("enc")
+            count = len(enc["rids"]) if enc is not None else page.n_records
+            meta = self._page_meta[page.page_id] = (count, {})
+        zones = meta[1]
+        if frag_offset in zones:
+            return zones[frag_offset]
+        enc = page.header.get("enc")
+        if enc is None:
+            values = [fragment[frag_offset] for _, fragment in page.records]
+        else:
+            values = decode_column(*enc["cols"][frag_offset])
+        zone = zones[frag_offset] = _zone_of(values)
+        return zone
+
+    def _dead_intervals(
+        self,
+        snap: StoreSnapshot,
+        placements: Sequence[Tuple[int, int, int]],
+        names: Sequence[str],
+        predicate_ranges: Dict[str, Any],
+    ) -> List[Tuple[int, int]]:
+        """Merged half-open *position* intervals (over the snapshot's
+        shared row order) that zone maps prove cannot satisfy
+        ``predicate_ranges`` (lower-cased column name → an interval set
+        with a ``may_match(lo, hi, nulls, count)`` method).
+
+        Walks each predicate column's captured chain keeping a prefix sum
+        of page record counts; a page whose zone excludes the column's
+        interval set contributes its position extent (AND semantics: any
+        column excluding a position kills it).  Pages with no cached zone
+        are fetched — they belong to covering chains the scan reads anyway
+        — so the cache fills and the next scan skips without fetching.
+        Position-interval (rather than page-id) form is what keeps every
+        covering chain's surviving rid sequence in lockstep despite
+        differing page boundaries.  Runs on immutable snapshot chains, so
+        the mutation lock is not required."""
+        dead: List[Tuple[int, int]] = []
+        for group_index, frag_offset, out_offset in placements:
+            ranges = predicate_ranges.get(names[out_offset].lower())
+            if ranges is None:
+                continue
+            position = 0
+            for page_id in snap.chains[group_index]:
+                meta = self._page_meta.get(page_id)
+                if meta is not None and frag_offset in meta[1]:
+                    count, zone = meta[0], meta[1][frag_offset]
+                else:
+                    page = self.pool.get(page_id)
+                    zone = self._page_zone(page, frag_offset)
+                    count = self._page_meta[page_id][0]
+                if count and zone is not None:
+                    if not ranges.may_match(zone[0], zone[1], zone[2], count):
+                        dead.append((position, position + count))
+                position += count
+        return _merge_intervals(dead)
+
+    def _sanitize_page_zones(self, page: Any, needed_offsets: Sequence[int]) -> None:
+        """Sanitize mode: verify cached zone maps against the decoded
+        contents of a page about to be served — a stale zone (one that
+        could exclude a live row) must never exist."""
+        meta = self._page_meta.get(page.page_id)
+        if meta is None:
+            return
+        count, zones = meta
+        enc = page.header.get("enc")
+        actual = len(enc["rids"]) if enc is not None else page.n_records
+        self.sanitizer.check_zone_count(page.page_id, count, actual)
+        for offset in needed_offsets:
+            zone = zones.get(offset)
+            if zone is None:
+                continue
+            if enc is None:
+                values = [fragment[offset] for _, fragment in page.records]
+            else:
+                values = decode_column(*enc["cols"][offset])
+            self.sanitizer.check_zone(page.page_id, offset, zone, values)
+
+    def skip_fraction(self, column_name: str, ranges: Any) -> float:
+        """Fraction of ``column_name``'s chain pages whose *cached* zone
+        maps prove they cannot match ``ranges`` — the planner's estimate
+        of how much a zone-map-skipping scan saves.  Only cached zones
+        count (uncached pages must be fetched regardless), so a cold store
+        prices as a full scan — matching what the next scan actually pays.
+        """
+        with self._mutation_lock:
+            group_index = self.schema.group_of(column_name)
+            members = self.schema.groups[group_index]
+            offset = next(
+                i
+                for i, name in enumerate(members)
+                if name.lower() == column_name.lower()
+            )
+            chain = self._chains[group_index]
+            if not chain:
+                return 0.0
+            skippable = 0
+            for page_id in chain:
+                meta = self._page_meta.get(page_id)
+                if meta is None or not meta[0]:
+                    continue
+                zone = meta[1].get(offset)
+                if zone is not None and not ranges.may_match(
+                    zone[0], zone[1], zone[2], meta[0]
+                ):
+                    skippable += 1
+            return skippable / len(chain)
+
+    def zone_coverage(self, group_index: int) -> float:
+        """Fraction of one group's chain pages carrying a cached zone map
+        (observability; coverage grows as scans touch the chain)."""
+        with self._mutation_lock:
+            chain = self._chains[group_index]
+            if not chain:
+                return 0.0
+            cached = sum(
+                1
+                for page_id in chain
+                if self._page_meta.get(page_id, (0, {}))[1]
+            )
+            return cached / len(chain)
 
     # -- tuple operations ---------------------------------------------------
 
@@ -1000,42 +1215,103 @@ class GroupedTupleStore:
                 )
 
     def _chain_batches(
-        self, snap: StoreSnapshot, group_index: int, needed_offsets: Sequence[int]
+        self,
+        snap: StoreSnapshot,
+        group_index: int,
+        needed_offsets: Sequence[int],
+        dead: Optional[List[Tuple[int, int]]] = None,
     ) -> Iterator[Tuple[List[int], List[List[Any]]]]:
         """Stream one captured chain page-at-a-time as ``(rids, columns)``
-        where ``columns`` holds one value list per ``needed_offsets``."""
+        where ``columns`` holds one value list per ``needed_offsets``.
+
+        ``dead`` (merged half-open position intervals from
+        :meth:`_dead_intervals`) drops the rows at those positions —
+        identically in every covering chain, so rid lockstep survives
+        skipping.  A page wholly inside a dead interval is skipped before
+        any decode; when its record count is already cached it is skipped
+        without even fetching it from the buffer pool."""
         needed = list(needed_offsets)
         tag = snap.tags[group_index]
+        gid = tag[1]
+        sanitize = self.sanitizer.enabled
+        position = 0
+        cursor = 0
+        n_dead = len(dead) if dead else 0
         for page_id in snap.chains[group_index]:
+            if n_dead:
+                while cursor < n_dead and dead[cursor][1] <= position:
+                    cursor += 1
+                meta = self._page_meta.get(page_id)
+                if (
+                    meta is not None
+                    and meta[0]
+                    and cursor < n_dead
+                    and dead[cursor][0] <= position
+                    and position + meta[0] <= dead[cursor][1]
+                ):
+                    # Provably dead with a cached record count: skip the
+                    # page without touching the buffer pool at all.
+                    self.pages_skipped += 1
+                    self._group_pages_skipped[gid] = (
+                        self._group_pages_skipped.get(gid, 0) + 1
+                    )
+                    position += meta[0]
+                    continue
             page = self.pool.get(page_id)
             enc = page.header.get("enc")
+            count = len(enc["rids"]) if enc is not None else page.n_records
+            if page.page_id not in self._page_meta:
+                self._page_meta[page.page_id] = (count, {})
+            alive: Optional[List[int]] = None
+            if n_dead:
+                alive = _alive_offsets(dead, cursor, position, count)
+                if alive is not None and not alive:
+                    # Fetched (the count was not cached yet) but proven
+                    # dead: still skipped before any decode work.
+                    self.pages_skipped += 1
+                    self._group_pages_skipped[gid] = (
+                        self._group_pages_skipped.get(gid, 0) + 1
+                    )
+                    position += count
+                    continue
+            self._group_pages_scanned[gid] = (
+                self._group_pages_scanned.get(gid, 0) + 1
+            )
+            if sanitize:
+                self._sanitize_page_zones(page, needed)
             if enc is None:
+                kept = page.records
+                if alive is not None:
+                    kept = [page.records[i] for i in alive]
                 self._charge_decode_tag(
-                    tag, page.n_records * len(needed) * PLAIN_VALUE_BYTES
+                    tag, len(kept) * len(needed) * PLAIN_VALUE_BYTES
                 )
-                rids = [rid for rid, _ in page.records]
+                rids = [rid for rid, _ in kept]
                 columns = [
-                    [fragment[offset] for _, fragment in page.records]
+                    [fragment[offset] for _, fragment in kept]
                     for offset in needed
                 ]
                 yield rids, columns
-                continue
-            self._charge_decode_tag(
-                tag, sum(enc["col_bytes"][offset] for offset in needed)
-            )
-            yield (
-                enc["rids"],
-                [
-                    decode_column(*enc["cols"][offset])
-                    for offset in needed
-                ],
-            )
+            else:
+                self._charge_decode_tag(
+                    tag, sum(enc["col_bytes"][offset] for offset in needed)
+                )
+                rids = enc["rids"]
+                columns = [
+                    decode_column(*enc["cols"][offset]) for offset in needed
+                ]
+                if alive is not None:
+                    rids = [rids[i] for i in alive]
+                    columns = [[column[i] for i in alive] for column in columns]
+                yield rids, columns
+            position += count
 
     def scan_group_batches(
         self,
         column_names: Sequence[str],
         batch_size: int = DEFAULT_BATCH_SIZE,
         snapshot: Optional[StoreSnapshot] = None,
+        predicate_ranges: Optional[Dict[str, Any]] = None,
     ) -> Iterator[Tuple[List[int], List[List[Any]]]]:
         """Batched form of :meth:`scan_groups`: yields ``(rids, columns)``
         with ``columns`` ordered like ``column_names`` and every list
@@ -1047,7 +1323,16 @@ class GroupedTupleStore:
         per-row tuples are built here; late materialization is the
         *caller's* choice.  Charges the same workload statistics as
         :meth:`scan_groups`.
-        """
+
+        ``predicate_ranges`` (lower-cased column name → sargable interval
+        set, see :func:`repro.engine.expr.extract_sargable_ranges`) arms
+        zone-map data skipping: rows on pages whose cached min/max/null
+        zones prove no value can satisfy the ranges are dropped *before
+        decode* — identically across every covering chain, so batches stay
+        rid-aligned.  Dropped rows are guaranteed non-matching, but
+        surviving rows are **not** guaranteed matches: callers still apply
+        the full predicate.  Ranges naming columns outside ``column_names``
+        are ignored (ignoring a constraint only under-skips)."""
         names = list(column_names)
         if not names or batch_size < 1:
             return iter(())
@@ -1079,9 +1364,18 @@ class GroupedTupleStore:
                 width = len(names)
                 driver = covering[0]
                 others = covering[1:]
+                dead: Optional[List[Tuple[int, int]]] = None
+                if predicate_ranges:
+                    dead = self._dead_intervals(
+                        snap, placements, names, predicate_ranges
+                    )
+                    if not dead:
+                        dead = None
                 streams = {
                     group_index: _BatchCursor(
-                        self._chain_batches(snap, group_index, needed[group_index])
+                        self._chain_batches(
+                            snap, group_index, needed[group_index], dead
+                        )
                     )
                     for group_index in covering
                 }
@@ -1193,6 +1487,7 @@ class GroupedTupleStore:
                     for rid, fragment in page.records
                 ]
                 page.mark_dirty()
+                self._page_meta.pop(page.page_id, None)
                 rewritten += 1
             self._reset_group_encoding(placed)
             return rewritten
@@ -1239,6 +1534,7 @@ class GroupedTupleStore:
                     for rid, fragment in page.records
                 ]
                 page.mark_dirty()
+                self._page_meta.pop(page.page_id, None)
                 rewritten += 1
             self._reset_group_encoding(group_index)
             return rewritten
@@ -1519,6 +1815,15 @@ class GroupedTupleStore:
                         "plain_bytes": (stop - start) * width * PLAIN_VALUE_BYTES,
                     }
                     page.mark_dirty()
+                    # The column slices are in hand: compute zone maps
+                    # eagerly so the encoded chain skips on its first scan.
+                    self._page_meta[page.page_id] = (
+                        stop - start,
+                        {
+                            offset: _zone_of(columns[offset][start:stop])
+                            for offset in range(width)
+                        },
+                    )
                     self.pool.add_bytes(tag, bytes_written=total)
                     for rid in page_rids:
                         directory[rid] = page.page_id
@@ -1656,6 +1961,19 @@ class GroupedTupleStore:
                 ),
             )
 
+    def group_skip_stats(self, group_index: int) -> Dict[str, Any]:
+        """One group's cumulative data-skipping counters: pages skipped,
+        pages decoded, and the resulting skip ratio."""
+        gid = self._group_ids[group_index]
+        skipped = self._group_pages_skipped.get(gid, 0)
+        scanned = self._group_pages_scanned.get(gid, 0)
+        total = skipped + scanned
+        return {
+            "pages_skipped": skipped,
+            "pages_scanned": scanned,
+            "skip_ratio": round(skipped / total, 3) if total else 0.0,
+        }
+
     def group_summary(self) -> List[dict]:
         """Per-group statistics (columns, pages, cumulative block I/O)."""
         return [
@@ -1666,6 +1984,8 @@ class GroupedTupleStore:
                 "pages": self.pages_in_group(index),
                 "encoded": self._group_encoded[index],
                 "ratio": round(self._group_ratio[index], 2),
+                "zones": round(self.zone_coverage(index), 2),
+                "skip": self.group_skip_stats(index),
                 "io": {
                     "reads": self.group_io_stats(index).reads,
                     "writes": self.group_io_stats(index).writes,

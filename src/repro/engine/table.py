@@ -32,7 +32,21 @@ from repro.errors import ConstraintError, ExecutionError, SchemaError, StorageEr
 from repro.index.btree import BPlusTree
 from repro.index.positional import PositionalIndex
 
-__all__ = ["Table", "ChangeEvent"]
+__all__ = ["Table", "ChangeEvent", "TableIndex"]
+
+
+@dataclass
+class TableIndex:
+    """One secondary index: ``column`` value → rid (unique) or rid bucket.
+
+    NULL keys are not indexed (SQL: NULL never equals anything, and an
+    ``IS NULL`` probe is served by zone maps instead), so ``len(tree)``
+    counts the *non-null* rows only."""
+
+    name: str
+    column: str
+    unique: bool
+    tree: BPlusTree = field(default_factory=BPlusTree)
 
 
 @dataclass(frozen=True)
@@ -81,6 +95,13 @@ class Table:
         self._pk_index: Optional[BPlusTree] = None
         if schema.primary_key is not None:
             self._pk_index = BPlusTree(unique=True)
+        # Secondary indexes by lowered index name; every DML path below
+        # funnels through the _index_* helpers so the trees never drift
+        # from the store (checker RC008 enforces this statically).
+        self.indexes: Dict[str, TableIndex] = {}
+        # Executor probes through index_for(); counted for the
+        # db_index_lookups metric.
+        self.index_lookups = 0
         self.listeners: List[Callable[[ChangeEvent], None]] = []
         # Maintenance event sink (a repro.obs.EventLog); the owning
         # Database wires its shared log in on attach.  None = no eventing.
@@ -219,8 +240,11 @@ class Table:
         return rows()
 
     def scan_column_batches(
-        self, names: Sequence[str], batch_size: int = DEFAULT_BATCH_SIZE
-    ) -> Iterator[Tuple[int, List[int], List[List[Any]]]]:
+        self,
+        names: Sequence[str],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        predicate_ranges: Optional[Dict[str, Any]] = None,
+    ) -> Iterator[Tuple[Any, List[int], List[List[Any]]]]:
         """Batched companion to :meth:`scan_columns`: yields
         ``(start_position, rids, columns)`` in presentation order, with
         ``columns`` holding one rid-aligned value list per name.
@@ -230,7 +254,16 @@ class Table:
         untouched; once they diverge, rows are buffered per rid and
         re-emitted in presentation order.  The snapshot is acquired at
         operator open, exactly like :meth:`scan_columns`, and charges the
-        same workload statistics."""
+        same workload statistics.
+
+        ``predicate_ranges`` (lowered column name → ``expr.IntervalSet``)
+        turns on zone-map data skipping: pages proven to hold no possible
+        match are dropped before decode.  Because skipped pages leave holes
+        in the presentation order, the first tuple element becomes a
+        *list* of positions instead of a scalar start — callers that only
+        consume ``columns`` (the vectorized filter pipeline) are shape
+        agnostic.  Survivors are a superset of the true matches; callers
+        still apply the full predicate."""
         names = list(names)
         if not names:
             return iter(())
@@ -239,12 +272,17 @@ class Table:
             try:
                 expected = list(self.positions)
                 source = self.store.scan_group_batches(
-                    names, batch_size, snapshot=snap
+                    names,
+                    batch_size,
+                    snapshot=snap,
+                    predicate_ranges=predicate_ranges,
                 )
             except BaseException:
                 snap.release()
                 raise
         width = len(names)
+        if predicate_ranges:
+            return self._skipping_batches(snap, expected, source, width, batch_size)
 
         def batches() -> Iterator[Tuple[int, List[int], List[List[Any]]]]:
             start = 0
@@ -286,6 +324,63 @@ class Table:
 
         return batches()
 
+    def _skipping_batches(
+        self,
+        snap: Any,
+        expected: List[int],
+        source: Iterator[Tuple[List[int], List[List[Any]]]],
+        width: int,
+        batch_size: int,
+    ) -> Iterator[Tuple[List[int], List[int], List[List[Any]]]]:
+        """Merge loop of a zone-map-skipping scan: yields ``(positions,
+        rids, columns)`` with an explicit presentation-position list per
+        batch (skipped pages leave holes, so a scalar start offset cannot
+        describe a batch).  While heap order tracks presentation order
+        (the common case) surviving batches stream straight through; after
+        a positional insert/move breaks monotonicity the remainder is
+        buffered and re-emitted sorted by position."""
+
+        def batches() -> Iterator[Tuple[List[int], List[int], List[List[Any]]]]:
+            pos_of = {rid: i for i, rid in enumerate(expected)}
+            emitted_through = -1
+            held: List[Tuple[int, int, Tuple[Any, ...]]] = []
+            try:
+                for rids, cols in source:
+                    positions: List[int] = []
+                    for rid in rids:
+                        position = pos_of.get(rid)
+                        if position is None:
+                            raise StorageError(
+                                f"rid {rid} missing from positional index "
+                                f"of {self.name!r}"
+                            )
+                        positions.append(position)
+                    if (
+                        not held
+                        and positions[0] > emitted_through
+                        and all(a < b for a, b in zip(positions, positions[1:]))
+                    ):
+                        emitted_through = positions[-1]
+                        yield positions, rids, cols
+                        continue
+                    for i, rid in enumerate(rids):
+                        held.append(
+                            (positions[i], rid, tuple(col[i] for col in cols))
+                        )
+                if held:
+                    held.sort()
+                    for lo in range(0, len(held), batch_size):
+                        chunk = held[lo : lo + batch_size]
+                        yield (
+                            [position for position, _, _ in chunk],
+                            [rid for _, rid, _ in chunk],
+                            [[row[j] for _, _, row in chunk] for j in range(width)],
+                        )
+            finally:
+                snap.release()
+
+        return batches()
+
     def rows(self) -> List[Tuple[Any, ...]]:
         return [row for _, _, row in self.scan()]
 
@@ -294,6 +389,116 @@ class Table:
         if self._pk_index is None:
             raise ExecutionError(f"table {self.name!r} has no primary key")
         return self._pk_index.get(key)
+
+    # -- secondary indexes ----------------------------------------------------
+
+    def index_for(self, column: str) -> Optional[TableIndex]:
+        """Any index over ``column`` (unique preferred), or None."""
+        column_l = column.lower()
+        best: Optional[TableIndex] = None
+        for index in self.indexes.values():
+            if index.column.lower() == column_l:
+                if index.unique:
+                    return index
+                best = best or index
+        return best
+
+    def create_index(self, name: str, column: str, unique: bool) -> TableIndex:
+        """Build a secondary index over ``column`` from the current rows.
+
+        Runs under the store mutation lock so the initial build and
+        subsequent DML maintenance cannot interleave."""
+        name_l = name.lower()
+        if name_l in self.indexes:
+            raise SchemaError(f"index {name!r} already exists")
+        self.schema.column(column)  # raises SchemaError on unknown column
+        with self.store.mutation_lock:
+            index = TableIndex(name, column, unique, BPlusTree(unique=unique))
+            col = self.schema.column_index(column)
+            for rid in self.store.rids():
+                key = self.store.get(rid)[col]
+                if key is None:
+                    continue
+                try:
+                    index.tree.insert(key, rid)
+                except StorageError:
+                    raise ConstraintError(
+                        f"cannot create unique index {name!r}: duplicate "
+                        f"key {key!r} in table {self.name!r}"
+                    ) from None
+            self.indexes[name_l] = index
+        self._record_event(
+            "index_create", index=name, column=column, unique=unique
+        )
+        return index
+
+    def drop_index(self, name: str) -> TableIndex:
+        name_l = name.lower()
+        index = self.indexes.pop(name_l, None)
+        if index is None:
+            raise SchemaError(f"no such index {name!r}")
+        self._record_event("index_drop", index=index.name)
+        return index
+
+    def _index_key(self, index: TableIndex, row: Sequence[Any]) -> Any:
+        return row[self.schema.column_index(index.column)]
+
+    def _index_check_insert(self, row: Sequence[Any]) -> None:
+        """Unique-violation check, run *before* the store mutation so a
+        rejected insert leaves no partial state."""
+        for index in self.indexes.values():
+            if not index.unique:
+                continue
+            key = self._index_key(index, row)
+            if key is not None and key in index.tree:
+                raise ConstraintError(
+                    f"duplicate key {key!r} violates unique index "
+                    f"{index.name!r} of table {self.name!r}"
+                )
+
+    def _index_insert(self, rid: int, row: Sequence[Any]) -> None:
+        for index in self.indexes.values():
+            key = self._index_key(index, row)
+            if key is not None:
+                index.tree.insert(key, rid)
+
+    def _index_delete(self, rid: int, row: Sequence[Any]) -> None:
+        for index in self.indexes.values():
+            key = self._index_key(index, row)
+            if key is not None:
+                index.tree.delete(key, None if index.unique else rid)
+
+    def _index_update(
+        self, rid: int, old_row: Sequence[Any], new_row: Sequence[Any]
+    ) -> None:
+        """Re-key every index whose column changed; uniqueness was already
+        vetted by :meth:`_index_check_update`."""
+        for index in self.indexes.values():
+            old_key = self._index_key(index, old_row)
+            new_key = self._index_key(index, new_row)
+            if old_key is new_key or old_key == new_key:
+                continue
+            if old_key is not None:
+                index.tree.delete(old_key, None if index.unique else rid)
+            if new_key is not None:
+                index.tree.insert(new_key, rid)
+
+    def _index_check_update(
+        self, rid: int, old_row: Sequence[Any], new_row: Sequence[Any]
+    ) -> None:
+        for index in self.indexes.values():
+            if not index.unique:
+                continue
+            old_key = self._index_key(index, old_row)
+            new_key = self._index_key(index, new_row)
+            if new_key is None or new_key == old_key:
+                continue
+            holder = index.tree.get(new_key)
+            if holder is not None and holder != rid:
+                raise ConstraintError(
+                    f"duplicate key {new_key!r} violates unique index "
+                    f"{index.name!r} of table {self.name!r}"
+                )
 
     # -- writes -----------------------------------------------------------------
 
@@ -318,6 +523,7 @@ class Table:
                 raise ConstraintError(
                     f"duplicate primary key {key!r} in table {self.name!r}"
                 )
+        self._index_check_insert(row)
         rid = self.store.insert(row, rid=rid)
         if position is None or position >= len(self.positions):
             position = len(self.positions)
@@ -328,6 +534,7 @@ class Table:
             self.positions.insert_at(position, rid)
         if self._pk_index is not None:
             self._pk_index.insert(key, rid)
+        self._index_insert(rid, row)
         if emit:
             self._emit(ChangeEvent(self.name, "insert", position, rid, row))
         return rid
@@ -366,6 +573,8 @@ class Table:
                 )
             self._pk_index.delete(old_key)
             self._pk_index.insert(new_key, rid)
+        self._index_check_update(rid, old_row, new_row)
+        self._index_update(rid, old_row, new_row)
         if len(changes) == 1:
             # Single-column update: touch only that column's group (the
             # tuple-update cost baseline for E6).
@@ -386,6 +595,7 @@ class Table:
         row = self.store.get(rid)
         if self._pk_index is not None:
             self._pk_index.delete(self._pk_value(row))
+        self._index_delete(rid, row)
         self.store.delete(rid)
         if emit:
             self._emit(ChangeEvent(self.name, "delete", position, rid, None, row))
@@ -407,6 +617,7 @@ class Table:
             row = self.store.get(rid)
             if self._pk_index is not None:
                 self._pk_index.delete(self._pk_value(row))
+            self._index_delete(rid, row)
             self.positions.delete_at(position)
             self.store.delete(rid)
             if emit:
@@ -432,12 +643,24 @@ class Table:
         if self.schema.primary_key is not None and name.lower() == self.schema.primary_key.lower():
             raise SchemaError(f"cannot drop primary key column {name!r}")
         rewritten = self.store.drop_column(name)
+        # Indexes over the dropped column go with it (sqlite drops the
+        # column's indexes the same way on table rewrite).
+        doomed = [
+            key
+            for key, index in self.indexes.items()
+            if index.column.lower() == name.lower()
+        ]
+        for key in doomed:
+            self.indexes.pop(key)
         if emit:
             self._emit(ChangeEvent(self.name, "drop_column", column=name))
         return rewritten
 
     def rename_column(self, old: str, new: str, emit: bool = True) -> None:
         self.store.rename_column(old, new)
+        for index in self.indexes.values():
+            if index.column.lower() == old.lower():
+                index.column = new
         if emit:
             self._emit(ChangeEvent(self.name, "rename_column", column=old, extra=new))
 
@@ -662,3 +885,14 @@ class Table:
             self._pk_index.validate()
             if len(self._pk_index) != self.store.n_rows:
                 raise StorageError("primary key index size drifted")
+        for index in self.indexes.values():
+            index.tree.validate()
+            col = self.schema.column_index(index.column)
+            non_null = sum(
+                1 for rid in self.store.rids() if self.store.get(rid)[col] is not None
+            )
+            if len(index.tree) != non_null:
+                raise StorageError(
+                    f"secondary index {index.name!r} holds {len(index.tree)} "
+                    f"entries for {non_null} non-null rows"
+                )

@@ -75,6 +75,8 @@ OP_TYPES = (
     "delete_cols",
     "layout_set",    # {table, mode: auto|manual|row|column|target, groups?}
     "layout_step",   # {table, groups} — one applied migration restructure
+    "index_create",  # {name, table, column, unique?, if_not_exists?}
+    "index_drop",    # {name, if_exists?}
     "txn_begin",     # markers written by the transaction hook
     "txn_commit",
     "txn_rollback",
@@ -168,6 +170,17 @@ def validate_op(workbook: Workbook, op: Any) -> None:
                     f"{kind} requires 'groups': a non-empty list of "
                     "non-empty column-name lists"
                 )
+    elif kind == "index_create":
+        for field_name in ("name", "table", "column"):
+            if not isinstance(op.get(field_name), str) or not op[field_name]:
+                raise ServerError(
+                    f"index_create requires a non-empty {field_name!r} string"
+                )
+        if not workbook.database.has_table(str(op["table"])):
+            raise ServerError(f"no such table {op['table']!r}")
+    elif kind == "index_drop":
+        if not isinstance(op.get("name"), str) or not op["name"]:
+            raise ServerError("index_drop requires a non-empty 'name' string")
     # txn markers carry no payload worth validating
 
 
@@ -230,6 +243,22 @@ def apply_op(workbook: Workbook, op: Dict[str, Any]) -> Any:
         # does not report a finished migration as still in flight.
         table.reconcile_layout_migration()
         return ResultSet(rowcount=pages)
+    if kind == "index_create":
+        # Same catalog helper as the live CREATE INDEX path, so replay
+        # rebuilds the identical tree (and re-raises on real conflicts).
+        workbook.database.catalog.create_index(
+            op["name"],
+            op["table"],
+            op["column"],
+            unique=bool(op.get("unique", False)),
+            if_not_exists=bool(op.get("if_not_exists", False)),
+        )
+        return ResultSet()
+    if kind == "index_drop":
+        workbook.database.catalog.drop_index(
+            op["name"], if_exists=bool(op.get("if_exists", False))
+        )
+        return ResultSet()
     if kind in ("txn_begin", "txn_commit", "txn_rollback"):
         return None  # markers: interpreted by committed_ops, not applied
     raise ServerError(f"unknown operation type {kind!r}")
@@ -682,6 +711,7 @@ class WorkbookService:
                 "transaction (only SQL participates in rollback)"
             )
         op = self._promote_layout_sql(op)
+        op = self._promote_index_sql(op)
         # Flush background layout records *before* taking the rollback
         # mark: they are maintenance history, not part of this operation,
         # and must never be truncated with it.
@@ -791,6 +821,41 @@ class WorkbookService:
                     "table": statements[0].table,
                     "mode": action.mode,
                 }
+        return op
+
+    def _promote_index_sql(self, op: Dict[str, Any]) -> Dict[str, Any]:
+        """``CREATE/DROP INDEX`` becomes a first-class ``index_create`` /
+        ``index_drop`` record — recovery then replays the index DDL
+        semantically (and a snapshot can cover it) instead of re-parsing
+        opaque SQL text.  Inside an open transaction the statement stays
+        SQL so rollback rides the engine's undo log, mirroring
+        :meth:`_promote_layout_sql`."""
+        if op.get("type") != "sql" or self.workbook.database.in_transaction:
+            return op
+        # Cheap gate before re-parsing on the apply hot path.
+        if "index" not in op["sql"].lower():
+            return op
+        if _txn_control(op) is not None:
+            return op
+        statements = parse_sql(op["sql"])
+        if len(statements) != 1:
+            return op
+        statement = statements[0]
+        if isinstance(statement, sql_ast.CreateIndexStmt):
+            return {
+                "type": "index_create",
+                "name": statement.name,
+                "table": statement.table,
+                "column": statement.column,
+                "unique": statement.unique,
+                "if_not_exists": statement.if_not_exists,
+            }
+        if isinstance(statement, sql_ast.DropIndexStmt):
+            return {
+                "type": "index_drop",
+                "name": statement.name,
+                "if_exists": statement.if_exists,
+            }
         return op
 
     def _remap_cell_versions(self, op: Dict[str, Any]) -> None:

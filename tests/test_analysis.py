@@ -377,6 +377,70 @@ class TestRC007LockDiscipline:
         )
 
 
+class TestRC008IndexMaintenance:
+    FIXTURE = """
+        class Table:
+            def __init__(self):
+                self.indexes = {{}}
+
+            def _index_insert(self, rid, row):
+                pass
+
+            def insert(self, row):
+                rid = self.store.insert(row)
+                {maintain}
+
+        def apply_op(workbook, op):
+            workbook.insert(op)
+        """
+
+    def test_unmaintained_mutation_fires(self, tmp_path):
+        diags = check(
+            tmp_path, self.FIXTURE.format(maintain="return rid"), "RC008"
+        )
+        assert diags and "stale" in diags[0].message
+        assert "Table.insert:store-mutation" in diags[0].symbol
+
+    def test_maintained_mutation_is_quiet(self, tmp_path):
+        assert not check(
+            tmp_path,
+            self.FIXTURE.format(maintain="self._index_insert(rid, row)"),
+            "RC008",
+        )
+
+    def test_unreachable_method_is_exempt(self, tmp_path):
+        # Not reachable from apply_op → replay can never run it.
+        assert not check(
+            tmp_path,
+            """
+            class Table:
+                def __init__(self):
+                    self.indexes = {}
+
+                def _index_insert(self, rid, row):
+                    pass
+
+                def bulk_load(self, rows):
+                    self.store.insert(rows)
+            """,
+            "RC008",
+        )
+
+    def test_indexless_class_is_exempt(self, tmp_path):
+        assert not check(
+            tmp_path,
+            """
+            class Loader:
+                def load(self, row):
+                    self.store.insert(row)
+
+            def apply_op(workbook, op):
+                workbook.load(op)
+            """,
+            "RC008",
+        )
+
+
 # -- framework ----------------------------------------------------------------
 
 
@@ -391,6 +455,7 @@ class TestFramework:
             "RC005",
             "RC006",
             "RC007",
+            "RC008",
         }
 
     def test_repo_tree_is_clean_modulo_baseline(self):

@@ -318,13 +318,15 @@ def test_dml_where_scans_only_referenced_columns():
     _, trace = db.trace_statement("UPDATE t SET c7 = 0 WHERE c0 < 35")
     scan = _find_prefix(trace, "DmlScan")
     assert scan is not None
-    assert scan.counters["rows_scanned"] == 400
+    # Zone maps may prune pages the predicate provably misses, so the
+    # scan examines at most every row and at least the matches.
+    assert 15 <= scan.counters["rows_scanned"] <= 400
     assert scan.counters["cols_read"] == 1
     assert scan.counters["batches"] >= 1
     assert scan.counters["rows_matched"] == 15
     assert (
         scan.counters["rows_per_batch"]
-        == 400 // scan.counters["batches"]
+        == scan.counters["rows_scanned"] // scan.counters["batches"]
     )
 
 
